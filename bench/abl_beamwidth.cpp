@@ -1,0 +1,71 @@
+// Ablation: antenna beamwidth on the geometric indoor model.
+//
+// The paper motivates modelling co-channel interference by the wide beams
+// of indoor mmWave deployments (narrow outdoor beams are "pseudowired").
+// This bench sweeps the beamwidth of the geometric channel model and shows
+// the optimal scheduling time rising as beams widen — i.e. exactly when the
+// paper's interference-aware formulation matters versus naive scheduling
+// that ignores interference (Benchmark 1).
+#include <memory>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace mmwave;
+  common::CliFlags flags;
+  flags.parse(argc, argv);
+  const int links = static_cast<int>(flags.get_int("links", 10));
+  const int channels = static_cast<int>(flags.get_int("channels", 3));
+  const int seeds = static_cast<int>(flags.get_int("seeds", 10));
+  // Path-loss gains with a realistic noise floor leave tens of dB of SINR
+  // headroom; scale the Table I ladder up so the thresholds describe real
+  // indoor mmWave MCS operating points and actually bind.
+  const double gamma_scale = flags.get_double("gamma-scale", 20.0);
+
+  std::cout << "=== Ablation — beamwidth vs scheduling time (geometric "
+               "model) ===\n";
+  std::cout << "L=" << links << " K=" << channels
+            << ", 10m x 10m room, seeds=" << seeds << "\n\n";
+
+  common::Table table({"beamwidth (rad)", "CG (slots)", "Benchmark 1",
+                       "B1/CG"});
+  for (double beamwidth : {0.2, 0.4, 0.8, 1.2, 2.0}) {
+    std::vector<double> cg_slots, b1_slots;
+    for (int s = 0; s < seeds; ++s) {
+      common::Rng rng(0xBEA0 + 7907ULL * static_cast<std::uint64_t>(s));
+      net::NetworkParams params;
+      params.num_links = links;
+      params.num_channels = channels;
+      params.noise_watts = 1e-4;  // geometric gains need a real link margin
+      for (double& g : params.sinr_thresholds) g *= gamma_scale;
+      net::GeometricChannelConfig gcfg;
+      gcfg.beamwidth_rad = beamwidth;
+      auto model = std::make_unique<net::GeometricChannelModel>(
+          links, channels, params.noise_watts, gcfg, rng);
+      net::Network net(params, std::move(model));
+
+      video::DemandConfig dcfg;
+      dcfg.demand_scale = 1e-4;
+      common::Rng drng = rng.fork(0x5EED);
+      const auto demands = video::make_link_demands(links, dcfg, drng);
+
+      core::CgOptions opts;
+      opts.pricing = core::PricingMode::HeuristicOnly;
+      const auto cg = core::solve_column_generation(net, demands, opts);
+      cg_slots.push_back(cg.total_slots);
+      const auto b1 = baselines::benchmark1(net, demands);
+      if (b1.served_all) b1_slots.push_back(b1.total_slots);
+    }
+    const auto a = common::summarize(cg_slots);
+    const auto b = common::summarize(b1_slots);
+    table.new_row()
+        .add(beamwidth, 1)
+        .add_ci(a.mean, a.ci_halfwidth, 1)
+        .add_ci(b.mean, b.ci_halfwidth, 1)
+        .add(a.mean > 0 ? b.mean / a.mean : 0.0, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nNarrow beams ~ pseudowired (cheap reuse, small B1/CG "
+               "gap); wide beams couple the links and coordination pays.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark) for the three hot substrates:
+// the dense bounded-variable simplex, the branch & bound MILP, and the
+// Foschini–Miljanic power-control solve — plus one end-to-end column
+// generation solve.  These are wall-clock regression guards, not figures.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/column_generation.h"
+#include "lp/simplex.h"
+#include "milp/milp.h"
+#include "mmwave/power_control.h"
+#include "video/demand.h"
+
+namespace {
+
+using namespace mmwave;
+
+void BM_SimplexCoveringLp(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = 2 * rows;
+  common::Rng rng(42);
+  lp::LpModel model;
+  for (int j = 0; j < cols; ++j)
+    model.add_variable(0.0, 100.0, rng.uniform(0.5, 2.0));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<lp::Term> terms;
+    for (int j = 0; j < cols; ++j) {
+      if (rng.bernoulli(0.3)) terms.emplace_back(j, rng.uniform(0.1, 1.0));
+    }
+    if (terms.empty()) terms.emplace_back(i % cols, 1.0);
+    model.add_constraint(std::move(terms), lp::Sense::Ge,
+                         rng.uniform(1.0, 5.0));
+  }
+  for (auto _ : state) {
+    auto sol = lp::solve_lp(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_SimplexCoveringLp)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(7);
+  milp::MilpModel model;
+  model.set_objective_sense(lp::ObjSense::Maximize);
+  std::vector<lp::Term> row;
+  for (int i = 0; i < n; ++i) {
+    const int v = model.add_variable(0, 1, rng.uniform(1.0, 10.0),
+                                     milp::VarType::Binary);
+    row.emplace_back(v, rng.uniform(1.0, 5.0));
+  }
+  model.add_constraint(row, lp::Sense::Le, n * 1.2);
+  for (auto _ : state) {
+    auto sol = milp::solve_milp(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(15)->Arg(25);
+
+void BM_PowerControl(benchmark::State& state) {
+  const int active = static_cast<int>(state.range(0));
+  common::Rng rng(3);
+  net::NetworkParams params;
+  params.num_links = active;
+  params.num_channels = 1;
+  net::Network net = net::Network::table_i(params, rng);
+  std::vector<int> links(active);
+  std::vector<double> gammas(active, 0.1);
+  for (int i = 0; i < active; ++i) links[i] = i;
+  for (auto _ : state) {
+    auto result = net::min_power_assignment(net, 0, links, gammas);
+    benchmark::DoNotOptimize(result.feasible);
+  }
+}
+BENCHMARK(BM_PowerControl)->Arg(5)->Arg(15)->Arg(30);
+
+void BM_ColumnGenerationHeuristic(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  common::Rng rng(11);
+  net::NetworkParams params;
+  params.num_links = links;
+  params.num_channels = 5;
+  net::Network net = net::Network::table_i(params, rng);
+  video::DemandConfig dcfg;
+  dcfg.demand_scale = 1e-3;
+  common::Rng drng = rng.fork(1);
+  const auto demands = video::make_link_demands(links, dcfg, drng);
+  core::CgOptions opts;
+  opts.pricing = core::PricingMode::HeuristicOnly;
+  for (auto _ : state) {
+    auto result = core::solve_column_generation(net, demands, opts);
+    benchmark::DoNotOptimize(result.total_slots);
+  }
+}
+BENCHMARK(BM_ColumnGenerationHeuristic)->Arg(10)->Arg(30);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Benchmark schemes the paper compares against, plus plain TDMA and an
+// exhaustive exact solver for ground truth on small instances.
+//
+// All baselines emit the same artifact as the column-generation solver — a
+// timeline of (Schedule, slots) — so the sched::execute_timeline metrics
+// (total time, per-link delay, Jain fairness) are computed identically for
+// every algorithm.  Baselines' timelines are *simulation orders*; execute
+// them with ExecutionOrder::AsGiven.
+#pragma once
+
+#include <vector>
+
+#include "mmwave/network.h"
+#include "sched/timeline.h"
+#include "video/demand.h"
+
+namespace mmwave::baselines {
+
+struct BaselineResult {
+  std::vector<sched::TimedSchedule> timeline;
+  /// Sum of timeline durations (slots).
+  double total_slots = 0.0;
+  /// False if the scheme could not serve every demand (e.g. a link blocked
+  /// forever); total_slots is then meaningless.
+  bool served_all = true;
+};
+
+/// Plain TDMA (the master-problem initialization, Section IV-B): every link
+/// transmits alone on its best channel, HP then LP.
+BaselineResult tdma(const net::Network& net,
+                    const std::vector<video::LinkDemand>& demands);
+
+/// Benchmark 1 [17]: uncoordinated distortion-greedy transmission.  Every
+/// link with remaining traffic transmits concurrently at Pmax on the channel
+/// with its own best direct gain (HP first, then LP).  No coordination:
+/// links achieve whatever rate level their realized SINR supports — possibly
+/// none, in which case they stay blocked (still radiating) until interferers
+/// finish.  The simulation advances to the next per-link completion.
+BaselineResult benchmark1(const net::Network& net,
+                          const std::vector<video::LinkDemand>& demands);
+
+/// Benchmark 2 [9][10] + channel allocation [8]: links are first assigned
+/// to channels by allocate_channels_yiu_singh; within each channel a
+/// frame-based greedy STDMA scheduler forms concurrent groups (descending
+/// remaining demand, admitted while everyone's SINR at fixed power Pmax
+/// stays above their rate level's threshold).  No power adaptation and no
+/// per-link channel diversity, matching the paper's description.
+BaselineResult benchmark2(const net::Network& net,
+                          const std::vector<video::LinkDemand>& demands);
+
+/// Exact P1 via exhaustive feasible-schedule enumeration + one LP solve.
+/// Exponential in links: use only for small instances (L <= ~6).
+/// `max_schedules` guards against runaway enumeration.
+struct ExhaustiveResult {
+  bool ok = false;
+  double total_slots = 0.0;
+  std::vector<sched::TimedSchedule> timeline;
+  std::size_t num_feasible_schedules = 0;
+};
+ExhaustiveResult exhaustive_optimal(
+    const net::Network& net, const std::vector<video::LinkDemand>& demands,
+    std::size_t max_schedules = 2'000'000);
+
+}  // namespace mmwave::baselines

@@ -1,0 +1,94 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mmwave::baselines {
+namespace {
+
+/// Highest ladder level whose threshold the SINR meets; -1 if below all.
+int level_for_sinr(const net::Network& net, double sinr) {
+  int q = -1;
+  for (int i = 0; i < net.num_rate_levels(); ++i) {
+    if (sinr >= net.rate_level(i).sinr_threshold) q = i;
+  }
+  return q;
+}
+
+}  // namespace
+
+BaselineResult benchmark1(const net::Network& net,
+                          const std::vector<video::LinkDemand>& demands) {
+  BaselineResult out;
+  const int L = net.num_links();
+  const double pmax = net.params().p_max_watts;
+
+  // Each link permanently camps on its own best-gain channel ([17]-style
+  // selfish choice; no coordination with other links).
+  std::vector<int> chan(L);
+  for (int l = 0; l < L; ++l) chan[l] = net.best_channel(l);
+
+  std::vector<double> hp_left(L), lp_left(L);
+  for (int l = 0; l < L; ++l) {
+    hp_left[l] = demands[l].hp_bits;
+    lp_left[l] = demands[l].lp_bits;
+  }
+
+  auto unfinished = [&](int l) { return hp_left[l] > 1e-9 || lp_left[l] > 1e-9; };
+
+  // Each epoch ends when some link finishes its current layer; the active
+  // set (and hence everyone's SINR) changes there.  At most 2L epochs.
+  for (int epoch = 0; epoch < 2 * L + 4; ++epoch) {
+    std::vector<int> active;
+    for (int l = 0; l < L; ++l)
+      if (unfinished(l)) active.push_back(l);
+    if (active.empty()) return out;
+
+    // Realized SINR with every unfinished link radiating at Pmax on its
+    // chosen channel (blocked links included — they still interfere).
+    sched::Schedule schedule;
+    double dt = std::numeric_limits<double>::infinity();
+    bool any_progress = false;
+    for (int l : active) {
+      double interference = net.noise(l);
+      for (int o : active) {
+        if (o == l || chan[o] != chan[l]) continue;
+        interference += net.cross_gain(o, l, chan[l]) * pmax;
+      }
+      const double sinr = net.direct_gain(l, chan[l]) * pmax / interference;
+      const int q = level_for_sinr(net, sinr);
+      if (q < 0) continue;  // blocked this epoch
+      const net::Layer layer =
+          hp_left[l] > 1e-9 ? net::Layer::Hp : net::Layer::Lp;
+      schedule.add({l, layer, q, chan[l], pmax});
+      const double left = layer == net::Layer::Hp ? hp_left[l] : lp_left[l];
+      dt = std::min(dt, left / net.bits_per_slot(q));
+      any_progress = true;
+    }
+
+    if (!any_progress) {
+      // Everyone is mutually blocked: the uncoordinated scheme deadlocks.
+      out.served_all = false;
+      return out;
+    }
+
+    out.timeline.push_back({schedule, dt});
+    out.total_slots += dt;
+    for (const sched::Transmission& tx : schedule.transmissions()) {
+      const double bits = net.bits_per_slot(tx.rate_level) * dt;
+      if (tx.layer == net::Layer::Hp) {
+        hp_left[tx.link] = std::max(0.0, hp_left[tx.link] - bits);
+      } else {
+        lp_left[tx.link] = std::max(0.0, lp_left[tx.link] - bits);
+      }
+    }
+  }
+
+  // Loop guard exceeded (numerical dust); report what remains.
+  for (int l = 0; l < L; ++l)
+    if (unfinished(l)) out.served_all = false;
+  return out;
+}
+
+}  // namespace mmwave::baselines

@@ -1,0 +1,193 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/channel_alloc.h"
+#include "mmwave/power_control.h"
+
+namespace mmwave::baselines {
+namespace {
+
+struct Segment {
+  sched::Schedule schedule;  // transmissions on one channel
+  double slots = 0.0;
+};
+
+/// Highest ladder level whose threshold `sinr` meets; -1 if below all.
+int level_for_sinr(const net::Network& net, double sinr) {
+  int q = -1;
+  for (int i = 0; i < net.num_rate_levels(); ++i) {
+    if (sinr >= net.rate_level(i).sinr_threshold) q = i;
+  }
+  return q;
+}
+
+/// Frame-based greedy STDMA on a single channel at fixed power Pmax
+/// ([9][10]: priority by remaining demand, concurrent group formation, no
+/// power adaptation).  Returns the channel's segment sequence; sets
+/// `served_all` false if some member can never be scheduled.
+std::vector<Segment> schedule_channel(const net::Network& net, int k,
+                                      const std::vector<int>& members,
+                                      std::vector<double>& hp_left,
+                                      std::vector<double>& lp_left,
+                                      bool& served_all) {
+  std::vector<Segment> segments;
+  const double pmax = net.params().p_max_watts;
+
+  auto unfinished = [&](int l) {
+    return hp_left[l] > 1e-9 || lp_left[l] > 1e-9;
+  };
+
+  // Links that cannot clear even the lowest level alone on this channel can
+  // never be scheduled here; drop them up front rather than starving the
+  // rest of the channel.
+  std::vector<int> servable;
+  for (int l : members) {
+    if (net.best_solo_level(l, k) >= 0) {
+      servable.push_back(l);
+    } else if (unfinished(l)) {
+      served_all = false;
+    }
+  }
+
+  const int max_rounds = 2 * static_cast<int>(servable.size()) + 4;
+  for (int round = 0; round < max_rounds; ++round) {
+    std::vector<int> pending;
+    for (int l : servable)
+      if (unfinished(l)) pending.push_back(l);
+    if (pending.empty()) return segments;
+
+    // Priority: descending remaining demand.
+    std::sort(pending.begin(), pending.end(), [&](int a, int b) {
+      return hp_left[a] + lp_left[a] > hp_left[b] + lp_left[b];
+    });
+
+    // Greedy group formation: admit while everyone still clears the lowest
+    // rate level at fixed Pmax.
+    std::vector<int> group;
+    const double gamma_min = net.rate_level(0).sinr_threshold;
+    for (int l : pending) {
+      std::vector<int> trial = group;
+      trial.push_back(l);
+      std::vector<double> powers(trial.size(), pmax);
+      const std::vector<double> sinr =
+          net::achieved_sinr(net, k, trial, powers);
+      bool ok = true;
+      for (double s : sinr) {
+        if (s < gamma_min) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) group = std::move(trial);
+    }
+    if (group.empty()) {
+      // Highest-priority link cannot transmit even alone on this channel.
+      served_all = false;
+      return segments;
+    }
+
+    // Rate levels from the group's realized SINR; duration until the first
+    // member finishes its current layer.
+    std::vector<double> powers(group.size(), pmax);
+    const std::vector<double> sinr =
+        net::achieved_sinr(net, k, group, powers);
+    Segment seg;
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const int l = group[i];
+      const int q = level_for_sinr(net, sinr[i]);
+      const net::Layer layer =
+          hp_left[l] > 1e-9 ? net::Layer::Hp : net::Layer::Lp;
+      seg.schedule.add({l, layer, q, k, pmax});
+      const double left = layer == net::Layer::Hp ? hp_left[l] : lp_left[l];
+      dt = std::min(dt, left / net.bits_per_slot(q));
+    }
+    seg.slots = dt;
+    for (const sched::Transmission& tx : seg.schedule.transmissions()) {
+      const double bits = net.bits_per_slot(tx.rate_level) * dt;
+      if (tx.layer == net::Layer::Hp) {
+        hp_left[tx.link] = std::max(0.0, hp_left[tx.link] - bits);
+      } else {
+        lp_left[tx.link] = std::max(0.0, lp_left[tx.link] - bits);
+      }
+    }
+    segments.push_back(std::move(seg));
+  }
+  for (int l : servable)
+    if (unfinished(l)) served_all = false;
+  return segments;
+}
+
+}  // namespace
+
+BaselineResult benchmark2(const net::Network& net,
+                          const std::vector<video::LinkDemand>& demands) {
+  BaselineResult out;
+  const int L = net.num_links();
+  const int K = net.num_channels();
+
+  const std::vector<int> assignment =
+      allocate_channels_yiu_singh(net, demands);
+  std::vector<std::vector<int>> members(K);
+  for (int l = 0; l < L; ++l) members[assignment[l]].push_back(l);
+
+  std::vector<double> hp_left(L), lp_left(L);
+  for (int l = 0; l < L; ++l) {
+    hp_left[l] = demands[l].hp_bits;
+    lp_left[l] = demands[l].lp_bits;
+  }
+
+  // Channels run concurrently; merge the per-channel segment sequences into
+  // global timeline slices at every group boundary.
+  std::vector<std::vector<Segment>> per_channel(K);
+  for (int k = 0; k < K; ++k) {
+    per_channel[k] =
+        schedule_channel(net, k, members[k], hp_left, lp_left,
+                         out.served_all);
+  }
+
+  std::vector<std::size_t> idx(K, 0);
+  std::vector<double> remaining(K, 0.0);
+  for (int k = 0; k < K; ++k) {
+    remaining[k] =
+        per_channel[k].empty() ? 0.0 : per_channel[k][0].slots;
+  }
+
+  while (true) {
+    double dt = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < K; ++k) {
+      if (idx[k] < per_channel[k].size() && remaining[k] > 1e-12)
+        dt = std::min(dt, remaining[k]);
+    }
+    if (!std::isfinite(dt)) break;
+
+    sched::Schedule combined;
+    for (int k = 0; k < K; ++k) {
+      if (idx[k] >= per_channel[k].size() || remaining[k] <= 1e-12) continue;
+      for (const sched::Transmission& tx :
+           per_channel[k][idx[k]].schedule.transmissions()) {
+        combined.add(tx);
+      }
+    }
+    out.timeline.push_back({std::move(combined), dt});
+    for (int k = 0; k < K; ++k) {
+      if (idx[k] >= per_channel[k].size() || remaining[k] <= 1e-12) continue;
+      remaining[k] -= dt;
+      if (remaining[k] <= 1e-12) {
+        ++idx[k];
+        remaining[k] = idx[k] < per_channel[k].size()
+                           ? per_channel[k][idx[k]].slots
+                           : 0.0;
+      }
+    }
+  }
+
+  // Total scheduling time is the makespan across concurrent channels.
+  for (const auto& ts : out.timeline) out.total_slots += ts.slots;
+  return out;
+}
+
+}  // namespace mmwave::baselines

@@ -1,0 +1,54 @@
+#include "baselines/channel_alloc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mmwave::baselines {
+
+std::vector<int> allocate_channels_yiu_singh(
+    const net::Network& net, const std::vector<video::LinkDemand>& demands) {
+  const int L = net.num_links();
+  const int K = net.num_channels();
+
+  std::vector<int> order(L);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return demands[a].total() > demands[b].total();
+  });
+
+  std::vector<int> assignment(L, 0);
+  std::vector<std::vector<int>> members(K);
+  std::vector<double> load(K, 0.0);
+
+  for (int l : order) {
+    int best_k = -1;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < K; ++k) {
+      // Never park a link on a channel it cannot close a solo link budget
+      // on; it would starve there no matter the schedule.
+      if (net.best_solo_level(l, k) < 0) continue;
+      // Conflict: mutual cross-gain with links already on k, weighted by
+      // 1/direct gain (a weak link suffers more from the same interference).
+      double conflict = 0.0;
+      for (int other : members[k]) {
+        conflict += net.cross_gain(other, l, k) / net.direct_gain(l, k);
+        conflict +=
+            net.cross_gain(l, other, k) / net.direct_gain(other, k);
+      }
+      // Secondary criterion: balance traffic load across channels.
+      const double score = conflict + 0.1 * load[k] /
+                                          (1.0 + demands[l].total());
+      if (score < best_score) {
+        best_score = score;
+        best_k = k;
+      }
+    }
+    if (best_k < 0) best_k = net.best_channel(l);  // hopeless link: best gain
+    assignment[l] = best_k;
+    members[best_k].push_back(l);
+    load[best_k] += demands[l].total();
+  }
+  return assignment;
+}
+
+}  // namespace mmwave::baselines

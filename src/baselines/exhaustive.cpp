@@ -1,0 +1,126 @@
+#include "baselines/baselines.h"
+
+#include <map>
+
+#include "core/master.h"
+#include "mmwave/power_control.h"
+
+namespace mmwave::baselines {
+namespace {
+
+/// Recursive enumeration state: per-channel active sets with SINR targets.
+struct Enumerator {
+  const net::Network& net;
+  const std::vector<video::LinkDemand>& demands;
+  std::size_t max_schedules;
+
+  std::vector<std::vector<int>> chan_links;
+  std::vector<std::vector<double>> chan_gammas;
+  std::vector<bool> node_busy;
+  std::vector<sched::Transmission> current;
+  std::vector<sched::Schedule> feasible;
+  bool truncated = false;
+
+  Enumerator(const net::Network& n,
+             const std::vector<video::LinkDemand>& d, std::size_t cap)
+      : net(n), demands(d), max_schedules(cap) {
+    chan_links.resize(net.num_channels());
+    chan_gammas.resize(net.num_channels());
+    node_busy.assign(net.num_nodes(), false);
+  }
+
+  /// Adding a link to a channel only ever shrinks the feasible power region,
+  /// so an infeasible partial assignment can be pruned outright.
+  bool channel_feasible(int k) const {
+    return net::min_power_assignment(net, k, chan_links[k], chan_gammas[k])
+        .feasible;
+  }
+
+  void emit() {
+    if (feasible.size() >= max_schedules) {
+      truncated = true;
+      return;
+    }
+    // Recompute minimal powers per channel for the stored schedule.
+    sched::Schedule s;
+    for (int k = 0; k < net.num_channels(); ++k) {
+      if (chan_links[k].empty()) continue;
+      const auto pc =
+          net::min_power_assignment(net, k, chan_links[k], chan_gammas[k]);
+      for (std::size_t i = 0; i < chan_links[k].size(); ++i) {
+        for (const sched::Transmission& tx : current) {
+          if (tx.link == chan_links[k][i] && tx.channel == k) {
+            sched::Transmission copy = tx;
+            copy.power_watts = pc.powers[i];
+            s.add(copy);
+          }
+        }
+      }
+    }
+    if (!s.empty()) feasible.push_back(std::move(s));
+  }
+
+  void recurse(int l) {
+    if (truncated) return;
+    if (l == net.num_links()) {
+      emit();
+      return;
+    }
+    // Option 1: link silent.
+    recurse(l + 1);
+    if (truncated) return;
+
+    const net::Link& link = net.link(l);
+    if (node_busy[link.tx_node] || node_busy[link.rx_node]) return;
+    node_busy[link.tx_node] = node_busy[link.rx_node] = true;
+
+    for (int layer = 0; layer < 2; ++layer) {
+      const double demand = layer == 0 ? demands[l].hp_bits
+                                       : demands[l].lp_bits;
+      if (demand <= 0.0) continue;  // a zero-demand layer never helps
+      for (int k = 0; k < net.num_channels(); ++k) {
+        for (int q = 0; q < net.num_rate_levels(); ++q) {
+          chan_links[k].push_back(l);
+          chan_gammas[k].push_back(net.rate_level(q).sinr_threshold);
+          if (channel_feasible(k)) {
+            current.push_back({l, static_cast<net::Layer>(layer), q, k, 0.0});
+            recurse(l + 1);
+            current.pop_back();
+          }
+          chan_links[k].pop_back();
+          chan_gammas[k].pop_back();
+          if (truncated) break;
+        }
+        if (truncated) break;
+      }
+      if (truncated) break;
+    }
+    node_busy[link.tx_node] = node_busy[link.rx_node] = false;
+  }
+};
+
+}  // namespace
+
+ExhaustiveResult exhaustive_optimal(
+    const net::Network& net, const std::vector<video::LinkDemand>& demands,
+    std::size_t max_schedules) {
+  ExhaustiveResult out;
+  Enumerator en(net, demands, max_schedules);
+  en.recurse(0);
+  if (en.truncated) return out;  // ok = false
+  out.num_feasible_schedules = en.feasible.size();
+
+  core::MasterProblem master(net, demands);
+  for (const sched::Schedule& s : en.feasible) master.add_column(s);
+  const core::MasterSolution sol = master.solve();
+  if (!sol.ok) return out;
+  out.ok = true;
+  out.total_slots = sol.objective_slots;
+  for (std::size_t s = 0; s < master.num_columns(); ++s) {
+    if (sol.tau[s] > 1e-9)
+      out.timeline.push_back({master.columns()[s], sol.tau[s]});
+  }
+  return out;
+}
+
+}  // namespace mmwave::baselines

@@ -1,0 +1,36 @@
+#include "baselines/baselines.h"
+
+#include "core/column_generation.h"
+
+namespace mmwave::baselines {
+
+BaselineResult tdma(const net::Network& net,
+                    const std::vector<video::LinkDemand>& demands) {
+  BaselineResult out;
+  for (const sched::Schedule& s : core::tdma_initial_columns(net)) {
+    // Each TDMA column serves exactly one (link, layer).
+    const sched::Transmission& tx = s.transmissions().front();
+    const double demand_bits = tx.layer == net::Layer::Hp
+                                   ? demands[tx.link].hp_bits
+                                   : demands[tx.link].lp_bits;
+    if (demand_bits <= 0.0) continue;
+    const double rate = net.bits_per_slot(tx.rate_level);
+    out.timeline.push_back({s, demand_bits / rate});
+    out.total_slots += demand_bits / rate;
+  }
+  // A link with demand but no TDMA column cannot be served at all.
+  for (int l = 0; l < net.num_links(); ++l) {
+    if (demands[l].total() <= 0.0) continue;
+    bool has_column = false;
+    for (const auto& ts : out.timeline) {
+      if (ts.schedule.transmissions().front().link == l) {
+        has_column = true;
+        break;
+      }
+    }
+    if (!has_column) out.served_all = false;
+  }
+  return out;
+}
+
+}  // namespace mmwave::baselines

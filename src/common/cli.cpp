@@ -1,0 +1,74 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace mmwave::common {
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag, else a bare
+    // boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+  return true;
+}
+
+bool CliFlags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliFlags::get_string(const std::string& name,
+                                 const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name,
+                               std::int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliFlags::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliFlags::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> CliFlags::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace mmwave::common

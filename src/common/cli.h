@@ -1,0 +1,44 @@
+// Minimal --flag=value command-line parsing for the bench and example
+// binaries.  Flags are declared with defaults; unknown flags are an error so
+// typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmwave::common {
+
+class CliFlags {
+ public:
+  /// Parses argv.  Accepted syntaxes: --name=value, --name value,
+  /// --bool-flag (implicit true).  Returns false (and fills error()) on
+  /// malformed input; callers typically print usage and exit.
+  bool parse(int argc, const char* const* argv);
+
+  const std::string& error() const { return error_; }
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Comma-separated integer list, e.g. --links=10,15,20.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace mmwave::common

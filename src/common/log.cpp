@@ -1,0 +1,31 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace mmwave::common {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_write(LogLevel level, const std::string& msg) {
+  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace mmwave::common

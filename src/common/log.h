@@ -1,0 +1,47 @@
+// Leveled stderr logging.  Off by default above Warn so solver internals stay
+// quiet in benches; tests and examples can raise the level for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mmwave::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logger: LogLine(LogLevel::Info) << "x=" << x;
+/// The message is emitted (with level prefix) on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_write(level_, ss_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+#define MMWAVE_LOG_DEBUG ::mmwave::common::LogLine(::mmwave::common::LogLevel::Debug)
+#define MMWAVE_LOG_INFO ::mmwave::common::LogLine(::mmwave::common::LogLevel::Info)
+#define MMWAVE_LOG_WARN ::mmwave::common::LogLine(::mmwave::common::LogLevel::Warn)
+#define MMWAVE_LOG_ERROR ::mmwave::common::LogLine(::mmwave::common::LogLevel::Error)
+
+}  // namespace mmwave::common

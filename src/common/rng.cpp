@@ -1,0 +1,40 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mmwave::common {
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  // If X ~ LogNormal(mu, sigma^2) then E[X] = exp(mu + sigma^2/2) and
+  // CV^2 = exp(sigma^2) - 1.  Invert for (mu, sigma).
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+double Rng::exponential(double rate) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+}  // namespace mmwave::common

@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library takes an explicit 64-bit seed so
+// that experiments are bit-reproducible across runs and platforms.  We use
+// xoshiro256** seeded through splitmix64, which is fast, has a 256-bit state,
+// and (unlike std::mt19937 with std::uniform_real_distribution) produces an
+// identical stream on every standard library implementation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mmwave::common {
+
+/// Counter-based stateless mixer; used for seeding and for deriving
+/// independent sub-streams from a master seed.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies std::uniform_random_bit_generator so it can
+/// also be plugged into <random> facilities when stream-stability across
+/// standard libraries is not required.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent generator for sub-stream `stream` of this
+  /// generator's seed.  Used to give each (experiment point, seed) pair its
+  /// own stream so adding parameters never perturbs other points.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    std::uint64_t mix = state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng(mix);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).  53 mantissa bits of the raw stream.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  Rejection-free Lemire reduction would be
+  /// overkill here; modulo bias is negligible for our n << 2^64.
+  std::uint64_t uniform_index(std::uint64_t n) { return (*this)() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Log-normal such that the *mean* of the distribution is `mean` and the
+  /// coefficient of variation is `cv`.  Convenient for frame-size models that
+  /// are calibrated to a target bitrate.
+  double lognormal_mean_cv(double mean, double cv);
+
+  /// Exponential with the given rate.
+  double exponential(double rate);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace mmwave::common

@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmwave::common {
+namespace {
+
+struct TRow {
+  std::size_t dof;
+  double t90, t95, t99;
+};
+
+// Standard two-sided Student-t table.
+constexpr TRow kTTable[] = {
+    {1, 6.314, 12.706, 63.657}, {2, 2.920, 4.303, 9.925},
+    {3, 2.353, 3.182, 5.841},   {4, 2.132, 2.776, 4.604},
+    {5, 2.015, 2.571, 4.032},   {6, 1.943, 2.447, 3.707},
+    {7, 1.895, 2.365, 3.499},   {8, 1.860, 2.306, 3.355},
+    {9, 1.833, 2.262, 3.250},   {10, 1.812, 2.228, 3.169},
+    {12, 1.782, 2.179, 3.055},  {14, 1.761, 2.145, 2.977},
+    {16, 1.746, 2.120, 2.921},  {18, 1.734, 2.101, 2.878},
+    {20, 1.725, 2.086, 2.845},  {25, 1.708, 2.060, 2.787},
+    {30, 1.697, 2.042, 2.750},  {40, 1.684, 2.021, 2.704},
+    {49, 1.677, 2.010, 2.680},  {60, 1.671, 2.000, 2.660},
+    {80, 1.664, 1.990, 2.639},  {120, 1.658, 1.980, 2.617},
+};
+
+double pick_level(const TRow& row, double confidence) {
+  if (confidence <= 0.905) return row.t90;
+  if (confidence <= 0.955) return row.t95;
+  return row.t99;
+}
+
+}  // namespace
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double t_critical(std::size_t dof, double confidence) {
+  if (dof == 0) return 0.0;
+  constexpr std::size_t n = sizeof(kTTable) / sizeof(kTTable[0]);
+  if (dof > 120) {
+    // Normal approximation.
+    if (confidence <= 0.905) return 1.645;
+    if (confidence <= 0.955) return 1.960;
+    return 2.576;
+  }
+  // Find bracketing rows and interpolate linearly in dof.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kTTable[i].dof == dof) return pick_level(kTTable[i], confidence);
+    if (kTTable[i].dof > dof) {
+      const TRow& lo = kTTable[i - 1];
+      const TRow& hi = kTTable[i];
+      const double w = static_cast<double>(dof - lo.dof) /
+                       static_cast<double>(hi.dof - lo.dof);
+      return pick_level(lo, confidence) +
+             w * (pick_level(hi, confidence) - pick_level(lo, confidence));
+    }
+  }
+  return pick_level(kTTable[n - 1], confidence);
+}
+
+SampleStats summarize(const std::vector<double>& xs, double confidence) {
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  SampleStats s;
+  s.n = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  if (s.n >= 2) {
+    s.ci_halfwidth = t_critical(s.n - 1, confidence) * s.stddev /
+                     std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+double jain_index(const std::vector<double>& e) {
+  if (e.empty()) return 1.0;
+  double sum = 0.0, sumsq = 0.0;
+  for (double x : e) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(e.size()) * sumsq);
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace mmwave::common

@@ -1,0 +1,59 @@
+// Summary statistics and confidence intervals for experiment reporting.
+//
+// The paper reports 95% confidence intervals over 50 random seeds; the
+// SampleStats helper reproduces that (Student-t critical values, since the
+// sample sizes are small).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mmwave::common {
+
+/// Welford online accumulator: numerically stable mean/variance.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t critical value at the given confidence level for
+/// `dof` degrees of freedom.  Exact for the tabulated 90/95/99% levels,
+/// linearly interpolated over dof, normal-approximated for dof > 120.
+double t_critical(std::size_t dof, double confidence = 0.95);
+
+struct SampleStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Half-width of the two-sided confidence interval around the mean.
+  double ci_halfwidth = 0.0;
+};
+
+/// Mean, stddev and confidence-interval half width of a sample.
+SampleStats summarize(const std::vector<double>& xs,
+                      double confidence = 0.95);
+
+/// Jain's fairness index f(e) = (sum e)^2 / (n * sum e^2); 1.0 when all
+/// entries are equal, -> 1/n in the most unfair case.  Returns 1.0 for an
+/// all-zero or empty sample (every link equally (un)delayed).
+double jain_index(const std::vector<double>& e);
+
+/// Arithmetic mean; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace mmwave::common

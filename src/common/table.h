@@ -1,0 +1,49 @@
+// Plain-text experiment tables and CSV emission.
+//
+// The bench binaries print each figure/table of the paper as an aligned
+// plain-text table (the "rows/series the paper reports") and can mirror the
+// same rows into a CSV file for plotting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mmwave::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& new_row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::size_t value);
+  Table& add(std::int64_t value);
+  Table& add(int value);
+  /// "mean ± ci" cell, the format used for every figure with error bars.
+  Table& add_ci(double mean, double ci_halfwidth, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Writes headers + rows as CSV.  "±" cells are split is not attempted;
+  /// callers wanting machine-readable CIs should add mean and ci as separate
+  /// columns.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing-zero stripping).
+std::string format_double(double v, int precision = 3);
+
+}  // namespace mmwave::common

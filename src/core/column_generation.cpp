@@ -1,0 +1,184 @@
+#include "core/column_generation.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "mmwave/power_control.h"
+
+namespace mmwave::core {
+
+double theorem1_lower_bound(const std::vector<double>& lambda_hp,
+                            const std::vector<double>& lambda_lp,
+                            const std::vector<video::LinkDemand>& demands,
+                            double phi) {
+  // LB = (Lambda_hp . D_hp + Lambda_lp . D_lp) / (1 - Phi), Phi <= 0.
+  double dual_value = 0.0;
+  for (std::size_t l = 0; l < demands.size(); ++l) {
+    dual_value +=
+        lambda_hp[l] * demands[l].hp_bits + lambda_lp[l] * demands[l].lp_bits;
+  }
+  const double denom = 1.0 - std::min(phi, 0.0);
+  return dual_value / denom;
+}
+
+std::vector<sched::Schedule> tdma_initial_columns(const net::Network& net) {
+  std::vector<sched::Schedule> columns;
+  for (int l = 0; l < net.num_links(); ++l) {
+    // Highest solo throughput across channels; ties to higher gain.
+    int best_k = -1, best_q = -1;
+    double best_gain = -1.0;
+    for (int k = 0; k < net.num_channels(); ++k) {
+      const int q = net.best_solo_level(l, k);
+      if (q > best_q ||
+          (q == best_q && q >= 0 && net.direct_gain(l, k) > best_gain)) {
+        best_q = q;
+        best_k = k;
+        best_gain = net.direct_gain(l, k);
+      }
+    }
+    if (best_q < 0) {
+      MMWAVE_LOG_DEBUG << "link " << l
+                       << " cannot reach any rate level alone; its demand "
+                          "cannot be scheduled";
+      continue;
+    }
+    // Minimal solo power for the chosen level.
+    const double gamma = net.rate_level(best_q).sinr_threshold;
+    const double power = std::min(net.params().p_max_watts,
+                                  gamma * net.noise(l) /
+                                      net.direct_gain(l, best_k));
+    for (int layer = 0; layer < 2; ++layer) {
+      sched::Schedule s;
+      s.add({l, static_cast<net::Layer>(layer), best_q, best_k, power});
+      columns.push_back(std::move(s));
+    }
+  }
+  return columns;
+}
+
+CgResult solve_column_generation(const net::Network& net,
+                                 const std::vector<video::LinkDemand>& demands,
+                                 const CgOptions& options) {
+  CgResult result;
+
+  // A link that cannot reach even the lowest rate level alone on any
+  // channel (deep blockage, hopeless gains) can never be served: rather
+  // than making the covering LP infeasible for everyone, exclude its
+  // demand and report it so the PNC can defer that session.
+  std::vector<video::LinkDemand> effective = demands;
+  for (int l = 0; l < net.num_links(); ++l) {
+    if (effective[l].total() <= 0.0) continue;
+    int best_q = -1;
+    for (int k = 0; k < net.num_channels(); ++k)
+      best_q = std::max(best_q, net.best_solo_level(l, k));
+    if (best_q < 0) {
+      result.unserved_links.push_back(l);
+      effective[l] = {};
+    }
+  }
+
+  MasterProblem master(net, effective);
+  for (const sched::Schedule& s : tdma_initial_columns(net))
+    master.add_column(s);
+
+  double best_lb = std::nan("");
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const MasterSolution mp = master.solve();
+    if (!mp.ok) {
+      MMWAVE_LOG_ERROR << "master LP failed at iteration " << iter;
+      break;
+    }
+
+    // ---- Pricing --------------------------------------------------------
+    PricingResult pricing;
+    bool exact_used = false;
+    if (options.pricing == PricingMode::ExactAlways) {
+      MilpPricingOptions exact = options.exact;
+      exact.target_psi = std::nan("");  // need true Phi each iteration
+      const PricingResult greedy = solve_pricing_greedy(
+          net, mp.lambda_hp, mp.lambda_lp, options.greedy);
+      pricing = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp, exact,
+                                   greedy.found ? &greedy.schedule : nullptr);
+      exact_used = true;
+    } else {
+      pricing = solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp,
+                                     options.greedy);
+      const bool heuristic_failed =
+          !pricing.found || master.contains(pricing.schedule);
+      if (heuristic_failed && options.pricing == PricingMode::HeuristicThenExact) {
+        MilpPricingOptions exact = options.exact;
+        if (options.exact_early_stop) {
+          // Any column comfortably below zero reduced cost will do.
+          exact.target_psi = 1.0 + 1e-4;
+        }
+        pricing = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp, exact,
+                                     pricing.found ? &pricing.schedule
+                                                   : nullptr);
+        exact_used = true;
+      }
+    }
+
+    const double phi = 1.0 - pricing.psi;
+    // Valid lower bound on the true most negative reduced cost.
+    const double phi_lb = 1.0 - pricing.psi_upper_bound;
+
+    IterationStat stat;
+    stat.iteration = iter;
+    stat.master_objective = mp.objective_slots;
+    stat.phi = phi;
+    stat.num_columns = static_cast<int>(master.num_columns());
+    stat.exact_pricing = exact_used && pricing.exact;
+    if (std::isfinite(phi_lb)) {
+      stat.lower_bound =
+          theorem1_lower_bound(mp.lambda_hp, mp.lambda_lp, effective, phi_lb);
+      if (std::isnan(best_lb) || stat.lower_bound > best_lb)
+        best_lb = stat.lower_bound;
+    }
+    stat.best_lower_bound = best_lb;
+    result.history.push_back(stat);
+    result.total_slots = mp.objective_slots;
+    result.iterations = iter + 1;
+
+    // ---- Termination ----------------------------------------------------
+    const bool no_improving_column = phi >= -options.eps;
+    if (no_improving_column) {
+      // Optimal iff the pricer was exact; in HeuristicOnly mode this is a
+      // heuristic fixed point.
+      result.converged = exact_used && pricing.exact;
+      break;
+    }
+    if (options.gap_tolerance > 0.0 && !std::isnan(best_lb) &&
+        mp.objective_slots > 0.0 &&
+        (mp.objective_slots - best_lb) / mp.objective_slots <=
+            options.gap_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    if (!master.add_column(pricing.schedule)) {
+      // The pricer regenerated an existing column claiming negative reduced
+      // cost — numerical stall; stop rather than loop.
+      MMWAVE_LOG_WARN << "column generation stalled on a duplicate column "
+                         "at iteration "
+                      << iter;
+      break;
+    }
+  }
+
+  // ---- Final solution extraction ---------------------------------------
+  const MasterSolution final_mp = master.solve();
+  if (final_mp.ok) {
+    result.total_slots = final_mp.objective_slots;
+    for (std::size_t s = 0; s < master.num_columns(); ++s) {
+      if (final_mp.tau[s] > 1e-9) {
+        result.timeline.push_back(
+            {master.columns()[s], final_mp.tau[s]});
+      }
+    }
+  }
+  result.lower_bound = best_lb;
+  return result;
+}
+
+}  // namespace mmwave::core

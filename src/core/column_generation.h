@@ -1,0 +1,126 @@
+// Column-generation driver (Sections IV-V of the paper).
+//
+// Loop:
+//   1. initialize the restricted master with the TDMA columns (IV-B);
+//   2. solve the MP, read the duals (simplex multipliers);
+//   3. price: greedy heuristic first, exact MILP when the heuristic finds
+//      nothing (or always, in Exact mode);
+//   4. if the most negative reduced cost Phi >= -eps with an exact pricer,
+//      the MP optimum equals the P1 optimum — stop;
+//   5. otherwise enter the new column and repeat.
+//
+// At every exact-priced iteration the Theorem-1 lower bound
+//   LB = (Lambda_hp . d_hp + Lambda_lp . d_lp) / (1 - Phi)
+// is recorded; the incumbent MP objective is the matching upper bound, so
+// the driver can also stop at a requested relative gap ("sufficiently
+// competitive solution", Section V-A).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "core/master.h"
+#include "core/pricing_greedy.h"
+#include "core/pricing_milp.h"
+#include "mmwave/network.h"
+#include "sched/timeline.h"
+#include "video/demand.h"
+
+namespace mmwave::core {
+
+enum class PricingMode {
+  /// Greedy heuristic each iteration; exact MILP only when the heuristic
+  /// fails (needed for the termination certificate).  Default.
+  HeuristicThenExact,
+  /// Exact MILP every iteration: Phi and the Theorem-1 bound are exact at
+  /// each step (used for the Fig. 4 convergence study).
+  ExactAlways,
+  /// Heuristic only: no optimality certificate; terminates when the
+  /// heuristic finds no improving column.  Fast mode for large sweeps.
+  HeuristicOnly,
+};
+
+struct CgOptions {
+  PricingMode pricing = PricingMode::HeuristicThenExact;
+  /// Reduced-cost tolerance: Phi >= -eps terminates.
+  double eps = 1e-6;
+  int max_iterations = 1000;
+  /// Early stop when (UB - bestLB)/UB <= gap_tolerance (0 disables; only
+  /// effective on iterations that produce a valid lower bound).
+  double gap_tolerance = 0.0;
+  GreedyPricingOptions greedy;
+  MilpPricingOptions exact;
+  /// Keep default exact-pricing solves bounded; a truncated certification
+  /// downgrades `converged` instead of hanging the caller.  Raise the
+  /// limits (Fig. 4 bench does) when a hard optimality certificate matters
+  /// more than latency.
+  CgOptions() {
+    exact.milp.time_limit_sec = 10.0;
+    exact.milp.max_nodes = 50'000;
+  }
+  /// In HeuristicThenExact mode, stop the exact pricer at the first
+  /// improving column instead of the true optimum (faster; the final
+  /// certification iteration always runs to optimality).
+  bool exact_early_stop = true;
+};
+
+struct IterationStat {
+  int iteration = 0;
+  /// MP objective (upper bound on the P1 optimum), slots.
+  double master_objective = 0.0;
+  /// Most negative reduced cost Phi = 1 - Psi of this iteration's pricing.
+  /// Exact only when `exact_pricing`; otherwise it is the reduced cost of
+  /// the best column the heuristic found (an upper bound on the true Phi).
+  double phi = 0.0;
+  /// Theorem-1 lower bound (NaN when no valid bound this iteration).
+  double lower_bound = std::nan("");
+  /// Best valid lower bound so far.
+  double best_lower_bound = std::nan("");
+  int num_columns = 0;
+  bool exact_pricing = false;
+};
+
+struct CgResult {
+  /// True iff optimality was certified (Phi >= -eps under exact pricing)
+  /// or the requested gap tolerance was reached.
+  bool converged = false;
+  /// Final MP objective (slots).  This is the P1 optimum when `converged`
+  /// with gap_tolerance == 0.
+  double total_slots = 0.0;
+  /// Best Theorem-1 lower bound (NaN if no exact pricing ever ran).
+  double lower_bound = std::nan("");
+  /// Columns with tau > 0, ready for timeline execution.
+  std::vector<sched::TimedSchedule> timeline;
+  std::vector<IterationStat> history;
+  int iterations = 0;
+  /// Links whose demand could not be served at all (no reachable rate
+  /// level on any channel, e.g. blocked): their demands are excluded from
+  /// the optimization and the PNC must defer them.
+  std::vector<int> unserved_links;
+
+  double gap() const {
+    if (std::isnan(lower_bound) || total_slots <= 0.0) return std::nan("");
+    return (total_slots - lower_bound) / total_slots;
+  }
+};
+
+/// Theorem 1: lower bound on the P1 optimum from duals, demands and Phi.
+/// `phi` must be a valid lower bound on the most negative reduced cost
+/// (exact Phi, or 1 - Psi_upper_bound from a truncated pricer).
+double theorem1_lower_bound(const std::vector<double>& lambda_hp,
+                            const std::vector<double>& lambda_lp,
+                            const std::vector<video::LinkDemand>& demands,
+                            double phi);
+
+/// The TDMA initialization columns of Section IV-B: one column per
+/// (link, layer), the link alone on its best channel at its highest solo
+/// rate level.  Links that cannot reach even the lowest level on any
+/// channel are skipped (the master will be infeasible, which solve reports).
+std::vector<sched::Schedule> tdma_initial_columns(const net::Network& net);
+
+/// Runs column generation on the instance.
+CgResult solve_column_generation(const net::Network& net,
+                                 const std::vector<video::LinkDemand>& demands,
+                                 const CgOptions& options = {});
+
+}  // namespace mmwave::core

@@ -1,0 +1,86 @@
+#include "core/master.h"
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace mmwave::core {
+
+MasterProblem::MasterProblem(const net::Network& net,
+                             std::vector<video::LinkDemand> demands)
+    : net_(net), demands_(std::move(demands)) {}
+
+bool MasterProblem::add_column(const sched::Schedule& schedule) {
+  const std::string key = schedule.key();
+  if (!keys_.insert(key).second) return false;
+  columns_.push_back(schedule);
+  hp_cols_.push_back(
+      schedule.rate_column_bits_per_slot(net_, net::Layer::Hp));
+  lp_cols_.push_back(
+      schedule.rate_column_bits_per_slot(net_, net::Layer::Lp));
+  return true;
+}
+
+bool MasterProblem::contains(const sched::Schedule& schedule) const {
+  return keys_.count(schedule.key()) != 0;
+}
+
+MasterSolution MasterProblem::solve() const {
+  MasterSolution out;
+  const int num_links = net_.num_links();
+
+  lp::LpModel model;
+  for (std::size_t s = 0; s < columns_.size(); ++s) {
+    model.add_variable(0.0, lp::kInfinity, 1.0);
+  }
+  // Row layout: [hp rows for links 0..L-1 | lp rows].
+  for (int l = 0; l < num_links; ++l) {
+    std::vector<lp::Term> terms;
+    for (std::size_t s = 0; s < columns_.size(); ++s) {
+      if (hp_cols_[s][l] > 0.0)
+        terms.emplace_back(static_cast<int>(s), hp_cols_[s][l]);
+    }
+    model.add_constraint(std::move(terms), lp::Sense::Ge,
+                         demands_[l].hp_bits);
+  }
+  for (int l = 0; l < num_links; ++l) {
+    std::vector<lp::Term> terms;
+    for (std::size_t s = 0; s < columns_.size(); ++s) {
+      if (lp_cols_[s][l] > 0.0)
+        terms.emplace_back(static_cast<int>(s), lp_cols_[s][l]);
+    }
+    model.add_constraint(std::move(terms), lp::Sense::Ge,
+                         demands_[l].lp_bits);
+  }
+
+  const lp::LpSolution sol = lp::solve_lp(model);
+  if (!sol.optimal()) return out;
+
+  out.ok = true;
+  out.objective_slots = sol.objective;
+  out.tau = sol.x;
+  out.lambda_hp.assign(num_links, 0.0);
+  out.lambda_lp.assign(num_links, 0.0);
+  for (int l = 0; l < num_links; ++l) {
+    // Clamp the tiny negative dust the tolerance allows; duals of >= rows in
+    // a min problem are nonnegative.
+    out.lambda_hp[l] = std::max(0.0, sol.duals[l]);
+    out.lambda_lp[l] = std::max(0.0, sol.duals[num_links + l]);
+  }
+  return out;
+}
+
+double MasterProblem::reduced_cost(const sched::Schedule& schedule,
+                                   const std::vector<double>& lambda_hp,
+                                   const std::vector<double>& lambda_lp) const {
+  const std::vector<double> hp =
+      schedule.rate_column_bits_per_slot(net_, net::Layer::Hp);
+  const std::vector<double> lp =
+      schedule.rate_column_bits_per_slot(net_, net::Layer::Lp);
+  double value = 0.0;
+  for (int l = 0; l < net_.num_links(); ++l) {
+    value += lambda_hp[l] * hp[l] + lambda_lp[l] * lp[l];
+  }
+  return 1.0 - value;
+}
+
+}  // namespace mmwave::core

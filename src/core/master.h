@@ -1,0 +1,68 @@
+// The restricted Master Problem (MP) of the column generation (Section IV-B).
+//
+//   min  sum_s tau^s
+//   s.t. sum_s r_l^s(hp) tau^s >= d_l(hp)   (dual lambda_l(hp) >= 0)
+//        sum_s r_l^s(lp) tau^s >= d_l(lp)   (dual lambda_l(lp) >= 0)
+//        tau >= 0
+//
+// over the current column pool S'.  Units: tau in slots, rates in bits/slot,
+// demands in bits, so duals come out in slots/bit and the reduced cost of a
+// schedule s is  mu^s = 1 - sum_l (lambda_hp r^s_hp + lambda_lp r^s_lp).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mmwave/network.h"
+#include "sched/schedule.h"
+#include "video/demand.h"
+
+namespace mmwave::core {
+
+struct MasterSolution {
+  bool ok = false;
+  /// Objective: total slots (the upper bound of P1 at this iteration).
+  double objective_slots = 0.0;
+  /// tau^s per column, aligned with MasterProblem::columns().
+  std::vector<double> tau;
+  /// Simplex multipliers per link (slots/bit).
+  std::vector<double> lambda_hp;
+  std::vector<double> lambda_lp;
+};
+
+class MasterProblem {
+ public:
+  MasterProblem(const net::Network& net,
+                std::vector<video::LinkDemand> demands);
+
+  /// Adds a column unless an identical schedule (same link/layer/q/k tuples)
+  /// is already present.  Returns true if added.
+  bool add_column(const sched::Schedule& schedule);
+
+  /// True if the schedule is already in the pool.
+  bool contains(const sched::Schedule& schedule) const;
+
+  const std::vector<sched::Schedule>& columns() const { return columns_; }
+  std::size_t num_columns() const { return columns_.size(); }
+  const std::vector<video::LinkDemand>& demands() const { return demands_; }
+
+  /// Solves the restricted LP exactly and extracts the duals.
+  MasterSolution solve() const;
+
+  /// Reduced cost 1 - sum_l lambda . r of a candidate schedule under the
+  /// given duals.
+  double reduced_cost(const sched::Schedule& schedule,
+                      const std::vector<double>& lambda_hp,
+                      const std::vector<double>& lambda_lp) const;
+
+ private:
+  const net::Network& net_;
+  std::vector<video::LinkDemand> demands_;
+  std::vector<sched::Schedule> columns_;
+  std::vector<std::vector<double>> hp_cols_;  // cached bits/slot per column
+  std::vector<std::vector<double>> lp_cols_;
+  std::unordered_set<std::string> keys_;
+};
+
+}  // namespace mmwave::core

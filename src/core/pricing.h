@@ -1,0 +1,26 @@
+// Shared pricing-subproblem types.
+//
+// The pricing step hunts for the feasible schedule s* maximizing
+//   Psi(s) = sum_l lambda_hp(l) r^s_hp(l) + lambda_lp(l) r^s_lp(l)
+// (rates in bits/slot).  The most negative reduced cost is Phi = 1 - Psi*.
+// A schedule improves the master iff Psi > 1.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace mmwave::core {
+
+struct PricingResult {
+  bool found = false;          ///< a schedule with Psi > 1 + eps exists
+  sched::Schedule schedule;    ///< the best schedule found
+  double psi = 0.0;            ///< its Psi value
+  /// Valid upper bound on Psi over ALL feasible schedules.  Equals `psi`
+  /// when the pricing was solved to optimality; +inf when the solver can
+  /// certify nothing (e.g. the greedy heuristic).
+  double psi_upper_bound = 0.0;
+  bool exact = false;          ///< psi_upper_bound == optimal Psi
+};
+
+}  // namespace mmwave::core

@@ -1,0 +1,213 @@
+#include "core/pricing_greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mmwave/power_control.h"
+
+namespace mmwave::core {
+namespace {
+
+struct Candidate {
+  int link;
+  net::Layer layer;
+  double lambda;
+  double potential;  // lambda * u^max_feasible_solo
+};
+
+struct ChannelState {
+  std::vector<int> links;
+  std::vector<int> levels;  // ladder index per member
+};
+
+/// Gamma vector for a channel state.
+std::vector<double> gammas_of(const net::Network& net,
+                              const ChannelState& st) {
+  std::vector<double> g(st.links.size());
+  for (std::size_t i = 0; i < st.links.size(); ++i)
+    g[i] = net.rate_level(st.levels[i]).sinr_threshold;
+  return g;
+}
+
+/// Feasibility + powers for a channel state: minimum-power control by
+/// default, everyone-at-Pmax when power adaptation is ablated away.
+net::PowerControlResult state_powers(const net::Network& net, int k,
+                                     const ChannelState& st,
+                                     bool fixed_power) {
+  if (!fixed_power) {
+    return net::min_power_assignment(net, k, st.links, gammas_of(net, st));
+  }
+  net::PowerControlResult out;
+  std::vector<double> powers(st.links.size(), net.params().p_max_watts);
+  const std::vector<double> sinr =
+      net::achieved_sinr(net, k, st.links, powers);
+  const std::vector<double> gammas = gammas_of(net, st);
+  for (std::size_t i = 0; i < st.links.size(); ++i) {
+    if (sinr[i] < gammas[i] * (1.0 - 1e-9)) return out;
+  }
+  out.feasible = true;
+  out.powers = std::move(powers);
+  return out;
+}
+
+/// Builds one packing given a rotated candidate order; returns the schedule
+/// and its Psi.
+std::pair<sched::Schedule, double> pack(
+    const net::Network& net, const std::vector<Candidate>& order,
+    const std::vector<double>& lambda_hp,
+    const std::vector<double>& lambda_lp, bool fixed_power) {
+  const int K = net.num_channels();
+  std::vector<ChannelState> channels(K);
+  std::set<int> busy_nodes;
+  std::set<int> used_links;
+
+  auto try_admit = [&](const Candidate& cand) {
+    const net::Link& link = net.link(cand.link);
+    if (busy_nodes.count(link.tx_node) || busy_nodes.count(link.rx_node))
+      return false;
+    // Channels in descending direct-gain order for this link.
+    std::vector<int> ks(K);
+    for (int k = 0; k < K; ++k) ks[k] = k;
+    std::sort(ks.begin(), ks.end(), [&](int a, int b) {
+      return net.direct_gain(cand.link, a) > net.direct_gain(cand.link, b);
+    });
+    for (int k : ks) {
+      ChannelState& st = channels[k];
+      // Highest level first: more value per slot.
+      for (int q = net.num_rate_levels() - 1; q >= 0; --q) {
+        ChannelState trial = st;
+        trial.links.push_back(cand.link);
+        trial.levels.push_back(q);
+        const net::PowerControlResult pc =
+            state_powers(net, k, trial, fixed_power);
+        if (!pc.feasible) continue;
+        st = std::move(trial);
+        busy_nodes.insert(link.tx_node);
+        busy_nodes.insert(link.rx_node);
+        used_links.insert(cand.link);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<const Candidate*> admitted_order;
+  for (const Candidate& cand : order) {
+    if (used_links.count(cand.link)) continue;  // one layer per link
+    if (try_admit(cand)) admitted_order.push_back(&cand);
+  }
+
+  // Upgrade pass: bump each member's level while the set stays feasible.
+  for (int k = 0; k < K; ++k) {
+    ChannelState& st = channels[k];
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t i = 0; i < st.links.size(); ++i) {
+        if (st.levels[i] + 1 >= net.num_rate_levels()) continue;
+        ChannelState trial = st;
+        trial.levels[i] += 1;
+        const net::PowerControlResult pc =
+            state_powers(net, k, trial, fixed_power);
+        if (pc.feasible) {
+          st = std::move(trial);
+          improved = true;
+        }
+      }
+    }
+  }
+
+  // Assemble the schedule with minimal powers.
+  sched::Schedule schedule;
+  double psi = 0.0;
+  // Map link -> layer chosen (from the admitted candidate).
+  std::vector<net::Layer> layer_of(net.num_links(), net::Layer::Hp);
+  for (const Candidate* c : admitted_order) layer_of[c->link] = c->layer;
+
+  for (int k = 0; k < net.num_channels(); ++k) {
+    const ChannelState& st = channels[k];
+    if (st.links.empty()) continue;
+    const net::PowerControlResult pc = state_powers(net, k, st, fixed_power);
+    if (!pc.feasible) continue;  // should not happen; drop defensively
+    for (std::size_t i = 0; i < st.links.size(); ++i) {
+      const int l = st.links[i];
+      const net::Layer layer = layer_of[l];
+      schedule.add({l, layer, st.levels[i], k, pc.powers[i]});
+      const double lambda =
+          layer == net::Layer::Hp ? lambda_hp[l] : lambda_lp[l];
+      psi += lambda * net.bits_per_slot(st.levels[i]);
+    }
+  }
+  return {std::move(schedule), psi};
+}
+
+}  // namespace
+
+PricingResult solve_pricing_greedy(const net::Network& net,
+                                   const std::vector<double>& lambda_hp,
+                                   const std::vector<double>& lambda_lp,
+                                   const GreedyPricingOptions& options) {
+  PricingResult out;
+  out.psi_upper_bound = std::numeric_limits<double>::infinity();
+  out.exact = false;
+
+  // Candidate pool: every (link, layer) with a positive dual.
+  std::vector<Candidate> pool;
+  for (int l = 0; l < net.num_links(); ++l) {
+    for (int layer = 0; layer < 2; ++layer) {
+      const double lambda = layer == 0 ? lambda_hp[l] : lambda_lp[l];
+      if (lambda <= 1e-15) continue;
+      int best_q = -1;
+      for (int k = 0; k < net.num_channels(); ++k)
+        best_q = std::max(best_q, net.best_solo_level(l, k));
+      if (best_q < 0) continue;
+      pool.push_back({l, static_cast<net::Layer>(layer), lambda,
+                      lambda * net.bits_per_slot(best_q)});
+    }
+  }
+  if (pool.empty()) return out;
+
+  std::sort(pool.begin(), pool.end(), [](const Candidate& a,
+                                         const Candidate& b) {
+    return a.potential > b.potential;
+  });
+
+  const int restarts =
+      std::max(1, std::min<int>(options.restarts,
+                                static_cast<int>(pool.size())));
+  double best_psi = -1.0;
+  sched::Schedule best_schedule;
+  for (int r = 0; r < restarts; ++r) {
+    // Rotation r: start from the r-th candidate, keep the rest in order.
+    std::vector<Candidate> order;
+    order.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      order.push_back(pool[(i + r) % pool.size()]);
+    auto [schedule, psi] =
+        pack(net, order, lambda_hp, lambda_lp, options.fixed_power);
+    if (psi > best_psi) {
+      best_psi = psi;
+      best_schedule = std::move(schedule);
+    }
+    if (!options.fixed_power) {
+      // Fixed-power packings are feasible adaptive schedules too, and the
+      // two greedy admission orders explore different corners — keep the
+      // better of both so disabling power adaptation can never "win" by
+      // heuristic luck.
+      auto [fp_schedule, fp_psi] =
+          pack(net, order, lambda_hp, lambda_lp, /*fixed_power=*/true);
+      if (fp_psi > best_psi) {
+        best_psi = fp_psi;
+        best_schedule = std::move(fp_schedule);
+      }
+    }
+  }
+
+  out.schedule = std::move(best_schedule);
+  out.psi = best_psi;
+  out.found = out.psi > 1.0 + 1e-7;
+  return out;
+}
+
+}  // namespace mmwave::core

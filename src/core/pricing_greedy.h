@@ -1,0 +1,34 @@
+// Greedy power-controlled pricing heuristic.
+//
+// Generates improving columns orders of magnitude faster than the exact
+// MILP: candidates (link, layer) are ranked by dual-weighted best-case value
+// lambda * u^Qmax, then admitted one by one onto the channel/rate level that
+// keeps the whole active set SINR-feasible under minimum-power control.  A
+// final pass tries to upgrade each admitted link's rate level.
+//
+// The heuristic can only *find* columns, never certify optimality; the
+// driver falls back to the exact MILP when it comes up empty (standard
+// column-generation practice).
+#pragma once
+
+#include "core/pricing.h"
+#include "mmwave/network.h"
+
+namespace mmwave::core {
+
+struct GreedyPricingOptions {
+  /// Try this many candidate orderings: 1 = pure dual-weighted order;
+  /// each extra round rotates the starting candidate for diversity.
+  int restarts = 3;
+  /// Ablation: disable power adaptation — every active link transmits at
+  /// Pmax and admission only checks the resulting SINRs (the assumption of
+  /// Benchmark 2).  Default off: minimum-power control per Section IV-D.
+  bool fixed_power = false;
+};
+
+PricingResult solve_pricing_greedy(const net::Network& net,
+                                   const std::vector<double>& lambda_hp,
+                                   const std::vector<double>& lambda_lp,
+                                   const GreedyPricingOptions& options = {});
+
+}  // namespace mmwave::core

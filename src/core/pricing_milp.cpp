@@ -1,0 +1,361 @@
+#include "core/pricing_milp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/log.h"
+#include "mmwave/power_control.h"
+
+namespace mmwave::core {
+namespace {
+
+struct XVar {
+  int link;
+  int level;    // q
+  int channel;  // k
+  net::Layer layer;
+};
+
+}  // namespace
+
+PricingResult solve_pricing_milp(const net::Network& net,
+                                 const std::vector<double>& lambda_hp,
+                                 const std::vector<double>& lambda_lp,
+                                 const MilpPricingOptions& options,
+                                 const sched::Schedule* warm_start) {
+  PricingResult out;
+  const int L = net.num_links();
+  const int K = net.num_channels();
+  const int Q = net.num_rate_levels();
+  const double pmax = net.params().p_max_watts;
+
+  milp::MilpModel model;
+  model.set_objective_sense(lp::ObjSense::Maximize);
+
+  // --- Variables -------------------------------------------------------
+  std::vector<XVar> xvars;
+  // var index of x[(l,q,k,layer)]; -1 if pruned.
+  auto xid = [&](int l, int q, int k, int layer) {
+    return ((static_cast<std::size_t>(l) * Q + q) * K + k) * 2 + layer;
+  };
+  std::vector<int> xindex(static_cast<std::size_t>(L) * Q * K * 2, -1);
+
+  for (int l = 0; l < L; ++l) {
+    for (int layer = 0; layer < 2; ++layer) {
+      const double lambda = layer == 0 ? lambda_hp[l] : lambda_lp[l];
+      if (lambda <= 1e-15) continue;  // cannot contribute to the objective
+      for (int k = 0; k < K; ++k) {
+        const double solo_sinr =
+            net.direct_gain(l, k) * pmax / net.noise(l);
+        for (int q = 0; q < Q; ++q) {
+          if (solo_sinr < net.rate_level(q).sinr_threshold) continue;
+          const double coef = lambda * net.bits_per_slot(q);
+          const int var = model.add_variable(0, 1, coef, milp::VarType::Binary);
+          xindex[xid(l, q, k, layer)] = var;
+          xvars.push_back({l, q, k, static_cast<net::Layer>(layer)});
+        }
+      }
+    }
+  }
+
+  if (xvars.empty()) {
+    out.found = false;
+    out.psi = 0.0;
+    out.psi_upper_bound = 0.0;
+    out.exact = true;
+    return out;
+  }
+
+  // P_l^k only where link l has at least one x variable on channel k.
+  std::map<std::pair<int, int>, int> pvar;  // (l, k) -> var index
+  for (const XVar& xv : xvars) {
+    const auto key = std::make_pair(xv.link, xv.channel);
+    if (pvar.count(key)) continue;
+    pvar[key] =
+        model.add_variable(0.0, pmax, 0.0, milp::VarType::Continuous);
+  }
+  // Links that may transmit on channel k (for interference sums / big-M).
+  std::vector<std::vector<int>> channel_members(K);
+  for (const auto& [key, var] : pvar) channel_members[key.second].push_back(key.first);
+
+  // --- SINR activation constraints (corrected (26)/(28)) ---------------
+  for (std::size_t xi = 0; xi < xvars.size(); ++xi) {
+    const XVar& xv = xvars[xi];
+    const int l = xv.link, q = xv.level, k = xv.channel;
+    const double gamma = net.rate_level(q).sinr_threshold;
+    const double rho = net.noise(l);
+
+    double max_interf = 0.0;
+    for (int other : channel_members[k]) {
+      if (other == l) continue;
+      max_interf += net.cross_gain(other, l, k) * pmax;
+    }
+    const double big_m = gamma * (rho + max_interf);
+
+    std::vector<lp::Term> terms;
+    const int xvar_index =
+        xindex[xid(l, q, k, static_cast<int>(xv.layer))];
+    terms.emplace_back(xvar_index, big_m);
+    terms.emplace_back(pvar.at({l, k}), -net.direct_gain(l, k));
+    for (int other : channel_members[k]) {
+      if (other == l) continue;
+      terms.emplace_back(pvar.at({other, k}),
+                         gamma * net.cross_gain(other, l, k));
+    }
+    model.add_constraint(std::move(terms), lp::Sense::Le,
+                         big_m - gamma * rho);
+  }
+
+  // --- Power/channel coupling: P_l^k <= Pmax * sum_q,layer x -----------
+  // (and, under the fixed-power ablation, also >=, pinning active powers
+  // to exactly Pmax).
+  for (const auto& [key, pv] : pvar) {
+    const auto [l, k] = key;
+    std::vector<lp::Term> terms;
+    terms.emplace_back(pv, 1.0);
+    for (int q = 0; q < Q; ++q) {
+      for (int layer = 0; layer < 2; ++layer) {
+        const int idx = xindex[xid(l, q, k, layer)];
+        if (idx >= 0) terms.emplace_back(idx, -pmax);
+      }
+    }
+    if (options.fixed_power) {
+      model.add_constraint(terms, lp::Sense::Eq, 0.0);
+    } else {
+      model.add_constraint(std::move(terms), lp::Sense::Le, 0.0);
+    }
+  }
+
+  // --- One (layer, q, k) per link: constraint (30) ---------------------
+  // Under the layer-split extension this relaxes to one (q, k) per layer,
+  // with different layers on different channels and a shared power budget.
+  if (!options.allow_layer_split) {
+    for (int l = 0; l < L; ++l) {
+      std::vector<lp::Term> terms;
+      for (int k = 0; k < K; ++k) {
+        for (int q = 0; q < Q; ++q) {
+          for (int layer = 0; layer < 2; ++layer) {
+            const int idx = xindex[xid(l, q, k, layer)];
+            if (idx >= 0) terms.emplace_back(idx, 1.0);
+          }
+        }
+      }
+      if (!terms.empty())
+        model.add_constraint(std::move(terms), lp::Sense::Le, 1.0);
+    }
+  } else {
+    for (int l = 0; l < L; ++l) {
+      // One configuration per layer.
+      for (int layer = 0; layer < 2; ++layer) {
+        std::vector<lp::Term> terms;
+        for (int k = 0; k < K; ++k) {
+          for (int q = 0; q < Q; ++q) {
+            const int idx = xindex[xid(l, q, k, layer)];
+            if (idx >= 0) terms.emplace_back(idx, 1.0);
+          }
+        }
+        if (!terms.empty())
+          model.add_constraint(std::move(terms), lp::Sense::Le, 1.0);
+      }
+      // Layers must use distinct channels: per (link, channel) <= 1.
+      for (int k = 0; k < K; ++k) {
+        std::vector<lp::Term> terms;
+        for (int q = 0; q < Q; ++q) {
+          for (int layer = 0; layer < 2; ++layer) {
+            const int idx = xindex[xid(l, q, k, layer)];
+            if (idx >= 0) terms.emplace_back(idx, 1.0);
+          }
+        }
+        if (terms.size() > 1)
+          model.add_constraint(std::move(terms), lp::Sense::Le, 1.0);
+      }
+      // Shared transmit budget: sum_k P_l^k <= Pmax.
+      std::vector<lp::Term> power_terms;
+      for (int k = 0; k < K; ++k) {
+        auto it = pvar.find({l, k});
+        if (it != pvar.end()) power_terms.emplace_back(it->second, 1.0);
+      }
+      if (power_terms.size() > 1)
+        model.add_constraint(std::move(power_terms), lp::Sense::Le, pmax);
+    }
+  }
+
+  // --- Per-node half-duplex: constraints (31)/(32) ---------------------
+  std::map<int, std::vector<int>> node_links;  // node -> links touching it
+  for (const net::Link& link : net.links()) {
+    node_links[link.tx_node].push_back(link.id);
+    node_links[link.rx_node].push_back(link.id);
+  }
+  std::map<int, int> link_indicator;  // link -> y var (layer-split only)
+  for (const auto& [node, links_here] : node_links) {
+    if (links_here.size() < 2) continue;  // implied by (30)
+    if (!options.allow_layer_split) {
+      std::vector<lp::Term> terms;
+      for (int l : links_here) {
+        for (int k = 0; k < K; ++k) {
+          for (int q = 0; q < Q; ++q) {
+            for (int layer = 0; layer < 2; ++layer) {
+              const int idx = xindex[xid(l, q, k, layer)];
+              if (idx >= 0) terms.emplace_back(idx, 1.0);
+            }
+          }
+        }
+      }
+      if (terms.size() > 1)
+        model.add_constraint(std::move(terms), lp::Sense::Le, 1.0);
+      continue;
+    }
+    // Layer split: a link's own two layers must not trip the node
+    // constraint, so gate on a per-link activity indicator y_l >= every x.
+    std::vector<lp::Term> node_row;
+    for (int l : links_here) {
+      auto [it, inserted] = link_indicator.try_emplace(l, -1);
+      if (inserted) {
+        it->second =
+            model.add_variable(0.0, 1.0, 0.0, milp::VarType::Continuous);
+        for (int k = 0; k < K; ++k) {
+          for (int q = 0; q < Q; ++q) {
+            for (int layer = 0; layer < 2; ++layer) {
+              const int idx = xindex[xid(l, q, k, layer)];
+              if (idx >= 0) {
+                model.add_constraint({{idx, 1.0}, {it->second, -1.0}},
+                                     lp::Sense::Le, 0.0);
+              }
+            }
+          }
+        }
+      }
+      node_row.emplace_back(it->second, 1.0);
+    }
+    if (node_row.size() > 1)
+      model.add_constraint(std::move(node_row), lp::Sense::Le, 1.0);
+  }
+
+  // --- Pairwise conflict cuts -------------------------------------------
+  // If two (link, level) choices cannot coexist on a channel even as a
+  // bare pair under power control, no larger set containing them can
+  // (interference is monotone), so x_i + x_j <= 1 is valid.  These clique
+  // cuts tighten the big-M LP relaxation enormously and are cheap to
+  // precompute: one 2x2 power solve per candidate pair.
+  {
+    // Collect, per channel, the distinct (link, level) pairs in use.
+    std::map<int, std::vector<std::pair<int, int>>> lq_by_channel;
+    for (const XVar& xv : xvars) {
+      auto& v = lq_by_channel[xv.channel];
+      if (std::find(v.begin(), v.end(),
+                    std::make_pair(xv.link, xv.level)) == v.end()) {
+        v.emplace_back(xv.link, xv.level);
+      }
+    }
+    for (const auto& [k, lqs] : lq_by_channel) {
+      for (std::size_t a = 0; a < lqs.size(); ++a) {
+        for (std::size_t b = a + 1; b < lqs.size(); ++b) {
+          if (lqs[a].first == lqs[b].first) continue;  // same link: (30)
+          const std::vector<int> pair_links{lqs[a].first, lqs[b].first};
+          const std::vector<double> pair_gammas{
+              net.rate_level(lqs[a].second).sinr_threshold,
+              net.rate_level(lqs[b].second).sinr_threshold};
+          if (net::min_power_assignment(net, k, pair_links, pair_gammas)
+                  .feasible) {
+            continue;
+          }
+          std::vector<lp::Term> terms;
+          for (int layer = 0; layer < 2; ++layer) {
+            const int ia = xindex[xid(lqs[a].first, lqs[a].second, k, layer)];
+            const int ib = xindex[xid(lqs[b].first, lqs[b].second, k, layer)];
+            if (ia >= 0) terms.emplace_back(ia, 1.0);
+            if (ib >= 0) terms.emplace_back(ib, 1.0);
+          }
+          if (terms.size() > 1)
+            model.add_constraint(std::move(terms), lp::Sense::Le, 1.0);
+        }
+      }
+    }
+  }
+
+  // --- Warm start -------------------------------------------------------
+  // The all-zero point (nobody transmits) is always feasible, so seed it
+  // even without a caller-supplied schedule: a truncated branch & bound
+  // then always returns a valid incumbent (Psi >= 0) and dual bound.
+  std::vector<double> warm(static_cast<std::size_t>(model.num_variables()),
+                           0.0);
+  const bool have_warm = true;
+  if (warm_start != nullptr && !warm_start->empty()) {
+    for (const sched::Transmission& tx : warm_start->transmissions()) {
+      const int idx =
+          xindex[xid(tx.link, tx.rate_level, tx.channel,
+                     static_cast<int>(tx.layer))];
+      if (idx < 0) continue;  // pruned variable: drop this transmission
+      warm[idx] = 1.0;
+      warm[pvar.at({tx.link, tx.channel})] = tx.power_watts;
+      const auto y = link_indicator.find(tx.link);
+      if (y != link_indicator.end()) warm[y->second] = 1.0;
+    }
+  }
+
+  // --- Solve ------------------------------------------------------------
+  milp::MilpOptions milp_opts = options.milp;
+  if (!std::isnan(options.target_psi))
+    milp_opts.target_objective = options.target_psi;
+  const milp::MilpSolution sol =
+      milp::solve_milp(model, milp_opts, have_warm ? &warm : nullptr);
+
+  if (!sol.has_solution()) {
+    MMWAVE_LOG_WARN << "pricing MILP returned " << milp::to_string(sol.status);
+    out.psi = 0.0;
+    out.psi_upper_bound = sol.status == milp::MilpStatus::NoSolution
+                              ? sol.best_bound
+                              : std::numeric_limits<double>::infinity();
+    out.exact = false;
+    return out;
+  }
+
+  out.psi = sol.objective;
+  out.psi_upper_bound = sol.status == milp::MilpStatus::Optimal
+                            ? sol.objective
+                            : sol.best_bound;
+  out.exact = sol.status == milp::MilpStatus::Optimal;
+  out.found = out.psi > 1.0 + 1e-7;
+
+  // --- Extract the schedule ---------------------------------------------
+  sched::Schedule schedule;
+  for (std::size_t xi = 0; xi < xvars.size(); ++xi) {
+    const XVar& xv = xvars[xi];
+    const int idx = xindex[xid(xv.link, xv.level, xv.channel,
+                               static_cast<int>(xv.layer))];
+    if (sol.x[idx] < 0.5) continue;
+    schedule.add({xv.link, xv.layer, xv.level, xv.channel,
+                  sol.x[pvar.at({xv.link, xv.channel})]});
+  }
+
+  if (options.clean_powers && !options.fixed_power && !schedule.empty()) {
+    // Re-minimize powers channel by channel; the active set is feasible so
+    // the Perron solve should succeed — keep MILP powers if it does not.
+    std::map<int, std::vector<const sched::Transmission*>> by_channel;
+    for (const sched::Transmission& tx : schedule.transmissions())
+      by_channel[tx.channel].push_back(&tx);
+    sched::Schedule cleaned;
+    for (const auto& [k, txs] : by_channel) {
+      std::vector<int> links;
+      std::vector<double> gammas;
+      for (const auto* tx : txs) {
+        links.push_back(tx->link);
+        gammas.push_back(net.rate_level(tx->rate_level).sinr_threshold);
+      }
+      const net::PowerControlResult pc =
+          net::min_power_assignment(net, k, links, gammas);
+      for (std::size_t i = 0; i < txs.size(); ++i) {
+        sched::Transmission tx = *txs[i];
+        if (pc.feasible) tx.power_watts = pc.powers[i];
+        cleaned.add(tx);
+      }
+    }
+    schedule = std::move(cleaned);
+  }
+  out.schedule = std::move(schedule);
+  return out;
+}
+
+}  // namespace mmwave::core

@@ -1,0 +1,51 @@
+// Exact pricing sub-problem as a MILP (Section IV-D/E).
+//
+// Implements the corrected big-M formulation documented in DESIGN.md:
+// binaries x_l^{q,k}(layer), per-channel powers P_l^k, SINR activation
+// constraints with M_l^{q,k} = gamma^q (rho_l + sum_{l'!=l} H_{l'l}^k Pmax),
+// one (layer, q, k) choice per link (30), and per-node half-duplex (31/32).
+//
+// Pruning applied before the solve (both exact):
+//  * variables with lambda <= 0 are dropped — such a link can only add
+//    interference, never objective;
+//  * (l, q, k) combinations that violate the SINR threshold even
+//    interference-free at Pmax are dropped.
+#pragma once
+
+#include "core/pricing.h"
+#include "milp/milp.h"
+#include "mmwave/network.h"
+
+namespace mmwave::core {
+
+struct MilpPricingOptions {
+  milp::MilpOptions milp;
+  /// Stop the branch & bound as soon as an incumbent with Psi >= this is
+  /// found (NaN disables).  Column generation only needs *an* improving
+  /// column except on the final certification iteration.
+  double target_psi = std::nan("");
+  /// Re-minimize transmit powers of the extracted schedule per channel
+  /// (the MILP only needs feasibility; minimal powers are the natural
+  /// operating point and leave headroom).
+  bool clean_powers = true;
+  /// Ablation: force P_l^k = Pmax whenever link l is active on channel k,
+  /// i.e. no power adaptation.  Default off.
+  bool fixed_power = false;
+  /// Extension (paper Section III: "the HP and LP data of a video session
+  /// may be carried on different channels at each time slot"): allow a link
+  /// to transmit its HP and LP layers concurrently on *different* channels,
+  /// sharing the link's Pmax budget across them.  Constraint (30) becomes
+  /// per-(link, layer), plus a per-link total-power row.  Default off
+  /// (the strict formulation (30)).
+  bool allow_layer_split = false;
+};
+
+/// Solves the pricing MILP for the given duals (bits/slot units).
+/// `warm_start`, if non-empty, seeds the branch & bound incumbent.
+PricingResult solve_pricing_milp(const net::Network& net,
+                                 const std::vector<double>& lambda_hp,
+                                 const std::vector<double>& lambda_lp,
+                                 const MilpPricingOptions& options = {},
+                                 const sched::Schedule* warm_start = nullptr);
+
+}  // namespace mmwave::core

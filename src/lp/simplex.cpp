@@ -1,0 +1,520 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+#include "common/matrix.h"
+
+namespace mmwave::lp {
+namespace {
+
+using common::LuFactorization;
+using common::Matrix;
+
+enum class VarState : std::uint8_t { Basic, AtLower, AtUpper, FreeNonbasic };
+
+/// Internal bounded-variable simplex working on the computational form
+///   min c'x  s.t.  A x = b,  l <= x <= u
+/// where columns are [structural | slacks | artificials].
+class Simplex {
+ public:
+  Simplex(const LpModel& model, const std::vector<double>& lb_override,
+          const std::vector<double>& ub_override, const LpOptions& options)
+      : options_(options) {
+    build(model, lb_override, ub_override);
+  }
+
+  LpSolution run(const LpModel& model) {
+    LpSolution sol;
+    if (bad_bounds_) {
+      sol.status = SolveStatus::Infeasible;
+      return sol;
+    }
+    if (m_ == 0) {
+      solve_unconstrained(sol);
+      finalize(model, sol);
+      return sol;
+    }
+
+    init_basis();
+
+    // Phase 1: minimize the sum of artificial values.
+    phase1_ = true;
+    SolveStatus st = iterate();
+    sol.iterations = iterations_;
+    if (st != SolveStatus::Optimal) {
+      sol.status = st == SolveStatus::Unbounded ? SolveStatus::NumericalError
+                                                : st;
+      return sol;
+    }
+    if (phase1_objective() > 1e-6 * (1.0 + rhs_scale_)) {
+      sol.status = SolveStatus::Infeasible;
+      return sol;
+    }
+
+    // Phase 2: fix artificials at zero and optimize the true objective.
+    phase1_ = false;
+    for (int j = n_art_start_; j < num_cols_; ++j) {
+      lb_[j] = 0.0;
+      ub_[j] = 0.0;
+      if (state_[j] != VarState::Basic) {
+        state_[j] = VarState::AtLower;
+        xval_[j] = 0.0;
+      }
+    }
+    st = iterate();
+    sol.iterations = iterations_;
+    sol.status = st;
+    if (st != SolveStatus::Optimal && st != SolveStatus::IterationLimit) {
+      return sol;
+    }
+    finalize(model, sol);
+    sol.status = st;
+    return sol;
+  }
+
+ private:
+  //--------------------------------------------------------------------
+  // Model construction
+  //--------------------------------------------------------------------
+  void build(const LpModel& model, const std::vector<double>& lb_override,
+             const std::vector<double>& ub_override) {
+    n_struct_ = model.num_variables();
+    m_ = model.num_constraints();
+    n_slack_start_ = n_struct_;
+    n_art_start_ = n_struct_ + m_;
+    num_cols_ = n_struct_ + 2 * m_;
+
+    maximize_ = model.objective_sense() == ObjSense::Maximize;
+
+    lb_.assign(num_cols_, 0.0);
+    ub_.assign(num_cols_, 0.0);
+    cost_.assign(num_cols_, 0.0);
+    cols_.assign(num_cols_, {});
+    b_.assign(m_, 0.0);
+
+    const bool use_override = !lb_override.empty();
+    for (int j = 0; j < n_struct_; ++j) {
+      const Variable& v = model.variable(j);
+      lb_[j] = use_override ? lb_override[j] : v.lb;
+      ub_[j] = use_override ? ub_override[j] : v.ub;
+      if (lb_[j] > ub_[j] + options_.feasibility_tol) bad_bounds_ = true;
+      cost_[j] = maximize_ ? -v.cost : v.cost;
+    }
+
+    for (int i = 0; i < m_; ++i) {
+      const Constraint& row = model.constraint(i);
+      b_[i] = row.rhs;
+      rhs_scale_ = std::max(rhs_scale_, std::abs(row.rhs));
+      for (const auto& [col, coef] : row.terms) {
+        if (coef == 0.0) continue;
+        cols_[col].emplace_back(i, coef);
+      }
+      // Slack column.
+      const int sj = n_slack_start_ + i;
+      cols_[sj].emplace_back(i, 1.0);
+      switch (row.sense) {
+        case Sense::Le:
+          lb_[sj] = 0.0;
+          ub_[sj] = kInfinity;
+          break;
+        case Sense::Ge:
+          lb_[sj] = -kInfinity;
+          ub_[sj] = 0.0;
+          break;
+        case Sense::Eq:
+          lb_[sj] = 0.0;
+          ub_[sj] = 0.0;
+          break;
+      }
+    }
+
+    // Sort each structural column by row and merge duplicate entries so the
+    // solver sees one coefficient per (row, column) pair.
+    for (int j = 0; j < n_struct_; ++j) {
+      auto& column = cols_[j];
+      std::sort(column.begin(), column.end(),
+                [](const Term& a, const Term& b) { return a.first < b.first; });
+      std::size_t out = 0;
+      for (std::size_t in = 0; in < column.size(); ++in) {
+        if (out > 0 && column[out - 1].first == column[in].first) {
+          column[out - 1].second += column[in].second;
+        } else {
+          column[out++] = column[in];
+        }
+      }
+      column.resize(out);
+    }
+
+    cost_scale_ = 1.0;
+    for (int j = 0; j < n_struct_; ++j)
+      cost_scale_ = std::max(cost_scale_, std::abs(cost_[j]));
+
+    max_iterations_ = options_.max_iterations > 0
+                          ? options_.max_iterations
+                          : std::max<std::int64_t>(
+                                2000, 60LL * (m_ + n_struct_));
+  }
+
+  /// Places all structural/slack variables at a finite bound (or 0 if free),
+  /// installs signed artificials as the starting basis.
+  void init_basis() {
+    xval_.assign(num_cols_, 0.0);
+    state_.assign(num_cols_, VarState::AtLower);
+    for (int j = 0; j < n_art_start_; ++j) {
+      if (std::isfinite(lb_[j])) {
+        state_[j] = VarState::AtLower;
+        xval_[j] = lb_[j];
+      } else if (std::isfinite(ub_[j])) {
+        state_[j] = VarState::AtUpper;
+        xval_[j] = ub_[j];
+      } else {
+        state_[j] = VarState::FreeNonbasic;
+        xval_[j] = 0.0;
+      }
+    }
+
+    std::vector<double> residual = b_;
+    for (int j = 0; j < n_art_start_; ++j) {
+      if (xval_[j] == 0.0) continue;
+      for (const auto& [row, coef] : cols_[j]) residual[row] -= coef * xval_[j];
+    }
+
+    basis_.resize(m_);
+    for (int i = 0; i < m_; ++i) {
+      const int aj = n_art_start_ + i;
+      const double sign = residual[i] >= 0.0 ? 1.0 : -1.0;
+      cols_[aj].clear();
+      cols_[aj].emplace_back(i, sign);
+      lb_[aj] = 0.0;
+      ub_[aj] = kInfinity;
+      basis_[i] = aj;
+      state_[aj] = VarState::Basic;
+      xval_[aj] = std::abs(residual[i]);
+    }
+    refactorize();
+  }
+
+  double phase1_objective() const {
+    double obj = 0.0;
+    for (int i = 0; i < m_; ++i)
+      if (basis_[i] >= n_art_start_) obj += xval_[basis_[i]];
+    return obj;
+  }
+
+  double column_cost(int j) const {
+    if (phase1_) return j >= n_art_start_ ? 1.0 : 0.0;
+    return j >= n_art_start_ ? 0.0 : cost_[j];
+  }
+
+  //--------------------------------------------------------------------
+  // Core iteration
+  //--------------------------------------------------------------------
+  SolveStatus iterate() {
+    int stall = 0;
+    bool bland = false;
+    while (true) {
+      if (iterations_ >= max_iterations_) return SolveStatus::IterationLimit;
+
+      compute_duals();
+      const int entering = price(bland);
+      if (entering < 0) return SolveStatus::Optimal;
+
+      // Direction of travel for the entering variable.
+      const double rc = reduced_cost(entering);
+      int dir;
+      if (state_[entering] == VarState::AtLower) {
+        dir = +1;
+      } else if (state_[entering] == VarState::AtUpper) {
+        dir = -1;
+      } else {  // free
+        dir = rc < 0.0 ? +1 : -1;
+      }
+
+      std::vector<double> d = ftran(entering);
+
+      // Ratio test.  Relaxed ratios (bound + feasibility_tol) are used only
+      // to *select* the blocking variable (Harris-style, for numerical
+      // stability); the actual step is the exact ratio of the winner, so
+      // iterates land exactly on bounds.
+      double t_relaxed_limit = kInfinity;
+      double t_exact = kInfinity;
+      int leaving_pos = -1;   // position in basis; -1 => bound flip
+      int leaving_hits_upper = 0;
+      const double range =
+          ub_[entering] - lb_[entering];  // may be infinite
+      if (std::isfinite(range)) t_relaxed_limit = range;
+
+      const double pivot_tol = 1e-9;
+      double best_pivot_mag = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        const double delta = -dir * d[i];
+        if (std::abs(delta) < pivot_tol) continue;
+        const int bj = basis_[i];
+        double t_rel, t_ex;
+        int hits_upper;
+        if (delta > 0) {
+          if (!std::isfinite(ub_[bj])) continue;
+          t_rel = (ub_[bj] - xval_[bj] + options_.feasibility_tol) / delta;
+          t_ex = (ub_[bj] - xval_[bj]) / delta;
+          hits_upper = 1;
+        } else {
+          if (!std::isfinite(lb_[bj])) continue;
+          t_rel = (lb_[bj] - xval_[bj] - options_.feasibility_tol) / delta;
+          t_ex = (lb_[bj] - xval_[bj]) / delta;
+          hits_upper = 0;
+        }
+        t_rel = std::max(t_rel, 0.0);
+        t_ex = std::max(t_ex, 0.0);
+        const bool better =
+            t_rel < t_relaxed_limit - 1e-12 ||
+            (t_rel < t_relaxed_limit + 1e-12 &&
+             (bland ? (leaving_pos >= 0 && bj < basis_[leaving_pos])
+                    : std::abs(d[i]) > best_pivot_mag));
+        if (better) {
+          t_relaxed_limit = std::min(t_relaxed_limit, t_rel);
+          t_exact = t_ex;
+          leaving_pos = i;
+          leaving_hits_upper = hits_upper;
+          best_pivot_mag = std::abs(d[i]);
+        }
+      }
+
+      if (!std::isfinite(t_relaxed_limit)) {
+        return phase1_ ? SolveStatus::NumericalError : SolveStatus::Unbounded;
+      }
+
+      // A pure bound flip when the entering variable's own range binds first.
+      const bool bound_flip =
+          std::isfinite(range) && (leaving_pos < 0 || range <= t_exact);
+      const double t = bound_flip ? range : t_exact;
+
+      ++iterations_;
+      if (t <= options_.feasibility_tol) {
+        if (++stall > options_.stall_threshold) bland = true;
+      } else {
+        stall = 0;
+        bland = false;
+      }
+
+      // Move the entering variable and update all basic values.
+      for (int i = 0; i < m_; ++i) {
+        if (d[i] == 0.0) continue;
+        xval_[basis_[i]] -= dir * t * d[i];
+      }
+      xval_[entering] += dir * t;
+
+      if (bound_flip) {
+        state_[entering] = dir > 0 ? VarState::AtUpper : VarState::AtLower;
+        xval_[entering] = dir > 0 ? ub_[entering] : lb_[entering];
+        continue;
+      }
+
+      // Basis change.
+      const int leaving_var = basis_[leaving_pos];
+      state_[leaving_var] =
+          leaving_hits_upper ? VarState::AtUpper : VarState::AtLower;
+      xval_[leaving_var] =
+          leaving_hits_upper ? ub_[leaving_var] : lb_[leaving_var];
+      basis_[leaving_pos] = entering;
+      state_[entering] = VarState::Basic;
+
+      update_basis_inverse(d, leaving_pos);
+
+      if (++pivots_since_refactor_ >= options_.refactor_interval) {
+        refactorize();
+      }
+    }
+  }
+
+  void compute_duals() {
+    y_.assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double cb = column_cost(basis_[i]);
+      if (cb == 0.0) continue;
+      const double* row = binv_.row(i);
+      for (int k = 0; k < m_; ++k) y_[k] += cb * row[k];
+    }
+  }
+
+  double reduced_cost(int j) const {
+    double rc = column_cost(j);
+    for (const auto& [row, coef] : cols_[j]) rc -= y_[row] * coef;
+    return rc;
+  }
+
+  /// Returns the entering column, or -1 when the current basis is optimal.
+  int price(bool bland) {
+    const double tol = options_.optimality_tol * (1.0 + cost_scale_);
+    int best = -1;
+    double best_violation = tol;
+    for (int j = 0; j < num_cols_; ++j) {
+      if (state_[j] == VarState::Basic) continue;
+      if (lb_[j] == ub_[j]) continue;  // fixed, never eligible
+      const double rc = reduced_cost(j);
+      double violation = 0.0;
+      if (state_[j] == VarState::AtLower) {
+        violation = -rc;
+      } else if (state_[j] == VarState::AtUpper) {
+        violation = rc;
+      } else {  // free
+        violation = std::abs(rc);
+      }
+      if (violation <= best_violation) continue;
+      if (bland) return j;  // first eligible (lowest index)
+      best = j;
+      best_violation = violation;
+    }
+    return best;
+  }
+
+  /// d = B^{-1} A_j.
+  std::vector<double> ftran(int j) const {
+    std::vector<double> d(m_, 0.0);
+    for (const auto& [row, coef] : cols_[j]) {
+      for (int k = 0; k < m_; ++k) d[k] += binv_(k, row) * coef;
+    }
+    return d;
+  }
+
+  void update_basis_inverse(const std::vector<double>& d, int r) {
+    const double pivot = d[r];
+    double* prow = binv_.row(r);
+    const double inv_pivot = 1.0 / pivot;
+    for (int k = 0; k < m_; ++k) prow[k] *= inv_pivot;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r || d[i] == 0.0) continue;
+      double* row = binv_.row(i);
+      const double factor = d[i];
+      for (int k = 0; k < m_; ++k) row[k] -= factor * prow[k];
+    }
+  }
+
+  void refactorize() {
+    Matrix basis_matrix(m_, m_);
+    for (int i = 0; i < m_; ++i) {
+      for (const auto& [row, coef] : cols_[basis_[i]])
+        basis_matrix(row, i) = coef;
+    }
+    LuFactorization lu(std::move(basis_matrix));
+    if (!lu.ok()) {
+      MMWAVE_LOG_WARN << "simplex: singular basis at refactorization";
+      return;  // keep the updated inverse; tolerances will catch drift
+    }
+    binv_ = lu.inverse();
+    pivots_since_refactor_ = 0;
+
+    // Recompute basic values from scratch to shed accumulated error.
+    std::vector<double> rhs = b_;
+    for (int j = 0; j < num_cols_; ++j) {
+      if (state_[j] == VarState::Basic || xval_[j] == 0.0) continue;
+      for (const auto& [row, coef] : cols_[j]) rhs[row] -= coef * xval_[j];
+    }
+    for (int i = 0; i < m_; ++i) {
+      double v = 0.0;
+      const double* row = binv_.row(i);
+      for (int k = 0; k < m_; ++k) v += row[k] * rhs[k];
+      xval_[basis_[i]] = v;
+    }
+  }
+
+  //--------------------------------------------------------------------
+  // Result extraction
+  //--------------------------------------------------------------------
+  void solve_unconstrained(LpSolution& sol) {
+    // No constraints: each variable independently sits at its cheaper bound.
+    sol.x.assign(n_struct_, 0.0);
+    double obj = 0.0;
+    for (int j = 0; j < n_struct_; ++j) {
+      const double c = cost_[j];
+      double v;
+      if (c > 0) {
+        v = lb_[j];
+      } else if (c < 0) {
+        v = ub_[j];
+      } else {
+        v = std::isfinite(lb_[j]) ? lb_[j]
+                                  : (std::isfinite(ub_[j]) ? ub_[j] : 0.0);
+      }
+      if (!std::isfinite(v)) {
+        sol.status = SolveStatus::Unbounded;
+        return;
+      }
+      sol.x[j] = v;
+      obj += c * v;
+    }
+    sol.status = SolveStatus::Optimal;
+    sol.objective = maximize_ ? -obj : obj;
+    sol.duals.clear();
+  }
+
+  void finalize(const LpModel& model, LpSolution& sol) {
+    if (m_ == 0) return;
+    sol.x.assign(n_struct_, 0.0);
+    double obj = 0.0;
+    for (int j = 0; j < n_struct_; ++j) {
+      sol.x[j] = xval_[j];
+      obj += cost_[j] * xval_[j];
+    }
+    sol.objective = maximize_ ? -obj : obj;
+    sol.duals.assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i)
+      sol.duals[i] = maximize_ ? -y_[i] : y_[i];
+    (void)model;
+  }
+
+  //--------------------------------------------------------------------
+  const LpOptions options_;
+  int n_struct_ = 0;
+  int m_ = 0;
+  int n_slack_start_ = 0;
+  int n_art_start_ = 0;
+  int num_cols_ = 0;
+  bool maximize_ = false;
+  bool bad_bounds_ = false;
+  bool phase1_ = false;
+  double rhs_scale_ = 0.0;
+  double cost_scale_ = 1.0;
+  std::int64_t max_iterations_ = 0;
+  std::int64_t iterations_ = 0;
+  int pivots_since_refactor_ = 0;
+
+  std::vector<std::vector<Term>> cols_;  // column-wise sparse A
+  std::vector<double> b_;
+  std::vector<double> lb_, ub_, cost_;
+  std::vector<double> xval_;
+  std::vector<VarState> state_;
+  std::vector<int> basis_;
+  std::vector<double> y_;
+  Matrix binv_;
+};
+
+}  // namespace
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Optimal: return "Optimal";
+    case SolveStatus::Infeasible: return "Infeasible";
+    case SolveStatus::Unbounded: return "Unbounded";
+    case SolveStatus::IterationLimit: return "IterationLimit";
+    case SolveStatus::NumericalError: return "NumericalError";
+  }
+  return "Unknown";
+}
+
+LpSolution solve_lp(const LpModel& model, const LpOptions& options) {
+  Simplex simplex(model, {}, {}, options);
+  return simplex.run(model);
+}
+
+LpSolution solve_lp_with_bounds(const LpModel& model,
+                                const std::vector<double>& lb,
+                                const std::vector<double>& ub,
+                                const LpOptions& options) {
+  Simplex simplex(model, lb, ub, options);
+  return simplex.run(model);
+}
+
+}  // namespace mmwave::lp

@@ -1,0 +1,77 @@
+// Bounded-variable two-phase revised simplex.
+//
+// Solves   min/max c'x   s.t.  A x {<=,=,>=} b,   l <= x <= u
+// exactly (to tolerance), returning the primal solution and the simplex
+// multipliers (dual values), which drive the column-generation pricing step.
+//
+// Implementation notes:
+//  * Computational form: every row gets a slack (bounds encode the sense);
+//    phase 1 adds signed artificials and minimizes their sum.
+//  * Bounds are handled by the upper-bounded simplex technique (nonbasic
+//    variables rest at either bound; the ratio test allows bound flips), so
+//    binaries and power caps never cost extra rows.
+//  * The basis inverse is kept explicitly (dense) with eta-style row updates
+//    and periodic refactorization through LU; problem sizes here are a few
+//    thousand rows at most.
+//  * Dantzig pricing with a Bland's-rule fallback once a run of degenerate
+//    pivots is detected, which guarantees termination.
+//
+// Dual sign convention (Minimize): a >= row has dual >= 0, a <= row has
+// dual <= 0, an = row is unconstrained in sign.  For Maximize models the
+// reported duals are for the *maximization* problem (>= row dual <= 0 etc.),
+// so user-level duality c'x* = y'b (+ bound terms) always holds as written.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace mmwave::lp {
+
+enum class SolveStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  NumericalError,
+};
+
+const char* to_string(SolveStatus status);
+
+struct LpOptions {
+  /// 0 means "choose from problem size".
+  std::int64_t max_iterations = 0;
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+  /// Rebuild the basis inverse from scratch every this many pivots.
+  int refactor_interval = 128;
+  /// Consecutive non-improving pivots before switching to Bland's rule.
+  int stall_threshold = 60;
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::NumericalError;
+  /// Objective in the model's own sense (max problems report the max value).
+  double objective = 0.0;
+  std::vector<double> x;
+  /// One dual per constraint; see sign convention above.
+  std::vector<double> duals;
+  std::int64_t iterations = 0;
+
+  bool optimal() const { return status == SolveStatus::Optimal; }
+};
+
+/// Solves the model.  The model is not modified.
+LpSolution solve_lp(const LpModel& model, const LpOptions& options = {});
+
+/// Solves the model with per-variable bound overrides (used by branch &
+/// bound to explore nodes without copying the model).  `lb`/`ub` must have
+/// one entry per variable.
+LpSolution solve_lp_with_bounds(const LpModel& model,
+                                const std::vector<double>& lb,
+                                const std::vector<double>& ub,
+                                const LpOptions& options = {});
+
+}  // namespace mmwave::lp

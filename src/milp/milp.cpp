@@ -1,0 +1,323 @@
+#include "milp/milp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <queue>
+
+#include "common/log.h"
+
+namespace mmwave::milp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Bound tightening relative to the parent node; nodes share ancestors.
+struct BoundChange {
+  int var;
+  double lb;
+  double ub;
+  std::shared_ptr<const BoundChange> parent;
+};
+
+struct Node {
+  std::shared_ptr<const BoundChange> chain;
+  double lp_bound;  // internal (minimize) sense
+  int depth;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.lp_bound != b.lp_bound) return a.lp_bound > b.lp_bound;
+    return a.depth < b.depth;  // prefer deeper on ties (dive-ish)
+  }
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const MilpModel& model, const MilpOptions& options)
+      : model_(model),
+        options_(options),
+        maximize_(model.objective_sense() == lp::ObjSense::Maximize),
+        n_(model.num_variables()) {
+    root_lb_.resize(n_);
+    root_ub_.resize(n_);
+    for (int j = 0; j < n_; ++j) {
+      const auto& v = model.lp().variable(j);
+      root_lb_[j] = v.lb;
+      root_ub_[j] = v.ub;
+      if (model.is_integral(j)) {
+        // Tighten integral bounds to integers up front.
+        if (std::isfinite(root_lb_[j]))
+          root_lb_[j] = std::ceil(root_lb_[j] - options.integrality_tol);
+        if (std::isfinite(root_ub_[j]))
+          root_ub_[j] = std::floor(root_ub_[j] + options.integrality_tol);
+      }
+    }
+  }
+
+  MilpSolution run(const std::vector<double>* warm_start) {
+    MilpSolution sol;
+    start_ = Clock::now();
+
+    if (warm_start != nullptr) {
+      if (is_feasible_point(model_, *warm_start, options_.integrality_tol)) {
+        set_incumbent(*warm_start);
+      } else {
+        MMWAVE_LOG_WARN << "milp: warm start rejected (infeasible)";
+      }
+    }
+
+    // Root node.
+    std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+    {
+      lp::LpSolution root = solve_node(nullptr);
+      if (root.status == lp::SolveStatus::Infeasible) {
+        sol.status = MilpStatus::Infeasible;
+        sol.nodes = 1;
+        return sol;
+      }
+      if (root.status == lp::SolveStatus::Unbounded) {
+        sol.status = MilpStatus::Unbounded;
+        sol.nodes = 1;
+        return sol;
+      }
+      if (root.status != lp::SolveStatus::Optimal) {
+        sol.status = MilpStatus::Error;
+        sol.nodes = 1;
+        return sol;
+      }
+      process(root, nullptr, 0, open);
+    }
+
+    bool limit_hit = false;
+    while (!open.empty()) {
+      if (nodes_ >= options_.max_nodes || elapsed() > options_.time_limit_sec) {
+        limit_hit = true;
+        break;
+      }
+      if (target_met()) break;
+
+      Node node = open.top();
+      open.pop();
+      // Prune against the incumbent (it may have improved since enqueue).
+      if (have_incumbent_ &&
+          node.lp_bound >= incumbent_obj_ - absolute_gap_slack()) {
+        continue;
+      }
+      lp::LpSolution rel = solve_node(node.chain.get());
+      if (rel.status == lp::SolveStatus::Infeasible) continue;
+      if (rel.status != lp::SolveStatus::Optimal) continue;  // give up branch
+      process(rel, node.chain, node.depth, open);
+    }
+
+    sol.nodes = nodes_;
+    const double open_bound =
+        open.empty() ? (have_incumbent_
+                            ? incumbent_obj_
+                            : std::numeric_limits<double>::infinity())
+                     : open.top().lp_bound;
+
+    if (have_incumbent_) {
+      sol.x = incumbent_;
+      sol.objective = user_value(incumbent_obj_);
+      if (target_met()) {
+        sol.best_bound = user_value(std::min(open_bound, incumbent_obj_));
+        sol.status = MilpStatus::TargetReached;
+      } else if (limit_hit) {
+        sol.best_bound = user_value(std::min(open_bound, incumbent_obj_));
+        sol.status = sol.gap() <= options_.gap_tol ? MilpStatus::Optimal
+                                                   : MilpStatus::Feasible;
+      } else {
+        sol.best_bound = sol.objective;
+        sol.status = MilpStatus::Optimal;
+      }
+    } else if (limit_hit) {
+      sol.best_bound = user_value(open_bound);
+      sol.status = MilpStatus::NoSolution;
+    } else {
+      sol.status = MilpStatus::Infeasible;
+    }
+    return sol;
+  }
+
+ private:
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Converts an internal (minimize) value back to the model's sense.
+  double user_value(double v) const { return maximize_ ? -v : v; }
+  /// Converts a model-sense value to internal (minimize).
+  double internal_value(double v) const { return maximize_ ? -v : v; }
+
+  double absolute_gap_slack() const {
+    return 1e-9 * (1.0 + std::abs(incumbent_obj_));
+  }
+
+  bool target_met() const {
+    if (!have_incumbent_ || std::isnan(options_.target_objective)) return false;
+    return incumbent_obj_ <=
+           internal_value(options_.target_objective) + 1e-12;
+  }
+
+  lp::LpSolution solve_node(const BoundChange* chain) {
+    std::vector<double> lb = root_lb_;
+    std::vector<double> ub = root_ub_;
+    for (const BoundChange* c = chain; c != nullptr; c = c->parent.get()) {
+      lb[c->var] = std::max(lb[c->var], c->lb);
+      ub[c->var] = std::min(ub[c->var], c->ub);
+    }
+    ++nodes_;
+    return lp::solve_lp_with_bounds(model_.lp(), lb, ub, options_.lp_options);
+  }
+
+  /// Handles an LP-feasible relaxation: either fathoms it as a new incumbent,
+  /// or branches and enqueues the children.
+  void process(const lp::LpSolution& rel,
+               std::shared_ptr<const BoundChange> chain, int depth,
+               std::priority_queue<Node, std::vector<Node>, NodeOrder>& open) {
+    const double bound = internal_value(rel.objective);
+    if (have_incumbent_ && bound >= incumbent_obj_ - absolute_gap_slack())
+      return;
+
+    const int branch_var = pick_branch_variable(rel.x);
+    if (branch_var < 0) {
+      set_incumbent(rel.x);
+      return;
+    }
+
+    // Rounding heuristic: snap all integral variables and keep the point if
+    // it is feasible; often supplies an early incumbent for pruning.
+    try_rounding(rel.x);
+
+    const double frac = rel.x[branch_var];
+    const double lo = std::floor(frac);
+    // Child with x <= floor.
+    {
+      auto change = std::make_shared<BoundChange>(
+          BoundChange{branch_var, -lp::kInfinity, lo, chain});
+      open.push(Node{std::move(change), bound, depth + 1});
+    }
+    // Child with x >= ceil.
+    {
+      auto change = std::make_shared<BoundChange>(
+          BoundChange{branch_var, lo + 1.0, lp::kInfinity, chain});
+      open.push(Node{std::move(change), bound, depth + 1});
+    }
+  }
+
+  /// Most-fractional integral variable; -1 when integral within tolerance.
+  int pick_branch_variable(const std::vector<double>& x) const {
+    int best = -1;
+    double best_score = options_.integrality_tol;
+    for (int j = 0; j < n_; ++j) {
+      if (!model_.is_integral(j)) continue;
+      const double frac = x[j] - std::floor(x[j]);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist <= options_.integrality_tol) continue;
+      // Most fractional, weighted slightly by cost magnitude to break ties
+      // toward variables that matter for the objective.
+      const double score =
+          dist + 1e-6 * std::abs(model_.lp().variable(j).cost);
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  void try_rounding(const std::vector<double>& x) {
+    std::vector<double> rounded = x;
+    bool any = false;
+    for (int j = 0; j < n_; ++j) {
+      if (!model_.is_integral(j)) continue;
+      const double snapped = std::round(rounded[j]);
+      if (std::abs(snapped - rounded[j]) > options_.integrality_tol)
+        any = true;
+      rounded[j] = snapped;
+    }
+    if (!any) return;  // already integral; handled as incumbent by caller
+    if (is_feasible_point(model_, rounded, 1e-6)) set_incumbent(rounded);
+  }
+
+  void set_incumbent(const std::vector<double>& x) {
+    double obj = 0.0;
+    for (int j = 0; j < n_; ++j) obj += model_.lp().variable(j).cost * x[j];
+    const double internal = internal_value(obj);
+    if (have_incumbent_ && internal >= incumbent_obj_) return;
+    incumbent_ = x;
+    // Snap integral entries exactly.
+    for (int j = 0; j < n_; ++j)
+      if (model_.is_integral(j)) incumbent_[j] = std::round(incumbent_[j]);
+    incumbent_obj_ = internal;
+    have_incumbent_ = true;
+  }
+
+  const MilpModel& model_;
+  const MilpOptions options_;
+  const bool maximize_;
+  const int n_;
+  std::vector<double> root_lb_, root_ub_;
+
+  bool have_incumbent_ = false;
+  double incumbent_obj_ = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent_;
+  std::int64_t nodes_ = 0;
+  Clock::time_point start_;
+};
+
+}  // namespace
+
+const char* to_string(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::Optimal: return "Optimal";
+    case MilpStatus::Feasible: return "Feasible";
+    case MilpStatus::TargetReached: return "TargetReached";
+    case MilpStatus::Infeasible: return "Infeasible";
+    case MilpStatus::NoSolution: return "NoSolution";
+    case MilpStatus::Unbounded: return "Unbounded";
+    case MilpStatus::Error: return "Error";
+  }
+  return "Unknown";
+}
+
+MilpSolution solve_milp(const MilpModel& model, const MilpOptions& options,
+                        const std::vector<double>* warm_start) {
+  BranchAndBound bnb(model, options);
+  return bnb.run(warm_start);
+}
+
+bool is_feasible_point(const MilpModel& model, const std::vector<double>& x,
+                       double tol) {
+  if (static_cast<int>(x.size()) != model.num_variables()) return false;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const auto& v = model.lp().variable(j);
+    if (x[j] < v.lb - tol || x[j] > v.ub + tol) return false;
+    if (model.is_integral(j) &&
+        std::abs(x[j] - std::round(x[j])) > tol) {
+      return false;
+    }
+  }
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const auto& row = model.lp().constraint(i);
+    double lhs = 0.0;
+    for (const auto& [col, coef] : row.terms) lhs += coef * x[col];
+    const double slack_tol = tol * (1.0 + std::abs(row.rhs));
+    switch (row.sense) {
+      case lp::Sense::Le:
+        if (lhs > row.rhs + slack_tol) return false;
+        break;
+      case lp::Sense::Ge:
+        if (lhs < row.rhs - slack_tol) return false;
+        break;
+      case lp::Sense::Eq:
+        if (std::abs(lhs - row.rhs) > slack_tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace mmwave::milp

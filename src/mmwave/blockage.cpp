@@ -1,0 +1,41 @@
+#include "mmwave/blockage.h"
+
+#include <cassert>
+
+namespace mmwave::net {
+
+BlockageProcess::BlockageProcess(int num_links, const BlockageConfig& config,
+                                 common::Rng& rng)
+    : config_(config), blocked_(num_links, false) {
+  assert(config.p_block >= 0.0 && config.p_block <= 1.0);
+  assert(config.p_recover >= 0.0 && config.p_recover <= 1.0);
+  assert(config.attenuation > 0.0 && config.attenuation <= 1.0);
+  for (int l = 0; l < num_links; ++l)
+    blocked_[l] = rng.bernoulli(config.initial_blocked);
+}
+
+void BlockageProcess::advance(common::Rng& rng) {
+  for (std::size_t l = 0; l < blocked_.size(); ++l) {
+    if (blocked_[l]) {
+      if (rng.bernoulli(config_.p_recover)) blocked_[l] = false;
+    } else {
+      if (rng.bernoulli(config_.p_block)) blocked_[l] = true;
+    }
+  }
+}
+
+int BlockageProcess::num_blocked() const {
+  int n = 0;
+  for (bool b : blocked_)
+    if (b) ++n;
+  return n;
+}
+
+RxScaledChannelModel::RxScaledChannelModel(const ChannelModel* base,
+                                           std::vector<double> rx_scale)
+    : base_(base), rx_scale_(std::move(rx_scale)) {
+  assert(base_ != nullptr);
+  assert(static_cast<int>(rx_scale_.size()) == base_->num_links());
+}
+
+}  // namespace mmwave::net

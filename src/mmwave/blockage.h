@@ -1,0 +1,78 @@
+// Two-state Markov link blockage.
+//
+// The paper's companion works ([4]-[6]) model a 60 GHz link as alternating
+// between line-of-sight and blocked states (a person walks through the
+// beam).  We implement that process so the streaming simulator can replay
+// the paper's static optimization in a dynamic environment: per scheduling
+// period, each link is either LoS or blocked; a blocked link's receiver
+// sees every incoming path attenuated by a fixed factor (obstruction near
+// the receiver attenuates the direct beam and incoming interference alike).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "mmwave/channel.h"
+
+namespace mmwave::net {
+
+struct BlockageConfig {
+  /// P(LoS -> blocked) per period.
+  double p_block = 0.15;
+  /// P(blocked -> LoS) per period.
+  double p_recover = 0.5;
+  /// Linear attenuation applied to all paths into a blocked receiver
+  /// (0.01 = -20 dB, typical for a human blocker at 60 GHz).
+  double attenuation = 0.01;
+  /// Fraction of links initially blocked.
+  double initial_blocked = 0.0;
+};
+
+/// Per-link two-state Markov chain advanced once per scheduling period.
+class BlockageProcess {
+ public:
+  BlockageProcess(int num_links, const BlockageConfig& config,
+                  common::Rng& rng);
+
+  /// Advances every link's chain by one period.
+  void advance(common::Rng& rng);
+
+  bool blocked(int link) const { return blocked_[link]; }
+  /// Gain multiplier for paths into link `link`'s receiver.
+  double rx_attenuation(int link) const {
+    return blocked_[link] ? config_.attenuation : 1.0;
+  }
+  int num_blocked() const;
+  int num_links() const { return static_cast<int>(blocked_.size()); }
+
+ private:
+  BlockageConfig config_;
+  std::vector<bool> blocked_;
+};
+
+/// Channel-model decorator scaling all paths into each receiver by a
+/// per-link factor (the blockage state).  Non-owning: `base` must outlive
+/// the decorator.
+class RxScaledChannelModel : public ChannelModel {
+ public:
+  RxScaledChannelModel(const ChannelModel* base,
+                       std::vector<double> rx_scale);
+
+  int num_links() const override { return base_->num_links(); }
+  int num_channels() const override { return base_->num_channels(); }
+  double direct_gain(int link, int channel) const override {
+    return base_->direct_gain(link, channel) * rx_scale_[link];
+  }
+  double cross_gain(int from_link, int to_link, int channel) const override {
+    return base_->cross_gain(from_link, to_link, channel) *
+           rx_scale_[to_link];
+  }
+  double noise(int link) const override { return base_->noise(link); }
+  const std::vector<Link>& links() const override { return base_->links(); }
+
+ private:
+  const ChannelModel* base_;
+  std::vector<double> rx_scale_;
+};
+
+}  // namespace mmwave::net

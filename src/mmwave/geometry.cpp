@@ -1,0 +1,45 @@
+#include "mmwave/geometry.h"
+
+#include <cmath>
+
+namespace mmwave::net {
+
+double distance(const Point2D& a, const Point2D& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double bearing(const Point2D& a, const Point2D& b) {
+  return std::atan2(b.y - a.y, b.x - a.x);
+}
+
+double angle_offset(double bearing_a, double bearing_b) {
+  double d = std::fmod(std::abs(bearing_a - bearing_b), 2.0 * M_PI);
+  if (d > M_PI) d = 2.0 * M_PI - d;
+  return d;
+}
+
+Placement random_placement(int num_links, double room_size,
+                           double min_link_len, double max_link_len,
+                           common::Rng& rng) {
+  Placement p;
+  p.node_pos.reserve(2 * num_links);
+  p.links.reserve(num_links);
+  for (int l = 0; l < num_links; ++l) {
+    Point2D tx{rng.uniform(0.0, room_size), rng.uniform(0.0, room_size)};
+    Point2D rx;
+    do {
+      const double len = rng.uniform(min_link_len, max_link_len);
+      const double ang = rng.uniform(-M_PI, M_PI);
+      rx = {tx.x + len * std::cos(ang), tx.y + len * std::sin(ang)};
+    } while (rx.x < 0.0 || rx.x > room_size || rx.y < 0.0 ||
+             rx.y > room_size);
+    const int tx_id = static_cast<int>(p.node_pos.size());
+    p.node_pos.push_back(tx);
+    const int rx_id = static_cast<int>(p.node_pos.size());
+    p.node_pos.push_back(rx);
+    p.links.push_back({l, tx_id, rx_id});
+  }
+  return p;
+}
+
+}  // namespace mmwave::net

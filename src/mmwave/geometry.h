@@ -1,0 +1,37 @@
+// 2-D placement geometry for the indoor (geometric) channel model.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "mmwave/types.h"
+
+namespace mmwave::net {
+
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point2D& a, const Point2D& b);
+
+/// Angle of the ray a -> b in radians, in (-pi, pi].
+double bearing(const Point2D& a, const Point2D& b);
+
+/// Absolute angular offset between two bearings, folded into [0, pi].
+double angle_offset(double bearing_a, double bearing_b);
+
+/// Node positions for a set of links placed uniformly in a `room_size` x
+/// `room_size` square; each link's receiver is placed uniformly within
+/// [min_link_len, max_link_len] of its transmitter (re-drawn until it falls
+/// inside the room).
+struct Placement {
+  std::vector<Point2D> node_pos;  ///< indexed by node id
+  std::vector<Link> links;
+};
+
+Placement random_placement(int num_links, double room_size,
+                           double min_link_len, double max_link_len,
+                           common::Rng& rng);
+
+}  // namespace mmwave::net

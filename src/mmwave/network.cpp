@@ -1,0 +1,57 @@
+#include "mmwave/network.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mmwave::net {
+
+Network::Network(NetworkParams params, std::unique_ptr<ChannelModel> channel)
+    : params_(std::move(params)), channel_(std::move(channel)) {
+  assert(channel_ != nullptr);
+  assert(channel_->num_links() == params_.num_links);
+  assert(channel_->num_channels() == params_.num_channels);
+
+  ladder_.reserve(params_.sinr_thresholds.size());
+  [[maybe_unused]] double prev = 0.0;
+  for (double gamma : params_.sinr_thresholds) {
+    assert(gamma > prev);  // ladder must be strictly ascending
+    prev = gamma;
+    ladder_.push_back(
+        {gamma, params_.bandwidth_hz * std::log2(1.0 + gamma)});
+  }
+
+  for (const Link& l : channel_->links()) {
+    num_nodes_ = std::max(num_nodes_, std::max(l.tx_node, l.rx_node) + 1);
+  }
+}
+
+Network Network::table_i(NetworkParams params, common::Rng& rng) {
+  auto model = std::make_unique<TableIChannelModel>(
+      params.num_links, params.num_channels, params.noise_watts, rng);
+  return Network(std::move(params), std::move(model));
+}
+
+int Network::best_solo_level(int l, int k) const {
+  const double sinr =
+      direct_gain(l, k) * params_.p_max_watts / noise(l);
+  int best = -1;
+  for (int q = 0; q < num_rate_levels(); ++q) {
+    if (sinr >= ladder_[q].sinr_threshold) best = q;
+  }
+  return best;
+}
+
+int Network::best_channel(int l) const {
+  int best = 0;
+  double best_gain = direct_gain(l, 0);
+  for (int k = 1; k < num_channels(); ++k) {
+    const double g = direct_gain(l, k);
+    if (g > best_gain) {
+      best_gain = g;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace mmwave::net

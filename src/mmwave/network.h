@@ -1,0 +1,68 @@
+// Network: the immutable problem instance consumed by every scheduler.
+//
+// Bundles the parameter set (Table I), a channel model, and the discrete
+// rate ladder derived from the SINR threshold set via the Shannon capacity
+// formula (eq. (2)):  u^q = W log2(1 + gamma^q).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "mmwave/channel.h"
+#include "mmwave/types.h"
+
+namespace mmwave::net {
+
+class Network {
+ public:
+  /// Takes ownership of the channel model.  The rate ladder is computed
+  /// from params.sinr_thresholds (ascending thresholds required).
+  Network(NetworkParams params, std::unique_ptr<ChannelModel> channel);
+
+  /// Convenience factory: the paper's simulation setup (Table I gains).
+  static Network table_i(NetworkParams params, common::Rng& rng);
+
+  const NetworkParams& params() const { return params_; }
+  int num_links() const { return params_.num_links; }
+  int num_channels() const { return params_.num_channels; }
+  int num_rate_levels() const { return static_cast<int>(ladder_.size()); }
+  int num_nodes() const { return num_nodes_; }
+
+  const std::vector<Link>& links() const { return channel_->links(); }
+  const Link& link(int l) const { return channel_->links()[l]; }
+
+  /// Rate level q (0-based).  rate_bps = W log2(1 + threshold).
+  const RateLevel& rate_level(int q) const { return ladder_[q]; }
+  const std::vector<RateLevel>& rate_ladder() const { return ladder_; }
+
+  /// Bits delivered per time slot at ladder level q.
+  double bits_per_slot(int q) const {
+    return ladder_[q].rate_bps * params_.slot_seconds;
+  }
+
+  double direct_gain(int l, int k) const {
+    return channel_->direct_gain(l, k);
+  }
+  double cross_gain(int from, int to, int k) const {
+    return channel_->cross_gain(from, to, k);
+  }
+  double noise(int l) const { return channel_->noise(l); }
+
+  const ChannelModel& channel() const { return *channel_; }
+
+  /// Highest ladder level link l can sustain alone (no interference) on
+  /// channel k at P_max; -1 if even level 0 is infeasible.
+  int best_solo_level(int l, int k) const;
+
+  /// Channel with the largest direct gain for link l.
+  int best_channel(int l) const;
+
+ private:
+  NetworkParams params_;
+  std::unique_ptr<ChannelModel> channel_;
+  std::vector<RateLevel> ladder_;
+  int num_nodes_ = 0;
+};
+
+}  // namespace mmwave::net

@@ -1,0 +1,117 @@
+#include "mmwave/power_control.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/matrix.h"
+
+namespace mmwave::net {
+
+PowerControlResult min_power_assignment(const Network& net, int k,
+                                        const std::vector<int>& links,
+                                        const std::vector<double>& gammas) {
+  assert(links.size() == gammas.size());
+  PowerControlResult out;
+  const int n = static_cast<int>(links.size());
+  if (n == 0) {
+    out.feasible = true;
+    return out;
+  }
+  const double pmax = net.params().p_max_watts;
+
+  // Build (I - D F) and D nu.
+  common::Matrix a(n, n);
+  std::vector<double> rhs(n);
+  for (int i = 0; i < n; ++i) {
+    const int li = links[i];
+    const double h = net.direct_gain(li, k);
+    if (h <= 0.0) return out;  // cannot serve at all
+    const double scale = gammas[i] / h;
+    a(i, i) = 1.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      a(i, j) = -scale * net.cross_gain(links[j], li, k);
+    }
+    rhs[i] = scale * net.noise(li);
+  }
+
+  std::vector<double> p = common::solve_linear_system(a, rhs);
+  if (p.empty()) return out;  // singular: at/beyond the feasibility boundary
+  for (int i = 0; i < n; ++i) {
+    if (!(p[i] >= -1e-12) || p[i] > pmax * (1.0 + 1e-9)) return out;
+  }
+  // A nonnegative solution of (I - DF) P = D nu is only the Perron fixed
+  // point when rho(DF) < 1; beyond the boundary the solve can produce a
+  // spurious nonnegative vector.  Verify the SINR constraints directly.
+  std::vector<double> clipped(n);
+  for (int i = 0; i < n; ++i)
+    clipped[i] = std::min(std::max(p[i], 0.0), pmax);
+  const std::vector<double> sinr = achieved_sinr(net, k, links, clipped);
+  for (int i = 0; i < n; ++i) {
+    if (sinr[i] < gammas[i] * (1.0 - 1e-7)) return out;
+  }
+  out.feasible = true;
+  out.powers = std::move(clipped);
+  return out;
+}
+
+PowerControlResult iterative_power_control(const Network& net, int k,
+                                           const std::vector<int>& links,
+                                           const std::vector<double>& gammas,
+                                           int max_iters, double tol) {
+  assert(links.size() == gammas.size());
+  PowerControlResult out;
+  const int n = static_cast<int>(links.size());
+  if (n == 0) {
+    out.feasible = true;
+    return out;
+  }
+  const double pmax = net.params().p_max_watts;
+
+  std::vector<double> p(n, 0.0), next(n);
+  for (int it = 0; it < max_iters; ++it) {
+    double delta = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const int li = links[i];
+      double interference = net.noise(li);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        interference += net.cross_gain(links[j], li, k) * p[j];
+      }
+      const double target =
+          gammas[i] * interference / net.direct_gain(li, k);
+      next[i] = std::min(target, pmax);
+      delta = std::max(delta, std::abs(next[i] - p[i]));
+    }
+    p.swap(next);
+    if (delta < tol) break;
+  }
+
+  const std::vector<double> sinr = achieved_sinr(net, k, links, p);
+  for (int i = 0; i < n; ++i) {
+    if (sinr[i] < gammas[i] * (1.0 - 1e-6)) return out;
+  }
+  out.feasible = true;
+  out.powers = std::move(p);
+  return out;
+}
+
+std::vector<double> achieved_sinr(const Network& net, int k,
+                                  const std::vector<int>& links,
+                                  const std::vector<double>& powers) {
+  assert(links.size() == powers.size());
+  const int n = static_cast<int>(links.size());
+  std::vector<double> sinr(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int li = links[i];
+    double interference = net.noise(li);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      interference += net.cross_gain(links[j], li, k) * powers[j];
+    }
+    sinr[i] = net.direct_gain(li, k) * powers[i] / interference;
+  }
+  return sinr;
+}
+
+}  // namespace mmwave::net

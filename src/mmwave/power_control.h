@@ -1,0 +1,50 @@
+// Single-channel SINR-feasibility and minimum-power assignment.
+//
+// For a set of links sharing one channel with per-link SINR targets gamma_i,
+// the constraints
+//     H_i P_i >= gamma_i (rho_i + sum_{j != i} H_{ji} P_j),   0 <= P <= Pmax
+// form the classic power-control feasibility system P >= D (nu + F P).
+// When the spectral radius of D F is < 1 the componentwise-minimal solution
+// is P* = (I - D F)^{-1} D nu (Foschini–Miljanic); the set is feasible under
+// the cap iff P* exists and P* <= Pmax.
+//
+// Used by the greedy pricing heuristic (admit a link only if the enlarged
+// set stays feasible) and by the Benchmark 2 grouping check.
+#pragma once
+
+#include <vector>
+
+#include "mmwave/network.h"
+
+namespace mmwave::net {
+
+struct PowerControlResult {
+  bool feasible = false;
+  /// Minimal powers (watts), aligned with the input link array.
+  std::vector<double> powers;
+};
+
+/// Minimum-power assignment for `links` sharing channel `k`, where link
+/// `links[i]` must meet SINR threshold `gammas[i]`.  Direct solve via the
+/// linear system; O(n^3) in the active-set size.
+PowerControlResult min_power_assignment(const Network& net, int k,
+                                        const std::vector<int>& links,
+                                        const std::vector<double>& gammas);
+
+/// The same feasibility question answered by Foschini–Miljanic fixed-point
+/// iteration with the Pmax cap (P <- min(Pmax, D(nu + F P))).  Converges to
+/// the same P* when feasible; used for cross-validation and as a robust
+/// fallback.  `max_iters` bounds the iteration.
+PowerControlResult iterative_power_control(const Network& net, int k,
+                                           const std::vector<int>& links,
+                                           const std::vector<double>& gammas,
+                                           int max_iters = 500,
+                                           double tol = 1e-10);
+
+/// Achieved SINR at `links[i]` when the given powers are used on channel k
+/// (only the listed links transmit).
+std::vector<double> achieved_sinr(const Network& net, int k,
+                                  const std::vector<int>& links,
+                                  const std::vector<double>& powers);
+
+}  // namespace mmwave::net

@@ -1,0 +1,47 @@
+// Basic identifiers and parameter bundles for the mmWave network model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmwave::net {
+
+/// A directional transmitter -> receiver pair carrying one video session.
+struct Link {
+  int id = 0;
+  int tx_node = 0;  ///< sigma_l in the paper
+  int rx_node = 0;  ///< nu_l in the paper
+};
+
+/// One entry of the discrete rate ladder: transmitting at `rate_bps`
+/// requires receiver SINR >= `sinr_threshold` (gamma^q, u^q in the paper).
+struct RateLevel {
+  double sinr_threshold = 0.0;
+  double rate_bps = 0.0;
+};
+
+/// Table I of the paper (plus the slot duration, which the published table
+/// leaves blank; all results are reported in slots so its absolute value
+/// only scales axes).
+struct NetworkParams {
+  int num_links = 30;                    ///< ||L||
+  int num_channels = 5;                  ///< ||K||
+  double p_max_watts = 1.0;              ///< P_max
+  double noise_watts = 0.1;              ///< rho
+  double bandwidth_hz = 200e6;           ///< W
+  double slot_seconds = 10e-6;
+  /// Gamma = {0.1, ..., 0.5}; the ladder of SINR thresholds for power
+  /// adaptation (Section IV-D).
+  std::vector<double> sinr_thresholds = {0.1, 0.2, 0.3, 0.4, 0.5};
+};
+
+/// Video layer identifiers (Medium-Grain Scalable split, Section III).
+enum class Layer : std::uint8_t { Hp = 0, Lp = 1 };
+
+constexpr int kNumLayers = 2;
+
+inline const char* to_string(Layer layer) {
+  return layer == Layer::Hp ? "HP" : "LP";
+}
+
+}  // namespace mmwave::net

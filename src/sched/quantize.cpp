@@ -1,0 +1,93 @@
+#include "sched/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmwave::sched {
+
+QuantizeResult quantize_timeline(const net::Network& net,
+                                 std::vector<TimedSchedule> timeline,
+                                 const std::vector<video::LinkDemand>& demands,
+                                 ExecutionOrder order) {
+  QuantizeResult out;
+  const int num_links = net.num_links();
+  timeline = order_timeline(net, std::move(timeline), demands, order);
+  for (const TimedSchedule& ts : timeline) out.fluid_slots += ts.slots;
+
+  // Per-schedule per-layer rate columns (bits/slot).
+  const std::size_t n = timeline.size();
+  std::vector<std::vector<double>> hp_rate(n), lp_rate(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    hp_rate[s] =
+        timeline[s].schedule.rate_column_bits_per_slot(net, net::Layer::Hp);
+    lp_rate[s] =
+        timeline[s].schedule.rate_column_bits_per_slot(net, net::Layer::Lp);
+  }
+
+  // Start from floors; residual demand is judged on total capacity, which
+  // is order-independent.
+  std::vector<double> slots(n);
+  std::vector<double> hp_cap(num_links, 0.0), lp_cap(num_links, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    slots[s] = std::floor(timeline[s].slots);
+    for (int l = 0; l < num_links; ++l) {
+      hp_cap[l] += hp_rate[s][l] * slots[s];
+      lp_cap[l] += lp_rate[s][l] * slots[s];
+    }
+  }
+
+  auto residual = [&](int l, net::Layer layer) {
+    const double d =
+        layer == net::Layer::Hp ? demands[l].hp_bits : demands[l].lp_bits;
+    const double c = layer == net::Layer::Hp ? hp_cap[l] : lp_cap[l];
+    const double tol = 1e-9 * (1.0 + d);
+    return std::max(0.0, d - c - tol);
+  };
+  auto any_residual = [&]() {
+    for (int l = 0; l < num_links; ++l) {
+      if (residual(l, net::Layer::Hp) > 0.0 ||
+          residual(l, net::Layer::Lp) > 0.0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Greedy top-up: grant one extra slot at a time to the schedule that
+  // covers the most residual demand per slot.  Terminates because every
+  // granted slot strictly reduces some residual (the fluid plan proves a
+  // covering set of schedules exists).
+  int guard = 0;
+  while (any_residual()) {
+    int best = -1;
+    double best_score = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      double score = 0.0;
+      for (int l = 0; l < num_links; ++l) {
+        score += std::min(residual(l, net::Layer::Hp), hp_rate[s][l]);
+        score += std::min(residual(l, net::Layer::Lp), lp_rate[s][l]);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;  // nothing can cover the residual (fluid plan
+                          // did not serve it either)
+    slots[best] += 1.0;
+    for (int l = 0; l < num_links; ++l) {
+      hp_cap[l] += hp_rate[best][l];
+      lp_cap[l] += lp_rate[best][l];
+    }
+    if (++guard > 1000000) break;  // paranoia against numeric stagnation
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (slots[s] <= 0.0) continue;
+    out.timeline.push_back({timeline[s].schedule, slots[s]});
+    out.quantized_slots += slots[s];
+  }
+  return out;
+}
+
+}  // namespace mmwave::sched

@@ -1,0 +1,43 @@
+// Slot quantization of fractional allocations.
+//
+// P1's durations tau^s are fractional ("Note that tau^s can be
+// fractional"), but a real PNC grants whole slots.  This module rounds a
+// fluid timeline to integer slot counts while STILL meeting every demand,
+// and quantifies the overhead — the price of the paper's fluid relaxation.
+//
+// Rounding rule: process schedules in execution order, tracking the
+// remaining demand; each schedule's duration is the smallest integer slot
+// count that delivers at least what the fluid plan delivered (never more
+// than ceil(tau), possibly less when earlier rounding over-delivered).  A
+// final top-up pass appends whole-slot TDMA service for any residual demand
+// left by degenerate cases, so the quantized plan always serves everything
+// the fluid plan served.
+#pragma once
+
+#include <vector>
+
+#include "sched/timeline.h"
+
+namespace mmwave::sched {
+
+struct QuantizeResult {
+  std::vector<TimedSchedule> timeline;  ///< integer .slots entries
+  double fluid_slots = 0.0;             ///< sum tau of the input
+  double quantized_slots = 0.0;         ///< sum of integer slots
+  /// (quantized - fluid) / fluid; 0 when the input was already integral.
+  double overhead() const {
+    return fluid_slots > 0.0 ? (quantized_slots - fluid_slots) / fluid_slots
+                             : 0.0;
+  }
+};
+
+/// Quantizes `timeline` (in the given execution order) against `demands`.
+/// The result's timeline, executed AsGiven, meets every demand the fluid
+/// plan met.
+QuantizeResult quantize_timeline(const net::Network& net,
+                                 std::vector<TimedSchedule> timeline,
+                                 const std::vector<video::LinkDemand>& demands,
+                                 ExecutionOrder order =
+                                     ExecutionOrder::CompletionAware);
+
+}  // namespace mmwave::sched

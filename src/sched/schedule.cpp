@@ -1,0 +1,130 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "mmwave/power_control.h"
+
+namespace mmwave::sched {
+
+double Schedule::rate_bps(const net::Network& net, int link,
+                          net::Layer layer) const {
+  for (const Transmission& tx : txs_) {
+    if (tx.link == link && tx.layer == layer)
+      return net.rate_level(tx.rate_level).rate_bps;
+  }
+  return 0.0;
+}
+
+std::vector<double> Schedule::rate_column_bits_per_slot(
+    const net::Network& net, net::Layer layer) const {
+  std::vector<double> col(net.num_links(), 0.0);
+  for (const Transmission& tx : txs_) {
+    if (tx.layer != layer) continue;
+    col[tx.link] = net.rate_level(tx.rate_level).rate_bps *
+                   net.params().slot_seconds;
+  }
+  return col;
+}
+
+double Schedule::aggregate_rate_bps(const net::Network& net) const {
+  double sum = 0.0;
+  for (const Transmission& tx : txs_)
+    sum += net.rate_level(tx.rate_level).rate_bps;
+  return sum;
+}
+
+std::string Schedule::key() const {
+  std::vector<std::tuple<int, int, int, int>> items;
+  items.reserve(txs_.size());
+  for (const Transmission& tx : txs_) {
+    items.emplace_back(tx.link, static_cast<int>(tx.layer), tx.rate_level,
+                       tx.channel);
+  }
+  std::sort(items.begin(), items.end());
+  std::ostringstream ss;
+  for (const auto& [l, lay, q, k] : items)
+    ss << l << ':' << lay << ':' << q << ':' << k << ';';
+  return ss.str();
+}
+
+ValidationResult validate_schedule(const net::Network& net,
+                                   const Schedule& schedule,
+                                   double sinr_slack,
+                                   bool allow_layer_split) {
+  ValidationResult out;
+  auto fail = [&out](std::string reason) {
+    out.ok = false;
+    out.reason = std::move(reason);
+    return out;
+  };
+
+  std::set<int> seen_links;
+  std::set<std::pair<int, int>> seen_link_layer;
+  std::set<std::pair<int, int>> seen_link_channel;
+  std::map<int, int> node_owner;  // node -> link using it
+  std::map<int, double> link_power;
+  for (const Transmission& tx : schedule.transmissions()) {
+    if (tx.link < 0 || tx.link >= net.num_links())
+      return fail("link id out of range");
+    if (tx.channel < 0 || tx.channel >= net.num_channels())
+      return fail("channel out of range");
+    if (tx.rate_level < 0 || tx.rate_level >= net.num_rate_levels())
+      return fail("rate level out of range");
+    if (tx.power_watts < -1e-12 ||
+        tx.power_watts > net.params().p_max_watts * (1.0 + 1e-9))
+      return fail("power outside [0, Pmax]");
+
+    if (allow_layer_split) {
+      if (!seen_link_layer.insert({tx.link, static_cast<int>(tx.layer)})
+               .second) {
+        return fail("layer scheduled twice for a link");
+      }
+      if (!seen_link_channel.insert({tx.link, tx.channel}).second)
+        return fail("layer-split layers must use distinct channels");
+    } else if (!seen_links.insert(tx.link).second) {
+      return fail("link scheduled twice (violates constraint (30))");
+    }
+    link_power[tx.link] += tx.power_watts;
+    if (link_power[tx.link] > net.params().p_max_watts * (1.0 + 1e-9))
+      return fail("summed link power exceeds Pmax");
+
+    const net::Link& link = net.link(tx.link);
+    for (int node : {link.tx_node, link.rx_node}) {
+      auto [it, inserted] = node_owner.try_emplace(node, tx.link);
+      if (!inserted && it->second != tx.link)
+        return fail("node half-duplex violated (two links share a node)");
+    }
+  }
+
+  // SINR per channel under the schedule's actual powers.
+  std::map<int, std::vector<const Transmission*>> by_channel;
+  for (const Transmission& tx : schedule.transmissions())
+    by_channel[tx.channel].push_back(&tx);
+
+  for (const auto& [k, txs] : by_channel) {
+    std::vector<int> links;
+    std::vector<double> powers;
+    for (const Transmission* tx : txs) {
+      links.push_back(tx->link);
+      powers.push_back(tx->power_watts);
+    }
+    const std::vector<double> sinr =
+        net::achieved_sinr(net, k, links, powers);
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      const double threshold =
+          net.rate_level(txs[i]->rate_level).sinr_threshold;
+      if (sinr[i] < threshold * (1.0 - sinr_slack)) {
+        std::ostringstream ss;
+        ss << "SINR violated on channel " << k << " for link "
+           << txs[i]->link << ": " << sinr[i] << " < " << threshold;
+        return fail(ss.str());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mmwave::sched

@@ -1,0 +1,76 @@
+// Schedule data model.
+//
+// A Schedule is one "feasible schedule" s of the paper: a set of concurrent
+// transmissions, each fixing (link, layer, rate level q, channel k, power),
+// that can be sustained simultaneously.  The column it contributes to the
+// master problem is the per-link rate vector (r_l^s(hp), r_l^s(lp)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmwave/network.h"
+#include "mmwave/types.h"
+
+namespace mmwave::sched {
+
+struct Transmission {
+  int link = 0;
+  net::Layer layer = net::Layer::Hp;
+  int rate_level = 0;  ///< index into the network's rate ladder (q)
+  int channel = 0;     ///< k
+  double power_watts = 0.0;
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<Transmission> txs) : txs_(std::move(txs)) {}
+
+  const std::vector<Transmission>& transmissions() const { return txs_; }
+  bool empty() const { return txs_.empty(); }
+  std::size_t size() const { return txs_.size(); }
+  void add(const Transmission& tx) { txs_.push_back(tx); }
+
+  /// r_l^s(layer) in bits/s; 0 when the link/layer is inactive in s.
+  double rate_bps(const net::Network& net, int link, net::Layer layer) const;
+
+  /// Per-link rate vectors for both layers, in bits per *slot* — the column
+  /// entries of the master problem.
+  std::vector<double> rate_column_bits_per_slot(const net::Network& net,
+                                                net::Layer layer) const;
+
+  /// Sum of all active rates (bits/s) — used to order schedules for the
+  /// delay metric (denser schedules first).
+  double aggregate_rate_bps(const net::Network& net) const;
+
+  /// Stable identity for de-duplication in the column pool: sorted
+  /// (link, layer, q, k) tuples.  Power is excluded (it is implied).
+  std::string key() const;
+
+ private:
+  std::vector<Transmission> txs_;
+};
+
+struct ValidationResult {
+  bool ok = true;
+  std::string reason;
+};
+
+/// Checks every feasibility requirement of Section III/IV:
+///  * each link appears at most once (constraint (30): one layer, one rate,
+///    one channel per link per schedule) — unless `allow_layer_split`, in
+///    which case a link may appear once per layer on distinct channels with
+///    its summed power within Pmax (the Section III remark that HP and LP
+///    may ride different channels);
+///  * node half-duplex / single-beam: at most one active link per node
+///    (constraints (31)-(32));
+///  * powers within [0, Pmax], per link in total;
+///  * per channel, every receiver's SINR meets its rate level's threshold
+///    under the schedule's actual powers (constraint (3)).
+ValidationResult validate_schedule(const net::Network& net,
+                                   const Schedule& schedule,
+                                   double sinr_slack = 1e-7,
+                                   bool allow_layer_split = false);
+
+}  // namespace mmwave::sched

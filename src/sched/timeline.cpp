@@ -1,0 +1,175 @@
+#include "sched/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace mmwave::sched {
+
+double ExecutionResult::average_delay() const {
+  return common::mean_of(finish_slot);
+}
+
+double ExecutionResult::delay_fairness() const {
+  return common::jain_index(finish_slot);
+}
+
+double ExecutionResult::makespan() const {
+  double m = 0.0;
+  for (double f : finish_slot) m = std::max(m, f);
+  return m;
+}
+
+std::vector<TimedSchedule> order_timeline(
+    const net::Network& net, std::vector<TimedSchedule> timeline,
+    const std::vector<video::LinkDemand>& demands, ExecutionOrder order) {
+  const int num_links = net.num_links();
+  if (order == ExecutionOrder::DenseFirst) {
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [&net](const TimedSchedule& a, const TimedSchedule& b) {
+                       return a.schedule.aggregate_rate_bps(net) >
+                              b.schedule.aggregate_rate_bps(net);
+                     });
+  } else if (order == ExecutionOrder::CompletionAware) {
+    // Greedy dispatch: always run next the schedule finishing the most
+    // remaining (link, layer) work per slot; ties to higher useful
+    // throughput.  O(n^2 L) on the (small) schedule count.
+    std::vector<double> hp_rem(num_links), lp_rem(num_links);
+    for (int l = 0; l < num_links; ++l) {
+      hp_rem[l] = demands[l].hp_bits;
+      lp_rem[l] = demands[l].lp_bits;
+    }
+    std::vector<TimedSchedule> ordered;
+    std::vector<bool> used(timeline.size(), false);
+    std::vector<std::vector<double>> hp_rates, lp_rates;
+    hp_rates.reserve(timeline.size());
+    for (const TimedSchedule& ts : timeline) {
+      hp_rates.push_back(
+          ts.schedule.rate_column_bits_per_slot(net, net::Layer::Hp));
+      lp_rates.push_back(
+          ts.schedule.rate_column_bits_per_slot(net, net::Layer::Lp));
+    }
+    for (std::size_t step = 0; step < timeline.size(); ++step) {
+      int best = -1;
+      double best_completions = -1.0, best_throughput = -1.0;
+      for (std::size_t s = 0; s < timeline.size(); ++s) {
+        if (used[s] || timeline[s].slots <= 0.0) continue;
+        const double tau = timeline[s].slots;
+        double completions = 0.0, useful = 0.0;
+        for (int l = 0; l < num_links; ++l) {
+          const double hp_bits = std::min(hp_rem[l], hp_rates[s][l] * tau);
+          const double lp_bits = std::min(lp_rem[l], lp_rates[s][l] * tau);
+          useful += hp_bits + lp_bits;
+          if ((hp_rem[l] > 0.0 || lp_rem[l] > 0.0) &&
+              hp_rem[l] - hp_bits <= 1e-9 && lp_rem[l] - lp_bits <= 1e-9) {
+            completions += 1.0;
+          }
+        }
+        const double comp_rate = completions / tau;
+        const double thr_rate = useful / tau;
+        if (comp_rate > best_completions + 1e-12 ||
+            (comp_rate > best_completions - 1e-12 &&
+             thr_rate > best_throughput)) {
+          best = static_cast<int>(s);
+          best_completions = std::max(best_completions, comp_rate);
+          best_throughput = thr_rate;
+        }
+      }
+      if (best < 0) break;
+      used[best] = true;
+      for (int l = 0; l < num_links; ++l) {
+        hp_rem[l] = std::max(
+            0.0, hp_rem[l] - hp_rates[best][l] * timeline[best].slots);
+        lp_rem[l] = std::max(
+            0.0, lp_rem[l] - lp_rates[best][l] * timeline[best].slots);
+      }
+      ordered.push_back(timeline[best]);
+    }
+    // Keep any zero-duration leftovers at the end (harmless).
+    for (std::size_t s = 0; s < timeline.size(); ++s)
+      if (!used[s]) ordered.push_back(timeline[s]);
+    timeline = std::move(ordered);
+  }
+  return timeline;
+}
+
+ExecutionResult execute_timeline(const net::Network& net,
+                                 std::vector<TimedSchedule> timeline,
+                                 const std::vector<video::LinkDemand>& demands,
+                                 ExecutionOrder order) {
+  const int num_links = net.num_links();
+  ExecutionResult out;
+  out.finish_slot.assign(num_links,
+                         std::numeric_limits<double>::infinity());
+  out.hp_delivered_bits.assign(num_links, 0.0);
+  out.lp_delivered_bits.assign(num_links, 0.0);
+
+  timeline = order_timeline(net, std::move(timeline), demands, order);
+
+  // Remaining demand per link/layer; completion tolerances are relative to
+  // the demand magnitude so float dust from long timelines cannot leave a
+  // "met" demand without a finish time.
+  std::vector<double> hp_left(num_links), lp_left(num_links);
+  std::vector<double> tol(num_links);
+  for (int l = 0; l < num_links; ++l) {
+    hp_left[l] = demands[l].hp_bits;
+    lp_left[l] = demands[l].lp_bits;
+    tol[l] = 1e-6 * (1.0 + demands[l].hp_bits + demands[l].lp_bits);
+    if (hp_left[l] <= 0.0 && lp_left[l] <= 0.0) out.finish_slot[l] = 0.0;
+  }
+
+  double clock = 0.0;
+  for (const TimedSchedule& ts : timeline) {
+    if (ts.slots <= 0.0) continue;
+    const std::vector<double> hp_rate =
+        ts.schedule.rate_column_bits_per_slot(net, net::Layer::Hp);
+    const std::vector<double> lp_rate =
+        ts.schedule.rate_column_bits_per_slot(net, net::Layer::Lp);
+
+    for (int l = 0; l < num_links; ++l) {
+      if (hp_rate[l] <= 0.0 && lp_rate[l] <= 0.0) continue;
+
+      // Time within this schedule at which each layer empties; leftovers
+      // below the link tolerance count as already done.
+      auto finish_within = [&](double left, double rate) {
+        if (left <= tol[l]) return 0.0;
+        if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+        return left / rate;
+      };
+      const double t_hp = finish_within(hp_left[l], hp_rate[l]);
+      const double t_lp = finish_within(lp_left[l], lp_rate[l]);
+
+      const double hp_bits = std::min(hp_left[l], hp_rate[l] * ts.slots);
+      const double lp_bits = std::min(lp_left[l], lp_rate[l] * ts.slots);
+      hp_left[l] -= hp_bits;
+      lp_left[l] -= lp_bits;
+      out.hp_delivered_bits[l] += hp_bits;
+      out.lp_delivered_bits[l] += lp_bits;
+
+      if (hp_left[l] <= tol[l] && lp_left[l] <= tol[l] &&
+          !std::isfinite(out.finish_slot[l])) {
+        // Finished inside this schedule at the later of the two layers'
+        // completion instants.
+        const double t_done = std::max(t_hp, t_lp);
+        if (t_done <= ts.slots + 1e-9) {
+          out.finish_slot[l] = clock + std::min(t_done, ts.slots);
+        }
+      }
+    }
+    clock += ts.slots;
+  }
+  out.total_slots = clock;
+
+  out.all_demands_met = true;
+  for (int l = 0; l < num_links; ++l) {
+    if (hp_left[l] > tol[l] || lp_left[l] > tol[l]) {
+      out.all_demands_met = false;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mmwave::sched

@@ -1,0 +1,158 @@
+#include "stream/blockage_session.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "mmwave/power_control.h"
+
+namespace mmwave::stream {
+namespace {
+
+/// Drops transmissions whose SINR no longer clears their rate level on the
+/// (blocked) execution network.  Surviving members' SINR is evaluated with
+/// the *full* schedule's interference — failed transmitters keep radiating,
+/// they just deliver nothing.
+sched::Schedule degrade_schedule(const net::Network& exec_net,
+                                 const sched::Schedule& schedule,
+                                 bool& any_dropped) {
+  std::map<int, std::vector<const sched::Transmission*>> by_channel;
+  for (const sched::Transmission& tx : schedule.transmissions())
+    by_channel[tx.channel].push_back(&tx);
+
+  sched::Schedule degraded;
+  for (const auto& [k, txs] : by_channel) {
+    std::vector<int> links;
+    std::vector<double> powers;
+    for (const auto* tx : txs) {
+      links.push_back(tx->link);
+      powers.push_back(tx->power_watts);
+    }
+    const std::vector<double> sinr =
+        net::achieved_sinr(exec_net, k, links, powers);
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      const double threshold =
+          exec_net.rate_level(txs[i]->rate_level).sinr_threshold;
+      if (sinr[i] >= threshold * (1.0 - 1e-9)) {
+        degraded.add(*txs[i]);
+      } else {
+        any_dropped = true;
+      }
+    }
+  }
+  return degraded;
+}
+
+}  // namespace
+
+BlockageSessionMetrics run_blockage_session(
+    const net::ChannelModel& base_model, const net::NetworkParams& params,
+    const BlockageSessionConfig& config, const Scheduler& scheduler,
+    common::Rng& rng) {
+  BlockageSessionMetrics out;
+  const int num_links = params.num_links;
+  const SessionConfig& scfg = config.session;
+  const double gop_seconds =
+      static_cast<double>(scfg.video.gop_pattern.size()) / scfg.video.fps;
+
+  // Clear-air network for oblivious scheduling.
+  std::vector<double> ones(num_links, 1.0);
+  net::Network clear_net(
+      params, std::make_unique<net::RxScaledChannelModel>(&base_model, ones));
+  const double budget_slots = gop_seconds / params.slot_seconds;
+
+  // Demand streams (same construction as run_session).
+  std::vector<std::vector<video::GopDemand>> gop_demands;
+  for (int l = 0; l < num_links; ++l) {
+    common::Rng stream = rng.fork(static_cast<std::uint64_t>(l));
+    const video::VideoTrace trace = video::VideoTrace::generate(
+        scfg.video,
+        scfg.num_gops * static_cast<int>(scfg.video.gop_pattern.size()),
+        stream);
+    gop_demands.push_back(video::per_gop_demands(trace, scfg.scalable));
+  }
+
+  common::Rng blockage_rng = rng.fork(0xB10C);
+  net::BlockageProcess process(num_links, config.blockage, blockage_rng);
+
+  double carryover_stall = 0.0;
+  std::vector<double> delivered_bits(num_links, 0.0);
+  double blocked_fraction_sum = 0.0;
+
+  for (int g = 0; g < scfg.num_gops; ++g) {
+    if (g > 0) process.advance(blockage_rng);
+    blocked_fraction_sum +=
+        static_cast<double>(process.num_blocked()) / num_links;
+
+    std::vector<double> scales(num_links);
+    for (int l = 0; l < num_links; ++l) scales[l] = process.rx_attenuation(l);
+    net::Network blocked_net(
+        params,
+        std::make_unique<net::RxScaledChannelModel>(&base_model, scales));
+
+    std::vector<video::LinkDemand> demands(num_links);
+    double total = 0.0;
+    for (int l = 0; l < num_links; ++l) {
+      demands[l].hp_bits = gop_demands[l][g].hp_bits * scfg.demand_scale;
+      demands[l].lp_bits = gop_demands[l][g].lp_bits * scfg.demand_scale;
+      total += demands[l].total();
+    }
+
+    const net::Network& plan_net =
+        config.reschedule_each_period ? blocked_net : clear_net;
+    SchedulerResult plan = scheduler(plan_net, demands);
+
+    // Execution always happens on the blocked gains.
+    bool any_dropped = false;
+    std::vector<sched::TimedSchedule> executable;
+    executable.reserve(plan.timeline.size());
+    for (const auto& ts : plan.timeline) {
+      executable.push_back(
+          {degrade_schedule(blocked_net, ts.schedule, any_dropped),
+           ts.slots});
+    }
+    if (any_dropped) ++out.invalidated_periods;
+
+    const auto exec =
+        sched::execute_timeline(blocked_net, executable, demands, plan.order);
+
+    GopRecord rec;
+    rec.gop = g;
+    rec.demand_bits = total;
+    rec.schedule_slots = exec.total_slots;
+    rec.budget_slots = budget_slots;
+    const double finish = carryover_stall + exec.total_slots;
+    rec.on_time = exec.all_demands_met && finish <= budget_slots + 1e-9;
+    rec.stall_slots = std::max(0.0, finish - budget_slots);
+    carryover_stall = rec.stall_slots;
+    out.base.total_stall_slots += rec.stall_slots;
+    if (!exec.all_demands_met || !plan.ok) out.base.all_served = false;
+    for (int l = 0; l < num_links; ++l) {
+      delivered_bits[l] +=
+          exec.hp_delivered_bits[l] + exec.lp_delivered_bits[l];
+    }
+    out.base.gops.push_back(rec);
+  }
+
+  int on_time = 0;
+  for (const GopRecord& r : out.base.gops)
+    if (r.on_time) ++on_time;
+  out.base.on_time_ratio =
+      out.base.gops.empty()
+          ? 1.0
+          : static_cast<double>(on_time) /
+                static_cast<double>(out.base.gops.size());
+
+  const double horizon_seconds = scfg.num_gops * gop_seconds;
+  double psnr_sum = 0.0;
+  for (int l = 0; l < num_links; ++l) {
+    const double rate =
+        delivered_bits[l] / horizon_seconds / scfg.demand_scale;
+    psnr_sum += scfg.psnr.psnr(rate);
+  }
+  out.base.mean_psnr_db = num_links > 0 ? psnr_sum / num_links : 0.0;
+  out.mean_blocked_fraction = blocked_fraction_sum / scfg.num_gops;
+  return out;
+}
+
+}  // namespace mmwave::stream

@@ -1,0 +1,43 @@
+// Streaming over a dynamically-blocked network.
+//
+// Extends stream::run_session with the two-state Markov blockage process:
+// each GOP period the blockage states advance, the PNC re-solves the
+// allocation against the *current* (attenuated) gains, and the period is
+// scored as usual.  This replays the paper's static per-period optimization
+// in the dynamic environment its companion works ([4]-[6]) study, and
+// quantifies how much re-solving per period buys over a blockage-oblivious
+// schedule computed once on the clear-air gains.
+#pragma once
+
+#include "mmwave/blockage.h"
+#include "stream/session.h"
+
+namespace mmwave::stream {
+
+struct BlockageSessionConfig {
+  SessionConfig session;
+  net::BlockageConfig blockage;
+  /// If false, the scheduler sees the clear-air network every period (the
+  /// schedule is computed obliviously) while execution still happens on the
+  /// blocked gains — rate levels that no longer meet their SINR deliver
+  /// nothing that period.
+  bool reschedule_each_period = true;
+};
+
+struct BlockageSessionMetrics {
+  SessionMetrics base;
+  /// Mean fraction of links blocked per period.
+  double mean_blocked_fraction = 0.0;
+  /// Periods in which at least one scheduled transmission was invalidated
+  /// by blockage (only nonzero for oblivious scheduling).
+  int invalidated_periods = 0;
+};
+
+/// `params` must match `base_model` (link/channel counts).  The blockage
+/// process and the demand streams both derive from `rng`.
+BlockageSessionMetrics run_blockage_session(
+    const net::ChannelModel& base_model, const net::NetworkParams& params,
+    const BlockageSessionConfig& config, const Scheduler& scheduler,
+    common::Rng& rng);
+
+}  // namespace mmwave::stream

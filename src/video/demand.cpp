@@ -1,0 +1,32 @@
+#include "video/demand.h"
+
+namespace mmwave::video {
+
+std::vector<LinkDemand> make_link_demands(int num_links,
+                                          const DemandConfig& config,
+                                          common::Rng& rng) {
+  std::vector<LinkDemand> demands;
+  demands.reserve(num_links);
+  for (int l = 0; l < num_links; ++l) {
+    common::Rng stream = rng.fork(static_cast<std::uint64_t>(l));
+    VideoConfig video = config.video;
+    if (config.bitrate_cv > 0.0) {
+      video.mean_bitrate_bps = stream.lognormal_mean_cv(
+          config.video.mean_bitrate_bps, config.bitrate_cv);
+    }
+    const VideoTrace trace = VideoTrace::generate(
+        video, static_cast<int>(video.gop_pattern.size()), stream);
+    const GopDemand gop = per_gop_demands(trace, config.scalable)[0];
+    demands.push_back({gop.hp_bits * config.demand_scale,
+                       gop.lp_bits * config.demand_scale});
+  }
+  return demands;
+}
+
+double total_demand_bits(const std::vector<LinkDemand>& demands) {
+  double sum = 0.0;
+  for (const LinkDemand& d : demands) sum += d.total();
+  return sum;
+}
+
+}  // namespace mmwave::video

@@ -1,0 +1,46 @@
+// Per-link traffic demands for one scheduling period.
+//
+// Each link carries one video session; its demand is the HP/LP bit volume
+// of the next GOP period (Section III: "the data volume of its video
+// session that needs to be transmitted in the next period of time (e.g.,
+// the next Group of Pictures (GOP) period)").
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "video/scalable.h"
+#include "video/trace.h"
+
+namespace mmwave::video {
+
+struct LinkDemand {
+  double hp_bits = 0.0;
+  double lp_bits = 0.0;
+
+  double total() const { return hp_bits + lp_bits; }
+};
+
+struct DemandConfig {
+  VideoConfig video;
+  ScalableConfig scalable;
+  /// Uniform scaling applied to every link's demand (the Fig. 2 sweep).
+  double demand_scale = 1.0;
+  /// Coefficient of variation of the per-link mean bitrate around
+  /// video.mean_bitrate_bps (lognormal).  0 = every session is the same
+  /// source, the paper's setup; >0 models a mixed-session piconet.
+  double bitrate_cv = 0.0;
+};
+
+/// Draws an independent single-GOP demand for each of `num_links` links.
+/// Each link gets its own trace sub-stream of `rng`, so demands for link i
+/// are identical across runs that share a master seed regardless of how many
+/// links follow it.
+std::vector<LinkDemand> make_link_demands(int num_links,
+                                          const DemandConfig& config,
+                                          common::Rng& rng);
+
+/// Total demand volume (bits) across links.
+double total_demand_bits(const std::vector<LinkDemand>& demands);
+
+}  // namespace mmwave::video

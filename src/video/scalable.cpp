@@ -1,0 +1,30 @@
+#include "video/scalable.h"
+
+namespace mmwave::video {
+
+double hp_fraction(const ScalableConfig& config, FrameType type) {
+  switch (type) {
+    case FrameType::I: return config.hp_fraction_i;
+    case FrameType::P: return config.hp_fraction_p;
+    case FrameType::B: return config.hp_fraction_b;
+  }
+  return 0.0;
+}
+
+std::vector<GopDemand> per_gop_demands(const VideoTrace& trace,
+                                       const ScalableConfig& config) {
+  std::vector<GopDemand> demands(trace.num_gops());
+  const int len = trace.gop_length();
+  for (int g = 0; g < trace.num_gops(); ++g) {
+    GopDemand& d = demands[g];
+    for (int i = g * len; i < (g + 1) * len; ++i) {
+      const Frame& f = trace.frames()[i];
+      const double hp = hp_fraction(config, f.type) * f.bits;
+      d.hp_bits += hp;
+      d.lp_bits += f.bits - hp;
+    }
+  }
+  return demands;
+}
+
+}  // namespace mmwave::video

@@ -1,0 +1,53 @@
+// Medium-Grain Scalable (MGS) HP/LP layering and the PSNR quality model.
+//
+// Following the paper (Section III) and its reference [17], each video
+// session is split into High-Priority data (base layer: parameter sets,
+// motion vectors, low-frequency coefficients) and Low-Priority enhancement
+// data.  HP fractions are per frame type: I frames are mostly
+// base-layer-critical, B frames mostly enhancement.
+//
+// Reconstructed quality follows eq. (1):  PSNR = alpha + beta * r_sum,
+// with (alpha, beta) codec/sequence constants.
+#pragma once
+
+#include <vector>
+
+#include "video/trace.h"
+
+namespace mmwave::video {
+
+struct ScalableConfig {
+  /// Fraction of each frame type's bits that is High-Priority.
+  double hp_fraction_i = 0.60;
+  double hp_fraction_p = 0.45;
+  double hp_fraction_b = 0.30;
+};
+
+/// HP/LP bit volumes of one GOP period — the per-link traffic demand
+/// (d_l(hp), d_l(lp)) of the optimization.
+struct GopDemand {
+  double hp_bits = 0.0;
+  double lp_bits = 0.0;
+
+  double total() const { return hp_bits + lp_bits; }
+};
+
+/// Splits every GOP of the trace into HP/LP volumes.
+std::vector<GopDemand> per_gop_demands(const VideoTrace& trace,
+                                       const ScalableConfig& config = {});
+
+/// HP fraction applicable to one frame type.
+double hp_fraction(const ScalableConfig& config, FrameType type);
+
+/// Eq. (1): PSNR(dB) of MGS video reconstructed at total received rate
+/// r_sum (bits/s).  beta is per Mbps to keep the constants readable.
+struct PsnrModel {
+  double alpha_db = 30.0;
+  double beta_db_per_mbps = 0.08;
+
+  double psnr(double r_sum_bps) const {
+    return alpha_db + beta_db_per_mbps * (r_sum_bps / 1e6);
+  }
+};
+
+}  // namespace mmwave::video

@@ -1,0 +1,86 @@
+// Synthetic scalable-video traces.
+//
+// The paper drives its simulation with H.264 traces from the ASU video
+// trace library (4096x1744 @ 24 fps, ~171.44 Mbps).  Those traces are not
+// redistributable, so this module generates GOP-structured synthetic traces
+// calibrated to the same frame rate and mean bitrate: I/P/B frame types in a
+// configurable GOP pattern, lognormal frame sizes with per-type mean ratios,
+// and deterministic seeding.  The optimizer only consumes per-GOP HP/LP bit
+// volumes (see scalable.h), so matching first-order statistics preserves
+// the experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mmwave::video {
+
+enum class FrameType : int { I = 0, P = 1, B = 2 };
+
+const char* to_string(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::I;
+  double bits = 0.0;
+};
+
+struct VideoConfig {
+  double fps = 24.0;
+  /// Mean bitrate target; the paper computes 171.44 Mbps for its HD trace.
+  double mean_bitrate_bps = 171.44e6;
+  /// GOP pattern, e.g. "IBBPBBPBBPBB"; must start with 'I'.
+  std::string gop_pattern = "IBBPBBPBBPBB";
+  /// Coefficient of variation of frame sizes within a type.
+  double size_cv = 0.25;
+  /// Mean-size ratios: I:P and P:B.
+  double i_to_p_ratio = 4.0;
+  double p_to_b_ratio = 2.5;
+};
+
+class VideoTrace {
+ public:
+  /// Generates `num_frames` frames (rounded up to whole GOPs).
+  static VideoTrace generate(const VideoConfig& config, int num_frames,
+                             common::Rng& rng);
+
+  const std::vector<Frame>& frames() const { return frames_; }
+  const VideoConfig& config() const { return config_; }
+  int gop_length() const {
+    return static_cast<int>(config_.gop_pattern.size());
+  }
+  int num_gops() const {
+    return static_cast<int>(frames_.size()) / gop_length();
+  }
+
+  double total_bits() const;
+  double duration_seconds() const {
+    return static_cast<double>(frames_.size()) / config_.fps;
+  }
+  double mean_bitrate_bps() const {
+    return total_bits() / duration_seconds();
+  }
+  /// Seconds spanned by one GOP.
+  double gop_seconds() const {
+    return static_cast<double>(gop_length()) / config_.fps;
+  }
+
+  /// Sum of frame bits in GOP `g`.
+  double gop_bits(int g) const;
+
+ private:
+  VideoConfig config_;
+  std::vector<Frame> frames_;
+};
+
+/// Mean frame sizes (bits) per type that hit the configured mean bitrate
+/// exactly for the configured GOP pattern.  Exposed for tests.
+struct TypeMeans {
+  double i_bits = 0.0;
+  double p_bits = 0.0;
+  double b_bits = 0.0;
+};
+TypeMeans calibrate_type_means(const VideoConfig& config);
+
+}  // namespace mmwave::video

@@ -1,0 +1,76 @@
+// Focused properties of the [8]-style channel allocator.
+#include "baselines/channel_alloc.h"
+
+#include <gtest/gtest.h>
+
+namespace mmwave::baselines {
+namespace {
+
+net::Network make_net(std::uint64_t seed, int links, int channels) {
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  return net::Network::table_i(p, rng);
+}
+
+std::vector<video::LinkDemand> uniform_demands(int links, double bits) {
+  return std::vector<video::LinkDemand>(links, {bits, bits});
+}
+
+TEST(ChannelAllocProps, PrefersSoloFeasibleChannels) {
+  // Every link that has at least one solo-feasible channel must be
+  // assigned one of them.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto net = make_net(seed + 600, 10, 3);
+    const auto demands = uniform_demands(10, 1000.0);
+    const auto assignment = allocate_channels_yiu_singh(net, demands);
+    for (int l = 0; l < 10; ++l) {
+      bool any_feasible = false;
+      for (int k = 0; k < 3; ++k)
+        if (net.best_solo_level(l, k) >= 0) any_feasible = true;
+      if (any_feasible) {
+        EXPECT_GE(net.best_solo_level(l, assignment[l]), 0)
+            << "seed " << seed << " link " << l;
+      }
+    }
+  }
+}
+
+TEST(ChannelAllocProps, DeterministicForFixedInstance) {
+  const auto net = make_net(700, 8, 3);
+  const auto demands = uniform_demands(8, 1500.0);
+  const auto a = allocate_channels_yiu_singh(net, demands);
+  const auto b = allocate_channels_yiu_singh(net, demands);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChannelAllocProps, HighDemandLinksPlacedFirstGetCleanChannels) {
+  // With exactly K links and K channels, the allocator should separate
+  // them (pairwise conflict always dominates an empty channel).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto net = make_net(seed + 800, 3, 3);
+    const auto demands = uniform_demands(3, 1000.0);
+    const auto assignment = allocate_channels_yiu_singh(net, demands);
+    std::set<int> used(assignment.begin(), assignment.end());
+    // Links only share a channel if their own best channels collide AND
+    // conflicts are tiny; with 3 links / 3 channels separation is typical
+    // but feasibility-driven exceptions exist (a link may have only one
+    // solo-feasible channel).  Require at least 2 distinct channels.
+    EXPECT_GE(used.size(), 2u) << "seed " << seed;
+  }
+}
+
+TEST(ChannelAllocProps, ScalesToPaperSize) {
+  const auto net = make_net(900, 30, 5);
+  const auto demands = uniform_demands(30, 8.6e4);
+  const auto assignment = allocate_channels_yiu_singh(net, demands);
+  ASSERT_EQ(assignment.size(), 30u);
+  // No channel is left empty at L=30, K=5 (load balancing term).
+  std::vector<int> counts(5, 0);
+  for (int k : assignment) counts[k]++;
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+}  // namespace
+}  // namespace mmwave::baselines

@@ -1,0 +1,64 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace mmwave::common {
+namespace {
+
+/// RAII guard restoring the global level after each test.
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  LevelGuard guard;
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST(Log, SetAndGetLevel) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST(Log, SuppressedBelowThreshold) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Off);
+  testing::internal::CaptureStderr();
+  MMWAVE_LOG_ERROR << "should not appear";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(Log, EmittedAtOrAboveThreshold) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  MMWAVE_LOG_INFO << "hello " << 42;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello 42"), std::string::npos);
+  EXPECT_NE(err.find("INFO"), std::string::npos);
+}
+
+TEST(Log, DebugSuppressedAtInfoLevel) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  MMWAVE_LOG_DEBUG << "quiet";
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, StreamingOperatorsCompose) {
+  LevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  testing::internal::CaptureStderr();
+  MMWAVE_LOG_WARN << "x=" << 1.5 << " y=" << std::string("s");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("x=1.5 y=s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmwave::common

@@ -1,0 +1,171 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mmwave::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[i]);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng master(99);
+  Rng f1 = master.fork(0);
+  Rng f2 = master.fork(1);
+  Rng f1_again = Rng(99).fork(0);
+  EXPECT_EQ(f1(), f1_again());
+  EXPECT_NE(f1(), f2());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(9);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanCalibrated) {
+  Rng rng(10);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_mean_cv(5.0, 0.3);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i)
+    EXPECT_GT(rng.lognormal_mean_cv(1.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(15);
+  std::vector<int> v(32);
+  for (int i = 0; i < 32; ++i) v[i] = i;
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), a);
+  EXPECT_EQ(splitmix64(state2), b);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mmwave::common

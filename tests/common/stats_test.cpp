@@ -1,0 +1,115 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmwave::common {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat rs;
+  rs.add(4.2);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.2);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.2);
+}
+
+TEST(RunningStat, KnownSample) {
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStat, ShiftInvarianceOfVariance) {
+  RunningStat a, b;
+  for (double x : {1.0, 2.0, 3.5, 7.25}) {
+    a.add(x);
+    b.add(x + 1e9);
+  }
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-3);
+}
+
+TEST(TCritical, TabulatedValues) {
+  EXPECT_NEAR(t_critical(1, 0.95), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical(10, 0.95), 2.228, 1e-9);
+  EXPECT_NEAR(t_critical(49, 0.95), 2.010, 1e-9);  // 50 seeds -> dof 49
+  EXPECT_NEAR(t_critical(5, 0.99), 4.032, 1e-9);
+  EXPECT_NEAR(t_critical(5, 0.90), 2.015, 1e-9);
+}
+
+TEST(TCritical, InterpolatesBetweenRows) {
+  const double t11 = t_critical(11, 0.95);
+  EXPECT_GT(t11, t_critical(12, 0.95));
+  EXPECT_LT(t11, t_critical(10, 0.95));
+}
+
+TEST(TCritical, LargeDofApproachesNormal) {
+  EXPECT_NEAR(t_critical(10000, 0.95), 1.960, 1e-9);
+  EXPECT_NEAR(t_critical(10000, 0.99), 2.576, 1e-9);
+}
+
+TEST(TCritical, ZeroDof) { EXPECT_DOUBLE_EQ(t_critical(0, 0.95), 0.0); }
+
+TEST(Summarize, ConfidenceIntervalKnownCase) {
+  // n=4, mean=5, stddev=2 -> ci = t(3, .95) * 2 / 2 = 3.182.
+  SampleStats s = summarize({3, 3, 7, 7});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(16.0 / 3.0), 1e-12);
+  EXPECT_NEAR(s.ci_halfwidth,
+              3.182 * s.stddev / 2.0, 1e-9);
+}
+
+TEST(Summarize, SingleSampleHasNoInterval) {
+  SampleStats s = summarize({42.0});
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.ci_halfwidth, 0.0);
+}
+
+TEST(Jain, AllEqualIsPerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_index({3, 3, 3, 3}), 1.0);
+}
+
+TEST(Jain, SingleUserDominating) {
+  // One nonzero among n entries -> 1/n.
+  EXPECT_NEAR(jain_index({5, 0, 0, 0, 0}), 0.2, 1e-12);
+}
+
+TEST(Jain, KnownMixedCase) {
+  // e = {1, 2, 3}: (6)^2 / (3 * 14) = 36/42.
+  EXPECT_NEAR(jain_index({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Jain, EdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0, 0}), 1.0);
+}
+
+TEST(Jain, BoundedBetweenReciprocalNAndOne) {
+  const std::vector<double> e{0.5, 1.7, 9.2, 4.4, 0.1};
+  const double f = jain_index(e);
+  EXPECT_GE(f, 1.0 / 5.0);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(MeanOf, Basic) {
+  EXPECT_DOUBLE_EQ(mean_of({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+}  // namespace
+}  // namespace mmwave::common

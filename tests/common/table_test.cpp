@@ -1,0 +1,84 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mmwave::common {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(2.0, 1), "2.0");
+  EXPECT_EQ(format_double(-0.5, 2), "-0.50");
+}
+
+TEST(Table, PrintsAlignedHeadersAndRows) {
+  Table t({"links", "time"});
+  t.new_row().add(10).add(3.5, 1);
+  t.new_row().add(100).add(12.25, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("links"), std::string::npos);
+  EXPECT_NE(out.find("3.5"), std::string::npos);
+  EXPECT_NE(out.find("12.2"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CiCellFormat) {
+  Table t({"metric"});
+  t.new_row().add_ci(5.0, 0.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("5.00 ± 0.25"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.new_row().add("x,y").add(1);
+  t.new_row().add("plain").add(2);
+  const std::string path = testing::TempDir() + "/table_test.csv";
+  t.write_csv(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, QuoteEscapingInCsv) {
+  Table t({"c"});
+  t.new_row().add("say \"hi\"");
+  const std::string path = testing::TempDir() + "/table_quote_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"say \"\"hi\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(Table, MixedCellTypes) {
+  Table t({"i", "u", "d", "s"});
+  t.new_row().add(-3).add(std::size_t{7}).add(1.5, 0).add("end");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("-3"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);  // 1.5 rounds to 2 at p=0
+  EXPECT_NE(out.find("end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmwave::common

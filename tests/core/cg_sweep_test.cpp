@@ -1,0 +1,132 @@
+// Parameterized invariant sweep for the column-generation driver across a
+// grid of (links, channels, rate levels, threshold scale): the full set of
+// structural invariants must hold at EVERY configuration, not just the
+// defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/column_generation.h"
+#include "sched/timeline.h"
+
+namespace mmwave::core {
+namespace {
+
+using Config = std::tuple<int, int, int, double>;  // L, K, Q, gamma scale
+
+net::Network make_net(const Config& cfg, std::uint64_t seed) {
+  const auto [links, channels, levels, gamma] = cfg;
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  p.sinr_thresholds.resize(levels);
+  for (int q = 0; q < levels; ++q)
+    p.sinr_thresholds[q] = 0.1 * (q + 1) * gamma;
+  return net::Network::table_i(p, rng);
+}
+
+std::vector<video::LinkDemand> demands_for(const net::Network& net,
+                                           std::uint64_t seed) {
+  common::Rng rng(seed * 1511 + 3);
+  std::vector<video::LinkDemand> d(net.num_links());
+  for (auto& x : d) {
+    x.hp_bits = rng.uniform(200.0, 3000.0);
+    x.lp_bits = rng.uniform(200.0, 3000.0);
+  }
+  return d;
+}
+
+class CgGrid : public ::testing::TestWithParam<Config> {};
+
+TEST_P(CgGrid, StructuralInvariantsHold) {
+  const Config cfg = GetParam();
+  const auto net = make_net(cfg, 0xF1E1D);
+  const auto demands = demands_for(net, std::get<0>(cfg) * 7 + 1);
+
+  CgOptions opts;
+  opts.pricing = PricingMode::HeuristicOnly;
+  const auto result = solve_column_generation(net, demands, opts);
+
+  // 1. The master objective never increases across iterations.
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_LE(result.history[i].master_objective,
+              result.history[i - 1].master_objective * (1.0 + 1e-9));
+  }
+  // 2. Every schedule in the final timeline is feasible with positive time.
+  for (const auto& ts : result.timeline) {
+    EXPECT_GT(ts.slots, 0.0);
+    const auto check = sched::validate_schedule(net, ts.schedule);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+  // 3. Executing the plan serves everything (no unserved links at these
+  //    gains: solo SINR = H * 10 / gamma_1 is reachable for most draws —
+  //    tolerate unserved only if flagged).
+  const auto exec = sched::execute_timeline(net, result.timeline, demands);
+  if (result.unserved_links.empty()) {
+    EXPECT_TRUE(exec.all_demands_met);
+    EXPECT_NEAR(exec.total_slots, result.total_slots,
+                1e-6 * (1.0 + result.total_slots));
+  }
+  // 4. TDMA upper-bounds the result: the pool starts from TDMA columns.
+  double tdma_time = 0.0;
+  for (int l = 0; l < net.num_links(); ++l) {
+    int best_q = -1;
+    for (int k = 0; k < net.num_channels(); ++k)
+      best_q = std::max(best_q, net.best_solo_level(l, k));
+    if (best_q < 0) continue;
+    tdma_time += demands[l].total() / net.bits_per_slot(best_q);
+  }
+  EXPECT_LE(result.total_slots, tdma_time * (1.0 + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CgGrid,
+    ::testing::Values(Config{3, 1, 1, 1.0}, Config{3, 2, 2, 1.0},
+                      Config{5, 1, 3, 1.0}, Config{5, 2, 5, 1.0},
+                      Config{6, 3, 2, 1.0}, Config{8, 2, 3, 1.0},
+                      Config{8, 4, 5, 1.0}, Config{10, 5, 5, 1.0},
+                      Config{3, 2, 2, 3.0}, Config{5, 2, 3, 3.0},
+                      Config{8, 3, 3, 3.0}, Config{10, 2, 5, 3.0},
+                      Config{5, 2, 2, 6.0}, Config{8, 2, 3, 6.0},
+                      Config{12, 3, 5, 1.0}, Config{12, 3, 3, 3.0}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "L" + std::to_string(std::get<0>(info.param)) + "K" +
+             std::to_string(std::get<1>(info.param)) + "Q" +
+             std::to_string(std::get<2>(info.param)) + "G" +
+             std::to_string(static_cast<int>(std::get<3>(info.param)));
+    });
+
+class CgGridExact : public ::testing::TestWithParam<Config> {};
+
+TEST_P(CgGridExact, CertifiedRunsCloseTheGap) {
+  const Config cfg = GetParam();
+  const auto net = make_net(cfg, 0xAB2D);
+  const auto demands = demands_for(net, std::get<0>(cfg) * 13 + 5);
+
+  CgOptions opts;
+  opts.pricing = PricingMode::ExactAlways;
+  const auto result = solve_column_generation(net, demands, opts);
+  if (!result.converged) GTEST_SKIP() << "solver hit its safety limits";
+  ASSERT_FALSE(std::isnan(result.lower_bound));
+  EXPECT_NEAR(result.gap(), 0.0, 1e-5);
+  // Phi at the last iteration is (numerically) nonnegative.
+  EXPECT_GE(result.history.back().phi, -1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CgGridExact,
+    ::testing::Values(Config{3, 1, 1, 1.0}, Config{3, 2, 2, 1.0},
+                      Config{4, 2, 2, 1.0}, Config{4, 2, 2, 3.0},
+                      Config{5, 2, 2, 1.0}, Config{5, 1, 2, 3.0},
+                      Config{6, 2, 2, 1.0}, Config{6, 3, 2, 1.0}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "L" + std::to_string(std::get<0>(info.param)) + "K" +
+             std::to_string(std::get<1>(info.param)) + "Q" +
+             std::to_string(std::get<2>(info.param)) + "G" +
+             std::to_string(static_cast<int>(std::get<3>(info.param)));
+    });
+
+}  // namespace
+}  // namespace mmwave::core

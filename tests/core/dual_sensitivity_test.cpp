@@ -1,0 +1,98 @@
+// Economic interpretation of the master problem's duals: lambda_l(layer)
+// is the marginal scheduling time per extra bit of that demand.  Verified
+// by finite differences — a strong end-to-end check of the simplex
+// multiplier extraction that the entire pricing step depends on.
+#include <gtest/gtest.h>
+
+#include "core/column_generation.h"
+#include "core/master.h"
+
+namespace mmwave::core {
+namespace {
+
+net::Network make_net(std::uint64_t seed) {
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = 5;
+  p.num_channels = 2;
+  p.sinr_thresholds = {0.1, 0.2, 0.3};
+  return net::Network::table_i(p, rng);
+}
+
+std::vector<video::LinkDemand> demands_for(std::uint64_t seed) {
+  common::Rng rng(seed * 41 + 7);
+  std::vector<video::LinkDemand> d(5);
+  for (auto& x : d) {
+    x.hp_bits = rng.uniform(800.0, 2500.0);
+    x.lp_bits = rng.uniform(800.0, 2500.0);
+  }
+  return d;
+}
+
+class DualSensitivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualSensitivity, LambdaIsMarginalTimePerBit) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const auto net = make_net(seed + 2000);
+  const auto demands = demands_for(seed + 2000);
+
+  // Freeze a column pool (converged CG pool) so the restricted LP is the
+  // object under study; duals are exact for THIS pool.
+  CgOptions opts;
+  opts.pricing = PricingMode::HeuristicOnly;
+  const auto cg = solve_column_generation(net, demands, opts);
+
+  MasterProblem master(net, demands);
+  for (const auto& s : tdma_initial_columns(net)) master.add_column(s);
+  for (const auto& ts : cg.timeline) master.add_column(ts.schedule);
+  const auto base = master.solve();
+  ASSERT_TRUE(base.ok);
+
+  // Finite-difference check on each link's HP row: increasing d_hp by eps
+  // raises the optimum by lambda_hp * eps (exactly, while the basis stays
+  // optimal — eps is kept small relative to the demand).
+  const double eps = 1.0;  // one bit
+  for (int l = 0; l < net.num_links(); ++l) {
+    auto bumped = demands;
+    bumped[l].hp_bits += eps;
+    MasterProblem perturbed(net, bumped);
+    for (const auto& s : tdma_initial_columns(net)) perturbed.add_column(s);
+    for (const auto& ts : cg.timeline) perturbed.add_column(ts.schedule);
+    const auto sol = perturbed.solve();
+    ASSERT_TRUE(sol.ok);
+    EXPECT_NEAR(sol.objective_slots - base.objective_slots,
+                base.lambda_hp[l] * eps,
+                1e-6 * (1.0 + base.objective_slots))
+        << "link " << l << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualSensitivity, ::testing::Range(0, 8));
+
+TEST(DualSensitivity, ScalingAllDemandsScalesObjectiveNotDuals) {
+  const auto net = make_net(3000);
+  const auto demands = demands_for(3000);
+  MasterProblem a(net, demands);
+  auto doubled = demands;
+  for (auto& d : doubled) {
+    d.hp_bits *= 2.0;
+    d.lp_bits *= 2.0;
+  }
+  MasterProblem b(net, doubled);
+  for (const auto& s : tdma_initial_columns(net)) {
+    a.add_column(s);
+    b.add_column(s);
+  }
+  const auto sa = a.solve();
+  const auto sb = b.solve();
+  ASSERT_TRUE(sa.ok && sb.ok);
+  EXPECT_NEAR(sb.objective_slots, 2.0 * sa.objective_slots,
+              1e-6 * sa.objective_slots);
+  for (int l = 0; l < net.num_links(); ++l) {
+    EXPECT_NEAR(sb.lambda_hp[l], sa.lambda_hp[l],
+                1e-9 * (1.0 + sa.lambda_hp[l]));
+  }
+}
+
+}  // namespace
+}  // namespace mmwave::core

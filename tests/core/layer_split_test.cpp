@@ -1,0 +1,148 @@
+// The layer-split extension: HP and LP of one session on different
+// channels simultaneously (paper Section III remark), as an exact-pricing
+// option.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/column_generation.h"
+
+namespace mmwave::core {
+namespace {
+
+net::Network make_net(std::uint64_t seed, int links, int channels,
+                      int levels, double gamma_scale = 1.0) {
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  p.sinr_thresholds.resize(levels);
+  for (int q = 0; q < levels; ++q)
+    p.sinr_thresholds[q] = 0.1 * (q + 1) * gamma_scale;
+  return net::Network::table_i(p, rng);
+}
+
+std::vector<video::LinkDemand> random_demands(const net::Network& net,
+                                              std::uint64_t seed) {
+  common::Rng rng(seed * 733 + 17);
+  std::vector<video::LinkDemand> d(net.num_links());
+  for (auto& x : d) {
+    x.hp_bits = rng.uniform(500.0, 2000.0);
+    x.lp_bits = rng.uniform(500.0, 2000.0);
+  }
+  return d;
+}
+
+CgOptions split_options() {
+  CgOptions opts;
+  opts.pricing = PricingMode::ExactAlways;
+  opts.exact.allow_layer_split = true;
+  return opts;
+}
+
+TEST(LayerSplit, SchedulesValidateUnderSplitRules) {
+  const auto net = make_net(1, 4, 2, 2);
+  const auto demands = random_demands(net, 1);
+  const auto result = solve_column_generation(net, demands, split_options());
+  ASSERT_TRUE(result.converged);
+  for (const auto& ts : result.timeline) {
+    const auto check =
+        sched::validate_schedule(net, ts.schedule, 1e-7,
+                                 /*allow_layer_split=*/true);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+  const auto exec = sched::execute_timeline(net, result.timeline, demands);
+  EXPECT_TRUE(exec.all_demands_met);
+}
+
+TEST(LayerSplit, NeverWorseThanStrictFormulation) {
+  // Strict (30) schedules are a subset of layer-split schedules.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto net = make_net(seed + 10, 4, 2, 2);
+    const auto demands = random_demands(net, seed + 10);
+    CgOptions strict;
+    strict.pricing = PricingMode::ExactAlways;
+    const auto base = solve_column_generation(net, demands, strict);
+    const auto split =
+        solve_column_generation(net, demands, split_options());
+    ASSERT_TRUE(base.converged && split.converged) << "seed " << seed;
+    EXPECT_LE(split.total_slots, base.total_slots * (1.0 + 1e-6))
+        << "seed " << seed;
+  }
+}
+
+TEST(LayerSplit, CanActuallySplit) {
+  // Find an instance where the optimal solution uses a split column.
+  bool found_split = false;
+  for (std::uint64_t seed = 0; seed < 12 && !found_split; ++seed) {
+    const auto net = make_net(seed + 40, 3, 2, 2, 3.0);
+    const auto demands = random_demands(net, seed + 40);
+    const auto result =
+        solve_column_generation(net, demands, split_options());
+    for (const auto& ts : result.timeline) {
+      std::map<int, int> appearances;
+      for (const auto& tx : ts.schedule.transmissions())
+        appearances[tx.link]++;
+      for (const auto& [l, n] : appearances) {
+        if (n == 2) found_split = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_split)
+      << "no instance used a split column; extension may be inert";
+}
+
+TEST(LayerSplit, ValidatorRejectsSameChannelSplit) {
+  const auto net = make_net(50, 3, 2, 2);
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 0, 0, 0.05});
+  s.add({0, net::Layer::Lp, 0, 0, 0.05});
+  const auto check =
+      sched::validate_schedule(net, s, 1e-7, /*allow_layer_split=*/true);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.reason.find("distinct channels"), std::string::npos);
+}
+
+TEST(LayerSplit, ValidatorRejectsDuplicateLayer) {
+  const auto net = make_net(51, 3, 2, 2);
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 0, 0, 0.05});
+  s.add({0, net::Layer::Hp, 0, 1, 0.05});
+  const auto check =
+      sched::validate_schedule(net, s, 1e-7, /*allow_layer_split=*/true);
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(LayerSplit, ValidatorEnforcesSummedPowerBudget) {
+  const auto net = make_net(52, 3, 2, 2);
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 0, 0, 0.7});
+  s.add({0, net::Layer::Lp, 0, 1, 0.7});
+  const auto check =
+      sched::validate_schedule(net, s, 1e-7, /*allow_layer_split=*/true);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.reason.find("summed"), std::string::npos);
+}
+
+TEST(LayerSplit, StrictValidatorStillRejectsDoubleLink) {
+  const auto net = make_net(53, 3, 2, 2);
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 0, 0, 0.05});
+  s.add({0, net::Layer::Lp, 0, 1, 0.05});
+  EXPECT_FALSE(sched::validate_schedule(net, s).ok);
+}
+
+TEST(LayerSplit, MatchesExhaustiveWhenSplitUnhelpful) {
+  // With a single channel, splitting is impossible, so the split optimum
+  // must equal the strict optimum (and the exhaustive one).
+  const auto net = make_net(54, 4, 1, 2);
+  const auto demands = random_demands(net, 54);
+  const auto exact = baselines::exhaustive_optimal(net, demands);
+  ASSERT_TRUE(exact.ok);
+  const auto split = solve_column_generation(net, demands, split_options());
+  ASSERT_TRUE(split.converged);
+  EXPECT_NEAR(split.total_slots, exact.total_slots,
+              1e-5 * (1.0 + exact.total_slots));
+}
+
+}  // namespace
+}  // namespace mmwave::core

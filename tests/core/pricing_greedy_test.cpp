@@ -1,0 +1,145 @@
+// Focused properties of the greedy pricing heuristic.
+#include <gtest/gtest.h>
+
+#include "core/column_generation.h"
+#include "core/master.h"
+#include "core/pricing_greedy.h"
+#include "core/pricing_milp.h"
+
+namespace mmwave::core {
+namespace {
+
+net::Network make_net(std::uint64_t seed, int links = 6, int channels = 2,
+                      double gamma_scale = 1.0) {
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  p.sinr_thresholds = {0.1 * gamma_scale, 0.2 * gamma_scale,
+                       0.3 * gamma_scale};
+  return net::Network::table_i(p, rng);
+}
+
+MasterSolution tdma_duals(const net::Network& net) {
+  std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 800.0});
+  MasterProblem master(net, demands);
+  for (const auto& s : tdma_initial_columns(net)) master.add_column(s);
+  auto sol = master.solve();
+  EXPECT_TRUE(sol.ok);
+  return sol;
+}
+
+TEST(GreedyPricing, MoreRestartsNeverWorse) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto net = make_net(seed + 70, 8, 2, 3.0);
+    const auto mp = tdma_duals(net);
+    GreedyPricingOptions one;
+    one.restarts = 1;
+    GreedyPricingOptions five;
+    five.restarts = 5;
+    const auto r1 = solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp, one);
+    const auto r5 =
+        solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp, five);
+    EXPECT_GE(r5.psi, r1.psi - 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(GreedyPricing, FixedPowerSchedulesAtPmax) {
+  const auto net = make_net(80, 6, 2);
+  const auto mp = tdma_duals(net);
+  GreedyPricingOptions opts;
+  opts.fixed_power = true;
+  const auto r = solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp, opts);
+  for (const auto& tx : r.schedule.transmissions()) {
+    EXPECT_DOUBLE_EQ(tx.power_watts, net.params().p_max_watts);
+  }
+  const auto check = sched::validate_schedule(net, r.schedule);
+  EXPECT_TRUE(check.ok) << check.reason;
+}
+
+TEST(GreedyPricing, AdaptiveDominatesFixedPower) {
+  // The adaptive pricer evaluates the fixed-power packing internally, so
+  // its best Psi is at least the fixed-power pricer's.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto net = make_net(seed + 90, 7, 2, 3.0);
+    const auto mp = tdma_duals(net);
+    GreedyPricingOptions fixed;
+    fixed.fixed_power = true;
+    const auto adaptive =
+        solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp);
+    const auto pmax_only =
+        solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp, fixed);
+    EXPECT_GE(adaptive.psi, pmax_only.psi - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(GreedyPricing, RespectsNodeExclusivity) {
+  const auto net = make_net(100, 8, 3);
+  const auto mp = tdma_duals(net);
+  const auto r = solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp);
+  std::set<int> nodes;
+  for (const auto& tx : r.schedule.transmissions()) {
+    const net::Link& link = net.link(tx.link);
+    EXPECT_TRUE(nodes.insert(link.tx_node).second);
+    EXPECT_TRUE(nodes.insert(link.rx_node).second);
+  }
+}
+
+TEST(GreedyPricing, OneLayerPerLink) {
+  const auto net = make_net(110, 8, 3);
+  const auto mp = tdma_duals(net);
+  const auto r = solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp);
+  std::set<int> links;
+  for (const auto& tx : r.schedule.transmissions()) {
+    EXPECT_TRUE(links.insert(tx.link).second)
+        << "link " << tx.link << " scheduled twice";
+  }
+}
+
+TEST(GreedyPricing, TdmaDualsYieldImprovingColumnWhenReusePossible) {
+  // With TDMA duals and multiple channels, packing two links already gives
+  // Psi ~ 2 > 1, so the heuristic should virtually always find a column on
+  // friendly instances.
+  int found = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto net = make_net(seed + 120, 6, 3);
+    const auto mp = tdma_duals(net);
+    const auto r = solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp);
+    if (r.found) ++found;
+  }
+  EXPECT_GE(found, 8);
+}
+
+TEST(MilpPricing, LayerSplitPsiAtLeastStrict) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto net = make_net(seed + 130, 4, 2, 3.0);
+    const auto mp = tdma_duals(net);
+    const auto strict = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp);
+    MilpPricingOptions split;
+    split.allow_layer_split = true;
+    const auto ext =
+        solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp, split);
+    if (!strict.exact || !ext.exact) continue;
+    EXPECT_GE(ext.psi, strict.psi - 1e-7) << "seed " << seed;
+    const auto check = sched::validate_schedule(
+        net, ext.schedule, 1e-7, /*allow_layer_split=*/true);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+TEST(MilpPricing, FixedPowerPsiAtMostAdaptive) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto net = make_net(seed + 140, 4, 2, 3.0);
+    const auto mp = tdma_duals(net);
+    const auto adaptive = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp);
+    MilpPricingOptions fixed;
+    fixed.fixed_power = true;
+    const auto pmax_only =
+        solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp, fixed);
+    if (!adaptive.exact || !pmax_only.exact) continue;
+    EXPECT_LE(pmax_only.psi, adaptive.psi + 1e-7) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mmwave::core

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/column_generation.h"
+#include "mmwave/power_control.h"
+#include "core/master.h"
+#include "core/pricing_greedy.h"
+#include "core/pricing_milp.h"
+
+namespace mmwave::core {
+namespace {
+
+net::Network make_net(std::uint64_t seed, int links = 4, int channels = 2,
+                      int levels = 3) {
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  p.sinr_thresholds.resize(levels);
+  for (int q = 0; q < levels; ++q)
+    p.sinr_thresholds[q] = 0.1 * (q + 1);
+  return net::Network::table_i(p, rng);
+}
+
+/// Duals from a TDMA-initialized master on uniform demands.
+MasterSolution tdma_duals(const net::Network& net,
+                          const std::vector<video::LinkDemand>& demands) {
+  MasterProblem master(net, demands);
+  for (const auto& s : tdma_initial_columns(net)) master.add_column(s);
+  auto sol = master.solve();
+  EXPECT_TRUE(sol.ok);
+  return sol;
+}
+
+TEST(GreedyPricing, ProducesValidSchedules) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto net = make_net(seed);
+    std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 500.0});
+    const auto mp = tdma_duals(net, demands);
+    const auto pr =
+        solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp);
+    const auto check = sched::validate_schedule(net, pr.schedule);
+    EXPECT_TRUE(check.ok) << "seed " << seed << ": " << check.reason;
+  }
+}
+
+TEST(GreedyPricing, PsiMatchesScheduleValue) {
+  const auto net = make_net(3);
+  std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 500.0});
+  const auto mp = tdma_duals(net, demands);
+  const auto pr = solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp);
+  double psi = 0.0;
+  for (const auto& tx : pr.schedule.transmissions()) {
+    const double lambda = tx.layer == net::Layer::Hp
+                              ? mp.lambda_hp[tx.link]
+                              : mp.lambda_lp[tx.link];
+    psi += lambda * net.bits_per_slot(tx.rate_level);
+  }
+  EXPECT_NEAR(pr.psi, psi, 1e-9);
+}
+
+TEST(GreedyPricing, NoCertificate) {
+  const auto net = make_net(4);
+  std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 500.0});
+  const auto mp = tdma_duals(net, demands);
+  const auto pr = solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp);
+  EXPECT_FALSE(pr.exact);
+  EXPECT_TRUE(std::isinf(pr.psi_upper_bound));
+}
+
+TEST(GreedyPricing, ZeroDualsFindNothing) {
+  const auto net = make_net(5);
+  std::vector<double> zeros(net.num_links(), 0.0);
+  const auto pr = solve_pricing_greedy(net, zeros, zeros);
+  EXPECT_FALSE(pr.found);
+}
+
+TEST(MilpPricing, ExactAndAtLeastGreedy) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto net = make_net(seed, 3, 2, 2);
+    std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 500.0});
+    const auto mp = tdma_duals(net, demands);
+    const auto greedy =
+        solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp);
+    const auto exact =
+        solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp);
+    ASSERT_TRUE(exact.exact) << "seed " << seed;
+    EXPECT_GE(exact.psi, greedy.psi - 1e-7) << "seed " << seed;
+    EXPECT_NEAR(exact.psi_upper_bound, exact.psi, 1e-9);
+    const auto check = sched::validate_schedule(net, exact.schedule);
+    EXPECT_TRUE(check.ok) << "seed " << seed << ": " << check.reason;
+  }
+}
+
+TEST(MilpPricing, PsiConsistentWithSchedule) {
+  const auto net = make_net(11, 3, 2, 2);
+  std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 500.0});
+  const auto mp = tdma_duals(net, demands);
+  const auto pr = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp);
+  double psi = 0.0;
+  for (const auto& tx : pr.schedule.transmissions()) {
+    const double lambda = tx.layer == net::Layer::Hp
+                              ? mp.lambda_hp[tx.link]
+                              : mp.lambda_lp[tx.link];
+    psi += lambda * net.bits_per_slot(tx.rate_level);
+  }
+  EXPECT_NEAR(pr.psi, psi, 1e-6 * (1.0 + psi));
+}
+
+TEST(MilpPricing, BeatsTdmaDualsImpliesImprovingColumn) {
+  // With TDMA duals, a multi-link schedule should usually price out
+  // (Psi > 1).  At minimum, Psi >= 1 because the best TDMA column itself
+  // already achieves Psi ~= 1 on a tight row.
+  const auto net = make_net(12, 4, 2, 3);
+  std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 500.0});
+  const auto mp = tdma_duals(net, demands);
+  const auto pr = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp);
+  EXPECT_GE(pr.psi, 1.0 - 1e-6);
+}
+
+TEST(MilpPricing, ZeroDualsGiveEmptyResult) {
+  const auto net = make_net(13);
+  std::vector<double> zeros(net.num_links(), 0.0);
+  const auto pr = solve_pricing_milp(net, zeros, zeros);
+  EXPECT_FALSE(pr.found);
+  EXPECT_TRUE(pr.exact);
+  EXPECT_NEAR(pr.psi_upper_bound, 0.0, 1e-12);
+}
+
+TEST(MilpPricing, WarmStartDoesNotChangeOptimum) {
+  const auto net = make_net(14, 3, 2, 2);
+  std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 500.0});
+  const auto mp = tdma_duals(net, demands);
+  const auto greedy =
+      solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp);
+  const auto cold = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp);
+  const auto warm = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp, {},
+                                       &greedy.schedule);
+  ASSERT_TRUE(cold.exact);
+  ASSERT_TRUE(warm.exact);
+  EXPECT_NEAR(cold.psi, warm.psi, 1e-6 * (1.0 + cold.psi));
+}
+
+TEST(MilpPricing, TargetPsiStopsEarlyWithImprovingColumn) {
+  const auto net = make_net(15, 4, 2, 3);
+  std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 500.0});
+  const auto mp = tdma_duals(net, demands);
+  MilpPricingOptions opts;
+  opts.target_psi = 1.0 + 1e-6;
+  const auto pr = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp, opts);
+  if (pr.found) {
+    EXPECT_GT(pr.psi, 1.0);
+    const auto check = sched::validate_schedule(net, pr.schedule);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+TEST(MilpPricing, CleanPowersAreMinimal) {
+  const auto net = make_net(16, 3, 2, 2);
+  std::vector<video::LinkDemand> demands(net.num_links(), {1000.0, 500.0});
+  const auto mp = tdma_duals(net, demands);
+  MilpPricingOptions opts;
+  opts.clean_powers = true;
+  const auto pr = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp, opts);
+  // Minimal powers make every SINR constraint tight per channel group.
+  std::map<int, std::vector<const sched::Transmission*>> by_channel;
+  for (const auto& tx : pr.schedule.transmissions())
+    by_channel[tx.channel].push_back(&tx);
+  for (const auto& [k, txs] : by_channel) {
+    std::vector<int> links;
+    std::vector<double> powers;
+    for (const auto* tx : txs) {
+      links.push_back(tx->link);
+      powers.push_back(tx->power_watts);
+    }
+    const auto sinr = net::achieved_sinr(net, k, links, powers);
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      EXPECT_NEAR(sinr[i],
+                  net.rate_level(txs[i]->rate_level).sinr_threshold,
+                  1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmwave::core

@@ -1,0 +1,168 @@
+// End-to-end pipeline tests: video traces -> demands -> network -> column
+// generation -> timeline -> metrics, exercised exactly the way the bench
+// harness drives the system.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "core/column_generation.h"
+#include "mmwave/power_control.h"
+#include "sched/timeline.h"
+#include "video/demand.h"
+
+namespace mmwave {
+namespace {
+
+struct Instance {
+  net::Network net;
+  std::vector<video::LinkDemand> demands;
+};
+
+/// A realistically-scaled instance: Table I channels, video-trace demands
+/// (scaled down so tests stay fast while keeping demand heterogeneity).
+Instance make_instance(std::uint64_t seed, int links, int channels,
+                       double demand_scale = 1e-4) {
+  common::Rng rng(seed);
+  net::NetworkParams params;
+  params.num_links = links;
+  params.num_channels = channels;
+  net::Network net = net::Network::table_i(params, rng);
+
+  video::DemandConfig dcfg;
+  dcfg.demand_scale = demand_scale;
+  common::Rng demand_rng = rng.fork(0xDEADu);
+  auto demands = video::make_link_demands(links, dcfg, demand_rng);
+  return {std::move(net), std::move(demands)};
+}
+
+TEST(Pipeline, FullRunWithVideoDemands) {
+  auto inst = make_instance(1, 6, 3);
+  const auto cg = core::solve_column_generation(inst.net, inst.demands);
+  EXPECT_GT(cg.total_slots, 0.0);
+  const auto exec =
+      sched::execute_timeline(inst.net, cg.timeline, inst.demands);
+  EXPECT_TRUE(exec.all_demands_met);
+  EXPECT_GT(exec.average_delay(), 0.0);
+  EXPECT_GT(exec.delay_fairness(), 0.0);
+  EXPECT_LE(exec.delay_fairness(), 1.0);
+}
+
+TEST(Pipeline, AllFourAlgorithmsOnSameInstance) {
+  auto inst = make_instance(2, 6, 3);
+  const auto cg = core::solve_column_generation(inst.net, inst.demands);
+  const auto td = baselines::tdma(inst.net, inst.demands);
+  const auto b1 = baselines::benchmark1(inst.net, inst.demands);
+  const auto b2 = baselines::benchmark2(inst.net, inst.demands);
+
+  ASSERT_TRUE(td.served_all);
+  EXPECT_LE(cg.total_slots, td.total_slots * (1.0 + 1e-6));
+  if (b2.served_all) {
+    EXPECT_LE(cg.total_slots, b2.total_slots * (1.0 + 1e-6));
+  }
+  if (b1.served_all) {
+    EXPECT_LE(cg.total_slots, b1.total_slots * (1.0 + 1e-6));
+  }
+}
+
+TEST(Pipeline, DelayMetricsComparable) {
+  auto inst = make_instance(3, 6, 3);
+  const auto cg = core::solve_column_generation(inst.net, inst.demands);
+  const auto exec_cg = sched::execute_timeline(
+      inst.net, cg.timeline, inst.demands, sched::ExecutionOrder::DenseFirst);
+  const auto b2 = baselines::benchmark2(inst.net, inst.demands);
+  const auto exec_b2 = sched::execute_timeline(
+      inst.net, b2.timeline, inst.demands, sched::ExecutionOrder::AsGiven);
+  EXPECT_TRUE(exec_cg.all_demands_met);
+  if (b2.served_all) {
+    EXPECT_TRUE(exec_b2.all_demands_met);
+    EXPECT_TRUE(std::isfinite(exec_b2.average_delay()));
+  }
+}
+
+TEST(Pipeline, GeometricChannelModelWorksEndToEnd) {
+  common::Rng rng(4);
+  net::NetworkParams params;
+  params.num_links = 5;
+  params.num_channels = 2;
+  // Geometric gains are small (path loss): use a lower noise floor so links
+  // close their budgets, mimicking a realistic link margin.
+  params.noise_watts = 1e-4;
+  net::GeometricChannelConfig gcfg;
+  auto model = std::make_unique<net::GeometricChannelModel>(
+      params.num_links, params.num_channels, params.noise_watts, gcfg, rng);
+  net::Network net(params, std::move(model));
+
+  video::DemandConfig dcfg;
+  dcfg.demand_scale = 1e-4;
+  common::Rng demand_rng(44);
+  const auto demands =
+      video::make_link_demands(5, dcfg, demand_rng);
+
+  const auto cg = core::solve_column_generation(net, demands);
+  const auto exec = sched::execute_timeline(net, cg.timeline, demands);
+  EXPECT_TRUE(exec.all_demands_met);
+  for (const auto& ts : cg.timeline) {
+    const auto check = sched::validate_schedule(net, ts.schedule);
+    EXPECT_TRUE(check.ok) << check.reason;
+  }
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  auto a = make_instance(5, 5, 2);
+  auto b = make_instance(5, 5, 2);
+  const auto ra = core::solve_column_generation(a.net, a.demands);
+  const auto rb = core::solve_column_generation(b.net, b.demands);
+  EXPECT_DOUBLE_EQ(ra.total_slots, rb.total_slots);
+  EXPECT_EQ(ra.iterations, rb.iterations);
+}
+
+TEST(Pipeline, MoreChannelsNeverHurt) {
+  // The K-channel optimum can always ignore extra channels, so the optimal
+  // scheduling time is non-increasing in K (same seed => same link gains on
+  // shared channels is NOT guaranteed by the generator, so compare the
+  // trend over several seeds in aggregate).
+  double slots_k1 = 0.0, slots_k3 = 0.0;
+  core::CgOptions opts;
+  // Heuristic pricing: single-channel instances make the exact MILP
+  // fallback slow, and the aggregate trend does not need a certificate.
+  opts.pricing = core::PricingMode::HeuristicOnly;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto i1 = make_instance(seed + 50, 5, 1);
+    auto i3 = make_instance(seed + 50, 5, 3);
+    slots_k1 +=
+        core::solve_column_generation(i1.net, i1.demands, opts).total_slots;
+    slots_k3 +=
+        core::solve_column_generation(i3.net, i3.demands, opts).total_slots;
+  }
+  EXPECT_LT(slots_k3, slots_k1);
+}
+
+TEST(Pipeline, HigherDemandScalesTime) {
+  auto base = make_instance(6, 5, 2, 1e-4);
+  auto heavy = make_instance(6, 5, 2, 2e-4);
+  const auto r1 = core::solve_column_generation(base.net, base.demands);
+  const auto r2 = core::solve_column_generation(heavy.net, heavy.demands);
+  // Demands doubled on the identical network: optimum exactly doubles
+  // (LP scaling).
+  EXPECT_NEAR(r2.total_slots, 2.0 * r1.total_slots,
+              1e-5 * r1.total_slots);
+}
+
+TEST(Pipeline, PsnrImprovesWithDeliveredRate) {
+  video::PsnrModel psnr;
+  auto inst = make_instance(7, 4, 2);
+  const auto cg = core::solve_column_generation(inst.net, inst.demands);
+  const auto exec =
+      sched::execute_timeline(inst.net, cg.timeline, inst.demands);
+  // All demands met -> each link reconstructs at its full session rate.
+  for (int l = 0; l < inst.net.num_links(); ++l) {
+    const double delivered =
+        exec.hp_delivered_bits[l] + exec.lp_delivered_bits[l];
+    EXPECT_NEAR(delivered, inst.demands[l].total(), 1.0);
+    EXPECT_GT(psnr.psnr(delivered), psnr.psnr(exec.hp_delivered_bits[l]));
+  }
+}
+
+}  // namespace
+}  // namespace mmwave

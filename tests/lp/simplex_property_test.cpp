@@ -1,0 +1,167 @@
+// Property-based validation of the simplex solver on random instances:
+// primal feasibility, dual feasibility, strong duality, and complementary
+// slackness must hold at every reported optimum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace mmwave::lp {
+namespace {
+
+struct RandomLp {
+  LpModel model;
+  int n = 0;
+  int m = 0;
+};
+
+/// Random min-cost covering LP:  min c'x st A x >= b, 0 <= x <= u.
+/// Nonnegative A with at least one positive entry per row makes the
+/// instance feasible whenever u is large enough (we ensure it is).
+RandomLp make_covering_lp(common::Rng& rng) {
+  RandomLp out;
+  out.n = static_cast<int>(2 + rng.uniform_index(6));
+  out.m = static_cast<int>(1 + rng.uniform_index(5));
+  for (int j = 0; j < out.n; ++j) {
+    out.model.add_variable(0.0, rng.uniform(5.0, 50.0),
+                           rng.uniform(0.5, 4.0));
+  }
+  for (int i = 0; i < out.m; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < out.n; ++j) {
+      if (rng.bernoulli(0.6)) terms.emplace_back(j, rng.uniform(0.1, 2.0));
+    }
+    if (terms.empty()) terms.emplace_back(0, rng.uniform(0.5, 2.0));
+    out.model.add_constraint(std::move(terms), Sense::Ge,
+                             rng.uniform(0.5, 3.0));
+  }
+  return out;
+}
+
+class SimplexRandomCovering : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomCovering, KktConditionsHold) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  RandomLp inst = make_covering_lp(rng);
+  LpSolution sol = solve_lp(inst.model);
+  ASSERT_TRUE(sol.optimal()) << to_string(sol.status);
+
+  const double tol = 1e-6;
+  // Primal feasibility.
+  for (int j = 0; j < inst.n; ++j) {
+    const auto& v = inst.model.variable(j);
+    EXPECT_GE(sol.x[j], v.lb - tol);
+    EXPECT_LE(sol.x[j], v.ub + tol);
+  }
+  std::vector<double> activity(inst.m, 0.0);
+  for (int i = 0; i < inst.m; ++i) {
+    for (const auto& [j, a] : inst.model.constraint(i).terms)
+      activity[i] += a * sol.x[j];
+    EXPECT_GE(activity[i], inst.model.constraint(i).rhs - tol);
+  }
+
+  // Dual feasibility: lambda >= 0 for >= rows of a min problem.
+  for (int i = 0; i < inst.m; ++i) EXPECT_GE(sol.duals[i], -tol);
+
+  // Complementary slackness on rows: lambda_i (a_i x - b_i) = 0.
+  for (int i = 0; i < inst.m; ++i) {
+    const double slack = activity[i] - inst.model.constraint(i).rhs;
+    EXPECT_NEAR(sol.duals[i] * slack, 0.0, 1e-4);
+  }
+
+  // Weak/strong duality: c'x == y'b + contribution from active upper bounds.
+  // Reduced costs d_j = c_j - y'A_j must be >= 0 unless x_j sits at its
+  // upper bound (then <= 0); and x_j strictly inside its bounds => d_j == 0.
+  for (int j = 0; j < inst.n; ++j) {
+    double rc = inst.model.variable(j).cost;
+    for (int i = 0; i < inst.m; ++i) {
+      for (const auto& [col, a] : inst.model.constraint(i).terms)
+        if (col == j) rc -= sol.duals[i] * a;
+    }
+    const auto& v = inst.model.variable(j);
+    if (sol.x[j] > v.lb + 1e-5 && sol.x[j] < v.ub - 1e-5) {
+      EXPECT_NEAR(rc, 0.0, 1e-5) << "interior variable " << j;
+    } else if (sol.x[j] <= v.lb + 1e-5) {
+      EXPECT_GE(rc, -1e-5) << "at lower bound " << j;
+    } else {
+      EXPECT_LE(rc, 1e-5) << "at upper bound " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomCovering,
+                         ::testing::Range(0, 40));
+
+/// Brute-force check on tiny LPs: enumerate all basic solutions by solving
+/// every pair of active constraints/bounds and take the best feasible one.
+class SimplexVsEnumeration : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexVsEnumeration, MatchesVertexEnumeration) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  // 2 variables, boxes + up to 3 Ge rows; enumerate a fine grid of candidate
+  // vertices: all pairwise intersections of {rows, bounds}.
+  const double ub0 = rng.uniform(2.0, 8.0);
+  const double ub1 = rng.uniform(2.0, 8.0);
+  const double c0 = rng.uniform(0.5, 3.0);
+  const double c1 = rng.uniform(0.5, 3.0);
+  struct Row {
+    double a0, a1, b;
+  };
+  std::vector<Row> rows;
+  const int nrows = static_cast<int>(1 + rng.uniform_index(3));
+  for (int i = 0; i < nrows; ++i) {
+    rows.push_back({rng.uniform(0.2, 2.0), rng.uniform(0.2, 2.0),
+                    rng.uniform(0.5, 2.5)});
+  }
+
+  LpModel m;
+  m.add_variable(0, ub0, c0);
+  m.add_variable(0, ub1, c1);
+  for (const Row& r : rows)
+    m.add_constraint({{0, r.a0}, {1, r.a1}}, Sense::Ge, r.b);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+
+  // Candidate vertex set: intersections of every pair of "lines" among
+  // rows (as equalities) and the four bounds.
+  struct Line {
+    double a0, a1, b;  // a0 x + a1 y = b
+  };
+  std::vector<Line> lines;
+  for (const Row& r : rows) lines.push_back({r.a0, r.a1, r.b});
+  lines.push_back({1, 0, 0});
+  lines.push_back({1, 0, ub0});
+  lines.push_back({0, 1, 0});
+  lines.push_back({0, 1, ub1});
+
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det = lines[i].a0 * lines[j].a1 - lines[j].a0 * lines[i].a1;
+      if (std::abs(det) < 1e-9) continue;
+      const double x0 = (lines[i].b * lines[j].a1 - lines[j].b * lines[i].a1) / det;
+      const double x1 = (lines[i].a0 * lines[j].b - lines[j].a0 * lines[i].b) / det;
+      if (x0 < -1e-9 || x0 > ub0 + 1e-9 || x1 < -1e-9 || x1 > ub1 + 1e-9)
+        continue;
+      bool feasible = true;
+      for (const Row& r : rows) {
+        if (r.a0 * x0 + r.a1 * x1 < r.b - 1e-9) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) best = std::min(best, c0 * x0 + c1 * x1);
+    }
+  }
+  ASSERT_TRUE(std::isfinite(best)) << "enumeration found no vertex";
+  EXPECT_NEAR(sol.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexVsEnumeration, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace mmwave::lp

@@ -1,0 +1,298 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.h"
+
+namespace mmwave::lp {
+namespace {
+
+TEST(Simplex, TwoVarMaximize) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> x=2, y=6, obj=36.
+  LpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  const int x = m.add_variable(0, kInfinity, 3.0, "x");
+  const int y = m.add_variable(0, kInfinity, 5.0, "y");
+  m.add_constraint({{x, 1.0}}, Sense::Le, 4.0);
+  m.add_constraint({{y, 2.0}}, Sense::Le, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::Le, 18.0);
+
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal()) << to_string(sol.status);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-8);
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[y], 6.0, 1e-8);
+}
+
+TEST(Simplex, MinimizeWithGeRows) {
+  // min 2x + 3y st x + y >= 4, x >= 1 -> x=4? cost 2 < 3 so push x: x=4,y=0,
+  // obj=8.
+  LpModel m;
+  const int x = m.add_variable(0, kInfinity, 2.0);
+  const int y = m.add_variable(0, kInfinity, 3.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::Ge, 4.0);
+  m.add_constraint({{x, 1.0}}, Sense::Ge, 1.0);
+
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 8.0, 1e-8);
+  EXPECT_NEAR(sol.x[x], 4.0, 1e-8);
+  EXPECT_NEAR(sol.x[y], 0.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y st x + y = 3, x <= 1 -> x=1, y=2, obj=5.
+  LpModel m;
+  const int x = m.add_variable(0, 1.0, 1.0);
+  const int y = m.add_variable(0, kInfinity, 2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::Eq, 3.0);
+
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 5.0, 1e-8);
+  EXPECT_NEAR(sol.x[x], 1.0, 1e-8);
+  EXPECT_NEAR(sol.x[y], 2.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpModel m;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::Le, 2.0);
+  m.add_constraint({{x, 1.0}}, Sense::Ge, 5.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpModel m;
+  const int x = m.add_variable(0, kInfinity, -1.0);  // min -x, x free above
+  m.add_constraint({{x, -1.0}}, Sense::Le, 0.0);     // -x <= 0 (x >= 0)
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, BoundedVariablesNoRows) {
+  // Bounds only: min -x - 2y with x in [0,3], y in [1,2] -> (3,2), obj -7.
+  LpModel m;
+  const int x = m.add_variable(0, 3, -1.0);
+  const int y = m.add_variable(1, 2, -2.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, -7.0, 1e-9);
+  EXPECT_NEAR(sol.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 2.0, 1e-9);
+}
+
+TEST(Simplex, UnconstrainedUnbounded) {
+  LpModel m;
+  m.add_variable(0, kInfinity, -1.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, UpperBoundedVariableBindsInsteadOfRow) {
+  // max x st x <= 10 (row), x <= 3 (bound) -> 3.
+  LpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  const int x = m.add_variable(0, 3, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::Le, 10.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y with x,y in [-5, 5], x + y >= -3 -> obj -3.
+  LpModel m;
+  const int x = m.add_variable(-5, 5, 1.0);
+  const int y = m.add_variable(-5, 5, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::Ge, -3.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, -3.0, 1e-8);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x st x >= -7 via row; x unbounded in the model.
+  LpModel m;
+  const int x = m.add_variable(-kInfinity, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::Ge, -7.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, -7.0, 1e-8);
+  EXPECT_NEAR(sol.x[x], -7.0, 1e-8);
+}
+
+TEST(Simplex, FixedVariable) {
+  // x fixed at 2; min y st x + y >= 5 -> y=3.
+  LpModel m;
+  const int x = m.add_variable(2, 2, 0.0);
+  const int y = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::Ge, 5.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 3.0, 1e-8);
+}
+
+TEST(Simplex, DualsOfCoveringLp) {
+  // min t1 + t2 st 2 t1 >= 4, 3 t2 >= 6 -> t=(2,2); duals (0.5, 1/3).
+  LpModel m;
+  const int t1 = m.add_variable(0, kInfinity, 1.0);
+  const int t2 = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{t1, 2.0}}, Sense::Ge, 4.0);
+  m.add_constraint({{t2, 3.0}}, Sense::Ge, 6.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  ASSERT_EQ(sol.duals.size(), 2u);
+  EXPECT_NEAR(sol.duals[0], 0.5, 1e-8);
+  EXPECT_NEAR(sol.duals[1], 1.0 / 3.0, 1e-8);
+}
+
+TEST(Simplex, DualSignConventionMinimize) {
+  // min -x st x <= 5: dual of the <= row must be <= 0 (here -1).
+  LpModel m;
+  const int x = m.add_variable(0, kInfinity, -1.0);
+  m.add_constraint({{x, 1.0}}, Sense::Le, 5.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.duals[0], -1.0, 1e-8);
+}
+
+TEST(Simplex, DualSignConventionMaximize) {
+  // max x st x <= 5: for a max problem the <= row dual is >= 0 (here 1).
+  LpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::Le, 5.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 5.0, 1e-8);
+  EXPECT_NEAR(sol.duals[0], 1.0, 1e-8);
+}
+
+TEST(Simplex, MasterProblemShapeDuals) {
+  // A miniature of the paper's MP: min tau1+tau2+tau3 with rate matrix
+  //   link1: 4 tau1 + 1 tau3 >= 8
+  //   link2: 3 tau2 + 2 tau3 >= 6
+  // TDMA-ish optimum: tau1=2, tau2=2, tau3=0, obj=4.
+  LpModel m;
+  const int t1 = m.add_variable(0, kInfinity, 1.0);
+  const int t2 = m.add_variable(0, kInfinity, 1.0);
+  const int t3 = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{t1, 4.0}, {t3, 1.0}}, Sense::Ge, 8.0);
+  m.add_constraint({{t2, 3.0}, {t3, 2.0}}, Sense::Ge, 6.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 4.0, 1e-8);
+  // Duals: lambda1 = 1/4, lambda2 = 1/3; reduced cost of tau3 =
+  // 1 - (1*1/4 + 2*1/3) = 1/12 > 0, so tau3 stays out.
+  EXPECT_NEAR(sol.duals[0], 0.25, 1e-8);
+  EXPECT_NEAR(sol.duals[1], 1.0 / 3.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateLpTerminates) {
+  // Classic degenerate corner: several redundant rows through the optimum.
+  LpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  const int y = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::Le, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::Le, 1.0);
+  m.add_constraint({{y, 1.0}}, Sense::Le, 1.0);
+  m.add_constraint({{x, 2.0}, {y, 1.0}}, Sense::Le, 2.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::Le, 2.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 1.0, 1e-8);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 2 listed twice; min x -> x=0, y=2.
+  LpModel m;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  const int y = m.add_variable(0, kInfinity, 0.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::Eq, 2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::Eq, 2.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 0.0, 1e-8);
+}
+
+TEST(Simplex, DuplicateTermsWithinRowAreSummed) {
+  // Row written as x + x <= 4 means 2x <= 4.
+  LpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, Sense::Le, 4.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 2.0, 1e-8);
+}
+
+TEST(Simplex, NegativeRhsFeasibility) {
+  // min y st -x - y <= -4 (i.e. x + y >= 4), x <= 3 bound -> y >= 1.
+  LpModel m;
+  const int x = m.add_variable(0, 3, 0.0);
+  const int y = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, -1.0}, {y, -1.0}}, Sense::Le, -4.0);
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 1.0, 1e-8);
+}
+
+TEST(Simplex, InconsistentVariableBoundsInfeasible) {
+  LpModel m;
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::Ge, 1.0);
+  std::vector<double> lb{5.0}, ub{2.0};
+  EXPECT_EQ(solve_lp_with_bounds(m, lb, ub).status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, BoundOverridesChangeOptimum) {
+  LpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  const int x = m.add_variable(0, 10, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::Le, 8.0);
+  LpSolution base = solve_lp(m);
+  ASSERT_TRUE(base.optimal());
+  EXPECT_NEAR(base.objective, 8.0, 1e-9);
+
+  std::vector<double> lb{0.0}, ub{4.0};
+  LpSolution tightened = solve_lp_with_bounds(m, lb, ub);
+  ASSERT_TRUE(tightened.optimal());
+  EXPECT_NEAR(tightened.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, IterationLimitReported) {
+  LpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  const int y = m.add_variable(0, kInfinity, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::Le, 10.0);
+  m.add_constraint({{x, 2.0}, {y, 1.0}}, Sense::Le, 10.0);
+  LpOptions opts;
+  opts.max_iterations = 1;  // not enough to finish both phases
+  LpSolution sol = solve_lp(m, opts);
+  EXPECT_TRUE(sol.status == SolveStatus::IterationLimit ||
+              sol.status == SolveStatus::Optimal);
+}
+
+TEST(Simplex, ObjectiveConstantZeroVariables) {
+  LpModel m;
+  LpSolution sol = solve_lp(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+  EXPECT_TRUE(sol.x.empty());
+}
+
+TEST(Simplex, MaximizeUnbounded) {
+  LpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  const int x = m.add_variable(0, kInfinity, 1.0);
+  const int y = m.add_variable(0, kInfinity, 0.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::Le, 1.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::Unbounded);
+}
+
+}  // namespace
+}  // namespace mmwave::lp

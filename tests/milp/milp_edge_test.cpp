@@ -1,0 +1,190 @@
+// Additional branch & bound edge cases: set covering/partition structures
+// (the shapes that appear in pricing), equality-constrained integers, and
+// bound behavior under truncation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "milp/milp.h"
+
+namespace mmwave::milp {
+namespace {
+
+using lp::kInfinity;
+using lp::ObjSense;
+using lp::Sense;
+
+TEST(MilpEdge, SetPartitionSmall) {
+  // Cover {a,b,c} with sets {a,b}=3, {b,c}=4, {a,c}=5, {a}= 2, {b}=2, {c}=2.
+  // Exact cover minimizing cost: {a,b} + {c} = 5.
+  struct SetDef {
+    std::vector<int> elems;
+    double cost;
+  };
+  const std::vector<SetDef> sets = {
+      {{0, 1}, 3}, {{1, 2}, 4}, {{0, 2}, 5}, {{0}, 2}, {{1}, 2}, {{2}, 2}};
+  MilpModel m;
+  std::vector<int> vars;
+  for (const auto& s : sets)
+    vars.push_back(m.add_variable(0, 1, s.cost, VarType::Binary));
+  for (int e = 0; e < 3; ++e) {
+    std::vector<lp::Term> row;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      if (std::count(sets[i].elems.begin(), sets[i].elems.end(), e))
+        row.emplace_back(vars[i], 1.0);
+    }
+    m.add_constraint(std::move(row), Sense::Eq, 1.0);
+  }
+  MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-6);
+}
+
+TEST(MilpEdge, AtMostOneGroups) {
+  // The pricing problem's (30)-style structure: pick at most one item per
+  // group, maximize value, with a global budget.
+  MilpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  std::vector<lp::Term> budget;
+  // Groups of 3; values increase with index; weights equal.
+  int var[4][3];
+  for (int g = 0; g < 4; ++g) {
+    std::vector<lp::Term> group;
+    for (int i = 0; i < 3; ++i) {
+      var[g][i] =
+          m.add_variable(0, 1, 1.0 + g + 0.1 * i, VarType::Binary);
+      group.emplace_back(var[g][i], 1.0);
+      budget.emplace_back(var[g][i], 1.0);
+    }
+    m.add_constraint(std::move(group), Sense::Le, 1.0);
+  }
+  m.add_constraint(std::move(budget), Sense::Le, 2.0);
+  MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  // Pick the best member (i=2) of the two most valuable groups (g=3, g=2).
+  EXPECT_NEAR(sol.objective, (4.0 + 0.2) + (3.0 + 0.2), 1e-6);
+}
+
+TEST(MilpEdge, IntegerEqualitySystem) {
+  // 3x + 5y = 31, x,y >= 0 integers; min x + y -> (2, 5) -> 7 or (7,2) -> 9;
+  // optimal 7.
+  MilpModel m;
+  const int x = m.add_variable(0, 31, 1.0, VarType::Integer);
+  const int y = m.add_variable(0, 31, 1.0, VarType::Integer);
+  m.add_constraint({{x, 3.0}, {y, 5.0}}, Sense::Eq, 31.0);
+  MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-6);
+}
+
+TEST(MilpEdge, NegativeCostsAndBounds) {
+  MilpModel m;
+  const int x = m.add_variable(-3, 3, 1.0, VarType::Integer);
+  m.add_constraint({{x, 2.0}}, Sense::Ge, -5.0);
+  MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  // min x with 2x >= -5 and x integer >= -2.5 -> x = -2.
+  EXPECT_NEAR(sol.x[x], -2.0, 1e-9);
+}
+
+TEST(MilpEdge, FractionalBoundsTightened) {
+  // Integer variable with fractional bounds [1.3, 4.8] behaves as [2, 4].
+  MilpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  const int x = m.add_variable(1.3, 4.8, 1.0, VarType::Integer);
+  MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], 4.0, 1e-9);
+
+  MilpModel m2;
+  const int y = m2.add_variable(1.3, 4.8, 1.0, VarType::Integer);
+  MilpSolution sol2 = solve_milp(m2);
+  ASSERT_EQ(sol2.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol2.x[y], 2.0, 1e-9);
+}
+
+TEST(MilpEdge, EmptyIntegerRangeInfeasible) {
+  MilpModel m;
+  const int x = m.add_variable(1.2, 1.8, 1.0, VarType::Integer);
+  m.add_constraint({{x, 1.0}}, Sense::Ge, 0.0);
+  EXPECT_EQ(solve_milp(m).status, MilpStatus::Infeasible);
+}
+
+class MilpRandomGroupPacking : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpRandomGroupPacking, MatchesBruteForce) {
+  // Random pricing-shaped instances small enough for brute force:
+  // G groups x M options, at most one option per group, pairwise conflict
+  // cuts, maximize value.
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 3);
+  const int groups = static_cast<int>(2 + rng.uniform_index(3));
+  const int options = static_cast<int>(2 + rng.uniform_index(2));
+  std::vector<std::vector<double>> value(groups,
+                                         std::vector<double>(options));
+  for (auto& row : value)
+    for (double& v : row) v = rng.uniform(0.1, 3.0);
+
+  // Random conflicts between (group, option) pairs of different groups.
+  struct Conflict {
+    int g1, o1, g2, o2;
+  };
+  std::vector<Conflict> conflicts;
+  for (int g1 = 0; g1 < groups; ++g1)
+    for (int g2 = g1 + 1; g2 < groups; ++g2)
+      for (int o1 = 0; o1 < options; ++o1)
+        for (int o2 = 0; o2 < options; ++o2)
+          if (rng.bernoulli(0.25)) conflicts.push_back({g1, o1, g2, o2});
+
+  // Brute force over all (options+1)^groups assignments.
+  double best = 0.0;
+  std::vector<int> choice(groups, -1);
+  const auto conflicted = [&](const std::vector<int>& c) {
+    for (const Conflict& cf : conflicts) {
+      if (c[cf.g1] == cf.o1 && c[cf.g2] == cf.o2) return true;
+    }
+    return false;
+  };
+  std::function<void(int)> enumerate = [&](int g) {
+    if (g == groups) {
+      if (conflicted(choice)) return;
+      double v = 0.0;
+      for (int i = 0; i < groups; ++i)
+        if (choice[i] >= 0) v += value[i][choice[i]];
+      best = std::max(best, v);
+      return;
+    }
+    for (int o = -1; o < options; ++o) {
+      choice[g] = o;
+      enumerate(g + 1);
+    }
+    choice[g] = -1;
+  };
+  enumerate(0);
+
+  MilpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  std::vector<std::vector<int>> var(groups, std::vector<int>(options));
+  for (int g = 0; g < groups; ++g) {
+    std::vector<lp::Term> row;
+    for (int o = 0; o < options; ++o) {
+      var[g][o] = m.add_variable(0, 1, value[g][o], VarType::Binary);
+      row.emplace_back(var[g][o], 1.0);
+    }
+    m.add_constraint(std::move(row), Sense::Le, 1.0);
+  }
+  for (const Conflict& cf : conflicts) {
+    m.add_constraint(
+        {{var[cf.g1][cf.o1], 1.0}, {var[cf.g2][cf.o2], 1.0}}, Sense::Le,
+        1.0);
+  }
+  MilpSolution sol = solve_milp(m);
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpRandomGroupPacking,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace mmwave::milp

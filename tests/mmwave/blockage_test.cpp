@@ -1,0 +1,102 @@
+#include "mmwave/blockage.h"
+
+#include <gtest/gtest.h>
+
+#include "mmwave/network.h"
+
+namespace mmwave::net {
+namespace {
+
+TEST(BlockageProcess, InitiallyClearByDefault) {
+  common::Rng rng(1);
+  BlockageProcess p(10, {}, rng);
+  EXPECT_EQ(p.num_blocked(), 0);
+  for (int l = 0; l < 10; ++l) {
+    EXPECT_FALSE(p.blocked(l));
+    EXPECT_DOUBLE_EQ(p.rx_attenuation(l), 1.0);
+  }
+}
+
+TEST(BlockageProcess, InitialBlockedFraction) {
+  common::Rng rng(2);
+  BlockageConfig cfg;
+  cfg.initial_blocked = 1.0;
+  BlockageProcess p(8, cfg, rng);
+  EXPECT_EQ(p.num_blocked(), 8);
+  EXPECT_DOUBLE_EQ(p.rx_attenuation(0), cfg.attenuation);
+}
+
+TEST(BlockageProcess, StationaryFractionMatchesTheory) {
+  // Stationary P(blocked) = p_block / (p_block + p_recover).
+  common::Rng rng(3);
+  BlockageConfig cfg;
+  cfg.p_block = 0.2;
+  cfg.p_recover = 0.6;
+  BlockageProcess p(50, cfg, rng);
+  double blocked_periods = 0.0;
+  const int warmup = 50, horizon = 3000;
+  for (int t = 0; t < warmup + horizon; ++t) {
+    p.advance(rng);
+    if (t >= warmup) blocked_periods += p.num_blocked();
+  }
+  const double fraction = blocked_periods / (horizon * 50.0);
+  EXPECT_NEAR(fraction, 0.25, 0.02);
+}
+
+TEST(BlockageProcess, ZeroRatesFreezeState) {
+  common::Rng rng(4);
+  BlockageConfig cfg;
+  cfg.p_block = 0.0;
+  cfg.p_recover = 0.0;
+  cfg.initial_blocked = 1.0;
+  BlockageProcess p(5, cfg, rng);
+  for (int t = 0; t < 10; ++t) p.advance(rng);
+  EXPECT_EQ(p.num_blocked(), 5);
+}
+
+TEST(RxScaled, DirectAndCrossIntoBlockedReceiverAttenuated) {
+  common::Rng rng(5);
+  TableIChannelModel base(4, 2, 0.1, rng);
+  std::vector<double> scale{1.0, 0.01, 1.0, 1.0};
+  RxScaledChannelModel scaled(&base, scale);
+
+  EXPECT_DOUBLE_EQ(scaled.direct_gain(0, 0), base.direct_gain(0, 0));
+  EXPECT_DOUBLE_EQ(scaled.direct_gain(1, 0), 0.01 * base.direct_gain(1, 0));
+  // Paths INTO link 1's receiver are scaled; paths out of link 1's
+  // transmitter toward others are not.
+  EXPECT_DOUBLE_EQ(scaled.cross_gain(0, 1, 1),
+                   0.01 * base.cross_gain(0, 1, 1));
+  EXPECT_DOUBLE_EQ(scaled.cross_gain(1, 0, 1), base.cross_gain(1, 0, 1));
+}
+
+TEST(RxScaled, PreservesTopology) {
+  common::Rng rng(6);
+  TableIChannelModel base(3, 2, 0.1, rng);
+  std::vector<double> scale{1.0, 1.0, 1.0};
+  RxScaledChannelModel scaled(&base, scale);
+  EXPECT_EQ(scaled.num_links(), 3);
+  EXPECT_EQ(scaled.num_channels(), 2);
+  EXPECT_EQ(scaled.links()[2].tx_node, 4);
+  EXPECT_DOUBLE_EQ(scaled.noise(0), 0.1);
+}
+
+TEST(RxScaled, WorksInsideNetwork) {
+  common::Rng rng(7);
+  auto base = std::make_unique<TableIChannelModel>(4, 2, 0.1, rng);
+  const TableIChannelModel* raw = base.get();
+  std::vector<double> scale{0.01, 1.0, 1.0, 1.0};
+  NetworkParams params;
+  params.num_links = 4;
+  params.num_channels = 2;
+  Network net(params,
+              std::make_unique<RxScaledChannelModel>(raw, scale));
+  EXPECT_DOUBLE_EQ(net.direct_gain(0, 0), 0.01 * raw->direct_gain(0, 0));
+  // A -20 dB blocked link usually loses its top solo rate levels.
+  EXPECT_LE(net.best_solo_level(0, 0), raw->num_links() >= 0
+                                           ? 4
+                                           : 4);  // sanity only
+  (void)base;  // keep the base model alive for the decorator
+}
+
+}  // namespace
+}  // namespace mmwave::net

@@ -1,0 +1,203 @@
+#include "mmwave/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmwave/network.h"
+
+namespace mmwave::net {
+namespace {
+
+TEST(TableI, GainsInUnitInterval) {
+  common::Rng rng(1);
+  TableIChannelModel m(10, 5, 0.1, rng);
+  for (int l = 0; l < 10; ++l) {
+    for (int k = 0; k < 5; ++k) {
+      const double g = m.direct_gain(l, k);
+      EXPECT_GE(g, 0.0);
+      EXPECT_LE(g, 1.0);
+    }
+  }
+  for (int a = 0; a < 10; ++a) {
+    for (int b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      for (int k = 0; k < 5; ++k) {
+        const double g = m.cross_gain(a, b, k);
+        EXPECT_GE(g, 0.0);
+        EXPECT_LE(g, 1.0);
+      }
+    }
+  }
+}
+
+TEST(TableI, DeterministicPerSeed) {
+  common::Rng a(7), b(7);
+  TableIChannelModel m1(6, 3, 0.1, a);
+  TableIChannelModel m2(6, 3, 0.1, b);
+  for (int l = 0; l < 6; ++l)
+    for (int k = 0; k < 3; ++k)
+      EXPECT_DOUBLE_EQ(m1.direct_gain(l, k), m2.direct_gain(l, k));
+  EXPECT_DOUBLE_EQ(m1.cross_gain(0, 5, 2), m2.cross_gain(0, 5, 2));
+}
+
+TEST(TableI, DifferentSeedsDiffer) {
+  common::Rng a(1), b(2);
+  TableIChannelModel m1(6, 3, 0.1, a);
+  TableIChannelModel m2(6, 3, 0.1, b);
+  int same = 0;
+  for (int l = 0; l < 6; ++l)
+    for (int k = 0; k < 3; ++k)
+      if (m1.direct_gain(l, k) == m2.direct_gain(l, k)) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(TableI, CrossGainSharesDeltaAcrossChannels) {
+  // cross = G^k * Delta(pair): the pair factor bounds all channels, so for a
+  // fixed (from,to) the max over k is <= Delta <= 1 and gains correlate.
+  common::Rng rng(3);
+  TableIChannelModel m(4, 4, 0.1, rng);
+  // Not directly observable, but all channel variants of a pair must be
+  // within [0, 1] and not all identical (G varies per channel).
+  bool varies = false;
+  for (int k = 1; k < 4; ++k) {
+    if (m.cross_gain(0, 1, k) != m.cross_gain(0, 1, 0)) varies = true;
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(TableI, DedicatedNodePairs) {
+  common::Rng rng(4);
+  TableIChannelModel m(5, 2, 0.1, rng);
+  ASSERT_EQ(m.links().size(), 5u);
+  EXPECT_EQ(m.links()[3].tx_node, 6);
+  EXPECT_EQ(m.links()[3].rx_node, 7);
+}
+
+TEST(Geometric, GainsPositiveAndBounded) {
+  common::Rng rng(11);
+  GeometricChannelConfig cfg;
+  GeometricChannelModel m(8, 3, 0.1, cfg, rng);
+  for (int l = 0; l < 8; ++l) {
+    for (int k = 0; k < 3; ++k) {
+      const double g = m.direct_gain(l, k);
+      EXPECT_GT(g, 0.0);
+      EXPECT_LE(g, 1.0);
+    }
+  }
+}
+
+TEST(Geometric, CrossWeakerThanDirectOnAverage) {
+  // Directional antennas + distance: mean cross gain should be well below
+  // mean direct gain.
+  common::Rng rng(12);
+  GeometricChannelConfig cfg;
+  GeometricChannelModel m(12, 2, 0.1, cfg, rng);
+  double direct = 0.0, cross = 0.0;
+  int nd = 0, nc = 0;
+  for (int l = 0; l < 12; ++l) {
+    for (int k = 0; k < 2; ++k) {
+      direct += m.direct_gain(l, k);
+      ++nd;
+    }
+  }
+  for (int a = 0; a < 12; ++a) {
+    for (int b = 0; b < 12; ++b) {
+      if (a == b) continue;
+      for (int k = 0; k < 2; ++k) {
+        cross += m.cross_gain(a, b, k);
+        ++nc;
+      }
+    }
+  }
+  EXPECT_LT(cross / nc, 0.5 * direct / nd);
+}
+
+TEST(Geometric, FrequencySelectivityAcrossChannels) {
+  common::Rng rng(13);
+  GeometricChannelConfig cfg;
+  GeometricChannelModel m(6, 4, 0.1, cfg, rng);
+  bool differs = false;
+  for (int l = 0; l < 6; ++l) {
+    for (int k = 1; k < 4; ++k) {
+      if (m.direct_gain(l, k) != m.direct_gain(l, 0)) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Network, RateLadderFollowsShannon) {
+  common::Rng rng(20);
+  NetworkParams params;
+  params.num_links = 4;
+  params.num_channels = 2;
+  Network net = Network::table_i(params, rng);
+  ASSERT_EQ(net.num_rate_levels(), 5);
+  for (int q = 0; q < 5; ++q) {
+    const RateLevel& r = net.rate_level(q);
+    EXPECT_NEAR(r.rate_bps,
+                params.bandwidth_hz * std::log2(1.0 + r.sinr_threshold),
+                1e-6);
+  }
+  // Ladder rates strictly increase with q.
+  for (int q = 1; q < 5; ++q)
+    EXPECT_GT(net.rate_level(q).rate_bps, net.rate_level(q - 1).rate_bps);
+}
+
+TEST(Network, BitsPerSlot) {
+  common::Rng rng(21);
+  NetworkParams params;
+  params.num_links = 2;
+  params.num_channels = 2;
+  Network net = Network::table_i(params, rng);
+  EXPECT_NEAR(net.bits_per_slot(0),
+              net.rate_level(0).rate_bps * params.slot_seconds, 1e-9);
+}
+
+TEST(Network, BestChannelIsArgmaxGain) {
+  common::Rng rng(22);
+  NetworkParams params;
+  params.num_links = 6;
+  params.num_channels = 4;
+  Network net = Network::table_i(params, rng);
+  for (int l = 0; l < 6; ++l) {
+    const int k = net.best_channel(l);
+    for (int other = 0; other < 4; ++other)
+      EXPECT_GE(net.direct_gain(l, k), net.direct_gain(l, other));
+  }
+}
+
+TEST(Network, BestSoloLevelMatchesThresholds) {
+  common::Rng rng(23);
+  NetworkParams params;
+  params.num_links = 6;
+  params.num_channels = 3;
+  Network net = Network::table_i(params, rng);
+  for (int l = 0; l < 6; ++l) {
+    for (int k = 0; k < 3; ++k) {
+      const int q = net.best_solo_level(l, k);
+      const double sinr =
+          net.direct_gain(l, k) * params.p_max_watts / params.noise_watts;
+      if (q >= 0) {
+        EXPECT_GE(sinr, net.rate_level(q).sinr_threshold);
+        if (q + 1 < net.num_rate_levels()) {
+          EXPECT_LT(sinr, net.rate_level(q + 1).sinr_threshold);
+        }
+      } else {
+        EXPECT_LT(sinr, net.rate_level(0).sinr_threshold);
+      }
+    }
+  }
+}
+
+TEST(Network, NumNodesFromLinks) {
+  common::Rng rng(24);
+  NetworkParams params;
+  params.num_links = 7;
+  params.num_channels = 2;
+  Network net = Network::table_i(params, rng);
+  EXPECT_EQ(net.num_nodes(), 14);
+}
+
+}  // namespace
+}  // namespace mmwave::net

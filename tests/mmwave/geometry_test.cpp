@@ -1,0 +1,70 @@
+#include "mmwave/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmwave::net {
+namespace {
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, Bearing) {
+  EXPECT_NEAR(bearing({0, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(bearing({0, 0}, {0, 1}), M_PI / 2, 1e-12);
+  EXPECT_NEAR(bearing({0, 0}, {-1, 0}), M_PI, 1e-12);
+  EXPECT_NEAR(bearing({0, 0}, {0, -1}), -M_PI / 2, 1e-12);
+}
+
+TEST(Geometry, AngleOffsetFolding) {
+  EXPECT_NEAR(angle_offset(0.0, M_PI / 2), M_PI / 2, 1e-12);
+  EXPECT_NEAR(angle_offset(-3.0, 3.0), 2.0 * M_PI - 6.0, 1e-12);
+  EXPECT_NEAR(angle_offset(0.1, 0.1), 0.0, 1e-12);
+  // Offset is always in [0, pi].
+  EXPECT_LE(angle_offset(-2.9, 2.9), M_PI);
+}
+
+TEST(Geometry, PlacementRespectsRoomAndLinkLengths) {
+  common::Rng rng(21);
+  const double room = 10.0;
+  Placement p = random_placement(20, room, 1.0, 5.0, rng);
+  ASSERT_EQ(p.links.size(), 20u);
+  ASSERT_EQ(p.node_pos.size(), 40u);
+  for (const Link& l : p.links) {
+    const Point2D& tx = p.node_pos[l.tx_node];
+    const Point2D& rx = p.node_pos[l.rx_node];
+    EXPECT_GE(tx.x, 0.0);
+    EXPECT_LE(tx.x, room);
+    EXPECT_GE(rx.y, 0.0);
+    EXPECT_LE(rx.y, room);
+    const double d = distance(tx, rx);
+    EXPECT_GE(d, 1.0 - 1e-9);
+    EXPECT_LE(d, 5.0 + 1e-9);
+  }
+}
+
+TEST(Geometry, PlacementDeterministicPerSeed) {
+  common::Rng a(5), b(5);
+  Placement p1 = random_placement(5, 10, 1, 4, a);
+  Placement p2 = random_placement(5, 10, 1, 4, b);
+  for (std::size_t i = 0; i < p1.node_pos.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1.node_pos[i].x, p2.node_pos[i].x);
+    EXPECT_DOUBLE_EQ(p1.node_pos[i].y, p2.node_pos[i].y);
+  }
+}
+
+TEST(Geometry, LinkIdsAndNodesAreSequential) {
+  common::Rng rng(9);
+  Placement p = random_placement(3, 10, 1, 3, rng);
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_EQ(p.links[l].id, l);
+    EXPECT_EQ(p.links[l].tx_node, 2 * l);
+    EXPECT_EQ(p.links[l].rx_node, 2 * l + 1);
+  }
+}
+
+}  // namespace
+}  // namespace mmwave::net

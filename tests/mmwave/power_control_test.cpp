@@ -1,0 +1,156 @@
+#include "mmwave/power_control.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmwave/network.h"
+
+namespace mmwave::net {
+namespace {
+
+NetworkParams small_params(int links, int channels) {
+  NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  return p;
+}
+
+TEST(PowerControl, EmptySetFeasible) {
+  common::Rng rng(1);
+  Network net = Network::table_i(small_params(3, 2), rng);
+  const auto r = min_power_assignment(net, 0, {}, {});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.powers.empty());
+}
+
+TEST(PowerControl, SingleLinkClosedForm) {
+  common::Rng rng(2);
+  Network net = Network::table_i(small_params(3, 2), rng);
+  const double gamma = 0.3;
+  const auto r = min_power_assignment(net, 1, {0}, {gamma});
+  ASSERT_TRUE(r.feasible);
+  // P* = gamma * rho / H.
+  EXPECT_NEAR(r.powers[0],
+              gamma * net.noise(0) / net.direct_gain(0, 1), 1e-10);
+}
+
+TEST(PowerControl, SingleLinkInfeasibleWhenGainTooSmall) {
+  common::Rng rng(3);
+  Network net = Network::table_i(small_params(2, 2), rng);
+  // Demand an absurd threshold that needs more than Pmax.
+  const double gamma = net.params().p_max_watts *
+                       net.direct_gain(0, 0) / net.noise(0) * 1.5;
+  const auto r = min_power_assignment(net, 0, {0}, {gamma});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(PowerControl, TwoLinkClosedForm) {
+  // Hand-checkable 2-link system on one channel.
+  common::Rng rng(4);
+  Network net = Network::table_i(small_params(2, 1), rng);
+  const double g0 = 0.2, g1 = 0.25;
+  const auto r = min_power_assignment(net, 0, {0, 1}, {g0, g1});
+  if (r.feasible) {
+    const auto sinr = achieved_sinr(net, 0, {0, 1}, r.powers);
+    // Minimal powers are tight: SINR == threshold.
+    EXPECT_NEAR(sinr[0], g0, 1e-7);
+    EXPECT_NEAR(sinr[1], g1, 1e-7);
+  }
+}
+
+TEST(PowerControl, MinimalityTightSinr) {
+  common::Rng rng(5);
+  Network net = Network::table_i(small_params(6, 3), rng);
+  const std::vector<int> links{0, 2, 4};
+  const std::vector<double> gammas{0.1, 0.2, 0.1};
+  const auto r = min_power_assignment(net, 1, links, gammas);
+  if (!r.feasible) GTEST_SKIP() << "random instance infeasible";
+  const auto sinr = achieved_sinr(net, 1, links, r.powers);
+  for (std::size_t i = 0; i < links.size(); ++i)
+    EXPECT_NEAR(sinr[i], gammas[i], 1e-6);
+}
+
+TEST(PowerControl, DirectAndIterativeAgree) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    common::Rng rng(seed + 100);
+    Network net = Network::table_i(small_params(5, 2), rng);
+    const std::vector<int> links{0, 1, 3};
+    const std::vector<double> gammas{0.1, 0.1, 0.2};
+    const auto direct = min_power_assignment(net, 0, links, gammas);
+    const auto iter = iterative_power_control(net, 0, links, gammas, 2000);
+    EXPECT_EQ(direct.feasible, iter.feasible) << "seed " << seed;
+    if (direct.feasible && iter.feasible) {
+      for (std::size_t i = 0; i < links.size(); ++i)
+        EXPECT_NEAR(direct.powers[i], iter.powers[i], 1e-6)
+            << "seed " << seed << " link " << links[i];
+    }
+  }
+}
+
+TEST(PowerControl, MonotoneInfeasibilityWhenAddingLinks) {
+  // If a set is infeasible, any superset must be infeasible too.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    common::Rng rng(seed + 500);
+    Network net = Network::table_i(small_params(6, 2), rng);
+    std::vector<int> links;
+    std::vector<double> gammas;
+    bool was_infeasible = false;
+    for (int l = 0; l < 6; ++l) {
+      links.push_back(l);
+      gammas.push_back(0.3);
+      const bool feasible =
+          min_power_assignment(net, 0, links, gammas).feasible;
+      if (was_infeasible) {
+        EXPECT_FALSE(feasible)
+            << "feasibility regained after being lost, seed " << seed;
+      }
+      if (!feasible) was_infeasible = true;
+    }
+  }
+}
+
+TEST(PowerControl, HigherThresholdsNeedMorePower) {
+  common::Rng rng(6);
+  Network net = Network::table_i(small_params(4, 2), rng);
+  const std::vector<int> links{0, 1};
+  const auto lo = min_power_assignment(net, 0, links, {0.1, 0.1});
+  const auto hi = min_power_assignment(net, 0, links, {0.2, 0.2});
+  if (!lo.feasible || !hi.feasible) GTEST_SKIP();
+  for (std::size_t i = 0; i < links.size(); ++i)
+    EXPECT_GE(hi.powers[i], lo.powers[i] - 1e-12);
+}
+
+TEST(PowerControl, PowersWithinCap) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    common::Rng rng(seed);
+    Network net = Network::table_i(small_params(8, 2), rng);
+    std::vector<int> links{0, 1, 2, 3};
+    std::vector<double> gammas(4, 0.1);
+    const auto r = min_power_assignment(net, 0, links, gammas);
+    if (!r.feasible) continue;
+    for (double p : r.powers) {
+      EXPECT_GE(p, -1e-12);
+      EXPECT_LE(p, net.params().p_max_watts + 1e-9);
+    }
+  }
+}
+
+TEST(AchievedSinr, NoInterferenceCase) {
+  common::Rng rng(7);
+  Network net = Network::table_i(small_params(3, 2), rng);
+  const auto sinr = achieved_sinr(net, 0, {1}, {0.5});
+  ASSERT_EQ(sinr.size(), 1u);
+  EXPECT_NEAR(sinr[0], net.direct_gain(1, 0) * 0.5 / net.noise(1), 1e-12);
+}
+
+TEST(AchievedSinr, InterferenceReducesSinr) {
+  common::Rng rng(8);
+  Network net = Network::table_i(small_params(3, 2), rng);
+  const auto solo = achieved_sinr(net, 0, {0}, {1.0});
+  const auto pair = achieved_sinr(net, 0, {0, 1}, {1.0, 1.0});
+  EXPECT_LT(pair[0], solo[0] + 1e-15);
+}
+
+}  // namespace
+}  // namespace mmwave::net

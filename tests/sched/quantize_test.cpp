@@ -1,0 +1,150 @@
+#include "sched/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/column_generation.h"
+
+namespace mmwave::sched {
+namespace {
+
+net::Network make_net(std::uint64_t seed, int links = 5, int channels = 2) {
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  return net::Network::table_i(p, rng);
+}
+
+std::vector<video::LinkDemand> random_demands(const net::Network& net,
+                                              std::uint64_t seed) {
+  common::Rng rng(seed * 389 + 29);
+  std::vector<video::LinkDemand> d(net.num_links());
+  for (auto& x : d) {
+    x.hp_bits = rng.uniform(500.0, 2000.0);
+    x.lp_bits = rng.uniform(500.0, 2000.0);
+  }
+  return d;
+}
+
+TEST(Quantize, IntegralSlotsOut) {
+  const auto net = make_net(1);
+  const auto demands = random_demands(net, 1);
+  const auto cg = core::solve_column_generation(net, demands);
+  const auto q = quantize_timeline(net, cg.timeline, demands);
+  for (const auto& ts : q.timeline) {
+    EXPECT_DOUBLE_EQ(ts.slots, std::round(ts.slots));
+    EXPECT_GE(ts.slots, 1.0);
+  }
+}
+
+TEST(Quantize, StillMeetsAllDemands) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto net = make_net(seed + 10);
+    const auto demands = random_demands(net, seed + 10);
+    const auto cg = core::solve_column_generation(net, demands);
+    const auto q = quantize_timeline(net, cg.timeline, demands);
+    const auto exec = execute_timeline(net, q.timeline, demands,
+                                       ExecutionOrder::AsGiven);
+    EXPECT_TRUE(exec.all_demands_met) << "seed " << seed;
+  }
+}
+
+TEST(Quantize, OverheadNonNegativeAndBounded) {
+  const auto net = make_net(2);
+  const auto demands = random_demands(net, 2);
+  const auto cg = core::solve_column_generation(net, demands);
+  const auto q = quantize_timeline(net, cg.timeline, demands);
+  // Quantized plan may be at most ~one slot longer per schedule.
+  EXPECT_GE(q.quantized_slots, q.fluid_slots - 1e-9);
+  EXPECT_LE(q.quantized_slots,
+            q.fluid_slots + static_cast<double>(cg.timeline.size()) + 1e-9);
+  EXPECT_GE(q.overhead(), -1e-12);
+}
+
+TEST(Quantize, AlreadyIntegralPlanUntouchedInTotal) {
+  const auto net = make_net(3);
+  const int k = net.best_channel(0);
+  const int q_level = net.best_solo_level(0, k);
+  const double rate = net.bits_per_slot(q_level);
+  Schedule s{{{0, net::Layer::Hp, q_level, k, 1.0}}};
+  std::vector<video::LinkDemand> demands(net.num_links());
+  demands[0] = {rate * 7.0, 0.0};
+  const auto result = quantize_timeline(net, {{s, 7.0}}, demands,
+                                        ExecutionOrder::AsGiven);
+  EXPECT_DOUBLE_EQ(result.quantized_slots, 7.0);
+  EXPECT_NEAR(result.overhead(), 0.0, 1e-12);
+}
+
+TEST(Quantize, FractionalSingleScheduleRoundsUp) {
+  const auto net = make_net(4);
+  const int k = net.best_channel(0);
+  const int q_level = net.best_solo_level(0, k);
+  const double rate = net.bits_per_slot(q_level);
+  Schedule s{{{0, net::Layer::Hp, q_level, k, 1.0}}};
+  std::vector<video::LinkDemand> demands(net.num_links());
+  demands[0] = {rate * 3.4, 0.0};
+  const auto result = quantize_timeline(net, {{s, 3.4}}, demands,
+                                        ExecutionOrder::AsGiven);
+  EXPECT_DOUBLE_EQ(result.quantized_slots, 4.0);
+  const auto exec = execute_timeline(net, result.timeline, demands,
+                                     ExecutionOrder::AsGiven);
+  EXPECT_TRUE(exec.all_demands_met);
+}
+
+TEST(Quantize, RelativeOverheadShrinksWithDemandScale) {
+  // The rounding cost is O(#schedules) slots, so its share vanishes as
+  // demands (and hence tau) grow — the fluid relaxation is asymptotically
+  // exact.
+  const auto net = make_net(5);
+  auto demands_small = random_demands(net, 5);
+  auto demands_big = demands_small;
+  for (auto& d : demands_big) {
+    d.hp_bits *= 50.0;
+    d.lp_bits *= 50.0;
+  }
+  const auto cg_small = core::solve_column_generation(net, demands_small);
+  const auto cg_big = core::solve_column_generation(net, demands_big);
+  const auto q_small = quantize_timeline(net, cg_small.timeline, demands_small);
+  const auto q_big = quantize_timeline(net, cg_big.timeline, demands_big);
+  EXPECT_LT(q_big.overhead(), q_small.overhead() + 1e-9);
+}
+
+TEST(Quantize, EmptyTimeline) {
+  const auto net = make_net(6);
+  std::vector<video::LinkDemand> demands(net.num_links());
+  const auto q = quantize_timeline(net, {}, demands);
+  EXPECT_TRUE(q.timeline.empty());
+  EXPECT_DOUBLE_EQ(q.overhead(), 0.0);
+}
+
+TEST(OrderTimeline, AsGivenIsIdentity) {
+  const auto net = make_net(7);
+  const auto demands = random_demands(net, 7);
+  const auto cg = core::solve_column_generation(net, demands);
+  const auto ordered = order_timeline(net, cg.timeline, demands,
+                                      ExecutionOrder::AsGiven);
+  ASSERT_EQ(ordered.size(), cg.timeline.size());
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(ordered[i].schedule.key(), cg.timeline[i].schedule.key());
+  }
+}
+
+TEST(OrderTimeline, OrderingPreservesMultisetAndTotal) {
+  const auto net = make_net(8);
+  const auto demands = random_demands(net, 8);
+  const auto cg = core::solve_column_generation(net, demands);
+  for (auto order : {ExecutionOrder::DenseFirst,
+                     ExecutionOrder::CompletionAware}) {
+    const auto ordered = order_timeline(net, cg.timeline, demands, order);
+    ASSERT_EQ(ordered.size(), cg.timeline.size());
+    double total_in = 0.0, total_out = 0.0;
+    for (const auto& ts : cg.timeline) total_in += ts.slots;
+    for (const auto& ts : ordered) total_out += ts.slots;
+    EXPECT_NEAR(total_in, total_out, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mmwave::sched

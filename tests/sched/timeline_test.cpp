@@ -1,0 +1,142 @@
+#include "sched/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmwave::sched {
+namespace {
+
+net::Network make_net(std::uint64_t seed, int links = 3, int channels = 2) {
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  return net::Network::table_i(p, rng);
+}
+
+TEST(Timeline, SingleLinkExactFinish) {
+  const auto net = make_net(1);
+  const int k = net.best_channel(0);
+  const int q = net.best_solo_level(0, k);
+  ASSERT_GE(q, 0);
+  const double rate = net.bits_per_slot(q);
+
+  Schedule hp{{{0, net::Layer::Hp, q, k, 1.0}}};
+  Schedule lp{{{0, net::Layer::Lp, q, k, 1.0}}};
+  std::vector<video::LinkDemand> demands(3);
+  demands[0] = {rate * 10.0, rate * 5.0};
+
+  const auto result = execute_timeline(
+      net, {{hp, 10.0}, {lp, 5.0}}, demands, ExecutionOrder::AsGiven);
+  EXPECT_TRUE(result.all_demands_met);
+  EXPECT_DOUBLE_EQ(result.total_slots, 15.0);
+  EXPECT_NEAR(result.finish_slot[0], 15.0, 1e-9);
+  // Links 1, 2 have no demand: finished at time 0.
+  EXPECT_DOUBLE_EQ(result.finish_slot[1], 0.0);
+  EXPECT_NEAR(result.hp_delivered_bits[0], rate * 10.0, 1e-6);
+}
+
+TEST(Timeline, FinishInsideScheduleIsFractional) {
+  const auto net = make_net(2);
+  const int k = net.best_channel(0);
+  const int q = net.best_solo_level(0, k);
+  const double rate = net.bits_per_slot(q);
+
+  Schedule hp{{{0, net::Layer::Hp, q, k, 1.0}}};
+  std::vector<video::LinkDemand> demands(3);
+  demands[0] = {rate * 4.0, 0.0};
+  // Schedule runs 10 slots but the demand completes at slot 4.
+  const auto result =
+      execute_timeline(net, {{hp, 10.0}}, demands, ExecutionOrder::AsGiven);
+  EXPECT_NEAR(result.finish_slot[0], 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.total_slots, 10.0);
+  // Surplus capacity is not credited beyond the demand.
+  EXPECT_NEAR(result.hp_delivered_bits[0], rate * 4.0, 1e-6);
+}
+
+TEST(Timeline, UnmetDemandReported) {
+  const auto net = make_net(3);
+  const int k = net.best_channel(0);
+  const int q = net.best_solo_level(0, k);
+  const double rate = net.bits_per_slot(q);
+  Schedule hp{{{0, net::Layer::Hp, q, k, 1.0}}};
+  std::vector<video::LinkDemand> demands(3);
+  demands[0] = {rate * 100.0, 0.0};
+  const auto result =
+      execute_timeline(net, {{hp, 1.0}}, demands, ExecutionOrder::AsGiven);
+  EXPECT_FALSE(result.all_demands_met);
+  EXPECT_TRUE(std::isinf(result.finish_slot[0]));
+}
+
+TEST(Timeline, DenseFirstReordersByAggregateRate) {
+  const auto net = make_net(4);
+  const int q_lo = 0;
+  const int q_hi = net.num_rate_levels() - 1;
+  Schedule sparse{{{0, net::Layer::Hp, q_lo, 0, 1.0}}};
+  Schedule dense{{{1, net::Layer::Hp, q_hi, 0, 1.0}}};
+  std::vector<video::LinkDemand> demands(3);
+  demands[0] = {net.bits_per_slot(q_lo) * 5.0, 0.0};
+  demands[1] = {net.bits_per_slot(q_hi) * 5.0, 0.0};
+
+  // As given: sparse runs first, link 1 finishes at 10.
+  const auto as_given = execute_timeline(net, {{sparse, 5.0}, {dense, 5.0}},
+                                         demands, ExecutionOrder::AsGiven);
+  EXPECT_NEAR(as_given.finish_slot[1], 10.0, 1e-9);
+  // DenseFirst: dense runs first, link 1 finishes at 5.
+  const auto dense_first =
+      execute_timeline(net, {{sparse, 5.0}, {dense, 5.0}}, demands,
+                       ExecutionOrder::DenseFirst);
+  EXPECT_NEAR(dense_first.finish_slot[1], 5.0, 1e-9);
+  EXPECT_NEAR(dense_first.finish_slot[0], 10.0, 1e-9);
+}
+
+TEST(Timeline, LayerCompletionAcrossSchedules) {
+  // HP finishes in schedule 1, LP in schedule 2: finish time is in 2.
+  const auto net = make_net(5);
+  const int k = net.best_channel(0);
+  const int q = net.best_solo_level(0, k);
+  const double rate = net.bits_per_slot(q);
+  Schedule hp{{{0, net::Layer::Hp, q, k, 1.0}}};
+  Schedule lp{{{0, net::Layer::Lp, q, k, 1.0}}};
+  std::vector<video::LinkDemand> demands(3);
+  demands[0] = {rate * 2.0, rate * 3.0};
+  const auto result = execute_timeline(net, {{hp, 2.0}, {lp, 4.0}}, demands,
+                                       ExecutionOrder::AsGiven);
+  EXPECT_NEAR(result.finish_slot[0], 5.0, 1e-9);
+  EXPECT_TRUE(result.all_demands_met);
+}
+
+TEST(Timeline, MetricsHelpers) {
+  ExecutionResult r;
+  r.finish_slot = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(r.average_delay(), 4.0);
+  EXPECT_DOUBLE_EQ(r.makespan(), 6.0);
+  EXPECT_NEAR(r.delay_fairness(), 144.0 / (3.0 * 56.0), 1e-12);
+}
+
+TEST(Timeline, ZeroDurationSchedulesIgnored) {
+  const auto net = make_net(6);
+  const int k = net.best_channel(0);
+  const int q = net.best_solo_level(0, k);
+  Schedule hp{{{0, net::Layer::Hp, q, k, 1.0}}};
+  std::vector<video::LinkDemand> demands(3);
+  demands[0] = {net.bits_per_slot(q), 0.0};
+  const auto result = execute_timeline(net, {{hp, 0.0}, {hp, 1.0}}, demands,
+                                       ExecutionOrder::AsGiven);
+  EXPECT_DOUBLE_EQ(result.total_slots, 1.0);
+  EXPECT_TRUE(result.all_demands_met);
+}
+
+TEST(Timeline, AllZeroDemands) {
+  const auto net = make_net(7);
+  std::vector<video::LinkDemand> demands(3);
+  const auto result =
+      execute_timeline(net, {}, demands, ExecutionOrder::AsGiven);
+  EXPECT_TRUE(result.all_demands_met);
+  EXPECT_DOUBLE_EQ(result.average_delay(), 0.0);
+  EXPECT_DOUBLE_EQ(result.delay_fairness(), 1.0);
+}
+
+}  // namespace
+}  // namespace mmwave::sched

@@ -1,0 +1,118 @@
+#include "stream/blockage_session.h"
+
+#include <gtest/gtest.h>
+
+namespace mmwave::stream {
+namespace {
+
+struct Fixture {
+  net::NetworkParams params;
+  std::unique_ptr<net::TableIChannelModel> model;
+};
+
+Fixture make_fixture(std::uint64_t seed, int links = 5, int channels = 3) {
+  Fixture f;
+  f.params.num_links = links;
+  f.params.num_channels = channels;
+  common::Rng rng(seed);
+  f.model = std::make_unique<net::TableIChannelModel>(
+      links, channels, f.params.noise_watts, rng);
+  return f;
+}
+
+BlockageSessionConfig small_config(int gops = 4) {
+  BlockageSessionConfig cfg;
+  cfg.session.num_gops = gops;
+  cfg.session.demand_scale = 1e-4;
+  return cfg;
+}
+
+TEST(BlockageSession, RunsWithRescheduling) {
+  auto f = make_fixture(1);
+  common::Rng rng(21);
+  const auto metrics = run_blockage_session(
+      *f.model, f.params, small_config(), make_cg_scheduler({}), rng);
+  EXPECT_EQ(metrics.base.gops.size(), 4u);
+  EXPECT_GE(metrics.mean_blocked_fraction, 0.0);
+  EXPECT_LE(metrics.mean_blocked_fraction, 1.0);
+  // Re-solving each period never schedules an invalid transmission.
+  EXPECT_EQ(metrics.invalidated_periods, 0);
+}
+
+TEST(BlockageSession, ObliviousSchedulingCanBeInvalidated) {
+  auto f = make_fixture(2, 6, 2);
+  BlockageSessionConfig cfg = small_config(8);
+  cfg.reschedule_each_period = false;
+  cfg.blockage.p_block = 0.5;       // heavy blockage
+  cfg.blockage.attenuation = 1e-3;  // -30 dB
+  common::Rng rng(22);
+  const auto metrics = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}), rng);
+  // With half the links blocked per period, a clear-air schedule should
+  // lose transmissions in at least one period.
+  EXPECT_GT(metrics.invalidated_periods, 0);
+  EXPECT_FALSE(metrics.base.all_served);
+}
+
+TEST(BlockageSession, ReschedulingBeatsOblivious) {
+  auto f = make_fixture(3, 6, 3);
+  BlockageSessionConfig aware = small_config(8);
+  aware.blockage.p_block = 0.3;
+  BlockageSessionConfig oblivious = aware;
+  oblivious.reschedule_each_period = false;
+
+  common::Rng a(23), b(23);
+  const auto m_aware = run_blockage_session(*f.model, f.params, aware,
+                                            make_cg_scheduler({}), a);
+  const auto m_obl = run_blockage_session(*f.model, f.params, oblivious,
+                                          make_cg_scheduler({}), b);
+  // Period-by-period re-solving delivers at least as much video.
+  EXPECT_GE(m_aware.base.mean_psnr_db, m_obl.base.mean_psnr_db - 1e-9);
+}
+
+TEST(BlockageSession, NoBlockageMatchesPlainSession) {
+  auto f = make_fixture(4);
+  BlockageSessionConfig cfg = small_config(3);
+  cfg.blockage.p_block = 0.0;
+  cfg.blockage.initial_blocked = 0.0;
+
+  common::Rng a(24);
+  const auto blocked = run_blockage_session(*f.model, f.params, cfg,
+                                            make_cg_scheduler({}), a);
+
+  // Plain session on an identical (unscaled) network.
+  std::vector<double> ones(f.params.num_links, 1.0);
+  net::Network net(f.params, std::make_unique<net::RxScaledChannelModel>(
+                                 f.model.get(), ones));
+  common::Rng b(24);
+  const auto plain =
+      run_session(net, cfg.session, make_cg_scheduler({}), b);
+
+  ASSERT_EQ(blocked.base.gops.size(), plain.gops.size());
+  for (std::size_t g = 0; g < plain.gops.size(); ++g) {
+    EXPECT_NEAR(blocked.base.gops[g].schedule_slots,
+                plain.gops[g].schedule_slots, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(blocked.mean_blocked_fraction, 0.0);
+}
+
+TEST(BlockageSession, BlockageReducesOnTimeRatio) {
+  auto f = make_fixture(5, 6, 2);
+  BlockageSessionConfig clear = small_config(6);
+  clear.session.demand_scale = 3e-3;  // near the period budget
+  clear.blockage.p_block = 0.0;
+  BlockageSessionConfig heavy = clear;
+  heavy.blockage.p_block = 0.6;
+  heavy.blockage.p_recover = 0.3;
+  heavy.blockage.attenuation = 1e-3;
+
+  common::Rng a(25), b(25);
+  const auto m_clear = run_blockage_session(*f.model, f.params, clear,
+                                            make_cg_scheduler({}), a);
+  const auto m_heavy = run_blockage_session(*f.model, f.params, heavy,
+                                            make_cg_scheduler({}), b);
+  EXPECT_LE(m_heavy.base.on_time_ratio, m_clear.base.on_time_ratio + 1e-12);
+}
+
+}  // namespace
+}  // namespace mmwave::stream

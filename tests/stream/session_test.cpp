@@ -1,0 +1,133 @@
+#include "stream/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmwave::stream {
+namespace {
+
+net::Network make_net(std::uint64_t seed, int links = 5, int channels = 3) {
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  return net::Network::table_i(p, rng);
+}
+
+SessionConfig small_session(int gops = 4, double scale = 1e-4) {
+  SessionConfig cfg;
+  cfg.num_gops = gops;
+  cfg.demand_scale = scale;
+  return cfg;
+}
+
+TEST(Session, CgServesEveryPeriod) {
+  const auto net = make_net(1);
+  common::Rng rng(11);
+  const auto metrics =
+      run_session(net, small_session(), make_cg_scheduler({}), rng);
+  EXPECT_TRUE(metrics.all_served);
+  ASSERT_EQ(metrics.gops.size(), 4u);
+  for (const auto& g : metrics.gops) {
+    EXPECT_GT(g.demand_bits, 0.0);
+    EXPECT_GT(g.schedule_slots, 0.0);
+    EXPECT_GT(g.budget_slots, 0.0);
+  }
+}
+
+TEST(Session, OnTimeRatioConsistentWithRecords) {
+  const auto net = make_net(2);
+  common::Rng rng(12);
+  const auto metrics =
+      run_session(net, small_session(6), make_cg_scheduler({}), rng);
+  int on_time = 0;
+  for (const auto& g : metrics.gops)
+    if (g.on_time) ++on_time;
+  EXPECT_NEAR(metrics.on_time_ratio, on_time / 6.0, 1e-12);
+}
+
+TEST(Session, TinyDemandAlwaysOnTime) {
+  const auto net = make_net(3);
+  common::Rng rng(13);
+  const auto metrics = run_session(net, small_session(4, 1e-6),
+                                   make_cg_scheduler({}), rng);
+  EXPECT_DOUBLE_EQ(metrics.on_time_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.total_stall_slots, 0.0);
+}
+
+TEST(Session, OverloadStallsAndCarriesOver) {
+  const auto net = make_net(4);
+  common::Rng rng(14);
+  // Full-rate demand (~86 Mbit/GOP/link) cannot fit a 50k-slot period on
+  // links topping out near ~1.2 kbit/slot: every period stalls.
+  const auto metrics =
+      run_session(net, small_session(3, 1.0), make_cg_scheduler({}), rng);
+  EXPECT_LT(metrics.on_time_ratio, 1.0);
+  EXPECT_GT(metrics.total_stall_slots, 0.0);
+  // Stall compounds: the carried-over lateness makes later periods at
+  // least as late.
+  ASSERT_EQ(metrics.gops.size(), 3u);
+  EXPECT_GE(metrics.gops[2].stall_slots, metrics.gops[0].stall_slots - 1e-6);
+}
+
+TEST(Session, CgAtLeastAsGoodAsTdmaOnStalls) {
+  const auto net = make_net(5);
+  common::Rng rng_a(15), rng_b(15);
+  const auto cfg = small_session(4, 2e-3);
+  const auto cg = run_session(net, cfg, make_cg_scheduler({}), rng_a);
+  const auto td = run_session(net, cfg, make_tdma_scheduler(), rng_b);
+  EXPECT_LE(cg.total_stall_slots, td.total_stall_slots + 1e-6);
+  EXPECT_GE(cg.on_time_ratio, td.on_time_ratio - 1e-12);
+}
+
+TEST(Session, PsnrReflectsFullDelivery) {
+  const auto net = make_net(6);
+  common::Rng rng(16);
+  SessionConfig cfg = small_session(4);
+  const auto metrics = run_session(net, cfg, make_cg_scheduler({}), rng);
+  ASSERT_TRUE(metrics.all_served);
+  // All demand delivered: session rate ~ the video bitrate, so PSNR ~
+  // alpha + beta * 171.44.
+  const double expected =
+      cfg.psnr.psnr(cfg.video.mean_bitrate_bps);
+  EXPECT_NEAR(metrics.mean_psnr_db, expected, 1.5);
+}
+
+TEST(Session, DeterministicAcrossRuns) {
+  const auto net = make_net(7);
+  common::Rng a(17), b(17);
+  const auto m1 = run_session(net, small_session(), make_cg_scheduler({}), a);
+  const auto m2 = run_session(net, small_session(), make_cg_scheduler({}), b);
+  ASSERT_EQ(m1.gops.size(), m2.gops.size());
+  for (std::size_t g = 0; g < m1.gops.size(); ++g) {
+    EXPECT_DOUBLE_EQ(m1.gops[g].schedule_slots, m2.gops[g].schedule_slots);
+  }
+}
+
+TEST(Session, AllSchedulerAdaptersRun) {
+  const auto net = make_net(8);
+  for (const auto& sched :
+       {make_cg_scheduler({}), make_tdma_scheduler(),
+        make_benchmark1_scheduler(), make_benchmark2_scheduler()}) {
+    common::Rng rng(18);
+    const auto metrics = run_session(net, small_session(2), sched, rng);
+    EXPECT_EQ(metrics.gops.size(), 2u);
+  }
+}
+
+TEST(Session, DemandVariesAcrossGops) {
+  const auto net = make_net(9);
+  common::Rng rng(19);
+  const auto metrics =
+      run_session(net, small_session(5), make_cg_scheduler({}), rng);
+  bool varies = false;
+  for (std::size_t g = 1; g < metrics.gops.size(); ++g) {
+    if (metrics.gops[g].demand_bits != metrics.gops[0].demand_bits)
+      varies = true;
+  }
+  EXPECT_TRUE(varies);
+}
+
+}  // namespace
+}  // namespace mmwave::stream

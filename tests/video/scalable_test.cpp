@@ -1,0 +1,154 @@
+#include "video/scalable.h"
+
+#include <gtest/gtest.h>
+
+#include "video/demand.h"
+
+namespace mmwave::video {
+namespace {
+
+TEST(Scalable, HpPlusLpEqualsTotal) {
+  common::Rng rng(1);
+  VideoConfig cfg;
+  VideoTrace t = VideoTrace::generate(cfg, 24, rng);
+  const auto demands = per_gop_demands(t);
+  ASSERT_EQ(demands.size(), 2u);
+  for (int g = 0; g < 2; ++g) {
+    EXPECT_NEAR(demands[g].hp_bits + demands[g].lp_bits, t.gop_bits(g),
+                1e-6);
+  }
+}
+
+TEST(Scalable, HpFractionPerType) {
+  ScalableConfig cfg;
+  EXPECT_DOUBLE_EQ(hp_fraction(cfg, FrameType::I), cfg.hp_fraction_i);
+  EXPECT_DOUBLE_EQ(hp_fraction(cfg, FrameType::P), cfg.hp_fraction_p);
+  EXPECT_DOUBLE_EQ(hp_fraction(cfg, FrameType::B), cfg.hp_fraction_b);
+}
+
+TEST(Scalable, HpShareBetweenBAndIFractions) {
+  common::Rng rng(2);
+  VideoConfig vcfg;
+  ScalableConfig scfg;
+  VideoTrace t = VideoTrace::generate(vcfg, 12, rng);
+  const auto d = per_gop_demands(t, scfg)[0];
+  const double share = d.hp_bits / (d.hp_bits + d.lp_bits);
+  EXPECT_GT(share, scfg.hp_fraction_b);
+  EXPECT_LT(share, scfg.hp_fraction_i);
+}
+
+TEST(Scalable, AllHpConfig) {
+  common::Rng rng(3);
+  VideoConfig vcfg;
+  ScalableConfig scfg;
+  scfg.hp_fraction_i = scfg.hp_fraction_p = scfg.hp_fraction_b = 1.0;
+  VideoTrace t = VideoTrace::generate(vcfg, 12, rng);
+  const auto d = per_gop_demands(t, scfg)[0];
+  EXPECT_NEAR(d.lp_bits, 0.0, 1e-9);
+  EXPECT_NEAR(d.hp_bits, t.gop_bits(0), 1e-6);
+}
+
+TEST(Psnr, LinearInRate) {
+  PsnrModel m;
+  EXPECT_DOUBLE_EQ(m.psnr(0.0), m.alpha_db);
+  const double p1 = m.psnr(10e6);
+  const double p2 = m.psnr(20e6);
+  EXPECT_NEAR(p2 - p1, m.beta_db_per_mbps * 10.0, 1e-9);
+}
+
+TEST(Demand, OnePerLink) {
+  common::Rng rng(4);
+  DemandConfig cfg;
+  const auto demands = make_link_demands(8, cfg, rng);
+  ASSERT_EQ(demands.size(), 8u);
+  for (const LinkDemand& d : demands) {
+    EXPECT_GT(d.hp_bits, 0.0);
+    EXPECT_GT(d.lp_bits, 0.0);
+  }
+}
+
+TEST(Demand, ScaleMultiplies) {
+  common::Rng a(5), b(5);
+  DemandConfig cfg;
+  const auto base = make_link_demands(4, cfg, a);
+  cfg.demand_scale = 2.5;
+  const auto scaled = make_link_demands(4, cfg, b);
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_NEAR(scaled[l].hp_bits, 2.5 * base[l].hp_bits, 1e-6);
+    EXPECT_NEAR(scaled[l].lp_bits, 2.5 * base[l].lp_bits, 1e-6);
+  }
+}
+
+TEST(Demand, PrefixStableAcrossLinkCounts) {
+  // Link i's demand must not change when more links are added (sub-stream
+  // forking), so sweeps over L are paired samples.
+  common::Rng a(6), b(6);
+  DemandConfig cfg;
+  const auto small = make_link_demands(3, cfg, a);
+  const auto large = make_link_demands(10, cfg, b);
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_DOUBLE_EQ(small[l].hp_bits, large[l].hp_bits);
+    EXPECT_DOUBLE_EQ(small[l].lp_bits, large[l].lp_bits);
+  }
+}
+
+TEST(Demand, LinksDiffer) {
+  common::Rng rng(7);
+  DemandConfig cfg;
+  const auto demands = make_link_demands(5, cfg, rng);
+  bool differ = false;
+  for (int l = 1; l < 5; ++l)
+    if (demands[l].total() != demands[0].total()) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Demand, TotalSum) {
+  std::vector<LinkDemand> d{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(total_demand_bits(d), 10.0);
+  EXPECT_DOUBLE_EQ(d[0].total(), 3.0);
+}
+
+TEST(Demand, HeterogeneousBitratesSpreadDemands) {
+  common::Rng a(9), b(9);
+  DemandConfig uniform;
+  DemandConfig mixed;
+  mixed.bitrate_cv = 0.5;
+  const auto u = make_link_demands(12, uniform, a);
+  const auto m = make_link_demands(12, mixed, b);
+  // Mixed sessions have a visibly wider demand spread.
+  auto spread = [](const std::vector<LinkDemand>& d) {
+    double lo = d[0].total(), hi = d[0].total();
+    for (const auto& x : d) {
+      lo = std::min(lo, x.total());
+      hi = std::max(hi, x.total());
+    }
+    return hi / lo;
+  };
+  EXPECT_GT(spread(m), spread(u) * 1.5);
+}
+
+TEST(Demand, HeterogeneousMeanStillCalibrated) {
+  common::Rng rng(10);
+  DemandConfig mixed;
+  mixed.bitrate_cv = 0.3;
+  const auto d = make_link_demands(400, mixed, rng);
+  double sum = 0.0;
+  for (const auto& x : d) sum += x.total();
+  // Mean per-link GOP volume stays near the configured source volume
+  // (171.44 Mbps * 0.5 s).
+  EXPECT_NEAR(sum / 400.0 / (171.44e6 * 0.5), 1.0, 0.08);
+}
+
+TEST(Demand, MagnitudeMatchesGopVolume) {
+  // One GOP at 171.44 Mbps / 24 fps * 12 frames ~ 85.7 Mbit per link.
+  common::Rng rng(8);
+  DemandConfig cfg;
+  const auto demands = make_link_demands(6, cfg, rng);
+  for (const LinkDemand& d : demands) {
+    EXPECT_GT(d.total(), 40e6);
+    EXPECT_LT(d.total(), 200e6);
+  }
+}
+
+}  // namespace
+}  // namespace mmwave::video

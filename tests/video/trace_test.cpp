@@ -1,0 +1,133 @@
+#include "video/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmwave::video {
+namespace {
+
+TEST(Calibration, HitsTargetBitrateExactly) {
+  VideoConfig cfg;  // paper defaults: 171.44 Mbps @ 24 fps
+  const TypeMeans m = calibrate_type_means(cfg);
+  int n_i = 0, n_p = 0, n_b = 0;
+  for (char c : cfg.gop_pattern) {
+    if (c == 'I') ++n_i;
+    if (c == 'P') ++n_p;
+    if (c == 'B') ++n_b;
+  }
+  const double gop_bits = n_i * m.i_bits + n_p * m.p_bits + n_b * m.b_bits;
+  const double gop_seconds = cfg.gop_pattern.size() / cfg.fps;
+  EXPECT_NEAR(gop_bits / gop_seconds, cfg.mean_bitrate_bps, 1.0);
+}
+
+TEST(Calibration, RespectsTypeRatios) {
+  VideoConfig cfg;
+  const TypeMeans m = calibrate_type_means(cfg);
+  EXPECT_NEAR(m.p_bits / m.b_bits, cfg.p_to_b_ratio, 1e-9);
+  EXPECT_NEAR(m.i_bits / m.p_bits, cfg.i_to_p_ratio, 1e-9);
+}
+
+TEST(Trace, GopPatternRepeats) {
+  common::Rng rng(1);
+  VideoConfig cfg;
+  VideoTrace t = VideoTrace::generate(cfg, 24, rng);
+  ASSERT_EQ(t.frames().size(), 24u);
+  for (std::size_t i = 0; i < t.frames().size(); ++i) {
+    const char expected = cfg.gop_pattern[i % cfg.gop_pattern.size()];
+    const FrameType ft = t.frames()[i].type;
+    if (expected == 'I') {
+      EXPECT_EQ(ft, FrameType::I);
+    } else if (expected == 'P') {
+      EXPECT_EQ(ft, FrameType::P);
+    } else {
+      EXPECT_EQ(ft, FrameType::B);
+    }
+  }
+}
+
+TEST(Trace, RoundsUpToWholeGops) {
+  common::Rng rng(2);
+  VideoConfig cfg;  // pattern length 12
+  VideoTrace t = VideoTrace::generate(cfg, 13, rng);
+  EXPECT_EQ(t.frames().size(), 24u);
+  EXPECT_EQ(t.num_gops(), 2);
+}
+
+TEST(Trace, MeanBitrateConvergesToTarget) {
+  common::Rng rng(3);
+  VideoConfig cfg;
+  cfg.size_cv = 0.25;
+  VideoTrace t = VideoTrace::generate(cfg, 12 * 400, rng);
+  EXPECT_NEAR(t.mean_bitrate_bps() / cfg.mean_bitrate_bps, 1.0, 0.02);
+}
+
+TEST(Trace, ZeroCvIsDeterministicSizes) {
+  common::Rng rng(4);
+  VideoConfig cfg;
+  cfg.size_cv = 0.0;
+  VideoTrace t = VideoTrace::generate(cfg, 12, rng);
+  const TypeMeans m = calibrate_type_means(cfg);
+  EXPECT_DOUBLE_EQ(t.frames()[0].bits, m.i_bits);
+  EXPECT_NEAR(t.mean_bitrate_bps(), cfg.mean_bitrate_bps, 1e-6);
+}
+
+TEST(Trace, IFramesLargerThanPThanB) {
+  common::Rng rng(5);
+  VideoConfig cfg;
+  cfg.size_cv = 0.0;
+  VideoTrace t = VideoTrace::generate(cfg, 12, rng);
+  double i_bits = 0, p_bits = 0, b_bits = 0;
+  for (const Frame& f : t.frames()) {
+    if (f.type == FrameType::I) i_bits = f.bits;
+    if (f.type == FrameType::P) p_bits = f.bits;
+    if (f.type == FrameType::B) b_bits = f.bits;
+  }
+  EXPECT_GT(i_bits, p_bits);
+  EXPECT_GT(p_bits, b_bits);
+}
+
+TEST(Trace, GopBitsSumsToTotal) {
+  common::Rng rng(6);
+  VideoConfig cfg;
+  VideoTrace t = VideoTrace::generate(cfg, 36, rng);
+  double sum = 0.0;
+  for (int g = 0; g < t.num_gops(); ++g) sum += t.gop_bits(g);
+  EXPECT_NEAR(sum, t.total_bits(), 1e-6);
+}
+
+TEST(Trace, DurationAndGopSeconds) {
+  common::Rng rng(7);
+  VideoConfig cfg;
+  VideoTrace t = VideoTrace::generate(cfg, 24, rng);
+  EXPECT_DOUBLE_EQ(t.duration_seconds(), 1.0);  // 24 frames @ 24 fps
+  EXPECT_DOUBLE_EQ(t.gop_seconds(), 0.5);       // 12-frame GOP
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  common::Rng a(42), b(42);
+  VideoConfig cfg;
+  VideoTrace t1 = VideoTrace::generate(cfg, 12, a);
+  VideoTrace t2 = VideoTrace::generate(cfg, 12, b);
+  for (std::size_t i = 0; i < t1.frames().size(); ++i)
+    EXPECT_DOUBLE_EQ(t1.frames()[i].bits, t2.frames()[i].bits);
+}
+
+TEST(Trace, CustomGopPattern) {
+  common::Rng rng(8);
+  VideoConfig cfg;
+  cfg.gop_pattern = "IPPP";
+  VideoTrace t = VideoTrace::generate(cfg, 8, rng);
+  EXPECT_EQ(t.gop_length(), 4);
+  EXPECT_EQ(t.frames()[4].type, FrameType::I);
+  EXPECT_EQ(t.frames()[5].type, FrameType::P);
+}
+
+TEST(FrameTypeNames, Strings) {
+  EXPECT_STREQ(to_string(FrameType::I), "I");
+  EXPECT_STREQ(to_string(FrameType::P), "P");
+  EXPECT_STREQ(to_string(FrameType::B), "B");
+}
+
+}  // namespace
+}  // namespace mmwave::video
