@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_beamwidth.dir/abl_beamwidth.cpp.o"
+  "CMakeFiles/abl_beamwidth.dir/abl_beamwidth.cpp.o.d"
+  "abl_beamwidth"
+  "abl_beamwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_beamwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_blockage.dir/abl_blockage.cpp.o"
+  "CMakeFiles/abl_blockage.dir/abl_blockage.cpp.o.d"
+  "abl_blockage"
+  "abl_blockage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_blockage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

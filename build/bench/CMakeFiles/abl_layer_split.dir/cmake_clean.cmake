@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_layer_split.dir/abl_layer_split.cpp.o"
+  "CMakeFiles/abl_layer_split.dir/abl_layer_split.cpp.o.d"
+  "abl_layer_split"
+  "abl_layer_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_layer_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

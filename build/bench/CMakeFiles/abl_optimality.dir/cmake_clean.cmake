@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_optimality.dir/abl_optimality.cpp.o"
+  "CMakeFiles/abl_optimality.dir/abl_optimality.cpp.o.d"
+  "abl_optimality"
+  "abl_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

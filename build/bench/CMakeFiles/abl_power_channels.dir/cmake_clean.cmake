@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_power_channels.dir/abl_power_channels.cpp.o"
+  "CMakeFiles/abl_power_channels.dir/abl_power_channels.cpp.o.d"
+  "abl_power_channels"
+  "abl_power_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_power_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pricing.dir/abl_pricing.cpp.o"
+  "CMakeFiles/abl_pricing.dir/abl_pricing.cpp.o.d"
+  "abl_pricing"
+  "abl_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

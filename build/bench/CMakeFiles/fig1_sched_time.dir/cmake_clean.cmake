@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sched_time.dir/fig1_sched_time.cpp.o"
+  "CMakeFiles/fig1_sched_time.dir/fig1_sched_time.cpp.o.d"
+  "fig1_sched_time"
+  "fig1_sched_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sched_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

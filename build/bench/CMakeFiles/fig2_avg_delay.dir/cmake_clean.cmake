@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_avg_delay.dir/fig2_avg_delay.cpp.o"
+  "CMakeFiles/fig2_avg_delay.dir/fig2_avg_delay.cpp.o.d"
+  "fig2_avg_delay"
+  "fig2_avg_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_avg_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

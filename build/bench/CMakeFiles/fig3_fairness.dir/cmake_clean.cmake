@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fairness.dir/fig3_fairness.cpp.o"
+  "CMakeFiles/fig3_fairness.dir/fig3_fairness.cpp.o.d"
+  "fig3_fairness"
+  "fig3_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

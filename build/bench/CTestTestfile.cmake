@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig1_smoke "/root/repo/build/bench/fig1_sched_time" "--seeds=2" "--links=5,6" "--gamma-scale=1")
+set_tests_properties(bench_fig1_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig2_smoke "/root/repo/build/bench/fig2_avg_delay" "--seeds=2" "--links=5,6" "--gamma-scale=1")
+set_tests_properties(bench_fig2_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig3_smoke "/root/repo/build/bench/fig3_fairness" "--seeds=2" "--links=5,6" "--gamma-scale=1")
+set_tests_properties(bench_fig3_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig4_smoke "/root/repo/build/bench/fig4_convergence" "--links=5" "--channels=2" "--levels=2" "--milp-time=2")
+set_tests_properties(bench_fig4_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl_optimality_smoke "/root/repo/build/bench/abl_optimality" "--links=3" "--seeds=3")
+set_tests_properties(bench_abl_optimality_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl_power_channels_smoke "/root/repo/build/bench/abl_power_channels" "--seeds=2" "--links=6")
+set_tests_properties(bench_abl_power_channels_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl_pricing_smoke "/root/repo/build/bench/abl_pricing" "--seeds=2" "--links=5")
+set_tests_properties(bench_abl_pricing_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl_blockage_smoke "/root/repo/build/bench/abl_blockage" "--seeds=2" "--gops=3" "--links=5")
+set_tests_properties(bench_abl_blockage_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl_layer_split_smoke "/root/repo/build/bench/abl_layer_split" "--seeds=2" "--links=4")
+set_tests_properties(bench_abl_layer_split_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl_beamwidth_smoke "/root/repo/build/bench/abl_beamwidth" "--seeds=2" "--links=6")
+set_tests_properties(bench_abl_beamwidth_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl_quantization_smoke "/root/repo/build/bench/abl_quantization" "--seeds=2" "--links=5")
+set_tests_properties(bench_abl_quantization_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")

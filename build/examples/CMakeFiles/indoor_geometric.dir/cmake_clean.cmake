@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indoor_geometric.dir/indoor_geometric.cpp.o"
+  "CMakeFiles/indoor_geometric.dir/indoor_geometric.cpp.o.d"
+  "indoor_geometric"
+  "indoor_geometric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indoor_geometric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

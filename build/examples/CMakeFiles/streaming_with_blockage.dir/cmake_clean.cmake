@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_with_blockage.dir/streaming_with_blockage.cpp.o"
+  "CMakeFiles/streaming_with_blockage.dir/streaming_with_blockage.cpp.o.d"
+  "streaming_with_blockage"
+  "streaming_with_blockage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_with_blockage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/benchmark1.cpp" "src/baselines/CMakeFiles/mmwave_baselines.dir/benchmark1.cpp.o" "gcc" "src/baselines/CMakeFiles/mmwave_baselines.dir/benchmark1.cpp.o.d"
+  "/root/repo/src/baselines/benchmark2.cpp" "src/baselines/CMakeFiles/mmwave_baselines.dir/benchmark2.cpp.o" "gcc" "src/baselines/CMakeFiles/mmwave_baselines.dir/benchmark2.cpp.o.d"
+  "/root/repo/src/baselines/channel_alloc.cpp" "src/baselines/CMakeFiles/mmwave_baselines.dir/channel_alloc.cpp.o" "gcc" "src/baselines/CMakeFiles/mmwave_baselines.dir/channel_alloc.cpp.o.d"
+  "/root/repo/src/baselines/exhaustive.cpp" "src/baselines/CMakeFiles/mmwave_baselines.dir/exhaustive.cpp.o" "gcc" "src/baselines/CMakeFiles/mmwave_baselines.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/baselines/tdma.cpp" "src/baselines/CMakeFiles/mmwave_baselines.dir/tdma.cpp.o" "gcc" "src/baselines/CMakeFiles/mmwave_baselines.dir/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmwave_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mmwave_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmwave/CMakeFiles/mmwave_mmwave.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/mmwave_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmwave_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/mmwave_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mmwave_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

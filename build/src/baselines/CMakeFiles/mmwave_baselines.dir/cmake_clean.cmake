@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_baselines.dir/benchmark1.cpp.o"
+  "CMakeFiles/mmwave_baselines.dir/benchmark1.cpp.o.d"
+  "CMakeFiles/mmwave_baselines.dir/benchmark2.cpp.o"
+  "CMakeFiles/mmwave_baselines.dir/benchmark2.cpp.o.d"
+  "CMakeFiles/mmwave_baselines.dir/channel_alloc.cpp.o"
+  "CMakeFiles/mmwave_baselines.dir/channel_alloc.cpp.o.d"
+  "CMakeFiles/mmwave_baselines.dir/exhaustive.cpp.o"
+  "CMakeFiles/mmwave_baselines.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/mmwave_baselines.dir/tdma.cpp.o"
+  "CMakeFiles/mmwave_baselines.dir/tdma.cpp.o.d"
+  "libmmwave_baselines.a"
+  "libmmwave_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_common.dir/cli.cpp.o"
+  "CMakeFiles/mmwave_common.dir/cli.cpp.o.d"
+  "CMakeFiles/mmwave_common.dir/log.cpp.o"
+  "CMakeFiles/mmwave_common.dir/log.cpp.o.d"
+  "CMakeFiles/mmwave_common.dir/matrix.cpp.o"
+  "CMakeFiles/mmwave_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/mmwave_common.dir/rng.cpp.o"
+  "CMakeFiles/mmwave_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mmwave_common.dir/stats.cpp.o"
+  "CMakeFiles/mmwave_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mmwave_common.dir/table.cpp.o"
+  "CMakeFiles/mmwave_common.dir/table.cpp.o.d"
+  "libmmwave_common.a"
+  "libmmwave_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_core.dir/column_generation.cpp.o"
+  "CMakeFiles/mmwave_core.dir/column_generation.cpp.o.d"
+  "CMakeFiles/mmwave_core.dir/master.cpp.o"
+  "CMakeFiles/mmwave_core.dir/master.cpp.o.d"
+  "CMakeFiles/mmwave_core.dir/pricing_greedy.cpp.o"
+  "CMakeFiles/mmwave_core.dir/pricing_greedy.cpp.o.d"
+  "CMakeFiles/mmwave_core.dir/pricing_milp.cpp.o"
+  "CMakeFiles/mmwave_core.dir/pricing_milp.cpp.o.d"
+  "libmmwave_core.a"
+  "libmmwave_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mmwave_lp.dir/simplex.cpp.o.d"
+  "libmmwave_lp.a"
+  "libmmwave_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_milp.dir/milp.cpp.o"
+  "CMakeFiles/mmwave_milp.dir/milp.cpp.o.d"
+  "libmmwave_milp.a"
+  "libmmwave_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

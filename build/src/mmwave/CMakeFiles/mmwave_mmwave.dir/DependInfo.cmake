@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmwave/antenna.cpp" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/antenna.cpp.o" "gcc" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/antenna.cpp.o.d"
+  "/root/repo/src/mmwave/blockage.cpp" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/blockage.cpp.o" "gcc" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/blockage.cpp.o.d"
+  "/root/repo/src/mmwave/channel.cpp" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/channel.cpp.o" "gcc" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/channel.cpp.o.d"
+  "/root/repo/src/mmwave/geometry.cpp" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/geometry.cpp.o" "gcc" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/geometry.cpp.o.d"
+  "/root/repo/src/mmwave/network.cpp" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/network.cpp.o" "gcc" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/network.cpp.o.d"
+  "/root/repo/src/mmwave/power_control.cpp" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/power_control.cpp.o" "gcc" "src/mmwave/CMakeFiles/mmwave_mmwave.dir/power_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmwave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

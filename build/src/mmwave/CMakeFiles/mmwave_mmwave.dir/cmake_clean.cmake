@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_mmwave.dir/antenna.cpp.o"
+  "CMakeFiles/mmwave_mmwave.dir/antenna.cpp.o.d"
+  "CMakeFiles/mmwave_mmwave.dir/blockage.cpp.o"
+  "CMakeFiles/mmwave_mmwave.dir/blockage.cpp.o.d"
+  "CMakeFiles/mmwave_mmwave.dir/channel.cpp.o"
+  "CMakeFiles/mmwave_mmwave.dir/channel.cpp.o.d"
+  "CMakeFiles/mmwave_mmwave.dir/geometry.cpp.o"
+  "CMakeFiles/mmwave_mmwave.dir/geometry.cpp.o.d"
+  "CMakeFiles/mmwave_mmwave.dir/network.cpp.o"
+  "CMakeFiles/mmwave_mmwave.dir/network.cpp.o.d"
+  "CMakeFiles/mmwave_mmwave.dir/power_control.cpp.o"
+  "CMakeFiles/mmwave_mmwave.dir/power_control.cpp.o.d"
+  "libmmwave_mmwave.a"
+  "libmmwave_mmwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_mmwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/quantize.cpp" "src/sched/CMakeFiles/mmwave_sched.dir/quantize.cpp.o" "gcc" "src/sched/CMakeFiles/mmwave_sched.dir/quantize.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/mmwave_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/mmwave_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/timeline.cpp" "src/sched/CMakeFiles/mmwave_sched.dir/timeline.cpp.o" "gcc" "src/sched/CMakeFiles/mmwave_sched.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mmwave/CMakeFiles/mmwave_mmwave.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/mmwave_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmwave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_sched.dir/quantize.cpp.o"
+  "CMakeFiles/mmwave_sched.dir/quantize.cpp.o.d"
+  "CMakeFiles/mmwave_sched.dir/schedule.cpp.o"
+  "CMakeFiles/mmwave_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/mmwave_sched.dir/timeline.cpp.o"
+  "CMakeFiles/mmwave_sched.dir/timeline.cpp.o.d"
+  "libmmwave_sched.a"
+  "libmmwave_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmwave_sched.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_stream.dir/blockage_session.cpp.o"
+  "CMakeFiles/mmwave_stream.dir/blockage_session.cpp.o.d"
+  "CMakeFiles/mmwave_stream.dir/session.cpp.o"
+  "CMakeFiles/mmwave_stream.dir/session.cpp.o.d"
+  "libmmwave_stream.a"
+  "libmmwave_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

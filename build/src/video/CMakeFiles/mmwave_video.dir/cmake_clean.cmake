@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_video.dir/demand.cpp.o"
+  "CMakeFiles/mmwave_video.dir/demand.cpp.o.d"
+  "CMakeFiles/mmwave_video.dir/scalable.cpp.o"
+  "CMakeFiles/mmwave_video.dir/scalable.cpp.o.d"
+  "CMakeFiles/mmwave_video.dir/trace.cpp.o"
+  "CMakeFiles/mmwave_video.dir/trace.cpp.o.d"
+  "libmmwave_video.a"
+  "libmmwave_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/ablation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ablation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/cg_sweep_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cg_sweep_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/column_generation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/column_generation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dual_sensitivity_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dual_sensitivity_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/layer_split_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/layer_split_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/master_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/master_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pricing_greedy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pricing_greedy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pricing_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pricing_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmwave.dir/mmwave/antenna_test.cpp.o"
+  "CMakeFiles/test_mmwave.dir/mmwave/antenna_test.cpp.o.d"
+  "CMakeFiles/test_mmwave.dir/mmwave/blockage_test.cpp.o"
+  "CMakeFiles/test_mmwave.dir/mmwave/blockage_test.cpp.o.d"
+  "CMakeFiles/test_mmwave.dir/mmwave/channel_test.cpp.o"
+  "CMakeFiles/test_mmwave.dir/mmwave/channel_test.cpp.o.d"
+  "CMakeFiles/test_mmwave.dir/mmwave/geometry_test.cpp.o"
+  "CMakeFiles/test_mmwave.dir/mmwave/geometry_test.cpp.o.d"
+  "CMakeFiles/test_mmwave.dir/mmwave/power_control_test.cpp.o"
+  "CMakeFiles/test_mmwave.dir/mmwave/power_control_test.cpp.o.d"
+  "test_mmwave"
+  "test_mmwave.pdb"
+  "test_mmwave[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

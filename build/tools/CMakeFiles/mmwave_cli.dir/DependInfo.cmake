@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mmwave_cli.cpp" "tools/CMakeFiles/mmwave_cli.dir/mmwave_cli.cpp.o" "gcc" "tools/CMakeFiles/mmwave_cli.dir/mmwave_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/mmwave_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mmwave_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmwave_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mmwave_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/mmwave_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmwave/CMakeFiles/mmwave_mmwave.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/mmwave_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mmwave_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmwave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmwave_cli.dir/mmwave_cli.cpp.o"
+  "CMakeFiles/mmwave_cli.dir/mmwave_cli.cpp.o.d"
+  "mmwave_cli"
+  "mmwave_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmwave_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

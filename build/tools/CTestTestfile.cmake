@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_solve "/root/repo/build/tools/mmwave_cli" "solve" "--links=5" "--channels=2")
+set_tests_properties(cli_solve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare "/root/repo/build/tools/mmwave_cli" "compare" "--links=5" "--channels=2" "--pricing=heuristic")
+set_tests_properties(cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stream "/root/repo/build/tools/mmwave_cli" "stream" "--links=5" "--channels=2" "--gops=3" "--p-block=0.2" "--pricing=heuristic")
+set_tests_properties(cli_stream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/tools/mmwave_cli" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
