@@ -1,7 +1,11 @@
 #include "core/column_generation.h"
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
+#include "check/lp_certificate.h"
+#include "check/schedule_verifier.h"
 #include "common/log.h"
 #include "mmwave/power_control.h"
 
@@ -77,18 +81,54 @@ CgResult solve_column_generation(const net::Network& net,
     }
   }
 
+  // Independent certificate checkers (src/check).  They share no code with
+  // the pricing solvers: a wrong answer in the simplex or the MILP cannot
+  // also be wrong here the same way.
+  result.verification.enabled = options.verify;
+  check::VerifyOptions vopts;
+  vopts.allow_layer_split = options.exact.allow_layer_split;
+  const check::ScheduleVerifier referee(net, vopts);
+  auto verify_column = [&](const sched::Schedule& s, const std::string& origin) {
+    if (!options.verify) return;
+    ++result.verification.columns_verified;
+    const check::VerifyReport rep = referee.verify(s);
+    if (!rep.ok()) {
+      result.verification.errors.push_back(origin + ": " + rep.to_string());
+      MMWAVE_LOG_ERROR << "schedule verification failed (" << origin
+                       << "): " << rep.to_string();
+    }
+  };
+  auto certify_master = [&](const MasterCertificate& cert,
+                            const std::string& where) {
+    if (!options.verify) return;
+    ++result.verification.lp_certificates;
+    const check::LpCertReport rep =
+        check::check_lp_certificate(cert.model, cert.solution);
+    if (!rep.ok()) {
+      result.verification.errors.push_back("master LP certificate (" + where +
+                                           "): " + rep.to_string());
+      MMWAVE_LOG_ERROR << "LP certificate failed (" << where
+                       << "): " << rep.to_string();
+    }
+  };
+
   MasterProblem master(net, effective);
-  for (const sched::Schedule& s : tdma_initial_columns(net))
+  for (const sched::Schedule& s : tdma_initial_columns(net)) {
+    verify_column(s, "TDMA initial column");
     master.add_column(s);
+  }
 
   double best_lb = std::nan("");
+  MasterCertificate cert;
+  MasterCertificate* cert_out = options.verify ? &cert : nullptr;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    const MasterSolution mp = master.solve();
+    const MasterSolution mp = master.solve(cert_out);
     if (!mp.ok) {
       MMWAVE_LOG_ERROR << "master LP failed at iteration " << iter;
       break;
     }
+    certify_master(cert, "iteration " + std::to_string(iter));
 
     // ---- Pricing --------------------------------------------------------
     PricingResult pricing;
@@ -136,6 +176,20 @@ CgResult solve_column_generation(const net::Network& net,
         best_lb = stat.lower_bound;
     }
     stat.best_lower_bound = best_lb;
+    // Theorem-1 invariant: any valid lower bound must sit below the MP
+    // objective (an upper bound on the P1 optimum) at every iteration.
+    if (options.verify && std::isfinite(stat.lower_bound)) {
+      ++result.verification.bound_checks;
+      const double slack = 1e-6 * (1.0 + std::abs(mp.objective_slots));
+      if (stat.lower_bound > mp.objective_slots + slack) {
+        std::ostringstream ss;
+        ss << "Theorem-1 invariant violated at iteration " << iter
+           << ": LB " << stat.lower_bound << " > MP objective "
+           << mp.objective_slots;
+        result.verification.errors.push_back(ss.str());
+        MMWAVE_LOG_ERROR << ss.str();
+      }
+    }
     result.history.push_back(stat);
     result.total_slots = mp.objective_slots;
     result.iterations = iter + 1;
@@ -156,6 +210,8 @@ CgResult solve_column_generation(const net::Network& net,
       break;
     }
 
+    verify_column(pricing.schedule,
+                  "priced column, iteration " + std::to_string(iter));
     if (!master.add_column(pricing.schedule)) {
       // The pricer regenerated an existing column claiming negative reduced
       // cost — numerical stall; stop rather than loop.
@@ -167,8 +223,9 @@ CgResult solve_column_generation(const net::Network& net,
   }
 
   // ---- Final solution extraction ---------------------------------------
-  const MasterSolution final_mp = master.solve();
+  const MasterSolution final_mp = master.solve(cert_out);
   if (final_mp.ok) {
+    certify_master(cert, "final extraction");
     result.total_slots = final_mp.objective_slots;
     for (std::size_t s = 0; s < master.num_columns(); ++s) {
       if (final_mp.tau[s] > 1e-9) {
@@ -178,6 +235,18 @@ CgResult solve_column_generation(const net::Network& net,
     }
   }
   result.lower_bound = best_lb;
+
+  // The emitted plan itself: every schedule re-proved feasible and the
+  // covering requirement sum_s tau^s r_l^s >= d_l re-checked per layer.
+  if (options.verify && final_mp.ok) {
+    const check::VerifyReport rep =
+        referee.verify_timeline(result.timeline, effective);
+    if (!rep.ok()) {
+      result.verification.errors.push_back("final timeline: " +
+                                           rep.to_string());
+      MMWAVE_LOG_ERROR << "timeline verification failed: " << rep.to_string();
+    }
+  }
   return result;
 }
 

@@ -62,6 +62,13 @@ struct CgOptions {
   /// improving column instead of the true optimum (faster; the final
   /// certification iteration always runs to optimality).
   bool exact_early_stop = true;
+  /// Run the independent certificate checkers (src/check) alongside the
+  /// solve: an LP certificate of every master solve, a ScheduleVerifier
+  /// pass over every column entering the pool, the Theorem-1 invariant
+  /// LB <= MP objective each iteration, and a coverage check of the final
+  /// timeline.  Failures are collected in CgResult::verification (the
+  /// solve itself is not aborted — the point is to surface silent wrongs).
+  bool verify = false;
 };
 
 struct IterationStat {
@@ -78,6 +85,24 @@ struct IterationStat {
   double best_lower_bound = std::nan("");
   int num_columns = 0;
   bool exact_pricing = false;
+};
+
+/// Outcome of the CgOptions::verify certificate checks.
+struct VerificationSummary {
+  /// False when the run did not verify (CgOptions::verify was off).
+  bool enabled = false;
+  /// Master LP certificates re-proved (one per iteration plus the final
+  /// extraction solve).
+  int lp_certificates = 0;
+  /// Columns re-proved feasible by the ScheduleVerifier (initial TDMA
+  /// columns plus every priced column).
+  int columns_verified = 0;
+  /// Theorem-1 invariant checks (LB <= MP objective) performed.
+  int bound_checks = 0;
+  /// Every failed check, in the order encountered.
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
 };
 
 struct CgResult {
@@ -97,6 +122,8 @@ struct CgResult {
   /// level on any channel, e.g. blocked): their demands are excluded from
   /// the optimization and the PNC must defer them.
   std::vector<int> unserved_links;
+  /// Certificate-checker outcome (populated when CgOptions::verify).
+  VerificationSummary verification;
 
   double gap() const {
     if (std::isnan(lower_bound) || total_slots <= 0.0) return std::nan("");

@@ -1,7 +1,7 @@
 #include "core/master.h"
 
-#include "lp/model.h"
-#include "lp/simplex.h"
+#include <algorithm>
+#include <utility>
 
 namespace mmwave::core {
 
@@ -24,7 +24,7 @@ bool MasterProblem::contains(const sched::Schedule& schedule) const {
   return keys_.count(schedule.key()) != 0;
 }
 
-MasterSolution MasterProblem::solve() const {
+MasterSolution MasterProblem::solve(MasterCertificate* certificate) const {
   MasterSolution out;
   const int num_links = net_.num_links();
 
@@ -53,6 +53,10 @@ MasterSolution MasterProblem::solve() const {
   }
 
   const lp::LpSolution sol = lp::solve_lp(model);
+  if (certificate) {
+    certificate->solution = sol;
+    certificate->model = std::move(model);
+  }
   if (!sol.optimal()) return out;
 
   out.ok = true;

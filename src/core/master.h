@@ -14,11 +14,22 @@
 #include <unordered_set>
 #include <vector>
 
+#include "lp/model.h"
+#include "lp/simplex.h"
 #include "mmwave/network.h"
 #include "sched/schedule.h"
 #include "video/demand.h"
 
 namespace mmwave::core {
+
+/// Raw LP artifacts of one master solve, exported on demand so an
+/// independent referee (check::check_lp_certificate) can re-prove
+/// optimality of the claimed (tau, lambda) pair without touching simplex
+/// internals.
+struct MasterCertificate {
+  lp::LpModel model;
+  lp::LpSolution solution;
+};
 
 struct MasterSolution {
   bool ok = false;
@@ -47,8 +58,10 @@ class MasterProblem {
   std::size_t num_columns() const { return columns_.size(); }
   const std::vector<video::LinkDemand>& demands() const { return demands_; }
 
-  /// Solves the restricted LP exactly and extracts the duals.
-  MasterSolution solve() const;
+  /// Solves the restricted LP exactly and extracts the duals.  When
+  /// `certificate` is non-null the LP model and raw solution are exported
+  /// into it for independent certificate checking.
+  MasterSolution solve(MasterCertificate* certificate = nullptr) const;
 
   /// Reduced cost 1 - sum_l lambda . r of a candidate schedule under the
   /// given duals.

@@ -1,0 +1,182 @@
+#include "check/lp_certificate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/column_generation.h"
+#include "core/master.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "video/demand.h"
+
+namespace mmwave::check {
+namespace {
+
+bool mentions(const LpCertReport& report, const std::string& needle) {
+  return std::any_of(report.errors.begin(), report.errors.end(),
+                     [&](const std::string& e) {
+                       return e.find(needle) != std::string::npos;
+                     });
+}
+
+/// min x + 2y  s.t.  x + y >= 2,  x <= 3,  y <= 3.  Optimum (2, 0), obj 2.
+/// The x <= 3 row is slack at the optimum — perfect for dual perturbation.
+lp::LpModel covering_model() {
+  lp::LpModel model;
+  const int x = model.add_variable(0.0, lp::kInfinity, 1.0, "x");
+  const int y = model.add_variable(0.0, lp::kInfinity, 2.0, "y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::Ge, 2.0, "cover");
+  model.add_constraint({{x, 1.0}}, lp::Sense::Le, 3.0, "cap_x");
+  return model;
+}
+
+TEST(LpCertificate, AcceptsOptimalCertificate) {
+  const lp::LpModel model = covering_model();
+  const lp::LpSolution sol = lp::solve_lp(model);
+  ASSERT_TRUE(sol.optimal());
+  const LpCertReport report = check_lp_certificate(model, sol);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_NEAR(report.primal_objective, 2.0, 1e-9);
+  // l = 0, u = inf: strong duality degenerates to c'x* = y'b exactly.
+  EXPECT_NEAR(report.dual_objective, report.primal_objective, 1e-9);
+  EXPECT_LT(report.duality_gap, 1e-9);
+}
+
+TEST(LpCertificate, PerturbedDualFailsComplementarySlackness) {
+  const lp::LpModel model = covering_model();
+  lp::LpSolution sol = lp::solve_lp(model);
+  ASSERT_TRUE(sol.optimal());
+
+  // The cap_x row is slack (x* = 2 < 3), so its dual must be 0.  Claiming
+  // a nonzero dual for it is exactly a complementary-slackness violation
+  // (sign-legal for a Le row in a Minimize problem, so only the slackness
+  // check can catch it).
+  lp::LpSolution corrupted = sol;
+  corrupted.duals[1] = -0.5;
+  const LpCertReport report = check_lp_certificate(model, corrupted);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "complementary slackness"))
+      << report.to_string();
+  EXPECT_GT(report.max_slackness_violation, 1e-3);
+}
+
+TEST(LpCertificate, PerturbedBindingDualFailsDuality) {
+  const lp::LpModel model = covering_model();
+  lp::LpSolution sol = lp::solve_lp(model);
+  ASSERT_TRUE(sol.optimal());
+  lp::LpSolution corrupted = sol;
+  corrupted.duals[0] += 0.25;  // binding row: breaks z_x >= 0 or the gap
+  EXPECT_FALSE(check_lp_certificate(model, corrupted).ok());
+}
+
+TEST(LpCertificate, WrongDualSignRejected) {
+  const lp::LpModel model = covering_model();
+  lp::LpSolution sol = lp::solve_lp(model);
+  ASSERT_TRUE(sol.optimal());
+  lp::LpSolution corrupted = sol;
+  corrupted.duals[0] = -1.0;  // Ge row in a Minimize problem: y >= 0
+  const LpCertReport report = check_lp_certificate(model, corrupted);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "wrong sign")) << report.to_string();
+}
+
+TEST(LpCertificate, PerturbedPrimalRejected) {
+  const lp::LpModel model = covering_model();
+  lp::LpSolution sol = lp::solve_lp(model);
+  ASSERT_TRUE(sol.optimal());
+  lp::LpSolution corrupted = sol;
+  corrupted.x[0] -= 1.0;  // violates the covering row
+  EXPECT_FALSE(check_lp_certificate(model, corrupted).ok());
+}
+
+TEST(LpCertificate, NonOptimalStatusRejected) {
+  const lp::LpModel model = covering_model();
+  lp::LpSolution sol = lp::solve_lp(model);
+  sol.status = lp::SolveStatus::IterationLimit;
+  const LpCertReport report = check_lp_certificate(model, sol);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "not Optimal"));
+}
+
+TEST(LpCertificate, MaximizeSenseHandled) {
+  // max 3x + y  s.t.  x + y <= 4, x <= 2.  Optimum (2, 2), obj 8.
+  lp::LpModel model;
+  const int x = model.add_variable(0.0, lp::kInfinity, 3.0, "x");
+  const int y = model.add_variable(0.0, lp::kInfinity, 1.0, "y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::Le, 4.0);
+  model.add_constraint({{x, 1.0}}, lp::Sense::Le, 2.0);
+  model.set_objective_sense(lp::ObjSense::Maximize);
+  const lp::LpSolution sol = lp::solve_lp(model);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 8.0, 1e-9);
+  const LpCertReport report = check_lp_certificate(model, sol);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(LpCertificate, BoundTermsEnterTheDualObjective) {
+  // min -x  s.t.  x + y <= 10  with x <= 4: x* = 4 rests on its own upper
+  // bound, so the dual objective needs the z_x * u_x term to close the gap.
+  lp::LpModel model;
+  const int x = model.add_variable(0.0, 4.0, -1.0, "x");
+  const int y = model.add_variable(0.0, lp::kInfinity, 0.0, "y");
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Sense::Le, 10.0);
+  const lp::LpSolution sol = lp::solve_lp(model);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, -4.0, 1e-9);
+  const LpCertReport report = check_lp_certificate(model, sol);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_NEAR(report.dual_objective, -4.0, 1e-9);
+}
+
+TEST(LpCertificate, BoundOverridesRespected) {
+  // Same model, but a branch & bound node pins x to [0, 1].
+  lp::LpModel model;
+  const int x = model.add_variable(0.0, 4.0, -1.0, "x");
+  model.add_constraint({{x, 1.0}}, lp::Sense::Le, 10.0);
+  const std::vector<double> lb = {0.0}, ub = {1.0};
+  const lp::LpSolution sol = lp::solve_lp_with_bounds(model, lb, ub);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, -1.0, 1e-9);
+  // Certified against the node bounds it was solved under...
+  EXPECT_TRUE(check_lp_certificate(model, lb, ub, sol).ok());
+  // ...but x* = 1 strictly inside [0, 4] with reduced cost -1 is NOT a
+  // valid certificate for the root model.
+  EXPECT_FALSE(check_lp_certificate(model, sol).ok());
+}
+
+/// The production use: every master-problem solve of the column generation
+/// must carry a valid certificate, and its duality identity is exactly
+/// c'x* = lambda' d (Theorem 1's engine).
+TEST(LpCertificate, MasterProblemCertificateHolds) {
+  common::Rng rng(11);
+  net::NetworkParams params;
+  params.num_links = 5;
+  params.num_channels = 2;
+  net::Network net = net::Network::table_i(params, rng);
+  video::DemandConfig dcfg;
+  dcfg.demand_scale = 1e-3;
+  common::Rng drng = rng.fork(0x5EED);
+  const auto demands = video::make_link_demands(5, dcfg, drng);
+
+  core::MasterProblem master(net, demands);
+  for (const auto& s : core::tdma_initial_columns(net)) master.add_column(s);
+
+  core::MasterCertificate cert;
+  const core::MasterSolution mp = master.solve(&cert);
+  ASSERT_TRUE(mp.ok);
+  const LpCertReport report = check_lp_certificate(cert.model, cert.solution);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // lambda' d == objective (all variables have l = 0, u = inf).
+  double dual_value = 0.0;
+  for (std::size_t l = 0; l < demands.size(); ++l) {
+    dual_value += mp.lambda_hp[l] * demands[l].hp_bits +
+                  mp.lambda_lp[l] * demands[l].lp_bits;
+  }
+  EXPECT_NEAR(dual_value, mp.objective_slots,
+              1e-6 * (1.0 + mp.objective_slots));
+}
+
+}  // namespace
+}  // namespace mmwave::check

@@ -1,0 +1,247 @@
+#include "check/schedule_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/column_generation.h"
+#include "video/demand.h"
+
+namespace mmwave::check {
+namespace {
+
+/// Deterministic channel table so every SINR in these tests is exact:
+/// direct gain 1 on every channel, uniform cross gain, common noise floor.
+class FixedChannelModel : public net::ChannelModel {
+ public:
+  FixedChannelModel(std::vector<net::Link> links, int num_channels,
+                    double cross_gain, double noise_watts)
+      : links_(std::move(links)),
+        num_channels_(num_channels),
+        cross_gain_(cross_gain),
+        noise_watts_(noise_watts) {}
+
+  int num_links() const override { return static_cast<int>(links_.size()); }
+  int num_channels() const override { return num_channels_; }
+  double direct_gain(int, int) const override { return 1.0; }
+  double cross_gain(int, int, int) const override { return cross_gain_; }
+  double noise(int) const override { return noise_watts_; }
+  const std::vector<net::Link>& links() const override { return links_; }
+
+ private:
+  std::vector<net::Link> links_;
+  int num_channels_;
+  double cross_gain_;
+  double noise_watts_;
+};
+
+/// L links on dedicated node pairs (2l, 2l+1); thresholds {0.5, 1.0};
+/// noise 0.1; Pmax 1.  Solo SINR at power p is p / 0.1 = 10 p.
+net::Network make_net(int num_links = 3, double cross_gain = 0.0) {
+  std::vector<net::Link> links;
+  for (int l = 0; l < num_links; ++l)
+    links.push_back({l, 2 * l, 2 * l + 1});
+  net::NetworkParams params;
+  params.num_links = num_links;
+  params.num_channels = 2;
+  params.sinr_thresholds = {0.5, 1.0};
+  return net::Network(params, std::make_unique<FixedChannelModel>(
+                                  std::move(links), params.num_channels,
+                                  cross_gain, params.noise_watts));
+}
+
+bool has(const VerifyReport& report, ViolationKind kind) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [kind](const Violation& v) { return v.kind == kind; });
+}
+
+TEST(ScheduleVerifier, AcceptsFeasibleSoloSchedule) {
+  const auto net = make_net();
+  // SINR = 10 * 0.06 = 0.6 >= gamma^0 = 0.5.
+  sched::Schedule s{{{0, net::Layer::Hp, 0, 0, 0.06}}};
+  const ScheduleVerifier verifier(net);
+  EXPECT_TRUE(verifier.verify(s).ok()) << verifier.verify(s).to_string();
+}
+
+TEST(ScheduleVerifier, RejectsSinrBelowThreshold) {
+  const auto net = make_net();
+  // SINR = 10 * 0.04 = 0.4 < gamma^0 = 0.5.
+  sched::Schedule s{{{0, net::Layer::Hp, 0, 0, 0.04}}};
+  const VerifyReport report = ScheduleVerifier(net).verify(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has(report, ViolationKind::SinrBelowThreshold));
+  EXPECT_NEAR(report.violations[0].measured, 0.4, 1e-12);
+  EXPECT_NEAR(report.violations[0].limit, 0.5, 1e-12);
+}
+
+TEST(ScheduleVerifier, RejectsCoChannelInterferenceViolation) {
+  // Cross gain 0.5: with both links at Pmax on one channel,
+  // SINR = 1 / (0.1 + 0.5) < 1.67 -> fails gamma^1 = 1.0 ... actually
+  // 1/0.6 = 1.67 passes; use gamma^1 with power 0.5:
+  // SINR = 0.5 / (0.1 + 0.5 * 1.0) = 0.833 < 1.0.
+  const auto net = make_net(2, 0.5);
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 1, 0, 0.5});
+  s.add({1, net::Layer::Hp, 0, 0, 1.0});
+  const VerifyReport report = ScheduleVerifier(net).verify(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has(report, ViolationKind::SinrBelowThreshold));
+  // Link 1 alone: SINR = 1 / (0.1 + 0.5 * 0.5) = 2.86 >= 0.5 — only link 0
+  // must be flagged.
+  for (const Violation& v : report.violations) EXPECT_EQ(v.link, 0);
+}
+
+TEST(ScheduleVerifier, SeparateChannelsDoNotInterfere) {
+  const auto net = make_net(2, 10.0);  // brutal cross gain, but cross-channel
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 1, 0, 0.1});  // SINR = 1.0 exactly
+  s.add({1, net::Layer::Hp, 1, 1, 0.1});
+  EXPECT_TRUE(ScheduleVerifier(net).verify(s).ok());
+}
+
+TEST(ScheduleVerifier, RejectsDuplicateLinkUse) {
+  const auto net = make_net();
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 0, 0, 0.06});
+  s.add({0, net::Layer::Lp, 0, 1, 0.06});
+  const VerifyReport report = ScheduleVerifier(net).verify(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has(report, ViolationKind::DuplicateLink));
+
+  // The same schedule is legal in layer-split mode (distinct channels,
+  // summed power within Pmax).
+  VerifyOptions opts;
+  opts.allow_layer_split = true;
+  EXPECT_TRUE(ScheduleVerifier(net, opts).verify(s).ok());
+}
+
+TEST(ScheduleVerifier, RejectsLayerSplitOnOneChannel) {
+  const auto net = make_net();
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 0, 0, 0.06});
+  s.add({0, net::Layer::Lp, 0, 0, 0.06});
+  VerifyOptions opts;
+  opts.allow_layer_split = true;
+  const VerifyReport report = ScheduleVerifier(net, opts).verify(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has(report, ViolationKind::LayerSplitChannel));
+}
+
+TEST(ScheduleVerifier, RejectsDuplicateNodeUse) {
+  // Links 0 (nodes 0->1) and 1 (nodes 1->2) share node 1: half-duplex.
+  std::vector<net::Link> links = {{0, 0, 1}, {1, 1, 2}};
+  net::NetworkParams params;
+  params.num_links = 2;
+  params.num_channels = 2;
+  params.sinr_thresholds = {0.5};
+  net::Network net(params,
+                   std::make_unique<FixedChannelModel>(std::move(links), 2,
+                                                       0.0, 0.1));
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 0, 0, 0.06});
+  s.add({1, net::Layer::Hp, 0, 1, 0.06});
+  const VerifyReport report = ScheduleVerifier(net).verify(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has(report, ViolationKind::HalfDuplex));
+}
+
+TEST(ScheduleVerifier, RejectsPowerOverCap) {
+  const auto net = make_net();
+  sched::Schedule s{{{0, net::Layer::Hp, 0, 0, 1.5}}};  // Pmax = 1
+  const VerifyReport report = ScheduleVerifier(net).verify(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has(report, ViolationKind::PowerOutOfRange));
+}
+
+TEST(ScheduleVerifier, RejectsSummedLinkPowerOverCap) {
+  const auto net = make_net();
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 0, 0, 0.7});
+  s.add({0, net::Layer::Lp, 0, 1, 0.7});  // 1.4 total > Pmax
+  VerifyOptions opts;
+  opts.allow_layer_split = true;
+  const VerifyReport report = ScheduleVerifier(net, opts).verify(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has(report, ViolationKind::LinkPowerCap));
+}
+
+TEST(ScheduleVerifier, RejectsOutOfRangeIndices) {
+  const auto net = make_net();
+  sched::Schedule s;
+  s.add({99, net::Layer::Hp, 0, 0, 0.06});
+  s.add({0, net::Layer::Hp, 7, 9, 0.06});
+  const VerifyReport report = ScheduleVerifier(net).verify(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has(report, ViolationKind::LinkOutOfRange));
+  EXPECT_TRUE(has(report, ViolationKind::ChannelOutOfRange));
+  EXPECT_TRUE(has(report, ViolationKind::RateLevelOutOfRange));
+}
+
+TEST(ScheduleVerifier, CollectsAllViolationsNotJustTheFirst) {
+  const auto net = make_net();
+  sched::Schedule s;
+  s.add({0, net::Layer::Hp, 0, 0, 1.5});   // power over cap
+  s.add({0, net::Layer::Lp, 0, 1, 0.04});  // duplicate link + low SINR
+  const VerifyReport report = ScheduleVerifier(net).verify(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.violations.size(), 3u);
+}
+
+TEST(ScheduleVerifier, TimelineDemandShortfallAndNegativeDuration) {
+  const auto net = make_net(1);
+  // Level 0 delivers rate_bps * slot_seconds bits per slot.
+  const double bits_per_slot = net.bits_per_slot(0);
+  sched::Schedule s{{{0, net::Layer::Hp, 0, 0, 0.06}}};
+  std::vector<video::LinkDemand> demands(1);
+  demands[0].hp_bits = 10.0 * bits_per_slot;
+
+  const ScheduleVerifier verifier(net);
+  // Exactly covering: 10 slots.
+  EXPECT_TRUE(verifier.verify_timeline({{s, 10.0}}, demands).ok());
+  // Undershoot: 8 slots.
+  VerifyReport short_report = verifier.verify_timeline({{s, 8.0}}, demands);
+  ASSERT_FALSE(short_report.ok());
+  EXPECT_TRUE(has(short_report, ViolationKind::DemandShortfall));
+  // Negative duration.
+  VerifyReport neg_report = verifier.verify_timeline({{s, -1.0}}, demands);
+  EXPECT_TRUE(has(neg_report, ViolationKind::NegativeDuration));
+}
+
+TEST(ScheduleVerifier, UnservedLinksAreExemptFromCoverage) {
+  const auto net = make_net(2);
+  std::vector<video::LinkDemand> demands(2);
+  demands[0].hp_bits = net.bits_per_slot(0);
+  demands[1].hp_bits = 1e9;  // never served
+  sched::Schedule s{{{0, net::Layer::Hp, 0, 0, 0.06}}};
+  const ScheduleVerifier verifier(net);
+  EXPECT_FALSE(verifier.verify_timeline({{s, 1.0}}, demands).ok());
+  EXPECT_TRUE(verifier.verify_timeline({{s, 1.0}}, demands, {1}).ok());
+}
+
+/// Cross-validation against the production column-generation pipeline: the
+/// referee must agree with the optimizer's own gate on every emitted column.
+TEST(ScheduleVerifier, AcceptsEveryColumnOfACgSolve) {
+  common::Rng rng(7);
+  net::NetworkParams params;
+  params.num_links = 6;
+  params.num_channels = 2;
+  net::Network net = net::Network::table_i(params, rng);
+  video::DemandConfig dcfg;
+  dcfg.demand_scale = 1e-3;
+  common::Rng drng = rng.fork(0x5EED);
+  const auto demands = video::make_link_demands(6, dcfg, drng);
+
+  const auto result = core::solve_column_generation(net, demands);
+  ASSERT_FALSE(result.timeline.empty());
+  const ScheduleVerifier verifier(net);
+  for (const auto& ts : result.timeline) {
+    const VerifyReport report = verifier.verify(ts.schedule);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    // And the first-failure gate agrees.
+    EXPECT_TRUE(sched::validate_schedule(net, ts.schedule).ok);
+  }
+}
+
+}  // namespace
+}  // namespace mmwave::check

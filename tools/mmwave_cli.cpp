@@ -8,6 +8,11 @@
 //       print the metric table.
 //   mmwave_cli stream  [instance flags] [--gops=N] [--p-block=p]
 //       Multi-GOP streaming session (optionally under Markov blockage).
+//   mmwave_cli check   [instance flags]
+//       Solve with the certificate checkers enabled (CgOptions::verify) and
+//       independently re-verify the emitted plan; exit non-zero on any
+//       failed certificate.  This is the verifier leg of the pre-merge gate
+//       (tools/run_analysis.sh).
 //
 // Instance flags (shared): --links --channels --levels --gamma-scale
 //   --seed --demand-scale --pricing=heuristic|hybrid|exact
@@ -16,6 +21,7 @@
 #include <string>
 
 #include "baselines/baselines.h"
+#include "check/schedule_verifier.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/column_generation.h"
@@ -202,6 +208,64 @@ int cmd_stream(const common::CliFlags& flags) {
   return 0;
 }
 
+int cmd_check(const common::CliFlags& flags) {
+  const InstanceFlags f = parse_instance(flags);
+  Instance inst = build_instance(f);
+  core::CgOptions opts;
+  opts.pricing = f.pricing;
+  opts.verify = true;
+  const auto result =
+      core::solve_column_generation(inst.net, inst.demands, opts);
+
+  std::printf("instance: L=%d K=%d Q=%d gamma x%.1f seed=%llu\n", f.links,
+              f.channels, f.levels, f.gamma_scale,
+              static_cast<unsigned long long>(f.seed));
+  std::printf("solve:    %s, %.2f slots, %d iterations\n",
+              result.converged ? "optimal (certified)" : "feasible",
+              result.total_slots, result.iterations);
+
+  int failures = 0;
+  const auto& v = result.verification;
+  std::printf("in-loop:  %d LP certificates, %d columns, %d bound checks\n",
+              v.lp_certificates, v.columns_verified, v.bound_checks);
+  for (const std::string& e : v.errors) {
+    std::printf("FAIL: %s\n", e.c_str());
+    ++failures;
+  }
+
+  // Belt and braces: re-verify the emitted plan with a fresh referee, the
+  // way an operator auditing a dumped plan would.
+  check::ScheduleVerifier referee(inst.net);
+  std::vector<video::LinkDemand> audited = inst.demands;
+  for (int l : result.unserved_links) audited[l] = {};
+  const check::VerifyReport plan =
+      referee.verify_timeline(result.timeline, audited);
+  if (!plan.ok()) {
+    std::printf("FAIL: plan re-verification: %s\n", plan.to_string().c_str());
+    ++failures;
+  }
+
+  // Theorem-1 invariant over the recorded history: every valid lower bound
+  // below every upper bound (the MP objective is monotone over iterations
+  // only per column pool, but LB <= UB must hold pointwise).
+  for (const auto& it : result.history) {
+    if (std::isnan(it.lower_bound)) continue;
+    if (it.lower_bound > it.master_objective * (1.0 + 1e-9) + 1e-9) {
+      std::printf("FAIL: iteration %d: LB %.6f above UB %.6f\n", it.iteration,
+                  it.lower_bound, it.master_objective);
+      ++failures;
+    }
+  }
+
+  if (failures == 0) {
+    std::printf("verification PASSED (%zu schedules in plan)\n",
+                result.timeline.size());
+    return 0;
+  }
+  std::printf("verification FAILED: %d finding(s)\n", failures);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -212,11 +276,14 @@ int main(int argc, char** argv) {
   if (cmd == "solve") return cmd_solve(flags);
   if (cmd == "compare") return cmd_compare(flags);
   if (cmd == "stream") return cmd_stream(flags);
+  if (cmd == "check") return cmd_check(flags);
   std::printf(
-      "usage: mmwave_cli <solve|compare|stream> [--links=N] [--channels=K]\n"
-      "       [--levels=Q] [--gamma-scale=x] [--seed=s] [--demand-scale=d]\n"
-      "       [--pricing=heuristic|hybrid|exact]\n"
+      "usage: mmwave_cli <solve|compare|stream|check> [--links=N]\n"
+      "       [--channels=K] [--levels=Q] [--gamma-scale=x] [--seed=s]\n"
+      "       [--demand-scale=d] [--pricing=heuristic|hybrid|exact]\n"
       "  solve   also accepts --csv=plan.csv\n"
-      "  stream  also accepts --gops=N --p-block=p\n");
+      "  stream  also accepts --gops=N --p-block=p\n"
+      "  check   runs the solve under the certificate checkers and exits\n"
+      "          non-zero on any violated certificate\n");
   return cmd == "help" ? 0 : 1;
 }

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Pre-merge correctness gate for the mmWave scheduler.
+#
+# Builds and tests the tree under a matrix of analysis configurations and
+# exits non-zero if ANY leg fails:
+#
+#   1. RelWithDebInfo, -Werror            full ctest suite
+#   2. ASan + UBSan, -Werror              full ctest suite under sanitizers
+#   3. clang-tidy over src/               zero findings allowed
+#                                         (skipped loudly if the tool is not
+#                                          installed; see .clang-tidy)
+#   4. certificate verifier               mmwave_cli check on the seed
+#                                         Fig. 1 / Fig. 4 scenarios, run on
+#                                         the *sanitized* binaries
+#
+# Usage:  tools/run_analysis.sh [--fast]
+#   --fast   skip leg 1 (the plain build) — the sanitized leg still runs
+#            the full suite, so this is the quick pre-push variant.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+failures=()
+note() { printf '\n==== %s ====\n' "$*"; }
+leg_failed() { failures+=("$1"); printf 'LEG FAILED: %s\n' "$1" >&2; }
+
+configure_and_build() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$ROOT" -DMMWAVE_WERROR=ON "$@" || return 1
+  cmake --build "$dir" -j "$JOBS" || return 1
+}
+
+run_ctest() {
+  local dir="$1"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+# ---- Leg 1: plain RelWithDebInfo + Werror ---------------------------------
+if [[ "$FAST" == 0 ]]; then
+  note "leg 1: RelWithDebInfo + -Werror"
+  if configure_and_build "$ROOT/build-analysis-rel" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
+    run_ctest "$ROOT/build-analysis-rel" || leg_failed "ctest (RelWithDebInfo)"
+  else
+    leg_failed "build (RelWithDebInfo + Werror)"
+  fi
+else
+  note "leg 1 skipped (--fast)"
+fi
+
+# ---- Leg 2: ASan + UBSan --------------------------------------------------
+note "leg 2: AddressSanitizer + UndefinedBehaviorSanitizer + -Werror"
+ASAN_DIR="$ROOT/build-analysis-asan"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+if configure_and_build "$ASAN_DIR" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      "-DMMWAVE_SANITIZE=address;undefined"; then
+  run_ctest "$ASAN_DIR" || leg_failed "ctest (ASan+UBSan)"
+else
+  leg_failed "build (ASan+UBSan)"
+fi
+
+# ---- Leg 3: clang-tidy over src/ ------------------------------------------
+note "leg 3: clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  TIDY_DIR="$ASAN_DIR"
+  [[ -d "$ROOT/build-analysis-rel" && "$FAST" == 0 ]] && TIDY_DIR="$ROOT/build-analysis-rel"
+  cmake --build "$TIDY_DIR" -j "$JOBS" --target tidy || leg_failed "clang-tidy"
+else
+  echo "clang-tidy not found on PATH -- static-analysis leg SKIPPED" >&2
+  echo "(install clang-tidy to make this gate complete)" >&2
+fi
+
+# ---- Leg 4: certificate verifier on the seed figure scenarios -------------
+# Runs on the sanitized binary: the verifier exercises the full CG pipeline,
+# so this leg doubles as a deep sanitizer workout of the hot path.
+note "leg 4: solver certificate verifier (mmwave_cli check)"
+CLI="$ASAN_DIR/tools/mmwave_cli"
+if [[ -x "$CLI" ]]; then
+  # Fig. 1 scenario family: Table I ladder, K = 5, hybrid pricing.
+  "$CLI" check --links=10 --channels=5 --seed=1 \
+    || leg_failed "verifier (Fig. 1 scenario)"
+  # Fig. 4 convergence scenario: binding interference, exact pricing.
+  "$CLI" check --links=8 --channels=2 --levels=3 --gamma-scale=3 \
+    --pricing=exact --seed=1 \
+    || leg_failed "verifier (Fig. 4 scenario)"
+else
+  leg_failed "verifier (mmwave_cli missing: sanitized build failed?)"
+fi
+
+# ---- Summary --------------------------------------------------------------
+note "summary"
+if (( ${#failures[@]} )); then
+  printf 'ANALYSIS FAILED (%d leg(s)):\n' "${#failures[@]}"
+  printf '  - %s\n' "${failures[@]}"
+  exit 1
+fi
+echo "all analysis legs passed"
