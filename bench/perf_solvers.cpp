@@ -4,6 +4,9 @@
 // generation solve.  These are wall-clock regression guards, not figures.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/rng.h"
 #include "core/column_generation.h"
 #include "lp/simplex.h"
@@ -93,6 +96,53 @@ void BM_ColumnGenerationHeuristic(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ColumnGenerationHeuristic)->Arg(10)->Arg(30);
+
+// End-to-end CG master-LP comparison: warm-started incremental solves vs
+// cold two-phase solves on the paper's L=20, K=5 point.  The counters are
+// what BENCH_cg.json is read for: simplex pivots per master solve and the
+// warm-start hit rate (0 for the cold variant by construction).
+void BM_ColumnGenerationMaster(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  const int links = 20;
+  common::Rng rng(11);
+  net::NetworkParams params;
+  params.num_links = links;
+  params.num_channels = 5;
+  net::Network net = net::Network::table_i(params, rng);
+  video::DemandConfig dcfg;
+  dcfg.demand_scale = 1e-3;
+  common::Rng drng = rng.fork(1);
+  const auto demands = video::make_link_demands(links, dcfg, drng);
+  core::CgOptions opts;
+  opts.pricing = core::PricingMode::HeuristicOnly;
+  opts.warm_start_master = warm;
+
+  std::int64_t pivots = 0;
+  std::int64_t solves = 0;
+  std::int64_t warm_hits = 0;
+  std::int64_t cg_iterations = 0;
+  double master_seconds = 0.0;
+  for (auto _ : state) {
+    auto result = core::solve_column_generation(net, demands, opts);
+    benchmark::DoNotOptimize(result.total_slots);
+    pivots += result.profile.master_pivots;
+    solves += result.profile.master_solves;
+    warm_hits += result.profile.master_warm_hits;
+    cg_iterations += result.iterations;
+    master_seconds += result.profile.master_seconds;
+  }
+  const double n = std::max<std::int64_t>(1, state.iterations());
+  state.counters["pivots_per_solve"] =
+      solves > 0 ? static_cast<double>(pivots) / solves : 0.0;
+  state.counters["warm_hit_rate"] =
+      solves > 0 ? static_cast<double>(warm_hits) / solves : 0.0;
+  state.counters["cg_iterations"] = static_cast<double>(cg_iterations) / n;
+  state.counters["master_seconds"] = master_seconds / n;
+}
+BENCHMARK(BM_ColumnGenerationMaster)
+    ->Arg(0)  // cold: two-phase solve every iteration
+    ->Arg(1)  // warm: resume from the previous basis
+    ->ArgName("warm");
 
 }  // namespace
 

@@ -1,0 +1,79 @@
+// Fixed-size thread pool and a deterministic parallel_for.
+//
+// Built for the bench harness: seed sweeps are embarrassingly parallel
+// (each seed builds its own Network from its own RNG), so the only thing
+// the pool has to guarantee is that *results* are independent of thread
+// count and scheduling.  The contract is:
+//
+//   * parallel_for(n, threads, fn) invokes fn(i) exactly once for every
+//     i in [0, n).  Work items are handed out by an atomic counter, so
+//     the assignment of items to threads is nondeterministic — fn must
+//     write only to its own index-addressed slot (no shared mutable
+//     state, per-item RNGs seeded from the item index).
+//   * The caller reduces the slots in index order after the call returns;
+//     parallel_for itself is a full barrier.
+//   * threads <= 1 (or n <= 1) runs serially on the calling thread: the
+//     sequential path is the same code with no pool, so --threads=1 is
+//     the reference behavior, bit-identical by construction.
+//   * threads == 0 means "auto" (hardware_concurrency) at the call sites
+//     that accept user input; parallel_for itself takes the resolved
+//     count.
+//
+// Exceptions thrown by fn propagate to the caller (first one wins; the
+// remaining items still run to completion so no index is skipped).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mmwave::common {
+
+/// Resolves a user-facing thread-count argument: n <= 0 means "auto"
+/// (hardware_concurrency, at least 1), anything else is taken as-is.
+unsigned resolve_threads(int requested);
+
+/// Fixed-size pool of worker threads.  Tasks are submitted with submit()
+/// and run FIFO; wait_idle() blocks until every submitted task finished.
+/// Destruction drains the queue first.  Not copyable or movable.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task.  Safe to call from multiple threads.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is mid-task.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;   // workers wait for work / stop
+  std::condition_variable all_done_;     // wait_idle waits for drain
+  std::size_t in_flight_ = 0;            // tasks popped but not finished
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for every i in [0, n) using up to `threads` workers (the
+/// calling thread participates).  Serial when threads <= 1 or n <= 1.
+/// Returns after all items completed (full barrier); rethrows the first
+/// exception any item threw.  See the header comment for the determinism
+/// contract fn must follow.
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mmwave::common

@@ -1,6 +1,7 @@
 #include "core/column_generation.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <string>
 
@@ -113,22 +114,66 @@ CgResult solve_column_generation(const net::Network& net,
   };
 
   MasterProblem master(net, effective);
+  master.set_warm_start(options.warm_start_master);
   for (const sched::Schedule& s : tdma_initial_columns(net)) {
     verify_column(s, "TDMA initial column");
     master.add_column(s);
   }
+
+  // The pricing-MILP skeleton (constraints, big-M terms, conflict cuts)
+  // depends only on the network, so it is built once and reused with a
+  // fresh objective across every exact-pricing call of this run.
+  PricingMilpCache pricing_cache;
+
+  // Per-phase wall-clock instrumentation.
+  CgProfile& prof = result.profile;
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  double last_master_seconds = 0.0;
+  const auto timed_master_solve = [&](MasterCertificate* cert_dst) {
+    const auto t0 = Clock::now();
+    MasterSolution mp = master.solve(cert_dst);
+    last_master_seconds = seconds_since(t0);
+    prof.master_seconds += last_master_seconds;
+    prof.master_pivots += mp.simplex_iterations;
+    ++prof.master_solves;
+    if (mp.warm_started) ++prof.master_warm_hits;
+    return mp;
+  };
+  const auto timed_greedy = [&](const std::vector<double>& lhp,
+                                const std::vector<double>& llp) {
+    const auto t0 = Clock::now();
+    PricingResult r = solve_pricing_greedy(net, lhp, llp, options.greedy);
+    prof.greedy_seconds += seconds_since(t0);
+    ++prof.greedy_calls;
+    return r;
+  };
+  const auto timed_milp = [&](const std::vector<double>& lhp,
+                              const std::vector<double>& llp,
+                              const MilpPricingOptions& exact,
+                              const sched::Schedule* warm) {
+    const auto t0 = Clock::now();
+    PricingResult r =
+        solve_pricing_milp(net, lhp, llp, exact, warm, &pricing_cache);
+    prof.milp_seconds += seconds_since(t0);
+    ++prof.milp_calls;
+    return r;
+  };
 
   double best_lb = std::nan("");
   MasterCertificate cert;
   MasterCertificate* cert_out = options.verify ? &cert : nullptr;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    const MasterSolution mp = master.solve(cert_out);
+    const MasterSolution mp = timed_master_solve(cert_out);
     if (!mp.ok) {
       MMWAVE_LOG_ERROR << "master LP failed at iteration " << iter;
       break;
     }
     certify_master(cert, "iteration " + std::to_string(iter));
+    const auto pricing_t0 = Clock::now();
 
     // ---- Pricing --------------------------------------------------------
     PricingResult pricing;
@@ -136,14 +181,12 @@ CgResult solve_column_generation(const net::Network& net,
     if (options.pricing == PricingMode::ExactAlways) {
       MilpPricingOptions exact = options.exact;
       exact.target_psi = std::nan("");  // need true Phi each iteration
-      const PricingResult greedy = solve_pricing_greedy(
-          net, mp.lambda_hp, mp.lambda_lp, options.greedy);
-      pricing = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp, exact,
-                                   greedy.found ? &greedy.schedule : nullptr);
+      const PricingResult greedy = timed_greedy(mp.lambda_hp, mp.lambda_lp);
+      pricing = timed_milp(mp.lambda_hp, mp.lambda_lp, exact,
+                           greedy.found ? &greedy.schedule : nullptr);
       exact_used = true;
     } else {
-      pricing = solve_pricing_greedy(net, mp.lambda_hp, mp.lambda_lp,
-                                     options.greedy);
+      pricing = timed_greedy(mp.lambda_hp, mp.lambda_lp);
       const bool heuristic_failed =
           !pricing.found || master.contains(pricing.schedule);
       if (heuristic_failed && options.pricing == PricingMode::HeuristicThenExact) {
@@ -152,9 +195,8 @@ CgResult solve_column_generation(const net::Network& net,
           // Any column comfortably below zero reduced cost will do.
           exact.target_psi = 1.0 + 1e-4;
         }
-        pricing = solve_pricing_milp(net, mp.lambda_hp, mp.lambda_lp, exact,
-                                     pricing.found ? &pricing.schedule
-                                                   : nullptr);
+        pricing = timed_milp(mp.lambda_hp, mp.lambda_lp, exact,
+                             pricing.found ? &pricing.schedule : nullptr);
         exact_used = true;
       }
     }
@@ -169,6 +211,10 @@ CgResult solve_column_generation(const net::Network& net,
     stat.phi = phi;
     stat.num_columns = static_cast<int>(master.num_columns());
     stat.exact_pricing = exact_used && pricing.exact;
+    stat.master_seconds = last_master_seconds;
+    stat.pricing_seconds = seconds_since(pricing_t0);
+    stat.master_pivots = mp.simplex_iterations;
+    stat.master_warm_started = mp.warm_started;
     if (std::isfinite(phi_lb)) {
       stat.lower_bound =
           theorem1_lower_bound(mp.lambda_hp, mp.lambda_lp, effective, phi_lb);
@@ -223,7 +269,7 @@ CgResult solve_column_generation(const net::Network& net,
   }
 
   // ---- Final solution extraction ---------------------------------------
-  const MasterSolution final_mp = master.solve(cert_out);
+  const MasterSolution final_mp = timed_master_solve(cert_out);
   if (final_mp.ok) {
     certify_master(cert, "final extraction");
     result.total_slots = final_mp.objective_slots;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/master.h"
@@ -62,6 +63,12 @@ struct CgOptions {
   /// improving column instead of the true optimum (faster; the final
   /// certification iteration always runs to optimality).
   bool exact_early_stop = true;
+  /// Warm-start every master solve from the previous optimal basis (the
+  /// appended column enters nonbasic; phase 1 is skipped while the old
+  /// basis stays primal-feasible).  Off = cold two-phase solve every
+  /// iteration — the pre-incremental behavior, kept for A/B benchmarking
+  /// and the warm/cold equivalence tests.
+  bool warm_start_master = true;
   /// Run the independent certificate checkers (src/check) alongside the
   /// solve: an LP certificate of every master solve, a ScheduleVerifier
   /// pass over every column entering the pool, the Theorem-1 invariant
@@ -85,6 +92,39 @@ struct IterationStat {
   double best_lower_bound = std::nan("");
   int num_columns = 0;
   bool exact_pricing = false;
+  /// --- Per-phase instrumentation (wall clock, seconds) ---
+  double master_seconds = 0.0;
+  double pricing_seconds = 0.0;
+  /// Simplex pivots the master solve spent this iteration.
+  std::int64_t master_pivots = 0;
+  /// True when the master solve resumed from the previous optimal basis.
+  bool master_warm_started = false;
+};
+
+/// Aggregated per-phase wall-clock profile of one CG solve (printed by
+/// `mmwave_cli solve --profile`, exported by the perf benches).
+struct CgProfile {
+  double master_seconds = 0.0;
+  double greedy_seconds = 0.0;
+  double milp_seconds = 0.0;
+  std::int64_t master_pivots = 0;
+  int master_solves = 0;
+  int master_warm_hits = 0;
+  int greedy_calls = 0;
+  int milp_calls = 0;
+
+  /// Fraction of master solves that resumed from a prior basis.
+  double warm_hit_rate() const {
+    return master_solves > 0
+               ? static_cast<double>(master_warm_hits) / master_solves
+               : 0.0;
+  }
+  /// Mean simplex pivots per master solve.
+  double pivots_per_solve() const {
+    return master_solves > 0
+               ? static_cast<double>(master_pivots) / master_solves
+               : 0.0;
+  }
 };
 
 /// Outcome of the CgOptions::verify certificate checks.
@@ -124,6 +164,8 @@ struct CgResult {
   std::vector<int> unserved_links;
   /// Certificate-checker outcome (populated when CgOptions::verify).
   VerificationSummary verification;
+  /// Per-phase wall-clock counters of this solve.
+  CgProfile profile;
 
   double gap() const {
     if (std::isnan(lower_bound) || total_slots <= 0.0) return std::nan("");

@@ -1,62 +1,60 @@
 #include "core/master.h"
 
-#include <algorithm>
 #include <utility>
 
 namespace mmwave::core {
 
 MasterProblem::MasterProblem(const net::Network& net,
                              std::vector<video::LinkDemand> demands)
-    : net_(net), demands_(std::move(demands)) {}
+    : net_(net), demands_(std::move(demands)) {
+  // Row layout: [hp | lp] (master_layout.h).  Rows are created once, empty;
+  // add_column extends them in place so solves can resume from the previous
+  // basis instead of rebuilding the LP every iteration.
+  const int num_links = net_.num_links();
+  for (int l = 0; l < num_links; ++l) {
+    model_.add_constraint({}, lp::Sense::Ge, demands_[l].hp_bits);
+  }
+  for (int l = 0; l < num_links; ++l) {
+    model_.add_constraint({}, lp::Sense::Ge, demands_[l].lp_bits);
+  }
+}
 
 bool MasterProblem::add_column(const sched::Schedule& schedule) {
   const std::string key = schedule.key();
-  if (!keys_.insert(key).second) return false;
+  if (!key_to_index_.emplace(key, columns_.size()).second) return false;
   columns_.push_back(schedule);
   hp_cols_.push_back(
       schedule.rate_column_bits_per_slot(net_, net::Layer::Hp));
   lp_cols_.push_back(
       schedule.rate_column_bits_per_slot(net_, net::Layer::Lp));
+
+  const int var = model_.add_variable(0.0, lp::kInfinity, 1.0);
+  const int num_links = net_.num_links();
+  const std::vector<double>& hp = hp_cols_.back();
+  const std::vector<double>& lp = lp_cols_.back();
+  for (int l = 0; l < num_links; ++l) {
+    if (hp[l] > 0.0) model_.add_term(master_hp_row(l), var, hp[l]);
+    if (lp[l] > 0.0) model_.add_term(master_lp_row(num_links, l), var, lp[l]);
+  }
   return true;
 }
 
 bool MasterProblem::contains(const sched::Schedule& schedule) const {
-  return keys_.count(schedule.key()) != 0;
+  return key_to_index_.count(schedule.key()) != 0;
 }
 
-MasterSolution MasterProblem::solve(MasterCertificate* certificate) const {
+MasterSolution MasterProblem::solve(MasterCertificate* certificate) {
   MasterSolution out;
   const int num_links = net_.num_links();
 
-  lp::LpModel model;
-  for (std::size_t s = 0; s < columns_.size(); ++s) {
-    model.add_variable(0.0, lp::kInfinity, 1.0);
-  }
-  // Row layout: [hp rows for links 0..L-1 | lp rows].
-  for (int l = 0; l < num_links; ++l) {
-    std::vector<lp::Term> terms;
-    for (std::size_t s = 0; s < columns_.size(); ++s) {
-      if (hp_cols_[s][l] > 0.0)
-        terms.emplace_back(static_cast<int>(s), hp_cols_[s][l]);
-    }
-    model.add_constraint(std::move(terms), lp::Sense::Ge,
-                         demands_[l].hp_bits);
-  }
-  for (int l = 0; l < num_links; ++l) {
-    std::vector<lp::Term> terms;
-    for (std::size_t s = 0; s < columns_.size(); ++s) {
-      if (lp_cols_[s][l] > 0.0)
-        terms.emplace_back(static_cast<int>(s), lp_cols_[s][l]);
-    }
-    model.add_constraint(std::move(terms), lp::Sense::Ge,
-                         demands_[l].lp_bits);
-  }
-
-  const lp::LpSolution sol = lp::solve_lp(model);
+  const lp::LpSolution sol = lp::solve_lp(
+      model_, lp::LpOptions{}, warm_start_enabled_ ? &warm_ : nullptr);
   if (certificate) {
     certificate->solution = sol;
-    certificate->model = std::move(model);
+    certificate->model = model_;
   }
+  out.simplex_iterations = sol.iterations;
+  out.warm_started = sol.warm_started;
   if (!sol.optimal()) return out;
 
   out.ok = true;
@@ -65,10 +63,9 @@ MasterSolution MasterProblem::solve(MasterCertificate* certificate) const {
   out.lambda_hp.assign(num_links, 0.0);
   out.lambda_lp.assign(num_links, 0.0);
   for (int l = 0; l < num_links; ++l) {
-    // Clamp the tiny negative dust the tolerance allows; duals of >= rows in
-    // a min problem are nonnegative.
-    out.lambda_hp[l] = std::max(0.0, sol.duals[l]);
-    out.lambda_lp[l] = std::max(0.0, sol.duals[num_links + l]);
+    out.lambda_hp[l] = clamp_master_dual(sol.duals[master_hp_row(l)]);
+    out.lambda_lp[l] =
+        clamp_master_dual(sol.duals[master_lp_row(num_links, l)]);
   }
   return out;
 }
@@ -76,13 +73,22 @@ MasterSolution MasterProblem::solve(MasterCertificate* certificate) const {
 double MasterProblem::reduced_cost(const sched::Schedule& schedule,
                                    const std::vector<double>& lambda_hp,
                                    const std::vector<double>& lambda_lp) const {
-  const std::vector<double> hp =
-      schedule.rate_column_bits_per_slot(net_, net::Layer::Hp);
-  const std::vector<double> lp =
-      schedule.rate_column_bits_per_slot(net_, net::Layer::Lp);
+  const std::vector<double>* hp = nullptr;
+  const std::vector<double>* lp = nullptr;
+  std::vector<double> hp_fresh, lp_fresh;
+  const auto it = key_to_index_.find(schedule.key());
+  if (it != key_to_index_.end()) {
+    hp = &hp_cols_[it->second];
+    lp = &lp_cols_[it->second];
+  } else {
+    hp_fresh = schedule.rate_column_bits_per_slot(net_, net::Layer::Hp);
+    lp_fresh = schedule.rate_column_bits_per_slot(net_, net::Layer::Lp);
+    hp = &hp_fresh;
+    lp = &lp_fresh;
+  }
   double value = 0.0;
   for (int l = 0; l < net_.num_links(); ++l) {
-    value += lambda_hp[l] * hp[l] + lambda_lp[l] * lp[l];
+    value += lambda_hp[l] * (*hp)[l] + lambda_lp[l] * (*lp)[l];
   }
   return 1.0 - value;
 }

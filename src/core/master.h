@@ -10,10 +10,12 @@
 // schedule s is  mu^s = 1 - sum_l (lambda_hp r^s_hp + lambda_lp r^s_lp).
 #pragma once
 
+#include <cstdint>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
+#include "core/master_layout.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
 #include "mmwave/network.h"
@@ -40,6 +42,11 @@ struct MasterSolution {
   /// Simplex multipliers per link (slots/bit).
   std::vector<double> lambda_hp;
   std::vector<double> lambda_lp;
+  /// Simplex pivots this solve spent (profiling).
+  std::int64_t simplex_iterations = 0;
+  /// True when the solve resumed from the previous optimal basis instead of
+  /// cold-starting the two-phase simplex.
+  bool warm_started = false;
 };
 
 class MasterProblem {
@@ -60,11 +67,26 @@ class MasterProblem {
 
   /// Solves the restricted LP exactly and extracts the duals.  When
   /// `certificate` is non-null the LP model and raw solution are exported
-  /// into it for independent certificate checking.
-  MasterSolution solve(MasterCertificate* certificate = nullptr) const;
+  /// into it for independent certificate checking (the model is snapshotted
+  /// by copy; it keeps growing afterwards).
+  ///
+  /// Solves are incremental: the LP model persists across calls, growing by
+  /// one column per add_column, and each solve warm-starts from the previous
+  /// optimal basis (new columns enter nonbasic at zero), falling back to a
+  /// cold two-phase solve when the old basis is unusable.
+  MasterSolution solve(MasterCertificate* certificate = nullptr);
+
+  /// Disables/enables warm-starting (default on).  With warm starts off
+  /// every solve cold-starts the two-phase simplex — the pre-incremental
+  /// behavior, kept for A/B benchmarking and equivalence tests.
+  void set_warm_start(bool enabled) {
+    warm_start_enabled_ = enabled;
+    if (!enabled) warm_.valid = false;
+  }
 
   /// Reduced cost 1 - sum_l lambda . r of a candidate schedule under the
-  /// given duals.
+  /// given duals.  Rate columns of schedules already in the pool are served
+  /// from the cache instead of being recomputed.
   double reduced_cost(const sched::Schedule& schedule,
                       const std::vector<double>& lambda_hp,
                       const std::vector<double>& lambda_lp) const;
@@ -75,7 +97,12 @@ class MasterProblem {
   std::vector<sched::Schedule> columns_;
   std::vector<std::vector<double>> hp_cols_;  // cached bits/slot per column
   std::vector<std::vector<double>> lp_cols_;
-  std::unordered_set<std::string> keys_;
+  std::unordered_map<std::string, std::size_t> key_to_index_;
+  /// Persistent restricted LP (rows fixed at construction, one variable per
+  /// pooled column) and the resumable basis of its last optimal solve.
+  lp::LpModel model_;
+  lp::WarmStart warm_;
+  bool warm_start_enabled_ = true;
 };
 
 }  // namespace mmwave::core

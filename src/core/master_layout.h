@@ -1,0 +1,31 @@
+// Row-layout convention of the master covering LP, defined once.
+//
+// The restricted master has one >= covering row per (link, layer) in the
+// fixed order [hp rows for links 0..L-1 | lp rows for links 0..L-1]; every
+// consumer of a MasterCertificate (the in-tree certificate exporter, the
+// warm-start bookkeeping, tests reading raw duals) must agree on it, so it
+// lives here rather than being re-derived at each site.
+//
+// Duals of >= rows in a minimization problem are nonnegative; the solver's
+// tolerance can leave tiny negative dust on them, which every consumer must
+// clamp the same way before using the values as pricing multipliers.
+#pragma once
+
+#include <algorithm>
+
+namespace mmwave::core {
+
+/// Row index of link `l`'s HP covering constraint.
+inline int master_hp_row(int link) { return link; }
+
+/// Row index of link `l`'s LP covering constraint.
+inline int master_lp_row(int num_links, int link) { return num_links + link; }
+
+/// Total row count of the master LP.
+inline int master_num_rows(int num_links) { return 2 * num_links; }
+
+/// Clamps the tolerance-dust negative part of a >=-row dual: the multipliers
+/// fed to the pricing step are nonnegative by LP duality.
+inline double clamp_master_dual(double dual) { return std::max(0.0, dual); }
+
+}  // namespace mmwave::core

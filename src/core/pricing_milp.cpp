@@ -11,78 +11,74 @@
 namespace mmwave::core {
 namespace {
 
-struct XVar {
-  int link;
-  int level;    // q
-  int channel;  // k
-  net::Layer layer;
-};
+std::size_t xid(const net::Network& net, int l, int q, int k, int layer) {
+  const int K = net.num_channels();
+  const int Q = net.num_rate_levels();
+  return ((static_cast<std::size_t>(l) * Q + q) * K + k) * 2 + layer;
+}
 
 }  // namespace
 
-PricingResult solve_pricing_milp(const net::Network& net,
-                                 const std::vector<double>& lambda_hp,
-                                 const std::vector<double>& lambda_lp,
-                                 const MilpPricingOptions& options,
-                                 const sched::Schedule* warm_start) {
-  PricingResult out;
+/// Builds the dual-independent model skeleton: one binary per (l, q, k,
+/// layer) that can reach the SINR threshold interference-free at Pmax (an
+/// exact, network-only prune), per-channel powers, SINR activation rows,
+/// coupling/choice/half-duplex constraints and the pairwise conflict cuts.
+/// Objective coefficients are all zero here; solve_pricing_milp rewrites
+/// them (and the activation bounds) from the duals on every call.
+void PricingMilpCache::build(const net::Network& net,
+                             const MilpPricingOptions& options) {
   const int L = net.num_links();
   const int K = net.num_channels();
   const int Q = net.num_rate_levels();
   const double pmax = net.params().p_max_watts;
 
-  milp::MilpModel model;
+  PricingMilpCache& c = *this;
+  c = PricingMilpCache();
+  c.fixed_power_ = options.fixed_power;
+  c.allow_layer_split_ = options.allow_layer_split;
+  c.links_ = L;
+  c.channels_ = K;
+  c.levels_ = Q;
+
+  milp::MilpModel& model = c.model_;
   model.set_objective_sense(lp::ObjSense::Maximize);
 
   // --- Variables -------------------------------------------------------
-  std::vector<XVar> xvars;
-  // var index of x[(l,q,k,layer)]; -1 if pruned.
-  auto xid = [&](int l, int q, int k, int layer) {
-    return ((static_cast<std::size_t>(l) * Q + q) * K + k) * 2 + layer;
-  };
-  std::vector<int> xindex(static_cast<std::size_t>(L) * Q * K * 2, -1);
-
+  c.xindex_.assign(static_cast<std::size_t>(L) * Q * K * 2, -1);
   for (int l = 0; l < L; ++l) {
     for (int layer = 0; layer < 2; ++layer) {
-      const double lambda = layer == 0 ? lambda_hp[l] : lambda_lp[l];
-      if (lambda <= 1e-15) continue;  // cannot contribute to the objective
       for (int k = 0; k < K; ++k) {
         const double solo_sinr =
             net.direct_gain(l, k) * pmax / net.noise(l);
         for (int q = 0; q < Q; ++q) {
           if (solo_sinr < net.rate_level(q).sinr_threshold) continue;
-          const double coef = lambda * net.bits_per_slot(q);
-          const int var = model.add_variable(0, 1, coef, milp::VarType::Binary);
-          xindex[xid(l, q, k, layer)] = var;
-          xvars.push_back({l, q, k, static_cast<net::Layer>(layer)});
+          const int var = model.add_variable(0, 1, 0.0, milp::VarType::Binary);
+          c.xindex_[xid(net, l, q, k, layer)] = var;
+          c.xvars_.push_back({l, q, k, static_cast<net::Layer>(layer)});
         }
       }
     }
   }
-
-  if (xvars.empty()) {
-    out.found = false;
-    out.psi = 0.0;
-    out.psi_upper_bound = 0.0;
-    out.exact = true;
-    return out;
+  if (c.xvars_.empty()) {
+    c.built_ = true;
+    return;
   }
 
   // P_l^k only where link l has at least one x variable on channel k.
-  std::map<std::pair<int, int>, int> pvar;  // (l, k) -> var index
-  for (const XVar& xv : xvars) {
+  for (const XVar& xv : c.xvars_) {
     const auto key = std::make_pair(xv.link, xv.channel);
-    if (pvar.count(key)) continue;
-    pvar[key] =
+    if (c.pvar_.count(key)) continue;
+    c.pvar_[key] =
         model.add_variable(0.0, pmax, 0.0, milp::VarType::Continuous);
   }
   // Links that may transmit on channel k (for interference sums / big-M).
   std::vector<std::vector<int>> channel_members(K);
-  for (const auto& [key, var] : pvar) channel_members[key.second].push_back(key.first);
+  for (const auto& [key, var] : c.pvar_)
+    channel_members[key.second].push_back(key.first);
 
   // --- SINR activation constraints (corrected (26)/(28)) ---------------
-  for (std::size_t xi = 0; xi < xvars.size(); ++xi) {
-    const XVar& xv = xvars[xi];
+  for (std::size_t xi = 0; xi < c.xvars_.size(); ++xi) {
+    const auto& xv = c.xvars_[xi];
     const int l = xv.link, q = xv.level, k = xv.channel;
     const double gamma = net.rate_level(q).sinr_threshold;
     const double rho = net.noise(l);
@@ -96,12 +92,12 @@ PricingResult solve_pricing_milp(const net::Network& net,
 
     std::vector<lp::Term> terms;
     const int xvar_index =
-        xindex[xid(l, q, k, static_cast<int>(xv.layer))];
+        c.xindex_[xid(net, l, q, k, static_cast<int>(xv.layer))];
     terms.emplace_back(xvar_index, big_m);
-    terms.emplace_back(pvar.at({l, k}), -net.direct_gain(l, k));
+    terms.emplace_back(c.pvar_.at({l, k}), -net.direct_gain(l, k));
     for (int other : channel_members[k]) {
       if (other == l) continue;
-      terms.emplace_back(pvar.at({other, k}),
+      terms.emplace_back(c.pvar_.at({other, k}),
                          gamma * net.cross_gain(other, l, k));
     }
     model.add_constraint(std::move(terms), lp::Sense::Le,
@@ -111,13 +107,13 @@ PricingResult solve_pricing_milp(const net::Network& net,
   // --- Power/channel coupling: P_l^k <= Pmax * sum_q,layer x -----------
   // (and, under the fixed-power ablation, also >=, pinning active powers
   // to exactly Pmax).
-  for (const auto& [key, pv] : pvar) {
+  for (const auto& [key, pv] : c.pvar_) {
     const auto [l, k] = key;
     std::vector<lp::Term> terms;
     terms.emplace_back(pv, 1.0);
     for (int q = 0; q < Q; ++q) {
       for (int layer = 0; layer < 2; ++layer) {
-        const int idx = xindex[xid(l, q, k, layer)];
+        const int idx = c.xindex_[xid(net, l, q, k, layer)];
         if (idx >= 0) terms.emplace_back(idx, -pmax);
       }
     }
@@ -137,7 +133,7 @@ PricingResult solve_pricing_milp(const net::Network& net,
       for (int k = 0; k < K; ++k) {
         for (int q = 0; q < Q; ++q) {
           for (int layer = 0; layer < 2; ++layer) {
-            const int idx = xindex[xid(l, q, k, layer)];
+            const int idx = c.xindex_[xid(net, l, q, k, layer)];
             if (idx >= 0) terms.emplace_back(idx, 1.0);
           }
         }
@@ -152,7 +148,7 @@ PricingResult solve_pricing_milp(const net::Network& net,
         std::vector<lp::Term> terms;
         for (int k = 0; k < K; ++k) {
           for (int q = 0; q < Q; ++q) {
-            const int idx = xindex[xid(l, q, k, layer)];
+            const int idx = c.xindex_[xid(net, l, q, k, layer)];
             if (idx >= 0) terms.emplace_back(idx, 1.0);
           }
         }
@@ -164,7 +160,7 @@ PricingResult solve_pricing_milp(const net::Network& net,
         std::vector<lp::Term> terms;
         for (int q = 0; q < Q; ++q) {
           for (int layer = 0; layer < 2; ++layer) {
-            const int idx = xindex[xid(l, q, k, layer)];
+            const int idx = c.xindex_[xid(net, l, q, k, layer)];
             if (idx >= 0) terms.emplace_back(idx, 1.0);
           }
         }
@@ -174,8 +170,8 @@ PricingResult solve_pricing_milp(const net::Network& net,
       // Shared transmit budget: sum_k P_l^k <= Pmax.
       std::vector<lp::Term> power_terms;
       for (int k = 0; k < K; ++k) {
-        auto it = pvar.find({l, k});
-        if (it != pvar.end()) power_terms.emplace_back(it->second, 1.0);
+        auto it = c.pvar_.find({l, k});
+        if (it != c.pvar_.end()) power_terms.emplace_back(it->second, 1.0);
       }
       if (power_terms.size() > 1)
         model.add_constraint(std::move(power_terms), lp::Sense::Le, pmax);
@@ -188,7 +184,6 @@ PricingResult solve_pricing_milp(const net::Network& net,
     node_links[link.tx_node].push_back(link.id);
     node_links[link.rx_node].push_back(link.id);
   }
-  std::map<int, int> link_indicator;  // link -> y var (layer-split only)
   for (const auto& [node, links_here] : node_links) {
     if (links_here.size() < 2) continue;  // implied by (30)
     if (!options.allow_layer_split) {
@@ -197,7 +192,7 @@ PricingResult solve_pricing_milp(const net::Network& net,
         for (int k = 0; k < K; ++k) {
           for (int q = 0; q < Q; ++q) {
             for (int layer = 0; layer < 2; ++layer) {
-              const int idx = xindex[xid(l, q, k, layer)];
+              const int idx = c.xindex_[xid(net, l, q, k, layer)];
               if (idx >= 0) terms.emplace_back(idx, 1.0);
             }
           }
@@ -211,14 +206,14 @@ PricingResult solve_pricing_milp(const net::Network& net,
     // constraint, so gate on a per-link activity indicator y_l >= every x.
     std::vector<lp::Term> node_row;
     for (int l : links_here) {
-      auto [it, inserted] = link_indicator.try_emplace(l, -1);
+      auto [it, inserted] = c.link_indicator_.try_emplace(l, -1);
       if (inserted) {
         it->second =
             model.add_variable(0.0, 1.0, 0.0, milp::VarType::Continuous);
         for (int k = 0; k < K; ++k) {
           for (int q = 0; q < Q; ++q) {
             for (int layer = 0; layer < 2; ++layer) {
-              const int idx = xindex[xid(l, q, k, layer)];
+              const int idx = c.xindex_[xid(net, l, q, k, layer)];
               if (idx >= 0) {
                 model.add_constraint({{idx, 1.0}, {it->second, -1.0}},
                                      lp::Sense::Le, 0.0);
@@ -237,12 +232,13 @@ PricingResult solve_pricing_milp(const net::Network& net,
   // If two (link, level) choices cannot coexist on a channel even as a
   // bare pair under power control, no larger set containing them can
   // (interference is monotone), so x_i + x_j <= 1 is valid.  These clique
-  // cuts tighten the big-M LP relaxation enormously and are cheap to
-  // precompute: one 2x2 power solve per candidate pair.
+  // cuts tighten the big-M LP relaxation enormously and, being
+  // dual-independent, are precomputed once per network here rather than
+  // once per pricing call: one 2x2 power solve per candidate pair.
   {
     // Collect, per channel, the distinct (link, level) pairs in use.
     std::map<int, std::vector<std::pair<int, int>>> lq_by_channel;
-    for (const XVar& xv : xvars) {
+    for (const XVar& xv : c.xvars_) {
       auto& v = lq_by_channel[xv.channel];
       if (std::find(v.begin(), v.end(),
                     std::make_pair(xv.link, xv.level)) == v.end()) {
@@ -263,8 +259,10 @@ PricingResult solve_pricing_milp(const net::Network& net,
           }
           std::vector<lp::Term> terms;
           for (int layer = 0; layer < 2; ++layer) {
-            const int ia = xindex[xid(lqs[a].first, lqs[a].second, k, layer)];
-            const int ib = xindex[xid(lqs[b].first, lqs[b].second, k, layer)];
+            const int ia =
+                c.xindex_[xid(net, lqs[a].first, lqs[a].second, k, layer)];
+            const int ib =
+                c.xindex_[xid(net, lqs[b].first, lqs[b].second, k, layer)];
             if (ia >= 0) terms.emplace_back(ia, 1.0);
             if (ib >= 0) terms.emplace_back(ib, 1.0);
           }
@@ -274,24 +272,75 @@ PricingResult solve_pricing_milp(const net::Network& net,
       }
     }
   }
+  c.built_ = true;
+}
+
+PricingResult solve_pricing_milp(const net::Network& net,
+                                 const std::vector<double>& lambda_hp,
+                                 const std::vector<double>& lambda_lp,
+                                 const MilpPricingOptions& options,
+                                 const sched::Schedule* warm_start,
+                                 PricingMilpCache* cache) {
+  PricingResult out;
+
+  PricingMilpCache local;
+  PricingMilpCache& c = cache != nullptr ? *cache : local;
+  if (!c.built_ || c.fixed_power_ != options.fixed_power ||
+      c.allow_layer_split_ != options.allow_layer_split ||
+      c.links_ != net.num_links() || c.channels_ != net.num_channels() ||
+      c.levels_ != net.num_rate_levels()) {
+    c.build(net, options);
+  }
+
+  // --- Activate under the current duals ---------------------------------
+  // A (link, layer) with lambda <= 0 can only add interference, never
+  // objective: instead of pruning the variable from the model (which would
+  // force a rebuild per iteration), pin it to zero via its upper bound and
+  // give the rest their objective coefficient lambda * bits/slot.
+  int active = 0;
+  for (std::size_t xi = 0; xi < c.xvars_.size(); ++xi) {
+    const auto& xv = c.xvars_[xi];
+    const int idx = c.xindex_[xid(net, xv.link, xv.level, xv.channel,
+                                  static_cast<int>(xv.layer))];
+    const double lambda = xv.layer == net::Layer::Hp ? lambda_hp[xv.link]
+                                                     : lambda_lp[xv.link];
+    lp::Variable& var = c.model_.variable(idx);
+    if (lambda > 1e-15) {
+      var.cost = lambda * net.bits_per_slot(xv.level);
+      var.ub = 1.0;
+      ++active;
+    } else {
+      var.cost = 0.0;
+      var.ub = 0.0;
+    }
+  }
+
+  if (active == 0) {
+    out.found = false;
+    out.psi = 0.0;
+    out.psi_upper_bound = 0.0;
+    out.exact = true;
+    return out;
+  }
 
   // --- Warm start -------------------------------------------------------
   // The all-zero point (nobody transmits) is always feasible, so seed it
   // even without a caller-supplied schedule: a truncated branch & bound
   // then always returns a valid incumbent (Psi >= 0) and dual bound.
-  std::vector<double> warm(static_cast<std::size_t>(model.num_variables()),
-                           0.0);
+  std::vector<double> warm(
+      static_cast<std::size_t>(c.model_.num_variables()), 0.0);
   const bool have_warm = true;
   if (warm_start != nullptr && !warm_start->empty()) {
     for (const sched::Transmission& tx : warm_start->transmissions()) {
-      const int idx =
-          xindex[xid(tx.link, tx.rate_level, tx.channel,
-                     static_cast<int>(tx.layer))];
-      if (idx < 0) continue;  // pruned variable: drop this transmission
+      const int idx = c.xindex_[xid(net, tx.link, tx.rate_level, tx.channel,
+                                    static_cast<int>(tx.layer))];
+      // Drop transmissions on pruned or deactivated (lambda <= 0)
+      // variables; keeping them would make the seed infeasible.
+      if (idx < 0 || c.model_.variable(idx).ub < 0.5) continue;
       warm[idx] = 1.0;
-      warm[pvar.at({tx.link, tx.channel})] = tx.power_watts;
-      const auto y = link_indicator.find(tx.link);
-      if (y != link_indicator.end()) warm[y->second] = 1.0;
+      warm[c.pvar_.at({tx.link, tx.channel})] = tx.power_watts;
+      const auto y = c.link_indicator_.find(tx.link);
+      if (y != c.link_indicator_.end()) warm[y->second] = 1.0;
     }
   }
 
@@ -300,7 +349,7 @@ PricingResult solve_pricing_milp(const net::Network& net,
   if (!std::isnan(options.target_psi))
     milp_opts.target_objective = options.target_psi;
   const milp::MilpSolution sol =
-      milp::solve_milp(model, milp_opts, have_warm ? &warm : nullptr);
+      milp::solve_milp(c.model_, milp_opts, have_warm ? &warm : nullptr);
 
   if (!sol.has_solution()) {
     MMWAVE_LOG_WARN << "pricing MILP returned " << milp::to_string(sol.status);
@@ -321,13 +370,13 @@ PricingResult solve_pricing_milp(const net::Network& net,
 
   // --- Extract the schedule ---------------------------------------------
   sched::Schedule schedule;
-  for (std::size_t xi = 0; xi < xvars.size(); ++xi) {
-    const XVar& xv = xvars[xi];
-    const int idx = xindex[xid(xv.link, xv.level, xv.channel,
-                               static_cast<int>(xv.layer))];
+  for (std::size_t xi = 0; xi < c.xvars_.size(); ++xi) {
+    const auto& xv = c.xvars_[xi];
+    const int idx = c.xindex_[xid(net, xv.link, xv.level, xv.channel,
+                                  static_cast<int>(xv.layer))];
     if (sol.x[idx] < 0.5) continue;
     schedule.add({xv.link, xv.layer, xv.level, xv.channel,
-                  sol.x[pvar.at({xv.link, xv.channel})]});
+                  sol.x[c.pvar_.at({xv.link, xv.channel})]});
   }
 
   if (options.clean_powers && !options.fixed_power && !schedule.empty()) {

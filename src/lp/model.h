@@ -54,6 +54,16 @@ class LpModel {
     return static_cast<int>(constraints_.size()) - 1;
   }
 
+  /// Appends one term to an existing constraint row.  This is the
+  /// incremental-growth hook: the column-generation master appends a
+  /// variable and extends the rows it covers in place instead of rebuilding
+  /// the whole model each iteration.
+  void add_term(int row, int col, double coef) {
+    assert(row >= 0 && row < num_constraints());
+    assert(col >= 0 && col < num_variables());
+    constraints_[row].terms.emplace_back(col, coef);
+  }
+
   void set_objective_sense(ObjSense sense) { obj_sense_ = sense; }
   ObjSense objective_sense() const { return obj_sense_; }
 

@@ -26,7 +26,7 @@ class Simplex {
     build(model, lb_override, ub_override);
   }
 
-  LpSolution run(const LpModel& model) {
+  LpSolution run(const LpModel& model, WarmStart* warm) {
     LpSolution sol;
     if (bad_bounds_) {
       sol.status = SolveStatus::Infeasible;
@@ -38,40 +38,33 @@ class Simplex {
       return sol;
     }
 
-    init_basis();
-
-    // Phase 1: minimize the sum of artificial values.
-    phase1_ = true;
-    SolveStatus st = iterate();
-    sol.iterations = iterations_;
-    if (st != SolveStatus::Optimal) {
-      sol.status = st == SolveStatus::Unbounded ? SolveStatus::NumericalError
-                                                : st;
-      return sol;
-    }
-    if (phase1_objective() > 1e-6 * (1.0 + rhs_scale_)) {
-      sol.status = SolveStatus::Infeasible;
-      return sol;
-    }
-
-    // Phase 2: fix artificials at zero and optimize the true objective.
-    phase1_ = false;
-    for (int j = n_art_start_; j < num_cols_; ++j) {
-      lb_[j] = 0.0;
-      ub_[j] = 0.0;
-      if (state_[j] != VarState::Basic) {
-        state_[j] = VarState::AtLower;
-        xval_[j] = 0.0;
+    SolveStatus st = SolveStatus::NumericalError;
+    bool solved = false;
+    if (warm != nullptr && warm->valid && install_warm_basis(*warm)) {
+      // The old optimal basis is still primal-feasible: skip phase 1 and
+      // re-optimize directly (typically a handful of pivots after a column
+      // append).
+      phase1_ = false;
+      st = iterate();
+      if (st == SolveStatus::Optimal || st == SolveStatus::IterationLimit) {
+        solved = true;
+        sol.warm_started = true;
       }
+      // Anything else means the stale basis went numerically bad mid-flight;
+      // fall through to an ordinary cold start.
     }
-    st = iterate();
+    if (!solved) {
+      sol.warm_started = false;
+      st = run_two_phase();
+    }
     sol.iterations = iterations_;
     sol.status = st;
-    if (st != SolveStatus::Optimal && st != SolveStatus::IterationLimit) {
-      return sol;
+    if (st == SolveStatus::Optimal || st == SolveStatus::IterationLimit) {
+      finalize(model, sol);
+      sol.status = st;
+      if (warm != nullptr && st == SolveStatus::Optimal)
+        export_warm_basis(*warm);
     }
-    finalize(model, sol);
-    sol.status = st;
     return sol;
   }
 
@@ -195,6 +188,140 @@ class Simplex {
       xval_[aj] = std::abs(residual[i]);
     }
     refactorize();
+  }
+
+  /// The original cold path: phase 1 from an all-artificial basis, then
+  /// phase 2 with the artificials pinned to zero.
+  SolveStatus run_two_phase() {
+    init_basis();
+
+    // Phase 1: minimize the sum of artificial values.
+    phase1_ = true;
+    SolveStatus st = iterate();
+    if (st != SolveStatus::Optimal) {
+      return st == SolveStatus::Unbounded ? SolveStatus::NumericalError : st;
+    }
+    if (phase1_objective() > 1e-6 * (1.0 + rhs_scale_)) {
+      return SolveStatus::Infeasible;
+    }
+
+    // Phase 2: fix artificials at zero and optimize the true objective.
+    phase1_ = false;
+    for (int j = n_art_start_; j < num_cols_; ++j) {
+      lb_[j] = 0.0;
+      ub_[j] = 0.0;
+      if (state_[j] != VarState::Basic) {
+        state_[j] = VarState::AtLower;
+        xval_[j] = 0.0;
+      }
+    }
+    return iterate();
+  }
+
+  /// Installs a caller-supplied basis: nonbasic variables rest at their
+  /// recorded bound (appended columns at lower bound), the basis is
+  /// refactorized and the basic values recomputed.  Returns true only when
+  /// the basis is nonsingular and the resulting point is primal-feasible —
+  /// the condition under which phase 1 may be skipped.
+  bool install_warm_basis(const WarmStart& ws) {
+    if (static_cast<int>(ws.basis.size()) != m_) return false;
+    if (static_cast<int>(ws.struct_state.size()) > n_struct_) return false;
+    if (static_cast<int>(ws.slack_state.size()) != m_) return false;
+
+    xval_.assign(num_cols_, 0.0);
+    state_.assign(num_cols_, VarState::AtLower);
+    auto rest = [&](int j, BoundState st) {
+      // Honor the recorded side when that bound is finite; otherwise demote
+      // to whichever bound exists (or free).
+      const bool fl = std::isfinite(lb_[j]);
+      const bool fu = std::isfinite(ub_[j]);
+      VarState s;
+      if (st == BoundState::AtUpper && fu) {
+        s = VarState::AtUpper;
+      } else if (st == BoundState::AtLower && fl) {
+        s = VarState::AtLower;
+      } else if (fl) {
+        s = VarState::AtLower;
+      } else if (fu) {
+        s = VarState::AtUpper;
+      } else {
+        s = VarState::FreeNonbasic;
+      }
+      state_[j] = s;
+      xval_[j] = s == VarState::AtLower   ? lb_[j]
+                 : s == VarState::AtUpper ? ub_[j]
+                                          : 0.0;
+    };
+    for (int j = 0; j < n_struct_; ++j) {
+      rest(j, j < static_cast<int>(ws.struct_state.size())
+                  ? ws.struct_state[j]
+                  : BoundState::AtLower);
+    }
+    for (int i = 0; i < m_; ++i) rest(n_slack_start_ + i, ws.slack_state[i]);
+    // Artificials never participate in a warm solve.
+    for (int j = n_art_start_; j < num_cols_; ++j) {
+      lb_[j] = 0.0;
+      ub_[j] = 0.0;
+      state_[j] = VarState::AtLower;
+      xval_[j] = 0.0;
+    }
+
+    basis_.assign(m_, -1);
+    std::vector<char> in_basis(static_cast<std::size_t>(num_cols_), 0);
+    for (int i = 0; i < m_; ++i) {
+      const int e = ws.basis[i];
+      int col;
+      if (e >= 0) {
+        if (e >= n_struct_) return false;
+        col = e;
+      } else {
+        const int row = -1 - e;
+        if (row < 0 || row >= m_) return false;
+        col = n_slack_start_ + row;
+      }
+      if (in_basis[col]) return false;
+      in_basis[col] = 1;
+      basis_[i] = col;
+      state_[col] = VarState::Basic;
+    }
+    if (!refactorize()) return false;
+
+    const double tol = options_.feasibility_tol * (1.0 + rhs_scale_);
+    for (int i = 0; i < m_; ++i) {
+      const int bj = basis_[i];
+      if (xval_[bj] < lb_[bj] - tol || xval_[bj] > ub_[bj] + tol) return false;
+    }
+    return true;
+  }
+
+  /// Exports the current (optimal) basis in the model-independent encoding.
+  /// A basis still holding an artificial (degenerate equality rows) is not
+  /// expressible; the snapshot is invalidated and the next solve runs cold.
+  void export_warm_basis(WarmStart& ws) const {
+    ws.valid = false;
+    ws.basis.assign(m_, 0);
+    for (int i = 0; i < m_; ++i) {
+      const int bj = basis_[i];
+      if (bj < n_struct_) {
+        ws.basis[i] = bj;
+      } else if (bj < n_art_start_) {
+        ws.basis[i] = -1 - (bj - n_slack_start_);
+      } else {
+        return;
+      }
+    }
+    auto enc = [&](int j) {
+      switch (state_[j]) {
+        case VarState::AtUpper: return BoundState::AtUpper;
+        case VarState::FreeNonbasic: return BoundState::Free;
+        default: return BoundState::AtLower;
+      }
+    };
+    ws.struct_state.resize(n_struct_);
+    for (int j = 0; j < n_struct_; ++j) ws.struct_state[j] = enc(j);
+    ws.slack_state.resize(m_);
+    for (int i = 0; i < m_; ++i) ws.slack_state[i] = enc(n_slack_start_ + i);
+    ws.valid = true;
   }
 
   double phase1_objective() const {
@@ -392,7 +519,9 @@ class Simplex {
     }
   }
 
-  void refactorize() {
+  /// Returns false when the basis matrix is singular (the previous inverse
+  /// is kept; warm-start installation treats this as "basis unusable").
+  bool refactorize() {
     Matrix basis_matrix(m_, m_);
     for (int i = 0; i < m_; ++i) {
       for (const auto& [row, coef] : cols_[basis_[i]])
@@ -401,7 +530,7 @@ class Simplex {
     LuFactorization lu(std::move(basis_matrix));
     if (!lu.ok()) {
       MMWAVE_LOG_WARN << "simplex: singular basis at refactorization";
-      return;  // keep the updated inverse; tolerances will catch drift
+      return false;  // keep the updated inverse; tolerances will catch drift
     }
     binv_ = lu.inverse();
     pivots_since_refactor_ = 0;
@@ -418,6 +547,7 @@ class Simplex {
       for (int k = 0; k < m_; ++k) v += row[k] * rhs[k];
       xval_[basis_[i]] = v;
     }
+    return true;
   }
 
   //--------------------------------------------------------------------
@@ -506,7 +636,13 @@ const char* to_string(SolveStatus status) {
 
 LpSolution solve_lp(const LpModel& model, const LpOptions& options) {
   Simplex simplex(model, {}, {}, options);
-  return simplex.run(model);
+  return simplex.run(model, nullptr);
+}
+
+LpSolution solve_lp(const LpModel& model, const LpOptions& options,
+                    WarmStart* warm) {
+  Simplex simplex(model, {}, {}, options);
+  return simplex.run(model, warm);
 }
 
 LpSolution solve_lp_with_bounds(const LpModel& model,
@@ -514,7 +650,7 @@ LpSolution solve_lp_with_bounds(const LpModel& model,
                                 const std::vector<double>& ub,
                                 const LpOptions& options) {
   Simplex simplex(model, lb, ub, options);
-  return simplex.run(model);
+  return simplex.run(model, nullptr);
 }
 
 }  // namespace mmwave::lp

@@ -59,12 +59,45 @@ struct LpSolution {
   /// One dual per constraint; see sign convention above.
   std::vector<double> duals;
   std::int64_t iterations = 0;
+  /// True when this solve resumed from a caller-supplied WarmStart basis
+  /// (phase 1 was skipped entirely).
+  bool warm_started = false;
 
   bool optimal() const { return status == SolveStatus::Optimal; }
 };
 
+/// Rest state of a nonbasic variable in a WarmStart.
+enum class BoundState : std::uint8_t { AtLower, AtUpper, Free };
+
+/// Resumable-basis snapshot of an optimal solve, in a model-independent
+/// encoding so it survives column appends: a basis entry >= 0 names a
+/// structural variable by index, an entry e < 0 names the slack of row
+/// -1 - e.  Structural variables appended after the snapshot default to
+/// nonbasic at lower bound, which is exactly the column-generation growth
+/// pattern (the old basis stays primal-feasible and phase 1 is skipped;
+/// anything else falls back to a cold two-phase solve).
+struct WarmStart {
+  bool valid = false;
+  /// One entry per constraint row.
+  std::vector<int> basis;
+  /// Rest states of structural variables at export time; variables added
+  /// later rest at their lower bound.
+  std::vector<BoundState> struct_state;
+  /// Rest states of the row slacks (one per constraint).
+  std::vector<BoundState> slack_state;
+};
+
 /// Solves the model.  The model is not modified.
 LpSolution solve_lp(const LpModel& model, const LpOptions& options = {});
+
+/// Solves the model, resuming from `warm` when it holds a compatible basis
+/// (same row count; at most as many structural variables as the model).  On
+/// an Optimal exit the final basis is exported back into `warm` so the next
+/// solve of a grown model can resume again.  The result is the same optimum
+/// a cold solve finds (identical objective and, for non-degenerate models,
+/// identical duals); only the pivot path differs.
+LpSolution solve_lp(const LpModel& model, const LpOptions& options,
+                    WarmStart* warm);
 
 /// Solves the model with per-variable bound overrides (used by branch &
 /// bound to explore nodes without copying the model).  `lb`/`ub` must have

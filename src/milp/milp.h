@@ -53,6 +53,12 @@ class MilpModel {
   int num_variables() const { return lp_.num_variables(); }
   int num_constraints() const { return lp_.num_constraints(); }
   VarType type(int j) const { return types_[j]; }
+
+  /// Mutable variable access for model reuse across solves: the cached
+  /// pricing skeleton rewrites objective coefficients and activation bounds
+  /// between calls instead of rebuilding the constraint matrix.
+  lp::Variable& variable(int j) { return lp_.variable(j); }
+  const lp::Variable& variable(int j) const { return lp_.variable(j); }
   bool is_integral(int j) const { return types_[j] != VarType::Continuous; }
 
   const lp::LpModel& lp() const { return lp_; }

@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mmwave::common {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+  EXPECT_EQ(count.load(), 100);  // destruction changes nothing
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    // no wait_idle: the destructor must still run everything
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> visits(257);
+    parallel_for(visits.size(), threads,
+                 [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < visits.size(); ++i)
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " threads " << threads;
+  }
+}
+
+TEST(ParallelFor, IndexOrderReductionIsThreadCountInvariant) {
+  // The harness contract: index-addressed slots + index-order reduction
+  // give identical results for any thread count.
+  auto run = [](unsigned threads) {
+    std::vector<double> slot(1000);
+    parallel_for(slot.size(), threads, [&](std::size_t i) {
+      slot[i] = static_cast<double>(i) * 1.5 + 1.0;
+    });
+    return std::accumulate(slot.begin(), slot.end(), 0.0);
+  };
+  const double serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(7), serial);
+}
+
+TEST(ParallelFor, ZeroAndOneItems) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [&](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                     completed.fetch_add(1);
+                   }),
+      std::runtime_error);
+  // Remaining items still ran: no index was silently skipped.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ResolveThreads, AutoAndExplicit) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_GE(resolve_threads(-3), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(6), 6u);
+}
+
+}  // namespace
+}  // namespace mmwave::common

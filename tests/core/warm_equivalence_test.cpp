@@ -1,0 +1,155 @@
+// Warm/cold equivalence of the full column-generation pipeline: on the
+// paper's figure scenarios, a run with warm-started incremental master
+// solves must produce the same answer as a run with cold two-phase solves
+// every iteration — same final objective, same Theorem-1 bounds, every LP
+// certificate passing — with the warm run spending fewer simplex pivots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/column_generation.h"
+#include "video/demand.h"
+
+namespace mmwave::core {
+namespace {
+
+struct Instance {
+  net::Network net;
+  std::vector<video::LinkDemand> demands;
+};
+
+// Mirror of bench::make_instance (bench/harness.h): Table I network plus
+// per-link single-GOP demands, keyed by the same seed formula the figure
+// benches use.
+Instance make_instance(int links, int channels, double demand_scale,
+                       std::uint64_t seed, double gamma_scale, int levels = 0) {
+  common::Rng rng(seed);
+  net::NetworkParams params;
+  params.num_links = links;
+  params.num_channels = channels;
+  if (levels > 0) params.sinr_thresholds.resize(levels);
+  for (double& g : params.sinr_thresholds) g *= gamma_scale;
+  net::Network net = net::Network::table_i(params, rng);
+
+  video::DemandConfig dcfg;
+  dcfg.demand_scale = demand_scale;
+  common::Rng demand_rng = rng.fork(0x5EED);
+  auto demands = video::make_link_demands(links, dcfg, demand_rng);
+  return {std::move(net), std::move(demands)};
+}
+
+struct WarmColdPair {
+  CgResult warm;
+  CgResult cold;
+};
+
+WarmColdPair solve_both(const net::Network& net,
+                        const std::vector<video::LinkDemand>& demands,
+                        CgOptions opts) {
+  opts.verify = true;  // certificate checkers audit every master solve
+  WarmColdPair pair;
+  opts.warm_start_master = true;
+  pair.warm = solve_column_generation(net, demands, opts);
+  opts.warm_start_master = false;
+  pair.cold = solve_column_generation(net, demands, opts);
+  return pair;
+}
+
+void expect_equivalent(const WarmColdPair& p) {
+  // Every certificate (LP KKT per master solve, column feasibility,
+  // Theorem-1 invariant, final timeline coverage) must hold in both runs.
+  EXPECT_TRUE(p.warm.verification.ok())
+      << p.warm.verification.errors.front();
+  EXPECT_TRUE(p.cold.verification.ok())
+      << p.cold.verification.errors.front();
+  EXPECT_GT(p.warm.verification.lp_certificates, 0);
+
+  // Same optimum.  The column pools may differ (different but equally
+  // optimal pivot paths can price different columns), so we compare the
+  // converged objectives and bounds, not the trajectories.
+  const double tol = 1e-6 * (1.0 + std::abs(p.cold.total_slots));
+  EXPECT_NEAR(p.warm.total_slots, p.cold.total_slots, tol);
+  EXPECT_EQ(p.warm.converged, p.cold.converged);
+  if (std::isfinite(p.warm.lower_bound) && std::isfinite(p.cold.lower_bound)) {
+    // Both are valid lower bounds on the same optimum.
+    EXPECT_LE(p.warm.lower_bound, p.warm.total_slots + tol);
+    EXPECT_LE(p.cold.lower_bound, p.cold.total_slots + tol);
+  }
+
+  // The whole point: the warm run resumed (hit rate > 0; the first solve
+  // is necessarily cold) and the cold run never did.
+  EXPECT_GT(p.warm.profile.master_warm_hits, 0);
+  EXPECT_EQ(p.cold.profile.master_warm_hits, 0);
+}
+
+TEST(WarmEquivalence, Fig1Scenario) {
+  // Fig. 1 point: L=10, K=5, Table I ladder, hybrid pricing.
+  const Instance inst = make_instance(10, 5, 1e-3, 0xC0FFEE, 1.0);
+  CgOptions opts;
+  opts.pricing = PricingMode::HeuristicThenExact;
+  const WarmColdPair p = solve_both(inst.net, inst.demands, opts);
+  expect_equivalent(p);
+}
+
+TEST(WarmEquivalence, Fig4Scenario) {
+  // Fig. 4 convergence study: small instance, exact pricing every
+  // iteration, binding-interference x3 ladder.  Sized so the pricing MILP
+  // always runs to optimality: with truncated pricing, warm and cold runs
+  // could legitimately stop on different (both valid) incumbents.
+  const Instance inst =
+      make_instance(6, 2, 1e-3, 0xC0FFEE + 1000003ULL * 2, 3.0, /*levels=*/3);
+  CgOptions opts;
+  opts.pricing = PricingMode::ExactAlways;
+  // Bound the pricing B&B by its (deterministic) node limit, not wall
+  // clock: under a ~20x sanitizer slowdown the default 10s limit truncates
+  // mid-run and the two runs legitimately stop on different incumbents.
+  opts.exact.milp.time_limit_sec = 600.0;
+  const WarmColdPair p = solve_both(inst.net, inst.demands, opts);
+  ASSERT_TRUE(p.warm.converged);  // certified optimum, not a truncation
+  ASSERT_TRUE(p.cold.converged);
+  expect_equivalent(p);
+  // With exact pricing both runs certified the same optimum, so the
+  // Theorem-1 bounds must both close the gap.
+  EXPECT_NEAR(p.warm.lower_bound, p.cold.lower_bound,
+              1e-6 * (1.0 + std::abs(p.cold.lower_bound)));
+}
+
+TEST(WarmEquivalence, WarmRunSpendsFewerPivots) {
+  // The perf claim behind the refactor, checked as an invariant: over the
+  // whole CG run the warm master does at most as many simplex pivots as
+  // the cold master (typically far fewer), with at least one solve cheaper.
+  const Instance inst =
+      make_instance(15, 5, 1e-3, 0xC0FFEE + 1000003ULL, 1.0);
+  CgOptions opts;
+  opts.pricing = PricingMode::HeuristicOnly;
+  const WarmColdPair p = solve_both(inst.net, inst.demands, opts);
+  expect_equivalent(p);
+  EXPECT_GT(p.cold.profile.master_pivots, 0);
+  EXPECT_LT(p.warm.profile.pivots_per_solve(),
+            p.cold.profile.pivots_per_solve());
+}
+
+TEST(WarmEquivalence, ProfileCountersAreConsistent) {
+  const Instance inst = make_instance(10, 5, 1e-3, 42, 1.0);
+  CgOptions opts;
+  opts.pricing = PricingMode::HeuristicOnly;
+  opts.warm_start_master = true;
+  const CgResult r = solve_column_generation(inst.net, inst.demands, opts);
+
+  // One master solve per iteration plus the final extraction.
+  EXPECT_EQ(r.profile.master_solves, r.iterations + 1);
+  EXPECT_GE(r.profile.greedy_calls, r.iterations);
+  EXPECT_EQ(r.profile.milp_calls, 0);  // HeuristicOnly never prices exactly
+  EXPECT_GE(r.profile.master_seconds, 0.0);
+  EXPECT_GE(r.profile.warm_hit_rate(), 0.0);
+  EXPECT_LE(r.profile.warm_hit_rate(), 1.0);
+
+  // Per-iteration stats mirror the aggregate.
+  std::int64_t pivots = 0;
+  for (const IterationStat& s : r.history) pivots += s.master_pivots;
+  EXPECT_LE(pivots, r.profile.master_pivots);  // aggregate includes final solve
+}
+
+}  // namespace
+}  // namespace mmwave::core

@@ -1,0 +1,159 @@
+// Warm-started simplex: warm and cold solves of the same model must agree
+// to tolerance in objective (always) and duals (on generic instances), the
+// KKT certificate must hold on warm solutions, and the warm path must fall
+// back to a cold solve — never to a wrong answer — when the basis it is
+// handed is stale or damaged.
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "check/lp_certificate.h"
+#include "common/rng.h"
+#include "lp/model.h"
+
+namespace mmwave::lp {
+namespace {
+
+// Random covering LP shaped like the CG master: min c'x, Ax >= b, x >= 0,
+// sparse nonnegative A.  Always feasible (every row gets at least one
+// positive entry and x is unbounded above).
+LpModel random_covering_lp(common::Rng& rng, int rows, int cols) {
+  LpModel m;
+  for (int j = 0; j < cols; ++j)
+    m.add_variable(0.0, kInfinity, rng.uniform(0.5, 2.0));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < cols; ++j)
+      if (rng.bernoulli(0.4)) terms.emplace_back(j, rng.uniform(0.1, 1.0));
+    if (terms.empty())
+      terms.emplace_back(static_cast<int>(rng.uniform_int(0, cols - 1)),
+                         rng.uniform(0.1, 1.0));
+    m.add_constraint(std::move(terms), Sense::Ge, rng.uniform(1.0, 5.0));
+  }
+  return m;
+}
+
+// Appends one covering-style column to the model.
+void append_column(LpModel& m, common::Rng& rng) {
+  const int j = m.add_variable(0.0, kInfinity, rng.uniform(0.3, 1.5));
+  for (int i = 0; i < m.num_constraints(); ++i)
+    if (rng.bernoulli(0.5)) m.add_term(i, j, rng.uniform(0.2, 1.2));
+}
+
+void expect_certificate_ok(const LpModel& m, const LpSolution& sol) {
+  const check::LpCertReport rep = check::check_lp_certificate(m, sol);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(SimplexWarm, ColumnAppendMatchesColdSolve) {
+  common::Rng rng(0xAB5EED);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int rows = static_cast<int>(rng.uniform_int(4, 11));
+    const int cols = rows + static_cast<int>(rng.uniform_int(0, 9));
+    LpModel m = random_covering_lp(rng, rows, cols);
+
+    WarmStart warm;
+    LpSolution sol = solve_lp(m, {}, &warm);
+    ASSERT_TRUE(sol.optimal()) << "trial " << trial;
+    EXPECT_FALSE(sol.warm_started);  // nothing to resume from yet
+    ASSERT_TRUE(warm.valid);
+    expect_certificate_ok(m, sol);
+
+    // CG-style growth: append columns one at a time, re-solving warm and
+    // cold after each append.
+    for (int growth = 0; growth < 5; ++growth) {
+      append_column(m, rng);
+      const LpSolution cold = solve_lp(m);
+      sol = solve_lp(m, {}, &warm);
+      ASSERT_TRUE(sol.optimal()) << "trial " << trial << " growth " << growth;
+      ASSERT_TRUE(cold.optimal());
+      const double tol = 1e-7 * (1.0 + std::abs(cold.objective));
+      EXPECT_NEAR(sol.objective, cold.objective, tol)
+          << "trial " << trial << " growth " << growth;
+      // The warm solution must stand on its own as a KKT certificate
+      // (primal + dual feasibility + complementary slackness), which pins
+      // the duals to *an* optimal dual solution even under degeneracy.
+      expect_certificate_ok(m, sol);
+    }
+  }
+}
+
+TEST(SimplexWarm, WarmSolveSkipsPhase1) {
+  common::Rng rng(77);
+  LpModel m = random_covering_lp(rng, 8, 14);
+  WarmStart warm;
+  LpSolution first = solve_lp(m, {}, &warm);
+  ASSERT_TRUE(first.optimal());
+
+  // Unchanged model: the warm solve resumes and proves optimality in
+  // few-to-zero pivots.
+  const LpSolution again = solve_lp(m, {}, &warm);
+  ASSERT_TRUE(again.optimal());
+  EXPECT_TRUE(again.warm_started);
+  EXPECT_LE(again.iterations, first.iterations);
+  EXPECT_NEAR(again.objective, first.objective,
+              1e-9 * (1.0 + std::abs(first.objective)));
+}
+
+TEST(SimplexWarm, DualsMatchOnGenericInstance) {
+  // A nondegenerate instance has a unique dual solution, so warm and cold
+  // duals must agree componentwise.
+  LpModel m;
+  const int x = m.add_variable(0, kInfinity, 2.0);
+  const int y = m.add_variable(0, kInfinity, 3.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::Ge, 4.0);
+  m.add_constraint({{x, 3.0}, {y, 1.0}}, Sense::Ge, 6.0);
+
+  WarmStart warm;
+  LpSolution first = solve_lp(m, {}, &warm);
+  ASSERT_TRUE(first.optimal());
+
+  const int z = m.add_variable(0, kInfinity, 10.0);  // too costly to enter
+  m.add_term(0, z, 0.1);
+  const LpSolution cold = solve_lp(m);
+  const LpSolution sol = solve_lp(m, {}, &warm);
+  ASSERT_TRUE(sol.optimal());
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_EQ(sol.duals.size(), cold.duals.size());
+  for (std::size_t i = 0; i < sol.duals.size(); ++i)
+    EXPECT_NEAR(sol.duals[i], cold.duals[i], 1e-8) << "row " << i;
+}
+
+TEST(SimplexWarm, GarbageBasisFallsBackToColdSolve) {
+  common::Rng rng(13);
+  LpModel m = random_covering_lp(rng, 6, 10);
+  const LpSolution reference = solve_lp(m);
+  ASSERT_TRUE(reference.optimal());
+
+  WarmStart warm;
+  warm.valid = true;
+  warm.basis.assign(m.num_constraints(), 0);  // duplicate entries: invalid
+  warm.struct_state.assign(m.num_variables(), BoundState::AtLower);
+  warm.slack_state.assign(m.num_constraints(), BoundState::AtLower);
+
+  const LpSolution sol = solve_lp(m, {}, &warm);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_FALSE(sol.warm_started);  // rejected, cold path taken
+  EXPECT_NEAR(sol.objective, reference.objective,
+              1e-8 * (1.0 + std::abs(reference.objective)));
+  expect_certificate_ok(m, sol);
+  EXPECT_TRUE(warm.valid);  // refreshed from the cold solve for next time
+}
+
+TEST(SimplexWarm, WrongSizedBasisFallsBack) {
+  common::Rng rng(29);
+  LpModel m = random_covering_lp(rng, 5, 9);
+  WarmStart warm;
+  warm.valid = true;
+  warm.basis = {0};  // wrong length for a 5-row model
+  const LpSolution sol = solve_lp(m, {}, &warm);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_FALSE(sol.warm_started);
+  expect_certificate_ok(m, sol);
+}
+
+}  // namespace
+}  // namespace mmwave::lp

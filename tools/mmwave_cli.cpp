@@ -1,8 +1,12 @@
 // mmwave_cli — command-line front end to the library.
 //
-//   mmwave_cli solve   [instance flags] [--csv=plan.csv]
+//   mmwave_cli solve   [instance flags] [--csv=plan.csv] [--profile]
+//                      [--warm-start=0|1]
 //       Solve one instance with column generation; print the solution and
-//       optionally dump the (schedule, tau) plan as CSV.
+//       optionally dump the (schedule, tau) plan as CSV.  --profile prints
+//       the per-phase wall-clock breakdown (master solves, pivots,
+//       warm-start hit rate, greedy/MILP pricing); --warm-start=0 forces
+//       cold two-phase master solves for A/B comparison.
 //   mmwave_cli compare [instance flags]
 //       Run CG, Benchmark 1, Benchmark 2 and TDMA on the same instance and
 //       print the metric table.
@@ -93,6 +97,7 @@ int cmd_solve(const common::CliFlags& flags) {
   Instance inst = build_instance(f);
   core::CgOptions opts;
   opts.pricing = f.pricing;
+  opts.warm_start_master = flags.get_int("warm-start", 1) != 0;
   const auto result =
       core::solve_column_generation(inst.net, inst.demands, opts);
 
@@ -114,6 +119,24 @@ int cmd_solve(const common::CliFlags& flags) {
       sched::quantize_timeline(inst.net, result.timeline, inst.demands);
   std::printf("whole-slot plan: %.0f slots (quantization overhead %.3f%%)\n",
               quant.quantized_slots, 100.0 * quant.overhead());
+
+  if (flags.has("profile")) {
+    const core::CgProfile& p = result.profile;
+    std::printf("profile:\n");
+    std::printf("  master_solve    %8.3f ms  (%d solves, %lld pivots, "
+                "%.1f pivots/solve)\n",
+                1e3 * p.master_seconds, p.master_solves,
+                static_cast<long long>(p.master_pivots),
+                p.pivots_per_solve());
+    std::printf("  warm starts     %d/%d master solves resumed "
+                "(hit rate %.0f%%)\n",
+                p.master_warm_hits, p.master_solves,
+                100.0 * p.warm_hit_rate());
+    std::printf("  pricing_greedy  %8.3f ms  (%d calls)\n",
+                1e3 * p.greedy_seconds, p.greedy_calls);
+    std::printf("  pricing_milp    %8.3f ms  (%d calls)\n",
+                1e3 * p.milp_seconds, p.milp_calls);
+  }
 
   if (flags.has("csv")) {
     common::Table table(
@@ -281,7 +304,7 @@ int main(int argc, char** argv) {
       "usage: mmwave_cli <solve|compare|stream|check> [--links=N]\n"
       "       [--channels=K] [--levels=Q] [--gamma-scale=x] [--seed=s]\n"
       "       [--demand-scale=d] [--pricing=heuristic|hybrid|exact]\n"
-      "  solve   also accepts --csv=plan.csv\n"
+      "  solve   also accepts --csv=plan.csv --profile --warm-start=0|1\n"
       "  stream  also accepts --gops=N --p-block=p\n"
       "  check   runs the solve under the certificate checkers and exits\n"
       "          non-zero on any violated certificate\n");

@@ -12,10 +12,18 @@
 #   4. certificate verifier               mmwave_cli check on the seed
 #                                         Fig. 1 / Fig. 4 scenarios, run on
 #                                         the *sanitized* binaries
+#   5. ThreadSanitizer                    thread-pool + warm-equivalence
+#                                         tests and a --threads bench smoke
+#                                         under MMWAVE_SANITIZE=thread
+#   6. perf bench                         perf_solvers (google-benchmark) on
+#                                         the plain build; writes
+#                                         BENCH_cg.json with the warm/cold
+#                                         CG master comparison
 #
 # Usage:  tools/run_analysis.sh [--fast]
-#   --fast   skip leg 1 (the plain build) — the sanitized leg still runs
-#            the full suite, so this is the quick pre-push variant.
+#   --fast   skip legs 1 and 6 (the plain build and the perf bench) — the
+#            sanitized legs still run the full suite, so this is the quick
+#            pre-push variant.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -90,6 +98,49 @@ if [[ -x "$CLI" ]]; then
     || leg_failed "verifier (Fig. 4 scenario)"
 else
   leg_failed "verifier (mmwave_cli missing: sanitized build failed?)"
+fi
+
+# ---- Leg 5: ThreadSanitizer over the parallel paths -----------------------
+# The thread pool and the warm-equivalence pipeline are the two places data
+# races could hide; run exactly those tests (plus a --threads bench smoke)
+# under TSan rather than the whole suite — TSan slows everything ~10x.
+note "leg 5: ThreadSanitizer (thread pool + warm equivalence)"
+TSAN_DIR="$ROOT/build-analysis-tsan"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+if configure_and_build "$TSAN_DIR" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      "-DMMWAVE_SANITIZE=thread"; then
+  (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
+      -R 'ThreadPool|ParallelFor|ResolveThreads|WarmEquivalence|SimplexWarm') \
+    || leg_failed "ctest (TSan: parallel paths)"
+  FIG1="$TSAN_DIR/bench/fig1_sched_time"
+  if [[ -x "$FIG1" ]]; then
+    "$FIG1" --links=8 --seeds=4 --threads=2 --gamma-scale=1 > /dev/null \
+      || leg_failed "fig1_sched_time --threads=2 under TSan"
+  else
+    leg_failed "fig1_sched_time missing (TSan build incomplete?)"
+  fi
+else
+  leg_failed "build (TSan)"
+fi
+
+# ---- Leg 6: perf bench (BENCH_cg.json) ------------------------------------
+# The warm/cold CG master comparison the PR-level perf claims come from.
+# A missing binary is a failure, not a skip: the bench target silently
+# falling out of the build would otherwise go unnoticed.
+if [[ "$FAST" == 0 ]]; then
+  note "leg 6: perf bench (perf_solvers -> BENCH_cg.json)"
+  PERF="$ROOT/build-analysis-rel/bench/perf_solvers"
+  if [[ -x "$PERF" ]]; then
+    "$PERF" --benchmark_min_time=0.1 \
+        --benchmark_out="$ROOT/BENCH_cg.json" --benchmark_out_format=json \
+      || leg_failed "perf_solvers"
+    [[ -s "$ROOT/BENCH_cg.json" ]] || leg_failed "BENCH_cg.json not written"
+  else
+    leg_failed "perf_solvers missing (bench targets fell out of the build?)"
+  fi
+else
+  note "leg 6 skipped (--fast)"
 fi
 
 # ---- Summary --------------------------------------------------------------
