@@ -21,6 +21,7 @@
 // in index order), just wall-clock faster on multi-core machines.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <optional>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "baselines/baselines.h"
+#include "check/instance_validator.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -65,17 +67,31 @@ struct HarnessConfig {
   core::CgOptions cg;
 };
 
-/// Parses the common flags over the defaults in `cfg`.
+/// Parses the common flags over the defaults in `cfg`.  Malformed values
+/// ("--seeds=lots", "--channels=-1") abort the sweep with a one-line error
+/// instead of silently running a zero-sized experiment.
 inline HarnessConfig parse_common_flags(int argc, char** argv,
                                         HarnessConfig cfg = {}) {
   common::CliFlags flags;
   flags.parse(argc, argv);
+  const auto require = [](auto expected) {
+    if (!expected.ok()) {
+      std::cerr << "error: " << expected.status().message() << "\n";
+      std::exit(2);
+    }
+    return expected.value();
+  };
   cfg.link_counts = flags.get_int_list("links", cfg.link_counts);
-  cfg.channels = static_cast<int>(flags.get_int("channels", cfg.channels));
-  cfg.seeds = static_cast<int>(flags.get_int("seeds", cfg.seeds));
-  cfg.demand_scale = flags.get_double("demand-scale", cfg.demand_scale);
-  cfg.gamma_scale = flags.get_double("gamma-scale", cfg.gamma_scale);
-  cfg.threads = static_cast<int>(flags.get_int("threads", cfg.threads));
+  cfg.channels = static_cast<int>(
+      require(flags.get_int_checked("channels", cfg.channels, 1, 1024)));
+  cfg.seeds = static_cast<int>(
+      require(flags.get_int_checked("seeds", cfg.seeds, 1, 1'000'000)));
+  cfg.demand_scale = require(
+      flags.get_double_checked("demand-scale", cfg.demand_scale, 1e-18, 1e18));
+  cfg.gamma_scale = require(
+      flags.get_double_checked("gamma-scale", cfg.gamma_scale, 1e-9, 1e9));
+  cfg.threads = static_cast<int>(
+      require(flags.get_int_checked("threads", cfg.threads, 0, 4096)));
   if (flags.has("csv")) cfg.csv_path = flags.get_string("csv", "");
   return cfg;
 }
@@ -95,6 +111,17 @@ inline Instance make_instance(int links, int channels, double demand_scale,
   dcfg.demand_scale = demand_scale;
   common::Rng demand_rng = rng.fork(0x5EED);
   auto demands = video::make_link_demands(links, dcfg, demand_rng);
+
+  // Generated instances are validated the same way user-supplied ones are:
+  // a sweep point that would feed NaN gains or absurd demands to every
+  // algorithm under comparison aborts loudly instead of charting garbage.
+  const check::InstanceReport report = check::validate_instance(net, demands);
+  if (!report.ok()) {
+    std::cerr << "error: generated instance (links=" << links
+              << ", seed=" << seed << ") failed validation:\n"
+              << report.to_string() << "\n";
+    std::exit(2);
+  }
   return {std::move(net), std::move(demands)};
 }
 

@@ -1,9 +1,19 @@
 #include "common/cli.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
 namespace mmwave::common {
+
+namespace {
+
+Status flag_error(const std::string& name, const std::string& what) {
+  return Status::Error(ErrorCode::kInvalidInput, "--" + name + ": " + what);
+}
+
+}  // namespace
 
 bool CliFlags::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -56,6 +66,44 @@ bool CliFlags::get_bool(const std::string& name, bool def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Expected<std::int64_t> CliFlags::get_int_checked(const std::string& name,
+                                                 std::int64_t def,
+                                                 std::int64_t lo,
+                                                 std::int64_t hi) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& raw = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (raw.empty() || end != raw.c_str() + raw.size() || errno == ERANGE)
+    return flag_error(name, "expected an integer, got '" + raw + "'");
+  if (v < lo || v > hi)
+    return flag_error(name, "value " + std::to_string(v) +
+                                " out of range [" + std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  return static_cast<std::int64_t>(v);
+}
+
+Expected<double> CliFlags::get_double_checked(const std::string& name,
+                                              double def, double lo,
+                                              double hi) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& raw = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end != raw.c_str() + raw.size() || errno == ERANGE)
+    return flag_error(name, "expected a number, got '" + raw + "'");
+  if (std::isnan(v) || v < lo || v > hi) {
+    std::ostringstream os;
+    os << "value " << raw << " out of range [" << lo << ", " << hi << "]";
+    return flag_error(name, os.str());
+  }
+  return v;
 }
 
 std::vector<std::int64_t> CliFlags::get_int_list(

@@ -4,10 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace mmwave::common {
 
@@ -27,6 +30,19 @@ class CliFlags {
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
+
+  /// Strict variants: an absent flag yields the default, but a present flag
+  /// whose value is not fully numeric ("--links=abc", "--links=10x") or out
+  /// of [lo, hi] yields kInvalidInput with a one-line "--name: ..."
+  /// diagnosis instead of the silent-zero of the strtoll-based getters.
+  Expected<std::int64_t> get_int_checked(
+      const std::string& name, std::int64_t def,
+      std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
+      std::int64_t hi = std::numeric_limits<std::int64_t>::max()) const;
+  Expected<double> get_double_checked(
+      const std::string& name, double def,
+      double lo = -std::numeric_limits<double>::infinity(),
+      double hi = std::numeric_limits<double>::infinity()) const;
 
   /// Comma-separated integer list, e.g. --links=10,15,20.
   std::vector<std::int64_t> get_int_list(

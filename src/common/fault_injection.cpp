@@ -1,0 +1,7 @@
+#include "common/fault_injection.h"
+
+namespace mmwave::common {
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+
+}  // namespace mmwave::common

@@ -1,0 +1,138 @@
+// Scenario-scriptable fault injection for robustness tests.
+//
+// Production solvers earn their graceful-degradation paths by having them
+// exercised; this injector lets a test script the exact failure — "the
+// pricing MILP finds no incumbent", "a simplex pivot goes numerically bad
+// on the 3rd master solve", "the deadline expires mid-iteration" — and
+// assert the solver still returns a verifier-clean, bound-certified answer.
+//
+// Usage (test side):
+//   common::FaultInjector inj(/*seed=*/42);
+//   inj.arm("milp.force_no_solution", {.skip = 1, .times = 1});
+//   common::FaultScope scope(inj);          // active until scope ends
+//   auto result = core::solve_column_generation(net, demands, opts);
+//
+// Usage (solver side, at the fault site):
+//   if (common::fault_fires("lp.pivot_poison")) { ...degrade... }
+//
+// When no injector is installed (all production runs) a site check is a
+// single atomic load of a null pointer.  The injector itself is not
+// thread-safe; scenarios are single-threaded by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+
+namespace mmwave::common {
+
+/// Site names used by the solver stack (kept here so tests and solvers
+/// cannot drift apart on spelling).
+namespace faults {
+/// solve_milp returns NoSolution (limit hit, no incumbent) immediately.
+inline constexpr const char* kMilpNoSolution = "milp.force_no_solution";
+/// Branch & bound stops at the first incumbent (truncated Feasible exit).
+inline constexpr const char* kMilpTruncate = "milp.truncate_incumbent";
+/// A simplex pivot is poisoned: the solve aborts with NumericalError.
+inline constexpr const char* kLpPivotPoison = "lp.pivot_poison";
+/// The column-generation deadline reads as exhausted mid-iteration.
+inline constexpr const char* kCgDeadline = "cg.deadline_exhausted";
+}  // namespace faults
+
+/// When/how often an armed site fires.  Namespace-scope (not nested) so it
+/// can serve as a default argument below — GCC parses nested-class default
+/// member initializers too late for that.
+struct FaultSpec {
+  /// Let this many hits pass before the site starts firing.
+  int skip = 0;
+  /// Fire at most this many times (default: every hit after `skip`).
+  int times = std::numeric_limits<int>::max();
+  /// Fire with this probability per eligible hit (seeded, deterministic).
+  double probability = 1.0;
+};
+
+class FaultInjector {
+ public:
+  using Spec = FaultSpec;
+
+  explicit FaultInjector(std::uint64_t seed = 0) : rng_(seed) {}
+
+  /// Arms (or re-arms, resetting counters) a site.
+  void arm(const std::string& site, Spec spec = {}) {
+    sites_[site] = SiteState{spec, 0, 0};
+  }
+  void disarm(const std::string& site) { sites_.erase(site); }
+
+  /// Called by the solver at the fault site.  Counts the hit and decides
+  /// whether the fault fires there.
+  bool should_fire(const std::string& site) {
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return false;
+    SiteState& s = it->second;
+    const int hit = s.hits++;
+    if (hit < s.spec.skip || s.fired >= s.spec.times) return false;
+    if (s.spec.probability < 1.0 &&
+        rng_.uniform() >= s.spec.probability) {
+      return false;
+    }
+    ++s.fired;
+    return true;
+  }
+
+  /// Times the site was reached / actually fired (test assertions).
+  int hits(const std::string& site) const {
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hits;
+  }
+  int fired(const std::string& site) const {
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.fired;
+  }
+
+  /// The process-wide active injector (null outside a FaultScope).
+  static FaultInjector* active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class FaultScope;
+  struct SiteState {
+    Spec spec;
+    int hits = 0;
+    int fired = 0;
+  };
+  std::map<std::string, SiteState> sites_;
+  Rng rng_;
+
+  static std::atomic<FaultInjector*> active_;
+};
+
+/// RAII activation of an injector as the process-wide active one.  Scopes
+/// must not nest or overlap across threads (they restore the previous
+/// pointer, so accidental nesting still unwinds correctly).
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector& injector)
+      : previous_(FaultInjector::active_.exchange(
+            &injector, std::memory_order_acq_rel)) {}
+  ~FaultScope() {
+    FaultInjector::active_.store(previous_, std::memory_order_release);
+  }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// Solver-side site check: false (one atomic load) when nothing is armed.
+inline bool fault_fires(const char* site) {
+  FaultInjector* injector = FaultInjector::active();
+  return injector != nullptr && injector->should_fire(site);
+}
+
+}  // namespace mmwave::common

@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace mmwave::common {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kInvalidInput: return "InvalidInput";
+    case ErrorCode::kNumericalBreakdown: return "NumericalBreakdown";
+    case ErrorCode::kLimitHit: return "LimitHit";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kStalled: return "Stalled";
+    case ErrorCode::kInfeasible: return "Infeasible";
+    case ErrorCode::kUnbounded: return "Unbounded";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "Ok";
+  std::string out = common::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mmwave::common

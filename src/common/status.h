@@ -1,0 +1,79 @@
+// Structured error propagation for the solver stack.
+//
+// The solvers historically reported failure through sentinel values (a
+// `bool ok`, a NaN objective, an enum with no context).  `Status` carries a
+// machine-readable error code plus a human-readable message, and
+// `Expected<T>` is a value-or-Status return for fallible constructors and
+// parsers.  Neither throws; the whole solve path stays exception-free.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace mmwave::common {
+
+enum class ErrorCode {
+  kOk = 0,
+  /// Malformed problem data (NaN gains, negative demands, size mismatch...).
+  kInvalidInput,
+  /// The numerics gave out: singular basis, poisoned pivot, LP error status.
+  kNumericalBreakdown,
+  /// A node / iteration / time limit truncated the solve (result may still
+  /// carry a valid incumbent and dual bound).
+  kLimitHit,
+  /// The wall-clock deadline expired before the solve finished.
+  kDeadlineExceeded,
+  /// No progress over a detection window (cycling / duplicate columns).
+  kStalled,
+  kInfeasible,
+  kUnbounded,
+  /// Unexpected internal failure (caught exception, broken invariant).
+  kInternal,
+};
+
+const char* to_string(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(ErrorCode code, std::string message) {
+    return Status(code, std::move(message));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<code>: <message>".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error return.  Minimal by design: holds the value and a Status
+/// side by side (the payloads here are small structs; no union tricks).
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  /// Valid only when ok().
+  const T& value() const { return value_; }
+  T& value() { return value_; }
+  T value_or(T fallback) const { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace mmwave::common

@@ -2,28 +2,105 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <limits>
 #include <sstream>
 #include <string>
 
+#include "check/instance_validator.h"
 #include "check/lp_certificate.h"
 #include "check/schedule_verifier.h"
+#include "common/fault_injection.h"
 #include "common/log.h"
+#include "common/rng.h"
 #include "mmwave/power_control.h"
 
 namespace mmwave::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Wall-clock budget of one solve.  The fault site lets tests script "the
+/// deadline expires mid-iteration" deterministically; once exhausted (for
+/// real or injected) it stays exhausted.
+class DeadlineTracker {
+ public:
+  explicit DeadlineTracker(double budget_sec)
+      : budget_(budget_sec), start_(Clock::now()) {}
+
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  /// +inf when no deadline was requested.
+  double remaining() const {
+    return budget_ > 0.0 ? budget_ - elapsed() : kInf;
+  }
+  bool enabled() const { return budget_ > 0.0; }
+  bool exhausted() {
+    if (!forced_ && common::fault_fires(common::faults::kCgDeadline))
+      forced_ = true;
+    return forced_ || (budget_ > 0.0 && remaining() <= 0.0);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  double budget_;
+  Clock::time_point start_;
+  bool forced_ = false;
+};
+
+void set_degraded(CgResult& result, CgStopReason reason,
+                  common::Status status) {
+  result.degraded = true;
+  result.stop_reason = reason;
+  result.status = std::move(status);
+  MMWAVE_LOG_WARN << "column generation degraded (" << to_string(reason)
+                  << "): " << result.status.to_string();
+}
+
+CgResult solve_cg_impl(const net::Network& net,
+                       const std::vector<video::LinkDemand>& demands,
+                       const CgOptions& options);
+
+}  // namespace
+
+const char* to_string(CgStopReason reason) {
+  switch (reason) {
+    case CgStopReason::kConverged: return "converged";
+    case CgStopReason::kHeuristicFixedPoint: return "heuristic-fixed-point";
+    case CgStopReason::kIterationLimit: return "iteration-limit";
+    case CgStopReason::kDeadline: return "deadline";
+    case CgStopReason::kStalled: return "stalled";
+    case CgStopReason::kMasterFailure: return "master-failure";
+    case CgStopReason::kPricingFailure: return "pricing-failure";
+    case CgStopReason::kInvalidInput: return "invalid-input";
+    case CgStopReason::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
 
 double theorem1_lower_bound(const std::vector<double>& lambda_hp,
                             const std::vector<double>& lambda_lp,
                             const std::vector<video::LinkDemand>& demands,
                             double phi) {
   // LB = (Lambda_hp . D_hp + Lambda_lp . D_lp) / (1 - Phi), Phi <= 0.
+  // A positive phi is clamped to 0 (conservative: it can only shrink the
+  // bound), which also keeps the denominator away from the Phi -> 1 pole.
   double dual_value = 0.0;
   for (std::size_t l = 0; l < demands.size(); ++l) {
     dual_value +=
         lambda_hp[l] * demands[l].hp_bits + lambda_lp[l] * demands[l].lp_bits;
   }
-  const double denom = 1.0 - std::min(phi, 0.0);
-  return dual_value / denom;
+  const double denom = 1.0 - std::min(phi, 0.0);  // NaN phi stays NaN
+  const double lb = dual_value / denom;
+  // Never emit +/-inf or NaN into a best-bound update: corrupted inputs
+  // (NaN duals/demands, NaN phi, non-positive denominator) degrade to the
+  // trivially valid -inf, which every caller treats as "no bound".
+  if (!std::isfinite(dual_value) || std::isnan(denom) || denom < 1.0 ||
+      !std::isfinite(lb)) {
+    return -kInf;
+  }
+  return lb;
 }
 
 std::vector<sched::Schedule> tdma_initial_columns(const net::Network& net) {
@@ -64,7 +141,47 @@ std::vector<sched::Schedule> tdma_initial_columns(const net::Network& net) {
 CgResult solve_column_generation(const net::Network& net,
                                  const std::vector<video::LinkDemand>& demands,
                                  const CgOptions& options) {
+  // The anytime contract: solve() never throws.  Anything escaping the
+  // implementation is converted into a degraded result so a scheduling
+  // service wrapping this call cannot be taken down by one bad instance.
+  try {
+    return solve_cg_impl(net, demands, options);
+  } catch (const std::exception& e) {
+    CgResult result;
+    set_degraded(result, CgStopReason::kInternalError,
+                 common::Status::Error(common::ErrorCode::kInternal,
+                                       std::string("unhandled exception: ") +
+                                           e.what()));
+    return result;
+  } catch (...) {
+    CgResult result;
+    set_degraded(result, CgStopReason::kInternalError,
+                 common::Status::Error(common::ErrorCode::kInternal,
+                                       "unhandled non-standard exception"));
+    return result;
+  }
+}
+
+namespace {
+
+CgResult solve_cg_impl(const net::Network& net,
+                       const std::vector<video::LinkDemand>& demands,
+                       const CgOptions& options) {
   CgResult result;
+  DeadlineTracker deadline(options.deadline_sec);
+
+  // Reject malformed instances (NaN gains, negative demands, size
+  // mismatches) before any solver arithmetic touches them.
+  if (options.validate_input) {
+    const check::InstanceReport report = check::validate_instance(net, demands);
+    if (!report.ok()) {
+      set_degraded(result, CgStopReason::kInvalidInput,
+                   common::Status::Error(common::ErrorCode::kInvalidInput,
+                                         report.to_string()));
+      result.solve_seconds = deadline.elapsed();
+      return result;
+    }
+  }
 
   // A link that cannot reach even the lowest rate level alone on any
   // channel (deep blockage, hopeless gains) can never be served: rather
@@ -162,64 +279,144 @@ CgResult solve_column_generation(const net::Network& net,
     return r;
   };
 
+  /// Per-call exact-pricing options under the deadline: the MILP budget
+  /// shrinks with the remaining wall clock so one call can never blow
+  /// through the deadline.  `full` disables the early-stop target
+  /// (escalated / certification calls).
+  const auto budgeted_exact = [&](bool full) {
+    MilpPricingOptions exact = options.exact;
+    if (!full && options.exact_early_stop) {
+      // Any column comfortably below zero reduced cost will do.
+      exact.target_psi = 1.0 + 1e-4;
+    } else {
+      exact.target_psi = std::nan("");
+    }
+    const double remaining = deadline.remaining();
+    if (std::isfinite(remaining)) {
+      double budget =
+          std::min(exact.milp.time_limit_sec,
+                   std::max(options.milp_budget_fraction * remaining,
+                            options.min_milp_budget_sec));
+      budget = std::min(budget, std::max(remaining, 0.0));
+      exact.milp.time_limit_sec = budget;
+      // A real deadline makes the budget hard: push it into every node LP
+      // so a single pricing call can never overrun the wall clock.
+      exact.milp.hard_time_limit = true;
+    }
+    return exact;
+  };
+
   double best_lb = std::nan("");
   MasterCertificate cert;
   MasterCertificate* cert_out = options.verify ? &cert : nullptr;
 
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
+  // --- Anytime/robustness state ------------------------------------------
+  // Escalation ladder: 0 = normal pricing (greedy first, early-stop exact),
+  // 1 = full-budget exact MILP, 2 = full exact under perturbed duals.
+  int escalation = 0;
+  bool perturbation_spent = false;
+  common::Rng perturb_rng(options.perturbation_seed);
+  // Stall window: consecutive iterations without relative LB/UB progress.
+  int no_progress_iters = 0;
+  double prev_ub = kInf;
+  double prev_lb = -kInf;
+  // Incumbent snapshot: tau of the last master solve that succeeded, so a
+  // later breakdown still returns the best schedule seen.
+  std::vector<double> incumbent_tau;
+  double incumbent_objective = std::nan("");
+
+  bool stopped = false;  // a stop_reason was decided inside the loop
+  for (int iter = 0; iter < options.max_iterations && !stopped; ++iter) {
+    if (deadline.exhausted()) {
+      set_degraded(result, CgStopReason::kDeadline,
+                   common::Status::Error(
+                       common::ErrorCode::kDeadlineExceeded,
+                       "deadline exhausted before iteration " +
+                           std::to_string(iter)));
+      break;
+    }
+
     const MasterSolution mp = timed_master_solve(cert_out);
     if (!mp.ok) {
-      MMWAVE_LOG_ERROR << "master LP failed at iteration " << iter;
+      set_degraded(result, CgStopReason::kMasterFailure,
+                   common::Status::Error(
+                       common::ErrorCode::kNumericalBreakdown,
+                       "master LP failed at iteration " +
+                           std::to_string(iter) + " (" +
+                           mp.status.to_string() + ")"));
       break;
     }
     certify_master(cert, "iteration " + std::to_string(iter));
+    incumbent_tau = mp.tau;
+    incumbent_objective = mp.objective_slots;
     const auto pricing_t0 = Clock::now();
 
     // ---- Pricing --------------------------------------------------------
+    // The duals the pricer sees: on the last-resort retry they are
+    // multiplicatively perturbed to break a numerical cycle; any column
+    // found is only accepted if it prices negative under the TRUE duals.
+    const bool perturbed = escalation >= 2;
+    std::vector<double> lhp = mp.lambda_hp;
+    std::vector<double> llp = mp.lambda_lp;
+    if (perturbed) {
+      perturbation_spent = true;
+      for (double& v : lhp)
+        v = std::max(0.0, v * (1.0 + options.dual_perturbation *
+                                         (perturb_rng.uniform() - 0.5)));
+      for (double& v : llp)
+        v = std::max(0.0, v * (1.0 + options.dual_perturbation *
+                                         (perturb_rng.uniform() - 0.5)));
+      MMWAVE_LOG_WARN << "iteration " << iter
+                      << ": repricing under perturbed duals (stall escape)";
+    }
+
     PricingResult pricing;
     bool exact_used = false;
     if (options.pricing == PricingMode::ExactAlways) {
-      MilpPricingOptions exact = options.exact;
-      exact.target_psi = std::nan("");  // need true Phi each iteration
-      const PricingResult greedy = timed_greedy(mp.lambda_hp, mp.lambda_lp);
-      pricing = timed_milp(mp.lambda_hp, mp.lambda_lp, exact,
+      const PricingResult greedy = timed_greedy(lhp, llp);
+      pricing = timed_milp(lhp, llp, budgeted_exact(/*full=*/true),
                            greedy.found ? &greedy.schedule : nullptr);
       exact_used = true;
     } else {
-      pricing = timed_greedy(mp.lambda_hp, mp.lambda_lp);
+      pricing = timed_greedy(lhp, llp);
       const bool heuristic_failed =
           !pricing.found || master.contains(pricing.schedule);
-      if (heuristic_failed && options.pricing == PricingMode::HeuristicThenExact) {
-        MilpPricingOptions exact = options.exact;
-        if (options.exact_early_stop) {
-          // Any column comfortably below zero reduced cost will do.
-          exact.target_psi = 1.0 + 1e-4;
-        }
-        pricing = timed_milp(mp.lambda_hp, mp.lambda_lp, exact,
+      if ((heuristic_failed || escalation >= 1) &&
+          options.pricing == PricingMode::HeuristicThenExact) {
+        pricing = timed_milp(lhp, llp, budgeted_exact(escalation >= 1),
                              pricing.found ? &pricing.schedule : nullptr);
         exact_used = true;
       }
     }
 
+    // Reduced cost of the candidate under the true duals (equals
+    // 1 - pricing.psi except on perturbed retries).
+    const double true_rc =
+        perturbed ? master.reduced_cost(pricing.schedule, mp.lambda_hp,
+                                        mp.lambda_lp)
+                  : 1.0 - pricing.psi;
     const double phi = 1.0 - pricing.psi;
-    // Valid lower bound on the true most negative reduced cost.
-    const double phi_lb = 1.0 - pricing.psi_upper_bound;
+    // Valid lower bound on the true most negative reduced cost.  A
+    // perturbed repricing certifies nothing about the true duals.
+    const double phi_lb = perturbed ? -kInf : 1.0 - pricing.psi_upper_bound;
 
     IterationStat stat;
     stat.iteration = iter;
     stat.master_objective = mp.objective_slots;
     stat.phi = phi;
     stat.num_columns = static_cast<int>(master.num_columns());
-    stat.exact_pricing = exact_used && pricing.exact;
+    stat.exact_pricing = exact_used && pricing.exact && !perturbed;
     stat.master_seconds = last_master_seconds;
     stat.pricing_seconds = seconds_since(pricing_t0);
     stat.master_pivots = mp.simplex_iterations;
     stat.master_warm_started = mp.warm_started;
     if (std::isfinite(phi_lb)) {
-      stat.lower_bound =
+      const double lb =
           theorem1_lower_bound(mp.lambda_hp, mp.lambda_lp, effective, phi_lb);
-      if (std::isnan(best_lb) || stat.lower_bound > best_lb)
-        best_lb = stat.lower_bound;
+      if (std::isfinite(lb)) {
+        stat.lower_bound = lb;
+        if (std::isnan(best_lb) || lb > best_lb) best_lb = lb;
+      }
     }
     stat.best_lower_bound = best_lb;
     // Theorem-1 invariant: any valid lower bound must sit below the MP
@@ -240,32 +437,138 @@ CgResult solve_column_generation(const net::Network& net,
     result.total_slots = mp.objective_slots;
     result.iterations = iter + 1;
 
+    // ---- Stall window ---------------------------------------------------
+    const double ub_scale = 1.0 + std::abs(mp.objective_slots);
+    const bool ub_progress =
+        prev_ub - mp.objective_slots > options.stall_rel_progress * ub_scale;
+    const bool lb_progress =
+        std::isfinite(best_lb) &&
+        best_lb - prev_lb > options.stall_rel_progress * (1.0 + std::abs(best_lb));
+    if (ub_progress || lb_progress) {
+      no_progress_iters = 0;
+      // Progress de-escalates: the expensive recovery modes are only for
+      // breaking stalls, and each new stall event gets a fresh ladder.
+      escalation = 0;
+      perturbation_spent = false;
+    } else {
+      ++no_progress_iters;
+    }
+    prev_ub = std::min(prev_ub, mp.objective_slots);
+    if (std::isfinite(best_lb)) prev_lb = std::max(prev_lb, best_lb);
+
+    // Escalates one rung of the recovery ladder; returns false when the
+    // ladder is exhausted and the solve should stop degraded.
+    const auto escalate = [&](const char* why) {
+      if (options.pricing != PricingMode::HeuristicThenExact &&
+          options.pricing != PricingMode::ExactAlways) {
+        return false;  // no exact oracle to escalate to
+      }
+      const int ceiling = perturbation_spent ? 2 : 3;
+      const int next = escalation + 1;
+      if (next >= ceiling) return false;
+      escalation = next;
+      MMWAVE_LOG_WARN << "iteration " << iter << ": " << why
+                      << "; escalating pricing to level " << escalation
+                      << (escalation >= 2 ? " (dual perturbation)"
+                                          : " (full exact)");
+      return true;
+    };
+
+    // Stall window expired: climb the ladder (best effort — degradation is
+    // only ever decided by a hard signal: duplicates, inconclusive pricing,
+    // limits or the deadline.  A long degenerate-but-converging tail must
+    // not be killed merely for a flat objective).
+    if (options.stall_window > 0 &&
+        no_progress_iters >= options.stall_window) {
+      no_progress_iters = 0;
+      escalate("no LB/UB progress over the stall window");
+    }
+
     // ---- Termination ----------------------------------------------------
-    const bool no_improving_column = phi >= -options.eps;
+    const bool no_improving_column =
+        perturbed ? true_rc >= -options.eps : phi >= -options.eps;
     if (no_improving_column) {
-      // Optimal iff the pricer was exact; in HeuristicOnly mode this is a
-      // heuristic fixed point.
-      result.converged = exact_used && pricing.exact;
-      break;
+      if (exact_used && pricing.exact && !perturbed) {
+        // Optimal: the exact pricer certified Phi >= -eps.
+        result.converged = true;
+        result.stop_reason = CgStopReason::kConverged;
+        stopped = true;
+        continue;
+      }
+      if (options.pricing == PricingMode::HeuristicOnly) {
+        // Heuristic fixed point: the expected terminal state of this mode.
+        result.stop_reason = CgStopReason::kHeuristicFixedPoint;
+        stopped = true;
+        continue;
+      }
+      if (perturbed) {
+        // The perturbed retry found nothing improving under the true duals.
+        // That is not a failure verdict — hand back to a normal full-exact
+        // iteration, which either certifies optimality or exposes the cycle
+        // again (and the spent perturbation then ends the ladder).
+        escalation = 1;
+        continue;
+      }
+      // Inconclusive: the exact pricer was truncated (limit/no incumbent)
+      // so "no improving column" is not a certificate.  Climb the ladder;
+      // when exhausted, stop with the incumbent and the valid LB.
+      if (!escalate("pricing inconclusive (truncated exact oracle)")) {
+        set_degraded(
+            result, CgStopReason::kPricingFailure,
+            pricing.status.ok()
+                ? common::Status::Error(common::ErrorCode::kLimitHit,
+                                        "exact pricing truncated without a "
+                                        "usable certificate")
+                : pricing.status);
+        stopped = true;
+      }
+      continue;
     }
     if (options.gap_tolerance > 0.0 && !std::isnan(best_lb) &&
         mp.objective_slots > 0.0 &&
         (mp.objective_slots - best_lb) / mp.objective_slots <=
             options.gap_tolerance) {
       result.converged = true;
-      break;
+      result.stop_reason = CgStopReason::kConverged;
+      stopped = true;
+      continue;
     }
 
+    // ---- Column entry ---------------------------------------------------
     verify_column(pricing.schedule,
                   "priced column, iteration " + std::to_string(iter));
-    if (!master.add_column(pricing.schedule)) {
-      // The pricer regenerated an existing column claiming negative reduced
-      // cost — numerical stall; stop rather than loop.
-      MMWAVE_LOG_WARN << "column generation stalled on a duplicate column "
-                         "at iteration "
-                      << iter;
-      break;
+    if (master.add_column(pricing.schedule)) {
+      if (perturbed) escalation = 1;  // retry worked; drop back to full exact
+      continue;
     }
+    // The pricer regenerated an existing column claiming negative reduced
+    // cost — a numerical stall/cycle.  The heuristic-only mode has nothing
+    // to escalate to, so a duplicate is its fixed point; otherwise climb
+    // the ladder and only degrade once it is exhausted.
+    if (options.pricing == PricingMode::HeuristicOnly) {
+      result.stop_reason = CgStopReason::kHeuristicFixedPoint;
+      stopped = true;
+      continue;
+    }
+    if (!escalate("duplicate column priced (cycling)")) {
+      set_degraded(result, CgStopReason::kStalled,
+                   common::Status::Error(
+                       common::ErrorCode::kStalled,
+                       "duplicate column at iteration " +
+                           std::to_string(iter) +
+                           " with the escalation ladder exhausted"));
+      stopped = true;
+    }
+    continue;
+  }
+
+  if (!result.degraded && result.stop_reason == CgStopReason::kIterationLimit &&
+      !result.converged && result.iterations >= options.max_iterations) {
+    set_degraded(result, CgStopReason::kIterationLimit,
+                 common::Status::Error(common::ErrorCode::kLimitHit,
+                                       "iteration limit (" +
+                                           std::to_string(options.max_iterations) +
+                                           ") reached before convergence"));
   }
 
   // ---- Final solution extraction ---------------------------------------
@@ -279,12 +582,37 @@ CgResult solve_column_generation(const net::Network& net,
             {master.columns()[s], final_mp.tau[s]});
       }
     }
+  } else if (!incumbent_tau.empty()) {
+    // The extraction solve broke down: fall back to the incumbent snapshot
+    // (the last optimal restricted master), which is still a feasible plan.
+    MMWAVE_LOG_WARN << "final master solve failed ("
+                    << final_mp.status.to_string()
+                    << "); returning the incumbent plan";
+    result.total_slots = incumbent_objective;
+    for (std::size_t s = 0; s < incumbent_tau.size(); ++s) {
+      if (incumbent_tau[s] > 1e-9) {
+        result.timeline.push_back({master.columns()[s], incumbent_tau[s]});
+      }
+    }
+    if (!result.degraded) {
+      set_degraded(result, CgStopReason::kMasterFailure, final_mp.status);
+    }
+  } else if (!result.degraded) {
+    set_degraded(result, CgStopReason::kMasterFailure,
+                 final_mp.status.ok()
+                     ? common::Status::Error(
+                           common::ErrorCode::kNumericalBreakdown,
+                           "master LP never solved")
+                     : final_mp.status);
   }
   result.lower_bound = best_lb;
 
   // The emitted plan itself: every schedule re-proved feasible and the
   // covering requirement sum_s tau^s r_l^s >= d_l re-checked per layer.
-  if (options.verify && final_mp.ok) {
+  // Degraded plans are not coverage-checked: an anytime result returned
+  // early may legitimately under-cover (its schedules are still verified
+  // individually as they enter the pool).
+  if (options.verify && final_mp.ok && !result.degraded) {
     const check::VerifyReport rep =
         referee.verify_timeline(result.timeline, effective);
     if (!rep.ok()) {
@@ -293,7 +621,9 @@ CgResult solve_column_generation(const net::Network& net,
       MMWAVE_LOG_ERROR << "timeline verification failed: " << rep.to_string();
     }
   }
+  result.solve_seconds = deadline.elapsed();
   return result;
 }
 
+}  // namespace
 }  // namespace mmwave::core

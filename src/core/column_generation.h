@@ -18,8 +18,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/master.h"
 #include "core/pricing_greedy.h"
 #include "core/pricing_milp.h"
@@ -76,7 +78,64 @@ struct CgOptions {
   /// timeline.  Failures are collected in CgResult::verification (the
   /// solve itself is not aborted — the point is to surface silent wrongs).
   bool verify = false;
+
+  // --- Anytime solve control (robustness layer) -------------------------
+  /// Wall-clock budget for the whole solve, seconds (0 disables).  On
+  /// expiry the solve stops where it is and returns the incumbent schedule
+  /// with its best Theorem-1 bound, `degraded` set and the reason recorded
+  /// — the anytime contract of Algorithm 1.
+  double deadline_sec = 0.0;
+  /// Under a deadline, each exact-pricing call gets
+  ///   min(exact.milp.time_limit_sec,
+  ///       max(milp_budget_fraction * remaining, min_milp_budget_sec))
+  /// capped at the remaining budget itself, so the MILP budget shrinks as
+  /// the deadline nears and a single pricing call can never blow through
+  /// the deadline.
+  double milp_budget_fraction = 0.5;
+  double min_milp_budget_sec = 0.05;
+  /// Stall detection: this many consecutive iterations without relative
+  /// LB/UB progress (or a duplicate/inconclusive pricing round) trigger the
+  /// escalation ladder — greedy pricing -> full-budget exact MILP ->
+  /// dual-perturbation retry — and, exhausted, a degraded stop instead of
+  /// an endless loop.  0 disables the window (duplicate-column escalation
+  /// stays active).
+  int stall_window = 15;
+  /// Relative LB/UB movement below this counts as "no progress".
+  double stall_rel_progress = 1e-9;
+  /// Magnitude of the multiplicative dual perturbation of the last-resort
+  /// repricing retry (columns found under perturbed duals are only accepted
+  /// if they price negative under the true duals).
+  double dual_perturbation = 1e-5;
+  std::uint64_t perturbation_seed = 0x5EEDF00D;
+  /// Reject malformed instances (NaN/negative gains or demands, size
+  /// mismatches) via check::validate_instance before the solver touches
+  /// them; failures return degraded + kInvalidInput instead of UB/garbage.
+  bool validate_input = true;
 };
+
+/// Why the column-generation loop stopped.
+enum class CgStopReason {
+  /// Optimality certified (Phi >= -eps, exact pricer) or the requested gap
+  /// tolerance was reached.
+  kConverged,
+  /// HeuristicOnly mode: the heuristic found no more improving columns
+  /// (expected terminal state of that mode, not a degradation).
+  kHeuristicFixedPoint,
+  kIterationLimit,
+  kDeadline,
+  /// Escalation ladder exhausted without progress (cycling/duplicates).
+  kStalled,
+  /// The master LP failed and the cold retry failed too.
+  kMasterFailure,
+  /// The exact pricer could not produce a usable answer even escalated.
+  kPricingFailure,
+  /// check::validate_instance rejected the input.
+  kInvalidInput,
+  /// An unexpected exception was caught at the solve boundary.
+  kInternalError,
+};
+
+const char* to_string(CgStopReason reason);
 
 struct IterationStat {
   int iteration = 0;
@@ -167,6 +226,24 @@ struct CgResult {
   /// Per-phase wall-clock counters of this solve.
   CgProfile profile;
 
+  // --- Anytime / failure-semantics contract -----------------------------
+  /// True when the solve could not run to its normal conclusion (deadline,
+  /// stall, solver breakdown, invalid input) and the result is the best
+  /// incumbent instead.  The timeline and lower_bound are still valid:
+  /// every returned schedule passes the ScheduleVerifier and
+  /// best_lower_bound() <= total_slots holds whenever both exist.
+  bool degraded = false;
+  /// Why the loop stopped (kConverged on a clean run).
+  CgStopReason stop_reason = CgStopReason::kIterationLimit;
+  /// Structured detail for degraded exits; Ok otherwise.
+  common::Status status;
+  /// Wall-clock seconds the whole solve consumed (deadline accounting).
+  double solve_seconds = 0.0;
+
+  /// Best Theorem-1 lower bound of the run (alias of lower_bound; NaN when
+  /// no exact pricing ever produced a valid bound).
+  double best_lower_bound() const { return lower_bound; }
+
   double gap() const {
     if (std::isnan(lower_bound) || total_slots <= 0.0) return std::nan("");
     return (total_slots - lower_bound) / total_slots;
@@ -176,6 +253,11 @@ struct CgResult {
 /// Theorem 1: lower bound on the P1 optimum from duals, demands and Phi.
 /// `phi` must be a valid lower bound on the most negative reduced cost
 /// (exact Phi, or 1 - Psi_upper_bound from a truncated pricer).
+///
+/// Hardened: a non-finite dual value (NaN demands/duals), a NaN `phi`, or a
+/// denominator 1 - Phi that is not safely positive returns -infinity — a
+/// trivially valid bound the caller skips — instead of poisoning best_lb
+/// with +/-inf or NaN.
 double theorem1_lower_bound(const std::vector<double>& lambda_hp,
                             const std::vector<double>& lambda_lp,
                             const std::vector<video::LinkDemand>& demands,

@@ -47,15 +47,32 @@ MasterSolution MasterProblem::solve(MasterCertificate* certificate) {
   MasterSolution out;
   const int num_links = net_.num_links();
 
-  const lp::LpSolution sol = lp::solve_lp(
+  lp::LpSolution sol = lp::solve_lp(
       model_, lp::LpOptions{}, warm_start_enabled_ ? &warm_ : nullptr);
+  if (!sol.optimal() && warm_start_enabled_) {
+    // The warm path already falls back to a cold start when the stale basis
+    // is unusable, but a breakdown *during* the cold re-solve (or a poisoned
+    // pivot) can still surface here.  One explicit cold retry with the
+    // snapshot dropped is the cheapest recovery that can possibly work.
+    out.simplex_iterations += sol.iterations;
+    warm_.valid = false;
+    sol = lp::solve_lp(model_, lp::LpOptions{}, &warm_);
+  }
   if (certificate) {
     certificate->solution = sol;
     certificate->model = model_;
   }
-  out.simplex_iterations = sol.iterations;
+  out.simplex_iterations += sol.iterations;
   out.warm_started = sol.warm_started;
-  if (!sol.optimal()) return out;
+  out.status = sol.error;
+  if (!sol.optimal()) {
+    if (out.status.ok()) {
+      out.status = common::Status::Error(
+          common::ErrorCode::kNumericalBreakdown,
+          std::string("master LP solve failed: ") + lp::to_string(sol.status));
+    }
+    return out;
+  }
 
   out.ok = true;
   out.objective_slots = sol.objective;

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/master_layout.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
@@ -47,6 +48,10 @@ struct MasterSolution {
   /// True when the solve resumed from the previous optimal basis instead of
   /// cold-starting the two-phase simplex.
   bool warm_started = false;
+  /// Structured failure detail when !ok (numerical breakdown, iteration
+  /// limit, infeasible restricted master...), Ok otherwise.  A warm solve
+  /// that broke down numerically is retried cold once before failing.
+  common::Status status;
 };
 
 class MasterProblem {

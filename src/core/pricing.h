@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "sched/schedule.h"
 
 namespace mmwave::core {
@@ -21,6 +22,11 @@ struct PricingResult {
   /// certify nothing (e.g. the greedy heuristic).
   double psi_upper_bound = 0.0;
   bool exact = false;          ///< psi_upper_bound == optimal Psi
+  /// Structured failure detail: Ok for a clean (heuristic or exact) solve,
+  /// kLimitHit for a truncated MILP, kNumericalBreakdown when the oracle
+  /// itself failed.  A non-ok status can still carry a usable schedule and
+  /// a valid psi_upper_bound.
+  common::Status status;
 };
 
 }  // namespace mmwave::core

@@ -358,6 +358,12 @@ PricingResult solve_pricing_milp(const net::Network& net,
                               ? sol.best_bound
                               : std::numeric_limits<double>::infinity();
     out.exact = false;
+    out.status = sol.error.ok()
+                     ? common::Status::Error(
+                           common::ErrorCode::kNumericalBreakdown,
+                           std::string("pricing MILP returned ") +
+                               milp::to_string(sol.status))
+                     : sol.error;
     return out;
   }
 
@@ -367,6 +373,9 @@ PricingResult solve_pricing_milp(const net::Network& net,
                             : sol.best_bound;
   out.exact = sol.status == milp::MilpStatus::Optimal;
   out.found = out.psi > 1.0 + 1e-7;
+  // A TargetReached exit is a deliberate early stop, not a failure; only a
+  // genuine limit truncation is surfaced to the driver.
+  if (sol.status == milp::MilpStatus::Feasible) out.status = sol.error;
 
   // --- Extract the schedule ---------------------------------------------
   sched::Schedule schedule;

@@ -1,9 +1,11 @@
 #include "lp/simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "common/fault_injection.h"
 #include "common/log.h"
 #include "common/matrix.h"
 
@@ -23,6 +25,12 @@ class Simplex {
   Simplex(const LpModel& model, const std::vector<double>& lb_override,
           const std::vector<double>& ub_override, const LpOptions& options)
       : options_(options) {
+    if (options_.time_limit_sec > 0.0) {
+      deadline_enabled_ = true;
+      deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         options_.time_limit_sec));
+    }
     build(model, lb_override, ub_override);
   }
 
@@ -30,11 +38,14 @@ class Simplex {
     LpSolution sol;
     if (bad_bounds_) {
       sol.status = SolveStatus::Infeasible;
+      sol.error = common::Status::Error(common::ErrorCode::kInvalidInput,
+                                        "inconsistent variable bounds (lb > ub)");
       return sol;
     }
     if (m_ == 0) {
       solve_unconstrained(sol);
       finalize(model, sol);
+      sol.error = describe(sol.status);
       return sol;
     }
 
@@ -65,7 +76,33 @@ class Simplex {
       if (warm != nullptr && st == SolveStatus::Optimal)
         export_warm_basis(*warm);
     }
+    sol.error = describe(st);
     return sol;
+  }
+
+  /// Maps an exit status to the structured error the caller propagates.
+  common::Status describe(SolveStatus st) const {
+    using common::ErrorCode;
+    using common::Status;
+    switch (st) {
+      case SolveStatus::Optimal:
+        return Status::Ok();
+      case SolveStatus::Infeasible:
+        return Status::Error(ErrorCode::kInfeasible, "LP infeasible");
+      case SolveStatus::Unbounded:
+        return Status::Error(ErrorCode::kUnbounded, "LP unbounded");
+      case SolveStatus::IterationLimit:
+        return Status::Error(ErrorCode::kLimitHit,
+                             (timed_out_ ? "simplex time limit after "
+                                         : "simplex iteration limit after ") +
+                                 std::to_string(iterations_) + " pivots");
+      case SolveStatus::NumericalError:
+        return Status::Error(ErrorCode::kNumericalBreakdown,
+                             "simplex numerical breakdown after " +
+                                 std::to_string(iterations_) + " pivots" +
+                                 (poisoned_ ? " (injected fault)" : ""));
+    }
+    return Status::Error(ErrorCode::kInternal, "unknown simplex status");
   }
 
  private:
@@ -187,7 +224,14 @@ class Simplex {
       state_[aj] = VarState::Basic;
       xval_[aj] = std::abs(residual[i]);
     }
-    refactorize();
+    // The all-artificial basis matrix is diagonal (+/-1), so its inverse is
+    // written down directly instead of running the generic O(m^3) dense
+    // refactorization — which for a few-thousand-row LP costs more than an
+    // entire budgeted solve.
+    binv_ = Matrix(m_, m_);
+    for (int i = 0; i < m_; ++i)
+      binv_(i, i) = cols_[basis_[i]].front().second;
+    pivots_since_refactor_ = 0;
   }
 
   /// The original cold path: phase 1 from an all-artificial basis, then
@@ -344,6 +388,20 @@ class Simplex {
     bool bland = false;
     while (true) {
       if (iterations_ >= max_iterations_) return SolveStatus::IterationLimit;
+      // The wall-clock budget preempts long solves mid-flight.  Checked
+      // every pivot: a steady_clock read is nanoseconds against a pivot's
+      // O(m^2) basis update, and only solves that opted into a limit pay it.
+      if (deadline_enabled_ && Clock::now() >= deadline_) {
+        timed_out_ = true;
+        return SolveStatus::IterationLimit;
+      }
+      // Robustness-test hook: a scripted scenario can poison this pivot,
+      // modelling the mid-solve numerical breakdowns a singular or badly
+      // conditioned basis produces in the wild.
+      if (common::fault_fires(common::faults::kLpPivotPoison)) {
+        poisoned_ = true;
+        return SolveStatus::NumericalError;
+      }
 
       compute_duals();
       const int entering = price(bland);
@@ -589,9 +647,14 @@ class Simplex {
       obj += cost_[j] * xval_[j];
     }
     sol.objective = maximize_ ? -obj : obj;
+    // A limit can fire before the first pricing pass computed any duals
+    // (e.g. a time budget that expired during model build); report zeros
+    // rather than reading an empty y_.
     sol.duals.assign(m_, 0.0);
-    for (int i = 0; i < m_; ++i)
-      sol.duals[i] = maximize_ ? -y_[i] : y_[i];
+    if (static_cast<int>(y_.size()) >= m_) {
+      for (int i = 0; i < m_; ++i)
+        sol.duals[i] = maximize_ ? -y_[i] : y_[i];
+    }
     (void)model;
   }
 
@@ -610,6 +673,11 @@ class Simplex {
   std::int64_t max_iterations_ = 0;
   std::int64_t iterations_ = 0;
   int pivots_since_refactor_ = 0;
+  bool poisoned_ = false;  // an injected fault aborted this solve
+  using Clock = std::chrono::steady_clock;
+  bool deadline_enabled_ = false;
+  bool timed_out_ = false;  // IterationLimit exit was the time limit
+  Clock::time_point deadline_;
 
   std::vector<std::vector<Term>> cols_;  // column-wise sparse A
   std::vector<double> b_;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "lp/model.h"
 
 namespace mmwave::lp {
@@ -43,6 +44,11 @@ const char* to_string(SolveStatus status);
 struct LpOptions {
   /// 0 means "choose from problem size".
   std::int64_t max_iterations = 0;
+  /// Wall-clock budget for the solve, seconds (0 disables).  Checked every
+  /// few pivots; on expiry the solve returns IterationLimit with a
+  /// kLimitHit error.  This is what lets a deadline preempt a long LP
+  /// mid-solve instead of waiting out the iteration cap.
+  double time_limit_sec = 0.0;
   double feasibility_tol = 1e-7;
   double optimality_tol = 1e-7;
   /// Rebuild the basis inverse from scratch every this many pivots.
@@ -62,6 +68,10 @@ struct LpSolution {
   /// True when this solve resumed from a caller-supplied WarmStart basis
   /// (phase 1 was skipped entirely).
   bool warm_started = false;
+  /// Structured failure detail: Ok on Optimal, otherwise the error code
+  /// (kNumericalBreakdown, kLimitHit, kInfeasible, kUnbounded) plus a
+  /// message saying where the solve gave out.
+  common::Status error;
 
   bool optimal() const { return status == SolveStatus::Optimal; }
 };

@@ -5,6 +5,7 @@
 #include <memory>
 #include <queue>
 
+#include "common/fault_injection.h"
 #include "common/log.h"
 
 namespace mmwave::milp {
@@ -60,6 +61,20 @@ class BranchAndBound {
     MilpSolution sol;
     start_ = Clock::now();
 
+    // Robustness-test hook: model the worst truncation a pricing oracle can
+    // produce — the limit expires before any incumbent exists.  The trivial
+    // dual bound (+/-inf in the model's sense) is still valid, so callers
+    // relying on "truncated solves report a valid bound" stay correct.
+    if (common::fault_fires(common::faults::kMilpNoSolution)) {
+      sol.status = MilpStatus::NoSolution;
+      sol.best_bound =
+          user_value(-std::numeric_limits<double>::infinity());
+      sol.error = common::Status::Error(
+          common::ErrorCode::kLimitHit,
+          "injected fault: limit hit before first incumbent");
+      return sol;
+    }
+
     if (warm_start != nullptr) {
       if (is_feasible_point(model_, *warm_start, options_.integrality_tol)) {
         set_incumbent(*warm_start);
@@ -74,17 +89,43 @@ class BranchAndBound {
       lp::LpSolution root = solve_node(nullptr);
       if (root.status == lp::SolveStatus::Infeasible) {
         sol.status = MilpStatus::Infeasible;
+        sol.error = common::Status::Error(common::ErrorCode::kInfeasible,
+                                          "root relaxation infeasible");
         sol.nodes = 1;
         return sol;
       }
       if (root.status == lp::SolveStatus::Unbounded) {
         sol.status = MilpStatus::Unbounded;
+        sol.error = common::Status::Error(common::ErrorCode::kUnbounded,
+                                          "root relaxation unbounded");
         sol.nodes = 1;
         return sol;
       }
       if (root.status != lp::SolveStatus::Optimal) {
-        sol.status = MilpStatus::Error;
         sol.nodes = 1;
+        if (root.error.code() == common::ErrorCode::kLimitHit) {
+          // The budget expired inside the root relaxation itself.  Report
+          // the honest truncation: the incumbent (if a warm start supplied
+          // one) with the trivially valid dual bound, never Error.
+          if (have_incumbent_) {
+            sol.x = incumbent_;
+            sol.objective = user_value(incumbent_obj_);
+            sol.status = MilpStatus::Feasible;
+          } else {
+            sol.status = MilpStatus::NoSolution;
+          }
+          sol.best_bound =
+              user_value(-std::numeric_limits<double>::infinity());
+          sol.error = common::Status::Error(
+              common::ErrorCode::kLimitHit,
+              "limit hit inside the root relaxation (" +
+                  root.error.message() + ")");
+          return sol;
+        }
+        sol.status = MilpStatus::Error;
+        sol.error = common::Status::Error(
+            common::ErrorCode::kNumericalBreakdown,
+            "root relaxation failed: " + root.error.to_string());
         return sol;
       }
       process(root, nullptr, 0, open);
@@ -93,6 +134,13 @@ class BranchAndBound {
     bool limit_hit = false;
     while (!open.empty()) {
       if (nodes_ >= options_.max_nodes || elapsed() > options_.time_limit_sec) {
+        limit_hit = true;
+        break;
+      }
+      // Robustness-test hook: stop at the first incumbent as if the limit
+      // expired there (a Feasible exit with the open-node dual bound).
+      if (have_incumbent_ &&
+          common::fault_fires(common::faults::kMilpTruncate)) {
         limit_hit = true;
         break;
       }
@@ -107,7 +155,16 @@ class BranchAndBound {
       }
       lp::LpSolution rel = solve_node(node.chain.get());
       if (rel.status == lp::SolveStatus::Infeasible) continue;
-      if (rel.status != lp::SolveStatus::Optimal) continue;  // give up branch
+      if (rel.status != lp::SolveStatus::Optimal) {
+        // The node LP could not be resolved (time/iteration limit or a
+        // numerical breakdown).  Silently dropping it would also drop its
+        // subtree from the open-node dual bound — overclaiming the reported
+        // best_bound.  Keep the node open so its (parent) bound stays in
+        // the reckoning, and stop as a limit-hit truncation.
+        open.push(node);
+        limit_hit = true;
+        break;
+      }
       process(rel, node.chain, node.depth, open);
     }
 
@@ -128,6 +185,12 @@ class BranchAndBound {
         sol.best_bound = user_value(std::min(open_bound, incumbent_obj_));
         sol.status = sol.gap() <= options_.gap_tol ? MilpStatus::Optimal
                                                    : MilpStatus::Feasible;
+        if (sol.status == MilpStatus::Feasible) {
+          sol.error = common::Status::Error(
+              common::ErrorCode::kLimitHit,
+              "limit hit after " + std::to_string(nodes_) +
+                  " nodes; incumbent kept with valid dual bound");
+        }
       } else {
         sol.best_bound = sol.objective;
         sol.status = MilpStatus::Optimal;
@@ -135,8 +198,15 @@ class BranchAndBound {
     } else if (limit_hit) {
       sol.best_bound = user_value(open_bound);
       sol.status = MilpStatus::NoSolution;
+      sol.error = common::Status::Error(
+          common::ErrorCode::kLimitHit,
+          "limit hit after " + std::to_string(nodes_) +
+              " nodes before any incumbent");
     } else {
       sol.status = MilpStatus::Infeasible;
+      sol.error = common::Status::Error(common::ErrorCode::kInfeasible,
+                                        "search tree exhausted, no feasible "
+                                        "integral point");
     }
     return sol;
   }
@@ -169,7 +239,21 @@ class BranchAndBound {
       ub[c->var] = std::min(ub[c->var], c->ub);
     }
     ++nodes_;
-    return lp::solve_lp_with_bounds(model_.lp(), lb, ub, options_.lp_options);
+    // Hard-budget mode: no single node LP may outlive the MILP's own
+    // wall-clock budget, so cap it at the remaining time (small floor so a
+    // near-expired budget still produces a definitive timeout instead of a
+    // zero-length solve).  In the default advisory mode the budget is only
+    // checked between nodes and a node LP runs to completion.
+    lp::LpOptions node_options = options_.lp_options;
+    if (options_.hard_time_limit && std::isfinite(options_.time_limit_sec)) {
+      const double remaining =
+          std::max(options_.time_limit_sec - elapsed(), 0.01);
+      if (node_options.time_limit_sec <= 0.0 ||
+          remaining < node_options.time_limit_sec) {
+        node_options.time_limit_sec = remaining;
+      }
+    }
+    return lp::solve_lp_with_bounds(model_.lp(), lb, ub, node_options);
   }
 
   /// Handles an LP-feasible relaxation: either fathoms it as a new incumbent,

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
 
@@ -89,6 +90,14 @@ struct MilpOptions {
   /// If finite: stop as soon as the incumbent objective reaches this value
   /// (>= for Maximize models, <= for Minimize).
   double target_objective = std::nan("");
+  /// How time_limit_sec is enforced.  false (default): advisory — checked
+  /// between branch-and-bound nodes only, so an individual node LP (in
+  /// particular the root relaxation) always runs to completion and a
+  /// root-integral model still certifies optimality on a slow machine.
+  /// true: the remaining budget is pushed into every node LP as a per-pivot
+  /// wall-clock limit, so a single call can never overrun the budget —
+  /// the anytime mode column generation uses under a real deadline.
+  bool hard_time_limit = false;
   lp::LpOptions lp_options;
 };
 
@@ -102,6 +111,10 @@ struct MilpSolution {
   double best_bound = 0.0;
   std::vector<double> x;
   std::int64_t nodes = 0;
+  /// Structured failure detail: Ok on Optimal/TargetReached, kLimitHit on
+  /// truncated exits (Feasible/NoSolution — the reported best_bound is
+  /// still valid), kNumericalBreakdown when the root LP failed.
+  common::Status error;
 
   bool has_solution() const {
     return status == MilpStatus::Optimal || status == MilpStatus::Feasible ||

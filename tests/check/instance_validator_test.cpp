@@ -1,0 +1,289 @@
+#include "check/instance_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "mmwave/channel.h"
+#include "mmwave/network.h"
+#include "video/demand.h"
+
+namespace mmwave::check {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Channel model whose gain/noise tables the test can corrupt at will
+/// (Network's constructor only checks counts, so this is the way to feed
+/// the validator NaN gains or dead noise floors).
+class ScriptedModel : public net::ChannelModel {
+ public:
+  ScriptedModel(int links, int channels)
+      : links_count_(links),
+        channels_(channels),
+        direct_(static_cast<std::size_t>(links) * channels, 0.5),
+        cross_(static_cast<std::size_t>(links) * links * channels, 0.01),
+        noise_(links, 0.1) {
+    for (int l = 0; l < links; ++l) links_.push_back({l, 2 * l, 2 * l + 1});
+  }
+
+  int num_links() const override { return links_count_; }
+  int num_channels() const override { return channels_; }
+  double direct_gain(int l, int k) const override {
+    return direct_[static_cast<std::size_t>(l) * channels_ + k];
+  }
+  double cross_gain(int from, int to, int k) const override {
+    return cross_[(static_cast<std::size_t>(from) * links_count_ + to) *
+                      channels_ +
+                  k];
+  }
+  double noise(int l) const override { return noise_[l]; }
+  const std::vector<net::Link>& links() const override { return links_; }
+
+  double& direct(int l, int k) {
+    return direct_[static_cast<std::size_t>(l) * channels_ + k];
+  }
+  double& cross(int from, int to, int k) {
+    return cross_[(static_cast<std::size_t>(from) * links_count_ + to) *
+                      channels_ +
+                  k];
+  }
+  double& noise_ref(int l) { return noise_[l]; }
+
+ private:
+  int links_count_;
+  int channels_;
+  std::vector<net::Link> links_;
+  std::vector<double> direct_;
+  std::vector<double> cross_;
+  std::vector<double> noise_;
+};
+
+struct TestInstance {
+  net::Network net;
+  std::vector<video::LinkDemand> demands;
+};
+
+/// Builds a well-formed 3-link / 2-channel instance around a ScriptedModel;
+/// `corrupt` gets a chance to poison the tables (and params) first.
+TestInstance make_instance(
+    const std::function<void(ScriptedModel&, net::NetworkParams&)>& corrupt =
+        {}) {
+  const int links = 3, channels = 2;
+  net::NetworkParams params;
+  params.num_links = links;
+  params.num_channels = channels;
+  params.sinr_thresholds = {0.1, 0.2};
+  auto model = std::make_unique<ScriptedModel>(links, channels);
+  if (corrupt) corrupt(*model, params);
+  net::Network net(params, std::move(model));
+  std::vector<video::LinkDemand> demands(links);
+  for (auto& d : demands) {
+    d.hp_bits = 1000.0;
+    d.lp_bits = 500.0;
+  }
+  return {std::move(net), std::move(demands)};
+}
+
+bool has_issue(const InstanceReport& report, const std::string& needle) {
+  for (const InstanceIssue& issue : report.issues) {
+    if (issue.to_string().find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(InstanceValidator, WellFormedInstancePasses) {
+  const TestInstance t = make_instance();
+  const InstanceReport report = validate_instance(t.net, t.demands);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.to_string(), "instance OK");
+}
+
+TEST(InstanceValidator, PaperTableIInstancePasses) {
+  common::Rng rng(17);
+  net::NetworkParams params;
+  params.num_links = 8;
+  const net::Network net = net::Network::table_i(params, rng);
+  std::vector<video::LinkDemand> demands(8, {1e4, 5e3});
+  EXPECT_TRUE(validate_instance(net, demands).ok());
+}
+
+TEST(InstanceValidator, NanDirectGainIsLocalized) {
+  const TestInstance t = make_instance(
+      [](ScriptedModel& m, net::NetworkParams&) { m.direct(1, 0) = kNan; });
+  const InstanceReport report = validate_instance(t.net, t.demands);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].link, 1);
+  EXPECT_EQ(report.issues[0].channel, 0);
+  EXPECT_TRUE(has_issue(report, "direct gain")) << report.to_string();
+}
+
+TEST(InstanceValidator, NegativeCrossGainIsLocalized) {
+  const TestInstance t = make_instance(
+      [](ScriptedModel& m, net::NetworkParams&) { m.cross(0, 2, 1) = -0.5; });
+  const InstanceReport report = validate_instance(t.net, t.demands);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].link, 2);  // the poisoned *receiver*
+  EXPECT_EQ(report.issues[0].channel, 1);
+  EXPECT_TRUE(has_issue(report, "cross gain from link 0"))
+      << report.to_string();
+}
+
+TEST(InstanceValidator, NonPositiveNoiseRejected) {
+  const TestInstance t = make_instance(
+      [](ScriptedModel& m, net::NetworkParams&) { m.noise_ref(2) = 0.0; });
+  const InstanceReport report = validate_instance(t.net, t.demands);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "noise power")) << report.to_string();
+  EXPECT_EQ(report.issues[0].link, 2);
+}
+
+TEST(InstanceValidator, BadParametersRejected) {
+  const TestInstance t = make_instance([](ScriptedModel&,
+                                          net::NetworkParams& p) {
+    p.p_max_watts = -1.0;
+    p.slot_seconds = 0.0;
+    p.bandwidth_hz = kNan;
+  });
+  const InstanceReport report = validate_instance(t.net, t.demands);
+  EXPECT_TRUE(has_issue(report, "Pmax")) << report.to_string();
+  EXPECT_TRUE(has_issue(report, "slot length"));
+  EXPECT_TRUE(has_issue(report, "bandwidth"));
+}
+
+TEST(InstanceValidator, DemandVectorSizeMismatch) {
+  TestInstance t = make_instance();
+  t.demands.pop_back();
+  const InstanceReport report = validate_instance(t.net, t.demands);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "demand vector has 2 entries"))
+      << report.to_string();
+}
+
+TEST(InstanceValidator, BadDemandsRejectedPerLink) {
+  TestInstance t = make_instance();
+  t.demands[0].hp_bits = kNan;
+  t.demands[1].lp_bits = -10.0;
+  t.demands[2].hp_bits = 1e19;  // above the sanity cap
+  const InstanceReport report = validate_instance(t.net, t.demands);
+  ASSERT_EQ(report.issues.size(), 3u) << report.to_string();
+  EXPECT_TRUE(has_issue(report, "not finite"));
+  EXPECT_TRUE(has_issue(report, "negative"));
+  EXPECT_TRUE(has_issue(report, "sanity cap"));
+}
+
+TEST(InstanceValidator, AllZeroDemandsFlaggedAsUnitMixup) {
+  TestInstance t = make_instance();
+  for (auto& d : t.demands) d = {};
+  const InstanceReport report = validate_instance(t.net, t.demands);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "all demands are zero"))
+      << report.to_string();
+}
+
+TEST(InstanceValidator, IssueCapCountsSuppressedFindings) {
+  const TestInstance t = make_instance([](ScriptedModel& m,
+                                          net::NetworkParams&) {
+    for (int l = 0; l < 3; ++l)
+      for (int k = 0; k < 2; ++k) m.direct(l, k) = kNan;
+  });
+  InstanceValidatorOptions options;
+  options.max_issues = 4;
+  const InstanceReport report = validate_instance(t.net, t.demands, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.size(), 4u);
+  EXPECT_EQ(report.suppressed, 2);
+  EXPECT_NE(report.to_string().find("and 2 more"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// parse_instance_spec
+// ---------------------------------------------------------------------------
+
+TEST(ParseInstanceSpec, EmptyTextYieldsDefaults) {
+  const auto spec = parse_instance_spec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().links, 10);
+  EXPECT_EQ(spec.value().channels, 5);
+  EXPECT_DOUBLE_EQ(spec.value().demand_scale, 1e-3);
+}
+
+TEST(ParseInstanceSpec, ParsesAllKeysWithCommentsAndAliases) {
+  const auto spec = parse_instance_spec(
+      "# Table-I instance\n"
+      "links = 20\n"
+      "channels=3   # inline comment\n"
+      "\n"
+      "levels = 4\n"
+      "gamma-scale = 2.5\n"
+      "demand_scale = 1e-4\n"
+      "seed = 42\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec.value().links, 20);
+  EXPECT_EQ(spec.value().channels, 3);
+  EXPECT_EQ(spec.value().levels, 4);
+  EXPECT_DOUBLE_EQ(spec.value().gamma_scale, 2.5);
+  EXPECT_DOUBLE_EQ(spec.value().demand_scale, 1e-4);
+  EXPECT_EQ(spec.value().seed, 42u);
+}
+
+/// Every malformed input maps to a structured error naming the line.
+struct BadSpec {
+  const char* text;
+  const char* expect;  // substring of the diagnosis
+};
+
+TEST(ParseInstanceSpec, MalformedInputsNameTheLine) {
+  const BadSpec cases[] = {
+      {"links 20", "expected 'key = value'"},
+      {"links =", "empty value"},
+      {"= 20", "empty key"},
+      {"links = twenty", "expected an integer"},
+      {"links = 20.5", "expected an integer"},
+      {"links = 0", "out of range"},
+      {"links = 100000", "out of range"},
+      {"channels = -1", "out of range"},
+      {"levels = 65", "out of range"},
+      {"gamma_scale = -1", "finite and positive"},
+      {"gamma_scale = 1e999", "expected a number"},  // ERANGE overflow
+      {"demand_scale = nope", "expected a number"},
+      {"seed = -1", "non-negative"},
+      {"bogus_key = 1", "unknown key"},
+      {"links = 10\nlinks = bad", "line 2"},
+  };
+  for (const BadSpec& c : cases) {
+    const auto spec = parse_instance_spec(c.text);
+    ASSERT_FALSE(spec.ok()) << "accepted: " << c.text;
+    EXPECT_EQ(spec.status().code(), common::ErrorCode::kInvalidInput);
+    EXPECT_NE(spec.status().message().find("instance spec line"),
+              std::string::npos)
+        << spec.status().message();
+    EXPECT_NE(spec.status().message().find(c.expect), std::string::npos)
+        << "for input '" << c.text << "' got: " << spec.status().message();
+  }
+}
+
+TEST(ParseInstanceSpec, NeverThrowsOnArbitraryBytes) {
+  const std::string garbage[] = {
+      std::string("\x00\xff\xfe=\x01", 5),
+      "==========",
+      "links = 99999999999999999999999999\n",
+      "seed = 999999999999999999999999999999\n",
+      std::string(4096, '='),
+      "#",
+  };
+  for (const std::string& g : garbage) {
+    EXPECT_NO_THROW({ auto r = parse_instance_spec(g); (void)r; });
+  }
+}
+
+}  // namespace
+}  // namespace mmwave::check

@@ -1,0 +1,97 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+namespace mmwave::common {
+namespace {
+
+TEST(FaultInjector, InactiveByDefault) {
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+  EXPECT_FALSE(fault_fires(faults::kMilpNoSolution));
+}
+
+TEST(FaultInjector, ScopeActivatesAndRestores) {
+  FaultInjector inj;
+  inj.arm("site.a");
+  {
+    FaultScope scope(inj);
+    EXPECT_EQ(FaultInjector::active(), &inj);
+    EXPECT_TRUE(fault_fires("site.a"));
+  }
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+  EXPECT_FALSE(fault_fires("site.a"));
+}
+
+TEST(FaultInjector, UnarmedSiteNeverFires) {
+  FaultInjector inj;
+  inj.arm("site.a");
+  FaultScope scope(inj);
+  EXPECT_FALSE(fault_fires("site.b"));
+  EXPECT_EQ(inj.hits("site.b"), 0);
+}
+
+TEST(FaultInjector, SkipAndTimesWindow) {
+  FaultInjector inj;
+  inj.arm("site", {.skip = 2, .times = 3});
+  FaultScope scope(inj);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fault_fires("site")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);      // hits 2, 3, 4 (0-based) fire
+  EXPECT_EQ(inj.hits("site"), 10);
+  EXPECT_EQ(inj.fired("site"), 3);
+}
+
+TEST(FaultInjector, RearmResetsCounters) {
+  FaultInjector inj;
+  inj.arm("site", {.times = 1});
+  FaultScope scope(inj);
+  EXPECT_TRUE(fault_fires("site"));
+  EXPECT_FALSE(fault_fires("site"));
+  inj.arm("site", {.times = 1});
+  EXPECT_EQ(inj.hits("site"), 0);
+  EXPECT_TRUE(fault_fires("site"));
+}
+
+TEST(FaultInjector, DisarmStopsFiring) {
+  FaultInjector inj;
+  inj.arm("site");
+  FaultScope scope(inj);
+  EXPECT_TRUE(fault_fires("site"));
+  inj.disarm("site");
+  EXPECT_FALSE(fault_fires("site"));
+}
+
+TEST(FaultInjector, ProbabilityIsSeededDeterministic) {
+  const auto count_fires = [](std::uint64_t seed) {
+    FaultInjector inj(seed);
+    inj.arm("site", {.probability = 0.5});
+    FaultScope scope(inj);
+    int fired = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (fault_fires("site")) ++fired;
+    }
+    return fired;
+  };
+  const int a = count_fires(7);
+  EXPECT_EQ(a, count_fires(7));  // same seed -> same scenario
+  EXPECT_GT(a, 50);              // roughly half of 200
+  EXPECT_LT(a, 150);
+}
+
+TEST(FaultInjector, NestedScopesUnwind) {
+  FaultInjector outer, inner;
+  outer.arm("site");
+  FaultScope a(outer);
+  {
+    FaultScope b(inner);
+    EXPECT_EQ(FaultInjector::active(), &inner);
+    EXPECT_FALSE(fault_fires("site"));  // inner has nothing armed
+  }
+  EXPECT_EQ(FaultInjector::active(), &outer);
+  EXPECT_TRUE(fault_fires("site"));
+}
+
+}  // namespace
+}  // namespace mmwave::common

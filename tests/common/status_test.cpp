@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mmwave::common {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.to_string(), "Ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s =
+      Status::Error(ErrorCode::kDeadlineExceeded, "deadline exhausted");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "deadline exhausted");
+  EXPECT_NE(s.to_string().find("deadline exhausted"), std::string::npos);
+}
+
+TEST(Status, EveryCodeHasADistinctName) {
+  const ErrorCode codes[] = {
+      ErrorCode::kOk,           ErrorCode::kInvalidInput,
+      ErrorCode::kNumericalBreakdown, ErrorCode::kLimitHit,
+      ErrorCode::kDeadlineExceeded,   ErrorCode::kStalled,
+      ErrorCode::kInfeasible,   ErrorCode::kUnbounded,
+      ErrorCode::kInternal,
+  };
+  for (std::size_t i = 0; i < std::size(codes); ++i) {
+    ASSERT_NE(to_string(codes[i]), nullptr);
+    for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(to_string(codes[i]), to_string(codes[j]));
+    }
+  }
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsStatus) {
+  Expected<int> e(Status::Error(ErrorCode::kInvalidInput, "bad flag"));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), ErrorCode::kInvalidInput);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+}  // namespace
+}  // namespace mmwave::common

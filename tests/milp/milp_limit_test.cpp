@@ -1,0 +1,174 @@
+// Truncated-solve semantics: whenever a limit (real or injected) cuts a
+// branch & bound short, the reported exit must be *honest* — a Feasible
+// incumbent comes with a dual bound that is valid for the full problem,
+// and a NoSolution exit reports the trivially valid bound instead of
+// overclaiming.  Column generation's Theorem-1 bounds lean on exactly this
+// contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "milp/milp.h"
+
+namespace mmwave::milp {
+namespace {
+
+using lp::kInfinity;
+using lp::ObjSense;
+using lp::Sense;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A knapsack whose LP relaxation is fractional (so branch & bound must
+/// actually branch): LP bound 12.8 (item 0 plus 4/5 of item 1), integer
+/// optimum 12 (items {1, 2}).
+MilpModel make_knapsack(std::vector<int>* vars = nullptr) {
+  const std::vector<double> weights{6, 5, 5};
+  const std::vector<double> values{8, 6, 6};
+  MilpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  std::vector<lp::Term> row;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const int v = m.add_variable(0, 1, values[i], VarType::Binary);
+    row.push_back({v, weights[i]});
+    if (vars) vars->push_back(v);
+  }
+  m.add_constraint(std::move(row), Sense::Le, 10.0);
+  return m;
+}
+
+TEST(MilpLimits, InjectedNoSolutionReportsTrivialBound) {
+  const MilpModel m = make_knapsack();
+  common::FaultInjector inj;
+  inj.arm(common::faults::kMilpNoSolution, {.times = 1});
+  common::FaultScope scope(inj);
+
+  const MilpSolution sol = solve_milp(m);
+  EXPECT_EQ(sol.status, MilpStatus::NoSolution);
+  EXPECT_FALSE(sol.has_solution());
+  EXPECT_EQ(sol.error.code(), common::ErrorCode::kLimitHit)
+      << sol.error.to_string();
+  // Maximize model: the only bound a no-incumbent truncation may claim is
+  // +inf (i.e. "nothing is certified").
+  EXPECT_EQ(sol.best_bound, kInf);
+}
+
+TEST(MilpLimits, InjectedNoSolutionMinimizeSense) {
+  // min x st 2x >= 7, x integer.
+  MilpModel m;
+  m.set_objective_sense(ObjSense::Minimize);
+  const int x = m.add_variable(0, kInfinity, 1.0, VarType::Integer);
+  m.add_constraint({{x, 2.0}}, Sense::Ge, 7.0);
+  common::FaultInjector inj;
+  inj.arm(common::faults::kMilpNoSolution, {.times = 1});
+  common::FaultScope scope(inj);
+
+  const MilpSolution sol = solve_milp(m);
+  EXPECT_EQ(sol.status, MilpStatus::NoSolution);
+  EXPECT_EQ(sol.best_bound, -kInf);  // Minimize sense: bound <= objective
+}
+
+TEST(MilpLimits, TruncatedFeasibleKeepsIncumbentAndValidBound) {
+  std::vector<int> vars;
+  const MilpModel m = make_knapsack(&vars);
+  // Feasible-but-suboptimal warm start: item 0 only (value 8).
+  std::vector<double> warm(vars.size(), 0.0);
+  warm[0] = 1.0;
+
+  common::FaultInjector inj;
+  inj.arm(common::faults::kMilpTruncate, {.times = 1});
+  common::FaultScope scope(inj);
+  const MilpSolution sol = solve_milp(m, MilpOptions{}, &warm);
+
+  ASSERT_TRUE(sol.has_solution());
+  EXPECT_EQ(sol.status, MilpStatus::Feasible);
+  EXPECT_EQ(sol.error.code(), common::ErrorCode::kLimitHit)
+      << sol.error.to_string();
+  // The incumbent is feasible and at least as good as the warm start...
+  EXPECT_TRUE(is_feasible_point(m, sol.x));
+  EXPECT_GE(sol.objective, 8.0 - 1e-9);
+  // ...and the dual bound brackets the true optimum (12): a truncated
+  // Maximize solve must report objective <= optimum <= best_bound.
+  EXPECT_LE(sol.objective, 12.0 + 1e-7);
+  EXPECT_GE(sol.best_bound, 12.0 - 1e-7);
+  EXPECT_GE(sol.best_bound, sol.objective - 1e-9);
+}
+
+TEST(MilpLimits, RootLpTruncationWithoutWarmStartIsNoSolution) {
+  const MilpModel m = make_knapsack();
+  MilpOptions options;
+  // The root *LP* itself runs out of wall clock at its very first pivot;
+  // with no warm start there is no incumbent to fall back on.
+  options.lp_options.time_limit_sec = 1e-9;
+  const MilpSolution sol = solve_milp(m, options);
+  EXPECT_EQ(sol.status, MilpStatus::NoSolution);
+  EXPECT_EQ(sol.error.code(), common::ErrorCode::kLimitHit)
+      << sol.error.to_string();
+  EXPECT_NE(sol.error.message().find("root relaxation"), std::string::npos)
+      << sol.error.message();
+  EXPECT_EQ(sol.best_bound, kInf);
+}
+
+TEST(MilpLimits, RootLpTruncationWithWarmStartKeepsIncumbent) {
+  std::vector<int> vars;
+  const MilpModel m = make_knapsack(&vars);
+  std::vector<double> warm(vars.size(), 0.0);
+  warm[1] = 1.0;  // value 6, weight 5: feasible
+  MilpOptions options;
+  options.lp_options.time_limit_sec = 1e-9;
+  const MilpSolution sol = solve_milp(m, options, &warm);
+  EXPECT_EQ(sol.status, MilpStatus::Feasible);
+  EXPECT_NEAR(sol.objective, 6.0, 1e-9);
+  EXPECT_TRUE(is_feasible_point(m, sol.x));
+  EXPECT_EQ(sol.best_bound, kInf);  // trivially valid, never overclaims
+  EXPECT_EQ(sol.error.code(), common::ErrorCode::kLimitHit);
+}
+
+TEST(MilpLimits, NodeBudgetTruncationBracketsTheOptimum) {
+  std::vector<int> vars;
+  const MilpModel m = make_knapsack(&vars);
+  std::vector<double> warm(vars.size(), 0.0);
+  warm[2] = 1.0;  // value 6: a weak incumbent the search must keep
+  MilpOptions options;
+  options.max_nodes = 1;  // root only, then stop
+  const MilpSolution sol = solve_milp(m, options, &warm);
+  ASSERT_TRUE(sol.has_solution());
+  // Either the root's rounding pass already proved optimality, or the
+  // truncation reports Feasible — both must bracket the true optimum.
+  EXPECT_TRUE(sol.status == MilpStatus::Optimal ||
+              sol.status == MilpStatus::Feasible)
+      << to_string(sol.status);
+  EXPECT_TRUE(is_feasible_point(m, sol.x));
+  EXPECT_LE(sol.objective, 12.0 + 1e-7);
+  EXPECT_GE(sol.best_bound, 12.0 - 1e-7);
+  if (sol.status == MilpStatus::Feasible) {
+    EXPECT_EQ(sol.error.code(), common::ErrorCode::kLimitHit);
+  }
+}
+
+TEST(MilpLimits, SimplexHonorsWallClockLimit) {
+  // A plain LP with a sub-microsecond budget: the per-pivot deadline check
+  // must stop it almost immediately with a structured kLimitHit error.
+  MilpModel m;
+  m.set_objective_sense(ObjSense::Maximize);
+  std::vector<lp::Term> row;
+  for (int i = 0; i < 40; ++i) {
+    const int v = m.add_variable(0, 1, 1.0 + 0.01 * i, VarType::Continuous);
+    row.push_back({v, 1.0});
+  }
+  m.add_constraint(std::move(row), Sense::Le, 20.0);
+  lp::LpOptions options;
+  options.time_limit_sec = 1e-9;
+  const lp::LpSolution sol = lp::solve_lp(m.lp(), options);
+  EXPECT_EQ(sol.status, lp::SolveStatus::IterationLimit);
+  EXPECT_EQ(sol.error.code(), common::ErrorCode::kLimitHit)
+      << sol.error.to_string();
+  EXPECT_NE(sol.error.message().find("time limit"), std::string::npos)
+      << sol.error.message();
+}
+
+}  // namespace
+}  // namespace mmwave::milp

@@ -1,0 +1,84 @@
+# Exit-status contract smoke test for mmwave_cli (run by ctest as
+# `cmake -DCLI=<binary> -DWORK_DIR=<dir> -P cli_smoke.cmake`).
+#
+# The contract under test (DESIGN.md section 7):
+#   0  success
+#   1  verification found violations / unknown command
+#   2  invalid input (malformed flags or instance spec)
+#   3  solve degraded (deadline, stall, solver breakdown)
+#
+# PASS_REGULAR_EXPRESSION cannot assert exit codes, hence this script:
+# each case runs the CLI and compares the real exit status (and, where it
+# matters, stderr) against the contract.
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to mmwave_cli>")
+endif()
+if(NOT DEFINED WORK_DIR)
+  set(WORK_DIR "${CMAKE_CURRENT_BINARY_DIR}")
+endif()
+
+set(failures 0)
+
+# run(<expected-exit> <output-must-match-or-empty> args...)
+# The regex is matched against stdout + stderr combined (errors go to
+# stderr, the DEGRADED status line to stdout).
+function(run expected out_regex)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    TIMEOUT 120)
+  if(NOT code STREQUAL "${expected}")
+    message(SEND_ERROR
+      "mmwave_cli ${ARGN}: expected exit ${expected}, got '${code}'\n"
+      "stdout: ${out}\nstderr: ${err}")
+    math(EXPR failures "${failures}+1")
+    set(failures ${failures} PARENT_SCOPE)
+    return()
+  endif()
+  if(NOT out_regex STREQUAL "" AND NOT "${out}${err}" MATCHES "${out_regex}")
+    message(SEND_ERROR
+      "mmwave_cli ${ARGN}: output does not match '${out_regex}'\n"
+      "stdout: ${out}\nstderr: ${err}")
+    math(EXPR failures "${failures}+1")
+    set(failures ${failures} PARENT_SCOPE)
+  endif()
+endfunction()
+
+# --- exit 0: clean runs -----------------------------------------------------
+run(0 "" solve --links=4 --channels=2 --pricing=heuristic)
+run(0 "" help)
+
+# --- exit 1: unknown command ------------------------------------------------
+run(1 "" frobnicate)
+
+# --- exit 2: malformed flags, one-line error on stderr ----------------------
+run(2 "error: .*expected an integer" solve --links=lots)
+run(2 "error: .*out of range"        solve --links=0)
+run(2 "error: .*out of range"        solve --links=4 --channels=-3)
+run(2 "error: "                      solve --links=4 --pricing=quantum)
+run(2 "error: .*expected a number"   solve --links=4 --gamma-scale=big)
+run(2 "error: .*out of range"        solve --links=4 --deadline=-1)
+run(2 "error: "                      stream --links=4 --channels=2 --p-block=2)
+run(2 "error: .*expected an integer" check --links=4 --seed=1.5)
+
+# --- exit 2: malformed instance spec files ----------------------------------
+file(WRITE "${WORK_DIR}/bad_spec.txt" "links = twenty\n")
+run(2 "error: .*instance spec line 1" solve --instance=${WORK_DIR}/bad_spec.txt)
+file(WRITE "${WORK_DIR}/bad_key.txt" "links = 4\nwat = 1\n")
+run(2 "error: .*unknown key"          solve --instance=${WORK_DIR}/bad_key.txt)
+run(2 "error: "                       solve --instance=${WORK_DIR}/no_such_file.txt)
+
+# --- exit 0: a well-formed instance spec actually drives the solve ----------
+file(WRITE "${WORK_DIR}/good_spec.txt"
+  "# tiny instance\nlinks = 4\nchannels = 2\nlevels = 2\nseed = 3\n")
+run(0 "" solve --instance=${WORK_DIR}/good_spec.txt --pricing=heuristic)
+
+# --- exit 3: degraded solve (deadline far too small for exact pricing) ------
+run(3 "DEGRADED" solve --links=25 --channels=5 --pricing=exact --deadline=0.2)
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} CLI smoke case(s) failed")
+endif()
+message(STATUS "cli_smoke: all exit-status contract cases passed")

@@ -20,11 +20,23 @@
 //
 // Instance flags (shared): --links --channels --levels --gamma-scale
 //   --seed --demand-scale --pricing=heuristic|hybrid|exact
+//   --instance=FILE (key=value spec, flags override) --deadline=SECONDS
+//
+// Exit status (DESIGN.md section 7):
+//   0  success (solve/compare/stream completed; check passed)
+//   1  verification failure (check) or unknown command
+//   2  invalid input: malformed flag value, unreadable/invalid --instance
+//      spec, or an instance rejected by check::validate_instance
+//   3  degraded solve: the anytime contract returned an incumbent (deadline,
+//      stall, solver breakdown) instead of a certified answer
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "baselines/baselines.h"
+#include "check/instance_validator.h"
 #include "check/schedule_verifier.h"
 #include "common/cli.h"
 #include "common/table.h"
@@ -38,6 +50,11 @@ namespace {
 
 using namespace mmwave;
 
+constexpr int kExitOk = 0;
+constexpr int kExitCheckFailed = 1;
+constexpr int kExitInvalidInput = 2;
+constexpr int kExitDegraded = 3;
+
 struct InstanceFlags {
   int links = 10;
   int channels = 5;
@@ -45,26 +62,89 @@ struct InstanceFlags {
   double gamma_scale = 1.0;
   std::uint64_t seed = 1;
   double demand_scale = 1e-3;
+  double deadline_sec = 0.0;
   core::PricingMode pricing = core::PricingMode::HeuristicThenExact;
 };
 
-InstanceFlags parse_instance(const common::CliFlags& flags) {
+/// Strict instance-flag parsing: a malformed value ("--links=abc",
+/// "--channels=-3", an unreadable --instance file) is a structured error
+/// the caller prints once and exits kExitInvalidInput on — never a silent
+/// zero that solves the wrong instance.
+common::Expected<InstanceFlags> parse_instance(const common::CliFlags& flags) {
   InstanceFlags f;
-  f.links = static_cast<int>(flags.get_int("links", f.links));
-  f.channels = static_cast<int>(flags.get_int("channels", f.channels));
-  f.levels = static_cast<int>(flags.get_int("levels", f.levels));
-  f.gamma_scale = flags.get_double("gamma-scale", f.gamma_scale);
-  f.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  f.demand_scale = flags.get_double("demand-scale", f.demand_scale);
+  if (flags.has("instance")) {
+    const std::string path = flags.get_string("instance", "");
+    std::ifstream in(path);
+    if (!in) {
+      return common::Status::Error(
+          common::ErrorCode::kInvalidInput,
+          "--instance: cannot open '" + path + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto spec = check::parse_instance_spec(buf.str());
+    if (!spec.ok()) return spec.status();
+    f.links = spec.value().links;
+    f.channels = spec.value().channels;
+    f.levels = spec.value().levels;
+    f.gamma_scale = spec.value().gamma_scale;
+    f.seed = spec.value().seed;
+    f.demand_scale = spec.value().demand_scale;
+  }
+
+  const auto links = flags.get_int_checked("links", f.links, 1, 4096);
+  if (!links.ok()) return links.status();
+  f.links = static_cast<int>(links.value());
+  const auto channels = flags.get_int_checked("channels", f.channels, 1, 1024);
+  if (!channels.ok()) return channels.status();
+  f.channels = static_cast<int>(channels.value());
+  const auto levels = flags.get_int_checked("levels", f.levels, 1, 64);
+  if (!levels.ok()) return levels.status();
+  f.levels = static_cast<int>(levels.value());
+  const auto gamma = flags.get_double_checked("gamma-scale", f.gamma_scale,
+                                              1e-9, 1e9);
+  if (!gamma.ok()) return gamma.status();
+  f.gamma_scale = gamma.value();
+  const auto seed = flags.get_int_checked(
+      "seed", static_cast<std::int64_t>(f.seed), 0);
+  if (!seed.ok()) return seed.status();
+  f.seed = static_cast<std::uint64_t>(seed.value());
+  const auto dscale = flags.get_double_checked("demand-scale", f.demand_scale,
+                                               1e-18, 1e18);
+  if (!dscale.ok()) return dscale.status();
+  f.demand_scale = dscale.value();
+  const auto deadline =
+      flags.get_double_checked("deadline", f.deadline_sec, 0.0, 1e9);
+  if (!deadline.ok()) return deadline.status();
+  f.deadline_sec = deadline.value();
+
   const std::string pricing = flags.get_string("pricing", "hybrid");
   if (pricing == "heuristic") {
     f.pricing = core::PricingMode::HeuristicOnly;
   } else if (pricing == "exact") {
     f.pricing = core::PricingMode::ExactAlways;
-  } else {
+  } else if (pricing == "hybrid") {
     f.pricing = core::PricingMode::HeuristicThenExact;
+  } else {
+    return common::Status::Error(
+        common::ErrorCode::kInvalidInput,
+        "--pricing: expected heuristic|hybrid|exact, got '" + pricing + "'");
   }
   return f;
+}
+
+/// Prints the anytime-contract outcome; returns the process exit status.
+int report_solve_health(const core::CgResult& result) {
+  if (result.stop_reason == core::CgStopReason::kInvalidInput) {
+    std::fprintf(stderr, "error: %s\n", result.status.message().c_str());
+    return kExitInvalidInput;
+  }
+  if (result.degraded) {
+    std::printf("DEGRADED (%s): %s\n", core::to_string(result.stop_reason),
+                result.status.message().c_str());
+    return kExitDegraded;
+  }
+  return kExitOk;
 }
 
 net::NetworkParams params_of(const InstanceFlags& f) {
@@ -93,20 +173,30 @@ Instance build_instance(const InstanceFlags& f) {
 }
 
 int cmd_solve(const common::CliFlags& flags) {
-  const InstanceFlags f = parse_instance(flags);
+  const auto parsed = parse_instance(flags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().message().c_str());
+    return kExitInvalidInput;
+  }
+  const InstanceFlags f = parsed.value();
   Instance inst = build_instance(f);
   core::CgOptions opts;
   opts.pricing = f.pricing;
+  opts.deadline_sec = f.deadline_sec;
   opts.warm_start_master = flags.get_int("warm-start", 1) != 0;
   const auto result =
       core::solve_column_generation(inst.net, inst.demands, opts);
+  const int health = report_solve_health(result);
+  if (health == kExitInvalidInput) return health;
 
   std::printf("instance: L=%d K=%d Q=%d gamma x%.1f seed=%llu\n", f.links,
               f.channels, f.levels, f.gamma_scale,
               static_cast<unsigned long long>(f.seed));
-  std::printf("status:   %s after %d iterations, %zu schedules in plan\n",
+  std::printf("status:   %s after %d iterations, %zu schedules in plan "
+              "(%.3f s, stop: %s)\n",
               result.converged ? "optimal (certified)" : "feasible",
-              result.iterations, result.timeline.size());
+              result.iterations, result.timeline.size(),
+              result.solve_seconds, core::to_string(result.stop_reason));
   std::printf("slots:    %.2f", result.total_slots);
   if (!std::isnan(result.lower_bound))
     std::printf("   (Theorem-1 LB %.2f, gap %.2e)", result.lower_bound,
@@ -160,11 +250,16 @@ int cmd_solve(const common::CliFlags& flags) {
     table.write_csv(path);
     std::printf("plan written to %s\n", path.c_str());
   }
-  return 0;
+  return health;
 }
 
 int cmd_compare(const common::CliFlags& flags) {
-  const InstanceFlags f = parse_instance(flags);
+  const auto parsed = parse_instance(flags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().message().c_str());
+    return kExitInvalidInput;
+  }
+  const InstanceFlags f = parsed.value();
   Instance inst = build_instance(f);
 
   common::Table table({"algorithm", "total slots", "avg delay", "fairness",
@@ -184,7 +279,10 @@ int cmd_compare(const common::CliFlags& flags) {
 
   core::CgOptions opts;
   opts.pricing = f.pricing;
+  opts.deadline_sec = f.deadline_sec;
   const auto cg = core::solve_column_generation(inst.net, inst.demands, opts);
+  const int health = report_solve_health(cg);
+  if (health == kExitInvalidInput) return health;
   row("column generation", cg.timeline, true,
       sched::ExecutionOrder::CompletionAware);
   const auto b1 = baselines::benchmark1(inst.net, inst.demands);
@@ -196,13 +294,27 @@ int cmd_compare(const common::CliFlags& flags) {
   const auto td = baselines::tdma(inst.net, inst.demands);
   row("TDMA", td.timeline, td.served_all, sched::ExecutionOrder::AsGiven);
   table.print(std::cout);
-  return 0;
+  return health;
 }
 
 int cmd_stream(const common::CliFlags& flags) {
-  const InstanceFlags f = parse_instance(flags);
-  const int gops = static_cast<int>(flags.get_int("gops", 8));
-  const double p_block = flags.get_double("p-block", 0.0);
+  const auto parsed = parse_instance(flags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().message().c_str());
+    return kExitInvalidInput;
+  }
+  const InstanceFlags f = parsed.value();
+  const auto gops_flag = flags.get_int_checked("gops", 8, 1, 1'000'000);
+  const auto p_block_flag =
+      flags.get_double_checked("p-block", 0.0, 0.0, 1.0);
+  if (!gops_flag.ok() || !p_block_flag.ok()) {
+    const common::Status& bad =
+        gops_flag.ok() ? p_block_flag.status() : gops_flag.status();
+    std::fprintf(stderr, "error: %s\n", bad.message().c_str());
+    return kExitInvalidInput;
+  }
+  const int gops = static_cast<int>(gops_flag.value());
+  const double p_block = p_block_flag.value();
 
   common::Rng rng(f.seed);
   net::NetworkParams params = params_of(f);
@@ -232,20 +344,29 @@ int cmd_stream(const common::CliFlags& flags) {
 }
 
 int cmd_check(const common::CliFlags& flags) {
-  const InstanceFlags f = parse_instance(flags);
+  const auto parsed = parse_instance(flags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().message().c_str());
+    return kExitInvalidInput;
+  }
+  const InstanceFlags f = parsed.value();
   Instance inst = build_instance(f);
   core::CgOptions opts;
   opts.pricing = f.pricing;
+  opts.deadline_sec = f.deadline_sec;
   opts.verify = true;
   const auto result =
       core::solve_column_generation(inst.net, inst.demands, opts);
+  const int health = report_solve_health(result);
+  if (health == kExitInvalidInput) return health;
 
   std::printf("instance: L=%d K=%d Q=%d gamma x%.1f seed=%llu\n", f.links,
               f.channels, f.levels, f.gamma_scale,
               static_cast<unsigned long long>(f.seed));
-  std::printf("solve:    %s, %.2f slots, %d iterations\n",
+  std::printf("solve:    %s, %.2f slots, %d iterations (stop: %s)\n",
               result.converged ? "optimal (certified)" : "feasible",
-              result.total_slots, result.iterations);
+              result.total_slots, result.iterations,
+              core::to_string(result.stop_reason));
 
   int failures = 0;
   const auto& v = result.verification;
@@ -283,10 +404,10 @@ int cmd_check(const common::CliFlags& flags) {
   if (failures == 0) {
     std::printf("verification PASSED (%zu schedules in plan)\n",
                 result.timeline.size());
-    return 0;
+    return health;  // 0, or kExitDegraded for a verified-but-degraded plan
   }
   std::printf("verification FAILED: %d finding(s)\n", failures);
-  return 1;
+  return kExitCheckFailed;
 }
 
 }  // namespace
@@ -304,9 +425,12 @@ int main(int argc, char** argv) {
       "usage: mmwave_cli <solve|compare|stream|check> [--links=N]\n"
       "       [--channels=K] [--levels=Q] [--gamma-scale=x] [--seed=s]\n"
       "       [--demand-scale=d] [--pricing=heuristic|hybrid|exact]\n"
+      "       [--instance=FILE] [--deadline=SECONDS]\n"
       "  solve   also accepts --csv=plan.csv --profile --warm-start=0|1\n"
       "  stream  also accepts --gops=N --p-block=p\n"
       "  check   runs the solve under the certificate checkers and exits\n"
-      "          non-zero on any violated certificate\n");
+      "          non-zero on any violated certificate\n"
+      "exit status: 0 ok | 1 check failed / unknown command |\n"
+      "             2 invalid flag value or instance | 3 degraded solve\n");
   return cmd == "help" ? 0 : 1;
 }

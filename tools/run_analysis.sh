@@ -19,6 +19,13 @@
 #                                         the plain build; writes
 #                                         BENCH_cg.json with the warm/cold
 #                                         CG master comparison
+#   7. robustness                         fault-injection + anytime-contract
+#                                         suites re-run under ASan+UBSan, plus
+#                                         the instance-spec fuzz harness (a
+#                                         30 s libFuzzer run when a clang
+#                                         fuzzer build exists, the
+#                                         deterministic corpus-replay battery
+#                                         otherwise)
 #
 # Usage:  tools/run_analysis.sh [--fast]
 #   --fast   skip legs 1 and 6 (the plain build and the perf bench) — the
@@ -141,6 +148,35 @@ if [[ "$FAST" == 0 ]]; then
   fi
 else
   note "leg 6 skipped (--fast)"
+fi
+
+# ---- Leg 7: robustness (fault injection + fuzz) ---------------------------
+# Re-run the degraded-path suites under the sanitized build: every fault
+# scenario must return a verifier-clean incumbent without tripping ASan or
+# UBSan on the error paths (the places instrumentation matters most, since
+# ordinary runs rarely take them).
+note "leg 7: robustness (fault-injection suites + instance-spec fuzz)"
+if [[ -d "$ASAN_DIR" ]]; then
+  (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
+      -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|cli_smoke') \
+    || leg_failed "ctest (robustness suites under ASan+UBSan)"
+  FUZZ="$ASAN_DIR/tests/fuzz/instance_spec_fuzz"
+  if [[ -x "$FUZZ" ]]; then
+    if "$FUZZ" -help=1 > /dev/null 2>&1 && \
+       "$FUZZ" -help=1 2>/dev/null | grep -q libFuzzer; then
+      # A clang -DMMWAVE_FUZZ=ON build: give the engine a bounded budget.
+      "$FUZZ" -max_total_time=30 "$ROOT/tests/fuzz/corpus" \
+        || leg_failed "libFuzzer (instance_spec_fuzz, 30 s)"
+    else
+      # gcc default build: deterministic corpus replay + mutation battery.
+      "$FUZZ" "$ROOT"/tests/fuzz/corpus/* \
+        || leg_failed "fuzz corpus replay (instance_spec_fuzz)"
+    fi
+  else
+    leg_failed "instance_spec_fuzz missing (sanitized build incomplete?)"
+  fi
+else
+  leg_failed "robustness (sanitized build dir missing)"
 fi
 
 # ---- Summary --------------------------------------------------------------
