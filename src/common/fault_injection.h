@@ -41,6 +41,15 @@ inline constexpr const char* kMilpTruncate = "milp.truncate_incumbent";
 inline constexpr const char* kLpPivotPoison = "lp.pivot_poison";
 /// The column-generation deadline reads as exhausted mid-iteration.
 inline constexpr const char* kCgDeadline = "cg.deadline_exhausted";
+/// save_checkpoint fails as if the disk write failed (full disk, EIO).
+inline constexpr const char* kCheckpointWriteFail = "checkpoint.write_fail";
+/// load_checkpoint reads a bit-flipped payload; the checksum must catch it
+/// and the caller must degrade to a cold start.
+inline constexpr const char* kCheckpointCorrupt = "checkpoint.corrupt_payload";
+/// resolve()'s pool repair sees a column invalidated mid-solve (the
+/// instance perturbed again under our feet); the column must be dropped,
+/// never entered into the master.
+inline constexpr const char* kResolveDropColumn = "resolve.drop_column";
 }  // namespace faults
 
 /// When/how often an armed site fires.  Namespace-scope (not nested) so it

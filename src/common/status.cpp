@@ -12,6 +12,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kStalled: return "Stalled";
     case ErrorCode::kInfeasible: return "Infeasible";
     case ErrorCode::kUnbounded: return "Unbounded";
+    case ErrorCode::kIoError: return "IoError";
     case ErrorCode::kInternal: return "Internal";
   }
   return "Unknown";

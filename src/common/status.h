@@ -27,6 +27,8 @@ enum class ErrorCode {
   kStalled,
   kInfeasible,
   kUnbounded,
+  /// A filesystem operation failed (checkpoint read/write, unreadable path).
+  kIoError,
   /// Unexpected internal failure (caught exception, broken invariant).
   kInternal,
 };

@@ -1,0 +1,594 @@
+#include "core/checkpoint.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/fault_injection.h"
+#include "common/log.h"
+#include "core/column_generation.h"
+
+namespace mmwave::core {
+namespace {
+
+constexpr const char* kMagic = "mmwave-cg-checkpoint";
+
+// Hard ceilings on parsed counts: a corrupted header must not be able to
+// drive a multi-gigabyte allocation before the checksum line is even
+// reachable (the checksum is verified first, but belt and braces).
+constexpr int kMaxLinks = 4096;
+constexpr int kMaxChannels = 1024;
+constexpr int kMaxColumns = 1'000'000;
+constexpr int kMaxRateLevels = 64;
+
+common::Status parse_error(int line, const std::string& what) {
+  return common::Status::Error(
+      common::ErrorCode::kInvalidInput,
+      "checkpoint line " + std::to_string(line) + ": " + what);
+}
+
+/// %.17g round-trips IEEE doubles exactly, which is what makes the
+/// save -> load -> serialize cycle byte-identical.
+void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "nan";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Strict full-token double parse; `allow_nan` admits the literal "nan".
+bool parse_double_token(std::string_view token, bool allow_nan, double* out) {
+  if (token.empty() || token.size() >= 63) return false;
+  if (token == "nan") {
+    if (!allow_nan) return false;
+    *out = std::nan("");
+    return true;
+  }
+  char buf[64];
+  std::memcpy(buf, token.data(), token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + token.size() || errno == ERANGE || !std::isfinite(v))
+    return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int_token(std::string_view token, long long lo, long long hi,
+                     long long* out) {
+  if (token.empty() || token.size() >= 31) return false;
+  char buf[32];
+  std::memcpy(buf, token.data(), token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (end != buf + token.size() || errno == ERANGE || v < lo || v > hi)
+    return false;
+  *out = v;
+  return true;
+}
+
+bool parse_hex64_token(std::string_view token, std::uint64_t* out) {
+  if (token.size() != 18 || token[0] != '0' || token[1] != 'x') return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = 2; i < token.size(); ++i) {
+    const char c = token[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *out = v;
+  return true;
+}
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Line cursor over the payload; tracks 1-based line numbers for errors.
+class LineReader {
+ public:
+  LineReader(std::string_view text, int first_line)
+      : text_(text), line_(first_line - 1) {}
+
+  /// Next line without its '\n'.  False at end of input.
+  bool next(std::string_view* out) {
+    if (pos_ >= text_.size()) return false;
+    const std::size_t nl = text_.find('\n', pos_);
+    if (nl == std::string_view::npos) {
+      // A checkpoint always ends in a newline; a final unterminated line is
+      // a truncation, reported by the caller when the content mismatches.
+      *out = text_.substr(pos_);
+      pos_ = text_.size();
+    } else {
+      *out = text_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+    }
+    ++line_;
+    return true;
+  }
+  bool at_end() const { return pos_ >= text_.size(); }
+  int line() const { return line_ + 1; }  ///< line number of the NEXT line
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+/// Splits on single spaces (the serializer never emits doubles/tabs).
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t sp = line.find(' ', pos);
+    if (sp == std::string_view::npos) {
+      tokens.push_back(line.substr(pos));
+      break;
+    }
+    tokens.push_back(line.substr(pos, sp - pos));
+    pos = sp + 1;
+  }
+  return tokens;
+}
+
+/// Reads one `key = <value tokens...>` line; returns the value tokens.
+common::Expected<std::vector<std::string_view>> expect_kv(
+    LineReader& reader, std::string_view key) {
+  std::string_view line;
+  const int line_no = reader.line();
+  if (!reader.next(&line)) {
+    return parse_error(line_no, "truncated: expected '" + std::string(key) +
+                                    " = ...'");
+  }
+  auto tokens = split_tokens(line);
+  if (tokens.size() < 3 || tokens[0] != key || tokens[1] != "=") {
+    return parse_error(line_no, "expected '" + std::string(key) +
+                                    " = ...', got '" + std::string(line) +
+                                    "'");
+  }
+  tokens.erase(tokens.begin(), tokens.begin() + 2);
+  return tokens;
+}
+
+common::Expected<long long> expect_int(LineReader& reader,
+                                       std::string_view key, long long lo,
+                                       long long hi) {
+  const int line_no = reader.line();
+  auto tokens = expect_kv(reader, key);
+  if (!tokens.ok()) return tokens.status();
+  long long v = 0;
+  if (tokens.value().size() != 1 ||
+      !parse_int_token(tokens.value()[0], lo, hi, &v)) {
+    return parse_error(line_no, std::string(key) + ": expected an integer in [" +
+                                    std::to_string(lo) + ", " +
+                                    std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+common::Expected<double> expect_double(LineReader& reader,
+                                       std::string_view key, bool allow_nan) {
+  const int line_no = reader.line();
+  auto tokens = expect_kv(reader, key);
+  if (!tokens.ok()) return tokens.status();
+  double v = 0.0;
+  if (tokens.value().size() != 1 ||
+      !parse_double_token(tokens.value()[0], allow_nan, &v)) {
+    return parse_error(line_no,
+                       std::string(key) + ": expected a finite number" +
+                           (allow_nan ? " or 'nan'" : ""));
+  }
+  return v;
+}
+
+common::Expected<std::vector<double>> expect_dual_vector(LineReader& reader,
+                                                         std::string_view key,
+                                                         int expected_size) {
+  const int line_no = reader.line();
+  auto tokens = expect_kv(reader, key);
+  if (!tokens.ok()) return tokens.status();
+  if (static_cast<int>(tokens.value().size()) != expected_size) {
+    return parse_error(line_no, std::string(key) + ": expected " +
+                                    std::to_string(expected_size) +
+                                    " values, got " +
+                                    std::to_string(tokens.value().size()));
+  }
+  std::vector<double> values;
+  values.reserve(tokens.value().size());
+  for (std::string_view t : tokens.value()) {
+    double v = 0.0;
+    if (!parse_double_token(t, /*allow_nan=*/false, &v) || v < 0.0) {
+      return parse_error(line_no, std::string(key) +
+                                      ": dual values must be finite and >= 0");
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+/// Incremental FNV-1a over typed fields (the instance fingerprint).
+class FingerprintHasher {
+ public:
+  void add_double(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    add_u64(bits);
+  }
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;
+};
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t instance_fingerprint(
+    const net::Network& net, const std::vector<video::LinkDemand>& demands) {
+  FingerprintHasher h;
+  const net::NetworkParams& p = net.params();
+  h.add_u64(static_cast<std::uint64_t>(net.num_links()));
+  h.add_u64(static_cast<std::uint64_t>(net.num_channels()));
+  h.add_double(p.p_max_watts);
+  h.add_double(p.noise_watts);
+  h.add_double(p.bandwidth_hz);
+  h.add_double(p.slot_seconds);
+  h.add_u64(static_cast<std::uint64_t>(net.num_rate_levels()));
+  for (int q = 0; q < net.num_rate_levels(); ++q) {
+    h.add_double(net.rate_level(q).sinr_threshold);
+    h.add_double(net.rate_level(q).rate_bps);
+  }
+  for (int l = 0; l < net.num_links(); ++l) {
+    const net::Link& link = net.link(l);
+    h.add_u64(static_cast<std::uint64_t>(link.tx_node));
+    h.add_u64(static_cast<std::uint64_t>(link.rx_node));
+    h.add_double(net.noise(l));
+    for (int k = 0; k < net.num_channels(); ++k) {
+      h.add_double(net.direct_gain(l, k));
+      for (int m = 0; m < net.num_links(); ++m) {
+        if (m != l) h.add_double(net.cross_gain(m, l, k));
+      }
+    }
+  }
+  h.add_u64(static_cast<std::uint64_t>(demands.size()));
+  for (const video::LinkDemand& d : demands) {
+    h.add_double(d.hp_bits);
+    h.add_double(d.lp_bits);
+  }
+  return h.hash();
+}
+
+CgCheckpoint make_checkpoint(const net::Network& net,
+                             const std::vector<video::LinkDemand>& demands,
+                             const CgResult& result) {
+  CgCheckpoint ckpt;
+  ckpt.fingerprint = instance_fingerprint(net, demands);
+  ckpt.links = net.num_links();
+  ckpt.channels = net.num_channels();
+  ckpt.iterations = result.iterations;
+  ckpt.converged = result.converged;
+  ckpt.total_slots = result.total_slots;
+  ckpt.lower_bound = result.lower_bound;
+  ckpt.duals_hp = result.duals_hp;
+  ckpt.duals_lp = result.duals_lp;
+  // The duals lines are fixed-width (one value per link): a solve that
+  // never produced duals checkpoints zeros rather than a jagged record.
+  if (static_cast<int>(ckpt.duals_hp.size()) != ckpt.links)
+    ckpt.duals_hp.assign(ckpt.links, 0.0);
+  if (static_cast<int>(ckpt.duals_lp.size()) != ckpt.links)
+    ckpt.duals_lp.assign(ckpt.links, 0.0);
+  ckpt.pool = result.pool;
+  ckpt.pool_tau = result.pool_tau;
+  if (ckpt.pool_tau.size() != ckpt.pool.size())
+    ckpt.pool_tau.assign(ckpt.pool.size(), 0.0);
+  return ckpt;
+}
+
+std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
+  std::string body;
+  body.reserve(256 + ckpt.pool.size() * 96);
+  body += "fingerprint = ";
+  append_hex64(body, ckpt.fingerprint);
+  body += "\nlinks = " + std::to_string(ckpt.links);
+  body += "\nchannels = " + std::to_string(ckpt.channels);
+  body += "\niterations = " + std::to_string(ckpt.iterations);
+  body += "\nconverged = ";
+  body += ckpt.converged ? '1' : '0';
+  body += "\ntotal_slots = ";
+  append_double(body, ckpt.total_slots);
+  body += "\nlower_bound = ";
+  append_double(body, ckpt.lower_bound);
+  body += "\nduals_hp =";
+  for (double v : ckpt.duals_hp) {
+    body += ' ';
+    append_double(body, v);
+  }
+  body += "\nduals_lp =";
+  for (double v : ckpt.duals_lp) {
+    body += ' ';
+    append_double(body, v);
+  }
+  body += "\ncolumns = " + std::to_string(ckpt.pool.size());
+  body += '\n';
+  for (std::size_t s = 0; s < ckpt.pool.size(); ++s) {
+    const sched::Schedule& col = ckpt.pool[s];
+    body += "column = tau ";
+    append_double(body, s < ckpt.pool_tau.size() ? ckpt.pool_tau[s] : 0.0);
+    body += " txs " + std::to_string(col.size());
+    body += '\n';
+    for (const sched::Transmission& tx : col.transmissions()) {
+      body += "tx = " + std::to_string(tx.link) + ' ' +
+              std::to_string(static_cast<int>(tx.layer)) + ' ' +
+              std::to_string(tx.rate_level) + ' ' +
+              std::to_string(tx.channel) + ' ';
+      append_double(body, tx.power_watts);
+      body += '\n';
+    }
+  }
+  body += "end\n";
+
+  std::string out;
+  out.reserve(body.size() + 64);
+  out += kMagic;
+  out += " v" + std::to_string(kCheckpointVersion);
+  out += "\nchecksum = ";
+  append_hex64(out, fnv1a64(body));
+  out += '\n';
+  out += body;
+  return out;
+}
+
+common::Expected<CgCheckpoint> parse_checkpoint(std::string_view text) {
+  // ---- Header: magic + version, then the payload checksum ----------------
+  const std::size_t first_nl = text.find('\n');
+  if (first_nl == std::string_view::npos)
+    return parse_error(1, "not a checkpoint (missing header line)");
+  const std::string_view header = text.substr(0, first_nl);
+  const std::string magic_prefix = std::string(kMagic) + " v";
+  if (header.substr(0, magic_prefix.size()) != magic_prefix) {
+    return parse_error(1, "not a checkpoint (bad magic '" +
+                              std::string(header.substr(0, 40)) + "')");
+  }
+  long long version = 0;
+  if (!parse_int_token(header.substr(magic_prefix.size()), 0, 1'000'000,
+                       &version)) {
+    return parse_error(1, "malformed version field");
+  }
+  if (version != kCheckpointVersion) {
+    return parse_error(
+        1, "unsupported checkpoint version v" + std::to_string(version) +
+               " (this build reads v" + std::to_string(kCheckpointVersion) +
+               ")");
+  }
+
+  const std::size_t second_nl = text.find('\n', first_nl + 1);
+  if (second_nl == std::string_view::npos)
+    return parse_error(2, "truncated: missing checksum line");
+  const auto checksum_tokens =
+      split_tokens(text.substr(first_nl + 1, second_nl - first_nl - 1));
+  std::uint64_t declared_checksum = 0;
+  if (checksum_tokens.size() != 3 || checksum_tokens[0] != "checksum" ||
+      checksum_tokens[1] != "=" ||
+      !parse_hex64_token(checksum_tokens[2], &declared_checksum)) {
+    return parse_error(2, "malformed checksum line");
+  }
+
+  // ---- Checksum over the raw payload bytes BEFORE any field parsing ------
+  const std::string_view payload = text.substr(second_nl + 1);
+  if (fnv1a64(payload) != declared_checksum) {
+    return parse_error(
+        2, "checksum mismatch (truncated or corrupted checkpoint)");
+  }
+
+  // ---- Payload fields, strict order --------------------------------------
+  LineReader reader(payload, /*first_line=*/3);
+  CgCheckpoint ckpt;
+
+  {
+    const int line_no = reader.line();
+    auto tokens = expect_kv(reader, "fingerprint");
+    if (!tokens.ok()) return tokens.status();
+    if (tokens.value().size() != 1 ||
+        !parse_hex64_token(tokens.value()[0], &ckpt.fingerprint)) {
+      return parse_error(line_no, "fingerprint: expected 0x + 16 hex digits");
+    }
+  }
+  {
+    auto v = expect_int(reader, "links", 1, kMaxLinks);
+    if (!v.ok()) return v.status();
+    ckpt.links = static_cast<int>(v.value());
+  }
+  {
+    auto v = expect_int(reader, "channels", 1, kMaxChannels);
+    if (!v.ok()) return v.status();
+    ckpt.channels = static_cast<int>(v.value());
+  }
+  {
+    auto v = expect_int(reader, "iterations", 0, 1'000'000'000);
+    if (!v.ok()) return v.status();
+    ckpt.iterations = static_cast<int>(v.value());
+  }
+  {
+    auto v = expect_int(reader, "converged", 0, 1);
+    if (!v.ok()) return v.status();
+    ckpt.converged = v.value() != 0;
+  }
+  {
+    const int line_no = reader.line();
+    auto v = expect_double(reader, "total_slots", /*allow_nan=*/false);
+    if (!v.ok()) return v.status();
+    if (v.value() < 0.0)
+      return parse_error(line_no, "total_slots: must be >= 0");
+    ckpt.total_slots = v.value();
+  }
+  {
+    auto v = expect_double(reader, "lower_bound", /*allow_nan=*/true);
+    if (!v.ok()) return v.status();
+    ckpt.lower_bound = v.value();
+  }
+  {
+    auto v = expect_dual_vector(reader, "duals_hp", ckpt.links);
+    if (!v.ok()) return v.status();
+    ckpt.duals_hp = std::move(v.value());
+  }
+  {
+    auto v = expect_dual_vector(reader, "duals_lp", ckpt.links);
+    if (!v.ok()) return v.status();
+    ckpt.duals_lp = std::move(v.value());
+  }
+  long long num_columns = 0;
+  {
+    auto v = expect_int(reader, "columns", 0, kMaxColumns);
+    if (!v.ok()) return v.status();
+    num_columns = v.value();
+  }
+
+  ckpt.pool.reserve(static_cast<std::size_t>(num_columns));
+  ckpt.pool_tau.reserve(static_cast<std::size_t>(num_columns));
+  for (long long s = 0; s < num_columns; ++s) {
+    const int line_no = reader.line();
+    auto tokens = expect_kv(reader, "column");
+    if (!tokens.ok()) return tokens.status();
+    const auto& t = tokens.value();
+    double tau = 0.0;
+    long long num_txs = 0;
+    if (t.size() != 4 || t[0] != "tau" || t[2] != "txs" ||
+        !parse_double_token(t[1], /*allow_nan=*/false, &tau) || tau < 0.0 ||
+        !parse_int_token(t[3], 0, 2LL * kMaxLinks, &num_txs)) {
+      return parse_error(line_no,
+                         "column: expected 'column = tau <t> txs <n>'");
+    }
+    sched::Schedule col;
+    for (long long i = 0; i < num_txs; ++i) {
+      const int tx_line = reader.line();
+      auto tx_tokens = expect_kv(reader, "tx");
+      if (!tx_tokens.ok()) return tx_tokens.status();
+      const auto& tt = tx_tokens.value();
+      long long link = 0, layer = 0, level = 0, channel = 0;
+      double power = 0.0;
+      if (tt.size() != 5 ||
+          !parse_int_token(tt[0], 0, ckpt.links - 1, &link) ||
+          !parse_int_token(tt[1], 0, 1, &layer) ||
+          !parse_int_token(tt[2], 0, kMaxRateLevels - 1, &level) ||
+          !parse_int_token(tt[3], 0, ckpt.channels - 1, &channel) ||
+          !parse_double_token(tt[4], /*allow_nan=*/false, &power) ||
+          power < 0.0) {
+        return parse_error(
+            tx_line, "tx: expected '<link> <layer> <level> <channel> <power>' "
+                     "with all fields in range");
+      }
+      col.add({static_cast<int>(link), static_cast<net::Layer>(layer),
+               static_cast<int>(level), static_cast<int>(channel), power});
+    }
+    ckpt.pool.push_back(std::move(col));
+    ckpt.pool_tau.push_back(tau);
+  }
+
+  // ---- Terminator + no trailing garbage ----------------------------------
+  {
+    std::string_view line;
+    const int line_no = reader.line();
+    if (!reader.next(&line) || line != "end")
+      return parse_error(line_no, "truncated: missing 'end' terminator");
+  }
+  if (!reader.at_end()) {
+    // serialize always ends with "end\n": exactly one empty tail token.
+    std::string_view line;
+    if (reader.next(&line) && !line.empty())
+      return parse_error(reader.line() - 1, "trailing garbage after 'end'");
+    if (!reader.at_end())
+      return parse_error(reader.line(), "trailing garbage after 'end'");
+  }
+  return ckpt;
+}
+
+common::Status save_checkpoint(const CgCheckpoint& ckpt,
+                               const std::string& path) {
+  if (common::fault_fires(common::faults::kCheckpointWriteFail)) {
+    return common::Status::Error(common::ErrorCode::kIoError,
+                                 "checkpoint write failed (injected fault)");
+  }
+  const std::string text = serialize_checkpoint(ckpt);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return common::Status::Error(
+        common::ErrorCode::kIoError,
+        "cannot open '" + tmp + "' for writing: " + std::strerror(errno));
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return common::Status::Error(common::ErrorCode::kIoError,
+                                 "short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return common::Status::Error(
+        common::ErrorCode::kIoError,
+        "cannot rename '" + tmp + "' to '" + path + "': " +
+            std::strerror(errno));
+  }
+  return common::Status::Ok();
+}
+
+common::Expected<CgCheckpoint> load_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return common::Status::Error(
+        common::ErrorCode::kIoError,
+        "cannot open checkpoint '" + path + "': " + std::strerror(errno));
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return common::Status::Error(common::ErrorCode::kIoError,
+                                 "read error on checkpoint '" + path + "'");
+  }
+  // Scripted corruption: flip one payload byte; the checksum must catch it
+  // and the caller must degrade to a cold start, never use the bad state.
+  if (common::fault_fires(common::faults::kCheckpointCorrupt) &&
+      !text.empty()) {
+    text[text.size() / 2] = static_cast<char>(text[text.size() / 2] ^ 0x01);
+    MMWAVE_LOG_WARN << "checkpoint '" << path
+                    << "': payload byte flipped (injected fault)";
+  }
+  return parse_checkpoint(text);
+}
+
+}  // namespace mmwave::core

@@ -1,0 +1,101 @@
+// Checkpoint/restore of the column-generation solver state.
+//
+// The most expensive artifact of one P1 solve is the pool of feasible
+// schedules built by pricing; it stays valid (or cheaply repairable) across
+// demand changes and partial topology perturbations.  CgCheckpoint captures
+// that pool plus the surrounding solver state — instance fingerprint,
+// per-column durations, duals, LB/UB, iteration counters — in a versioned,
+// checksummed, human-readable text format so a scheduling service can
+// survive process death and re-enter CG warm instead of cold.
+//
+// Robustness contract (enforced by tests/core/checkpoint_test.cpp, the
+// checkpoint fuzz harness, and the fault-injection sites in
+// common/fault_injection.h):
+//   * save_checkpoint writes atomically (temp file + rename): a crash
+//     mid-write can lose the new checkpoint, never corrupt the old one;
+//   * parse_checkpoint is strict: any corruption — truncation, bit flip
+//     (caught by the FNV-1a payload checksum), version skew, out-of-range
+//     field — returns a structured common::Status, never crashes and never
+//     yields a partially-parsed checkpoint;
+//   * fingerprint mismatches are detectable by the caller, so a checkpoint
+//     can never be silently replayed against the wrong instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "mmwave/network.h"
+#include "sched/schedule.h"
+#include "video/demand.h"
+
+namespace mmwave::core {
+
+struct CgResult;  // column_generation.h
+
+/// The on-disk format version this build reads and writes.
+inline constexpr int kCheckpointVersion = 1;
+
+struct CgCheckpoint {
+  /// FNV-1a fingerprint of the instance the state was computed on
+  /// (dimensions, parameters, rate ladder, all gains/noises, demands).
+  std::uint64_t fingerprint = 0;
+  int links = 0;
+  int channels = 0;
+  /// CG iterations the checkpointed solve ran.
+  int iterations = 0;
+  bool converged = false;
+  /// Incumbent MP objective (upper bound on the P1 optimum), slots.
+  double total_slots = 0.0;
+  /// Best Theorem-1 lower bound (NaN when none was certified).
+  double lower_bound = 0.0;
+  /// Final simplex multipliers per link (slots/bit); size == links.
+  std::vector<double> duals_hp;
+  std::vector<double> duals_lp;
+  /// The column pool, in master order, with per-column rates/powers/channels
+  /// embedded in each schedule's transmissions.
+  std::vector<sched::Schedule> pool;
+  /// Incumbent durations tau^s aligned with `pool` (0 outside the plan).
+  std::vector<double> pool_tau;
+};
+
+/// 64-bit FNV-1a over a byte string (the checkpoint payload checksum).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Order-sensitive fingerprint of a problem instance: network dimensions
+/// and parameters, the rate ladder, every direct/cross gain, per-link noise
+/// and topology, and the demand vector.  Two instances with any differing
+/// bit in those inputs fingerprint differently (up to hash collision).
+std::uint64_t instance_fingerprint(
+    const net::Network& net, const std::vector<video::LinkDemand>& demands);
+
+/// Snapshot of a finished (or degraded) solve, ready to save.
+CgCheckpoint make_checkpoint(const net::Network& net,
+                             const std::vector<video::LinkDemand>& demands,
+                             const CgResult& result);
+
+/// Serializes to the versioned, checksummed text format.
+std::string serialize_checkpoint(const CgCheckpoint& checkpoint);
+
+/// Strict parser: the exact inverse of serialize_checkpoint.  Returns
+/// kInvalidInput with a one-line diagnosis on ANY deviation — wrong magic,
+/// version skew, checksum mismatch, truncation, out-of-range or
+/// non-numeric fields, trailing garbage.  Never throws on any byte
+/// sequence (fuzzed contract).
+common::Expected<CgCheckpoint> parse_checkpoint(std::string_view text);
+
+/// Atomic write: serialize to `path + ".tmp"`, fsync-free fwrite + rename.
+/// Returns kIoError on any filesystem failure (the fault site
+/// faults::kCheckpointWriteFail scripts one); a failed save never leaves a
+/// half-written file at `path`.
+common::Status save_checkpoint(const CgCheckpoint& checkpoint,
+                               const std::string& path);
+
+/// Reads and strictly parses `path`.  kIoError when unreadable; otherwise
+/// parse_checkpoint's verdict.  The fault site faults::kCheckpointCorrupt
+/// flips a payload byte after the read to prove the checksum catches it.
+common::Expected<CgCheckpoint> load_checkpoint(const std::string& path);
+
+}  // namespace mmwave::core

@@ -237,6 +237,29 @@ CgResult solve_cg_impl(const net::Network& net,
     master.add_column(s);
   }
 
+  // Warm pool (checkpoint restore / cross-period reuse).  Every column is
+  // re-validated against THIS instance before entry: a stale or corrupted
+  // pool can cost a rejected column, never a wrong master.
+  for (const sched::Schedule& s : options.warm_pool) {
+    if (s.empty()) {
+      ++result.profile.warm_pool_rejected;
+      continue;
+    }
+    const sched::ValidationResult v = sched::validate_schedule(
+        net, s, /*sinr_slack=*/1e-6, options.exact.allow_layer_split);
+    if (!v.ok) {
+      ++result.profile.warm_pool_rejected;
+      MMWAVE_LOG_WARN << "warm-pool column rejected: " << v.reason;
+      continue;
+    }
+    verify_column(s, "warm-pool column");
+    if (master.add_column(s)) {
+      ++result.profile.warm_pool_columns;
+    } else {
+      ++result.profile.warm_pool_rejected;  // duplicate of TDMA/pool column
+    }
+  }
+
   // The pricing-MILP skeleton (constraints, big-M terms, conflict cuts)
   // depends only on the network, so it is built once and reused with a
   // fresh objective across every exact-pricing call of this run.
@@ -320,9 +343,12 @@ CgResult solve_cg_impl(const net::Network& net,
   int no_progress_iters = 0;
   double prev_ub = kInf;
   double prev_lb = -kInf;
-  // Incumbent snapshot: tau of the last master solve that succeeded, so a
-  // later breakdown still returns the best schedule seen.
+  // Incumbent snapshot: tau and duals of the last master solve that
+  // succeeded, so a later breakdown still returns the best schedule seen
+  // (and a checkpoint can still record usable multipliers).
   std::vector<double> incumbent_tau;
+  std::vector<double> incumbent_lambda_hp;
+  std::vector<double> incumbent_lambda_lp;
   double incumbent_objective = std::nan("");
 
   bool stopped = false;  // a stop_reason was decided inside the loop
@@ -348,6 +374,8 @@ CgResult solve_cg_impl(const net::Network& net,
     }
     certify_master(cert, "iteration " + std::to_string(iter));
     incumbent_tau = mp.tau;
+    incumbent_lambda_hp = mp.lambda_hp;
+    incumbent_lambda_lp = mp.lambda_lp;
     incumbent_objective = mp.objective_slots;
     const auto pricing_t0 = Clock::now();
 
@@ -573,9 +601,14 @@ CgResult solve_cg_impl(const net::Network& net,
 
   // ---- Final solution extraction ---------------------------------------
   const MasterSolution final_mp = timed_master_solve(cert_out);
+  result.pool = master.columns();
+  result.pool_tau.assign(master.num_columns(), 0.0);
   if (final_mp.ok) {
     certify_master(cert, "final extraction");
     result.total_slots = final_mp.objective_slots;
+    result.pool_tau = final_mp.tau;
+    result.duals_hp = final_mp.lambda_hp;
+    result.duals_lp = final_mp.lambda_lp;
     for (std::size_t s = 0; s < master.num_columns(); ++s) {
       if (final_mp.tau[s] > 1e-9) {
         result.timeline.push_back(
@@ -589,6 +622,10 @@ CgResult solve_cg_impl(const net::Network& net,
                     << final_mp.status.to_string()
                     << "); returning the incumbent plan";
     result.total_slots = incumbent_objective;
+    std::copy(incumbent_tau.begin(), incumbent_tau.end(),
+              result.pool_tau.begin());
+    result.duals_hp = incumbent_lambda_hp;
+    result.duals_lp = incumbent_lambda_lp;
     for (std::size_t s = 0; s < incumbent_tau.size(); ++s) {
       if (incumbent_tau[s] > 1e-9) {
         result.timeline.push_back({master.columns()[s], incumbent_tau[s]});

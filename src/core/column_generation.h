@@ -111,6 +111,16 @@ struct CgOptions {
   /// mismatches) via check::validate_instance before the solver touches
   /// them; failures return degraded + kInvalidInput instead of UB/garbage.
   bool validate_input = true;
+
+  // --- Warm pool (checkpoint/resolve layer) -----------------------------
+  /// Columns seeded into the master ahead of the CG loop, after the TDMA
+  /// initialization columns — the surviving pool of a checkpoint restore or
+  /// a previous scheduling period (core::resolve / repair_pool).  Each
+  /// column is defensively re-validated against *this* instance before
+  /// entry; invalid ones are skipped (counted in CgProfile), never allowed
+  /// to poison the master.  Extra feasible columns cannot change the P1
+  /// optimum, only how fast CG certifies it.
+  std::vector<sched::Schedule> warm_pool;
 };
 
 /// Why the column-generation loop stopped.
@@ -171,6 +181,10 @@ struct CgProfile {
   int master_warm_hits = 0;
   int greedy_calls = 0;
   int milp_calls = 0;
+  /// Warm-pool columns accepted into / rejected from the initial master
+  /// (CgOptions::warm_pool; rejected = failed re-validation or duplicate).
+  int warm_pool_columns = 0;
+  int warm_pool_rejected = 0;
 
   /// Fraction of master solves that resumed from a prior basis.
   double warm_hit_rate() const {
@@ -225,6 +239,19 @@ struct CgResult {
   VerificationSummary verification;
   /// Per-phase wall-clock counters of this solve.
   CgProfile profile;
+
+  // --- Checkpointable solver state (core::CgCheckpoint) -----------------
+  /// The full column pool of the final restricted master (every TDMA,
+  /// warm-pool and priced column), in master order; empty when the master
+  /// was never built (invalid input).
+  std::vector<sched::Schedule> pool;
+  /// tau^s per pool column in the final (or incumbent) master solution,
+  /// aligned with `pool`; zero for columns outside the emitted plan.
+  std::vector<double> pool_tau;
+  /// Final simplex multipliers per link (slots/bit); empty if the master
+  /// never solved.
+  std::vector<double> duals_hp;
+  std::vector<double> duals_lp;
 
   // --- Anytime / failure-semantics contract -----------------------------
   /// True when the solve could not run to its normal conclusion (deadline,

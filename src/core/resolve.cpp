@@ -1,0 +1,140 @@
+#include "core/resolve.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/log.h"
+
+namespace mmwave::core {
+
+bool repair_schedule(sched::Schedule& schedule,
+                     const check::ScheduleVerifier& verifier,
+                     int* transmissions_dropped) {
+  if (schedule.empty()) return false;
+  // Each pass removes at least one transmission or terminates, so size()+1
+  // passes bound the loop even against an adversarial verifier.
+  const std::size_t max_passes = schedule.size() + 1;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    const check::VerifyReport report = verifier.verify(schedule);
+    if (report.ok()) return !schedule.empty();
+
+    std::unordered_set<int> bad_links;
+    for (const check::Violation& v : report.violations) {
+      // A violation with no offending link (structural damage the verifier
+      // cannot pin down) makes the whole column irreparable.
+      if (v.link < 0) return false;
+      bad_links.insert(v.link);
+    }
+
+    std::vector<sched::Transmission> kept;
+    kept.reserve(schedule.size());
+    for (const sched::Transmission& tx : schedule.transmissions()) {
+      if (bad_links.count(tx.link) == 0) kept.push_back(tx);
+    }
+    if (kept.size() == schedule.size()) return false;  // no progress
+    if (transmissions_dropped != nullptr) {
+      *transmissions_dropped +=
+          static_cast<int>(schedule.size() - kept.size());
+    }
+    if (kept.empty()) return false;
+    schedule = sched::Schedule(std::move(kept));
+  }
+  return false;
+}
+
+std::vector<sched::Schedule> repair_pool(
+    const net::Network& net, const std::vector<sched::Schedule>& pool,
+    RepairStats* stats, const check::VerifyOptions& options) {
+  const check::ScheduleVerifier verifier(net, options);
+  RepairStats local;
+  local.loaded = static_cast<int>(pool.size());
+  std::vector<sched::Schedule> survivors;
+  survivors.reserve(pool.size());
+  for (const sched::Schedule& column : pool) {
+    if (common::fault_fires(common::faults::kResolveDropColumn)) {
+      ++local.dropped;
+      continue;
+    }
+    sched::Schedule candidate = column;
+    int txs_dropped = 0;
+    if (!repair_schedule(candidate, verifier, &txs_dropped)) {
+      ++local.dropped;
+      continue;
+    }
+    if (txs_dropped == 0) {
+      ++local.intact;
+    } else {
+      ++local.repaired;
+      local.transmissions_dropped += txs_dropped;
+    }
+    survivors.push_back(std::move(candidate));
+  }
+  if (stats != nullptr) *stats = local;
+  return survivors;
+}
+
+ResolveResult resolve(const net::Network& net,
+                      const std::vector<video::LinkDemand>& demands,
+                      const CgCheckpoint& checkpoint,
+                      const CgOptions& cg_options,
+                      const ResolveOptions& options) {
+  ResolveResult result;
+  result.fingerprint_matched =
+      checkpoint.fingerprint == instance_fingerprint(net, demands);
+
+  CgOptions warm = cg_options;
+  if (checkpoint.links != net.num_links() ||
+      checkpoint.channels != net.num_channels()) {
+    result.checkpoint_status = common::Status::Error(
+        common::ErrorCode::kInvalidInput,
+        "checkpoint is for a " + std::to_string(checkpoint.links) + "x" +
+            std::to_string(checkpoint.channels) + " instance, current is " +
+            std::to_string(net.num_links()) + "x" +
+            std::to_string(net.num_channels()) + "; cold start");
+  } else if (options.require_fingerprint_match &&
+             !result.fingerprint_matched) {
+    result.checkpoint_status = common::Status::Error(
+        common::ErrorCode::kInvalidInput,
+        "checkpoint fingerprint does not match the current instance "
+        "(require_fingerprint_match); cold start");
+  } else {
+    check::VerifyOptions verify = options.verify;
+    verify.allow_layer_split = cg_options.exact.allow_layer_split;
+    warm.warm_pool =
+        repair_pool(net, checkpoint.pool, &result.repair, verify);
+    result.used_checkpoint = true;
+    MMWAVE_LOG_INFO << "resolve: pool " << result.repair.loaded
+                    << " loaded, " << result.repair.intact << " intact, "
+                    << result.repair.repaired << " repaired ("
+                    << result.repair.transmissions_dropped
+                    << " transmissions dropped), " << result.repair.dropped
+                    << " dropped";
+  }
+  if (!result.checkpoint_status.ok()) {
+    MMWAVE_LOG_WARN << "resolve: " << result.checkpoint_status.message();
+  }
+
+  result.cg = solve_column_generation(net, demands, warm);
+  return result;
+}
+
+ResolveResult resolve_from_file(const std::string& path,
+                                const net::Network& net,
+                                const std::vector<video::LinkDemand>& demands,
+                                const CgOptions& cg_options,
+                                const ResolveOptions& options) {
+  common::Expected<CgCheckpoint> loaded = load_checkpoint(path);
+  if (!loaded.ok()) {
+    MMWAVE_LOG_WARN << "resolve: checkpoint '" << path
+                    << "' unusable, cold start: "
+                    << loaded.status().message();
+    ResolveResult result;
+    result.checkpoint_status = loaded.status();
+    result.cg = solve_column_generation(net, demands, cg_options);
+    return result;
+  }
+  return resolve(net, demands, loaded.value(), cg_options, options);
+}
+
+}  // namespace mmwave::core

@@ -1,0 +1,110 @@
+// Warm re-solve from a checkpoint against a (possibly perturbed) instance.
+//
+// The resolve path is the blockage-survival half of the checkpoint layer:
+// given saved solver state and the *current* network — links may have been
+// blocked, gains rescaled, demands regenerated — it revalidates every pooled
+// column with the independent check::ScheduleVerifier, repairs what a
+// perturbation broke (dropping only the transmissions that now violate
+// feasibility), discards the irreparable, and enters column generation with
+// the surviving pool as a warm start.
+//
+// Guarantee (test-enforced by tests/core/resolve_test.cpp): because every
+// surviving column is re-proven feasible on the *perturbed* instance and
+// extra feasible columns cannot change the P1 optimum — the master only ever
+// selects among them — resolve() converges to the same optimum a cold
+// solve_column_generation() reaches, just faster.  A checkpoint that is
+// corrupt, missing, or from the wrong instance degrades to exactly that cold
+// solve, with the reason recorded in ResolveResult::checkpoint_status.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/schedule_verifier.h"
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "core/column_generation.h"
+#include "mmwave/network.h"
+#include "video/demand.h"
+
+namespace mmwave::core {
+
+/// Outcome of one repair_pool pass over a checkpointed column pool.
+struct RepairStats {
+  int loaded = 0;    ///< columns offered for repair
+  int intact = 0;    ///< verified feasible as-is on the new instance
+  int repaired = 0;  ///< survived after dropping some transmissions
+  int dropped = 0;   ///< discarded entirely (irreparable or force-dropped)
+  /// Transmissions removed from columns that survived as `repaired`.
+  int transmissions_dropped = 0;
+
+  int survivors() const { return intact + repaired; }
+  /// Fraction of the loaded pool that re-entered the master (warm hit rate).
+  double hit_rate() const {
+    return loaded > 0 ? static_cast<double>(survivors()) / loaded : 0.0;
+  }
+};
+
+/// Repairs one schedule in place against `verifier`'s instance: repeatedly
+/// verifies and removes every transmission on a violated link (blocked,
+/// SINR-starved, over-cap...).  Dropping interferers only *raises* the
+/// surviving receivers' SINR, so the loop converges in at most size() +1
+/// passes.  Returns true when the schedule ends verified and non-empty;
+/// false means the column must be discarded (also when a violation is not
+/// attributable to a link, e.g. a structural defect).  `transmissions_dropped`
+/// (optional) accumulates the number of removed transmissions.
+bool repair_schedule(sched::Schedule& schedule,
+                     const check::ScheduleVerifier& verifier,
+                     int* transmissions_dropped = nullptr);
+
+/// Repairs every column of `pool` against the current instance, returning
+/// the survivors (intact + repaired, original order) and filling `stats`.
+/// The fault site faults::kResolveDropColumn force-drops a column even if
+/// repairable, to script worst-case pool decay in tests.
+std::vector<sched::Schedule> repair_pool(const net::Network& net,
+                                         const std::vector<sched::Schedule>& pool,
+                                         RepairStats* stats,
+                                         const check::VerifyOptions& options = {});
+
+struct ResolveOptions {
+  /// Reject the checkpoint (cold start) when its fingerprint does not match
+  /// the current instance.  Off by default: a perturbed instance *should*
+  /// mismatch, that is the resolve use case.  Turn on for --resume, where
+  /// the caller asserts the instance is unchanged.
+  bool require_fingerprint_match = false;
+  /// Verifier slack for the repair pass.  allow_layer_split is overridden
+  /// from CgOptions::exact so repair and solve agree on legality.
+  check::VerifyOptions verify;
+};
+
+struct ResolveResult {
+  /// The (warm or cold) column-generation outcome on the current instance.
+  CgResult cg;
+  /// Pool repair accounting; all-zero when the checkpoint was not used.
+  RepairStats repair;
+  /// True when the checkpoint's pool was repaired and seeded into the solve.
+  bool used_checkpoint = false;
+  /// Whether the checkpoint fingerprint matched the current instance.
+  bool fingerprint_matched = false;
+  /// Ok when the checkpoint was usable; otherwise why resolve fell back to
+  /// a cold start (load failure, dimension mismatch, fingerprint mismatch).
+  common::Status checkpoint_status;
+};
+
+/// Repairs `checkpoint`'s pool against (`net`, `demands`) and runs column
+/// generation warm.  Never fails outright: any unusable checkpoint degrades
+/// to a cold solve with the reason in checkpoint_status.
+ResolveResult resolve(const net::Network& net,
+                      const std::vector<video::LinkDemand>& demands,
+                      const CgCheckpoint& checkpoint,
+                      const CgOptions& cg_options = {},
+                      const ResolveOptions& options = {});
+
+/// load_checkpoint + resolve; a missing/corrupt file degrades to cold start.
+ResolveResult resolve_from_file(const std::string& path,
+                                const net::Network& net,
+                                const std::vector<video::LinkDemand>& demands,
+                                const CgOptions& cg_options = {},
+                                const ResolveOptions& options = {});
+
+}  // namespace mmwave::core

@@ -15,7 +15,7 @@ namespace {
 /// they just deliver nothing.
 sched::Schedule degrade_schedule(const net::Network& exec_net,
                                  const sched::Schedule& schedule,
-                                 bool& any_dropped) {
+                                 int& num_dropped) {
   std::map<int, std::vector<const sched::Transmission*>> by_channel;
   for (const sched::Transmission& tx : schedule.transmissions())
     by_channel[tx.channel].push_back(&tx);
@@ -36,7 +36,7 @@ sched::Schedule degrade_schedule(const net::Network& exec_net,
       if (sinr[i] >= threshold * (1.0 - 1e-9)) {
         degraded.add(*txs[i]);
       } else {
-        any_dropped = true;
+        ++num_dropped;
       }
     }
   }
@@ -48,7 +48,7 @@ sched::Schedule degrade_schedule(const net::Network& exec_net,
 BlockageSessionMetrics run_blockage_session(
     const net::ChannelModel& base_model, const net::NetworkParams& params,
     const BlockageSessionConfig& config, const Scheduler& scheduler,
-    common::Rng& rng) {
+    common::Rng& rng, SolverContext* solver_context) {
   BlockageSessionMetrics out;
   const int num_links = params.num_links;
   const SessionConfig& scfg = config.session;
@@ -103,15 +103,16 @@ BlockageSessionMetrics run_blockage_session(
     SchedulerResult plan = scheduler(plan_net, demands);
 
     // Execution always happens on the blocked gains.
-    bool any_dropped = false;
+    int dropped_this_period = 0;
     std::vector<sched::TimedSchedule> executable;
     executable.reserve(plan.timeline.size());
     for (const auto& ts : plan.timeline) {
       executable.push_back(
-          {degrade_schedule(blocked_net, ts.schedule, any_dropped),
+          {degrade_schedule(blocked_net, ts.schedule, dropped_this_period),
            ts.slots});
     }
-    if (any_dropped) ++out.invalidated_periods;
+    if (dropped_this_period > 0) ++out.invalidated_periods;
+    out.exec_transmissions_dropped += dropped_this_period;
 
     const auto exec =
         sched::execute_timeline(blocked_net, executable, demands, plan.order);
@@ -152,6 +153,14 @@ BlockageSessionMetrics run_blockage_session(
   }
   out.base.mean_psnr_db = num_links > 0 ? psnr_sum / num_links : 0.0;
   out.mean_blocked_fraction = blocked_fraction_sum / scfg.num_gops;
+  if (solver_context != nullptr) {
+    out.pool_periods = solver_context->periods;
+    out.pool_columns_loaded = solver_context->columns_loaded;
+    out.pool_columns_reused = solver_context->columns_reused;
+    out.pool_columns_repaired = solver_context->columns_repaired;
+    out.pool_columns_dropped = solver_context->columns_dropped;
+    out.pool_hit_rate = solver_context->hit_rate();
+  }
   return out;
 }
 

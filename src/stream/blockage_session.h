@@ -31,13 +31,30 @@ struct BlockageSessionMetrics {
   /// Periods in which at least one scheduled transmission was invalidated
   /// by blockage (only nonzero for oblivious scheduling).
   int invalidated_periods = 0;
+  /// Transmissions dropped at execution time because blockage pushed their
+  /// SINR below threshold — which scheduled columns (partially) died.
+  int exec_transmissions_dropped = 0;
+
+  // --- Pool-reuse accounting (populated when a SolverContext is threaded
+  // --- through run_blockage_session; zeros otherwise) --------------------
+  int pool_periods = 0;           ///< periods solved through the context
+  int pool_columns_loaded = 0;    ///< columns offered for cross-period reuse
+  int pool_columns_reused = 0;    ///< columns that re-entered a master
+  int pool_columns_repaired = 0;  ///< reused only after repair
+  int pool_columns_dropped = 0;   ///< discarded as irreparable
+  double pool_hit_rate = 0.0;     ///< reused / loaded
 };
 
 /// `params` must match `base_model` (link/channel counts).  The blockage
 /// process and the demand streams both derive from `rng`.
+///
+/// `solver_context`, when non-null, must be the same context the scheduler
+/// was built with (make_cg_scheduler overload): the session then reports its
+/// cross-period pool-reuse counters in the returned metrics.  Passing a
+/// context the scheduler does not use is harmless (the counters stay zero).
 BlockageSessionMetrics run_blockage_session(
     const net::ChannelModel& base_model, const net::NetworkParams& params,
     const BlockageSessionConfig& config, const Scheduler& scheduler,
-    common::Rng& rng);
+    common::Rng& rng, SolverContext* solver_context = nullptr);
 
 }  // namespace mmwave::stream

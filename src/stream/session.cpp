@@ -4,17 +4,38 @@
 
 #include "baselines/baselines.h"
 #include "core/column_generation.h"
+#include "core/resolve.h"
 
 namespace mmwave::stream {
 
 Scheduler make_cg_scheduler(const CgSchedulerOptions& options) {
-  return [options](const net::Network& net,
-                   const std::vector<video::LinkDemand>& demands) {
+  return make_cg_scheduler(options, nullptr);
+}
+
+Scheduler make_cg_scheduler(const CgSchedulerOptions& options,
+                            SolverContext* context) {
+  return [options, context](const net::Network& net,
+                            const std::vector<video::LinkDemand>& demands) {
     core::CgOptions cg;
     cg.pricing = options.heuristic_only
                      ? core::PricingMode::HeuristicOnly
                      : core::PricingMode::HeuristicThenExact;
+    if (context != nullptr && !context->pool.empty()) {
+      // Repair the previous period's pool against the current gains; only
+      // columns re-proven feasible on *this* network enter the master.
+      core::RepairStats stats;
+      cg.warm_pool = core::repair_pool(net, context->pool, &stats);
+      context->columns_loaded += stats.loaded;
+      context->columns_reused += stats.survivors();
+      context->columns_repaired += stats.repaired;
+      context->columns_dropped += stats.dropped;
+      context->transmissions_dropped += stats.transmissions_dropped;
+    }
     const auto result = core::solve_column_generation(net, demands, cg);
+    if (context != nullptr) {
+      context->pool = result.pool;
+      ++context->periods;
+    }
     SchedulerResult out;
     out.timeline = result.timeline;
     out.order = sched::ExecutionOrder::CompletionAware;

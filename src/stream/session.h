@@ -36,8 +36,41 @@ struct SchedulerResult {
 using Scheduler = std::function<SchedulerResult(
     const net::Network&, const std::vector<video::LinkDemand>&)>;
 
+/// Persistent solver state carried across scheduling periods.  A scheduler
+/// bound to one (see the make_cg_scheduler overload) repairs the previous
+/// period's column pool against the current network — blockage may have
+/// invalidated columns — seeds the survivors into the master as a warm
+/// start, and stores the new pool back after the solve.  The counters
+/// accumulate over every period routed through this context, so a session
+/// runner can report pool-reuse economics (run_blockage_session does).
+struct SolverContext {
+  /// Column pool left by the most recent solve (master order).
+  std::vector<sched::Schedule> pool;
+  /// Periods that solved through this context.
+  int periods = 0;
+  // Cumulative repair accounting (core::RepairStats summed over periods):
+  int columns_loaded = 0;    ///< pool columns offered for reuse
+  int columns_reused = 0;    ///< survived (intact or repaired) into the master
+  int columns_repaired = 0;  ///< survived only after dropping transmissions
+  int columns_dropped = 0;   ///< discarded as irreparable
+  int transmissions_dropped = 0;
+
+  /// Fraction of offered pool columns that re-entered a master.
+  double hit_rate() const {
+    return columns_loaded > 0
+               ? static_cast<double>(columns_reused) / columns_loaded
+               : 0.0;
+  }
+};
+
 /// Built-in scheduler adapters.
 Scheduler make_cg_scheduler(const struct CgSchedulerOptions& options);
+/// CG scheduler threading solver state across periods: when `context` is
+/// non-null, each invocation warm-starts from the repaired previous pool and
+/// persists the resulting pool.  `context` must outlive the scheduler and is
+/// not thread-safe (one session loop at a time).
+Scheduler make_cg_scheduler(const struct CgSchedulerOptions& options,
+                            SolverContext* context);
 Scheduler make_tdma_scheduler();
 Scheduler make_benchmark1_scheduler();
 Scheduler make_benchmark2_scheduler();

@@ -1,0 +1,248 @@
+// Checkpoint round-trip, corruption-matrix and fault-injection tests: the
+// robustness contract of core/checkpoint.h.  A checkpoint must survive a
+// save/load cycle bit-for-bit, and every corruption — truncation at any
+// point, a flipped byte, version skew, a foreign fingerprint — must come
+// back as a structured error that degrades to a cold start, never a crash
+// or a silently wrong warm start.
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "core/column_generation.h"
+#include "core/resolve.h"
+
+namespace mmwave::core {
+namespace {
+
+net::Network make_net(std::uint64_t seed, int links, int channels,
+                      int levels) {
+  common::Rng rng(seed);
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  p.sinr_thresholds.resize(levels);
+  for (int q = 0; q < levels; ++q) p.sinr_thresholds[q] = 0.1 * (q + 1);
+  return net::Network::table_i(p, rng);
+}
+
+std::vector<video::LinkDemand> random_demands(const net::Network& net,
+                                              std::uint64_t seed) {
+  common::Rng rng(seed * 131 + 7);
+  std::vector<video::LinkDemand> d(net.num_links());
+  for (auto& x : d) {
+    x.hp_bits = rng.uniform(500.0, 2000.0);
+    x.lp_bits = rng.uniform(500.0, 2000.0);
+  }
+  return d;
+}
+
+/// A solved small instance and its checkpoint, shared by most tests.
+struct Solved {
+  net::Network net;
+  std::vector<video::LinkDemand> demands;
+  CgResult result;
+  CgCheckpoint ckpt;
+};
+
+Solved solve_and_checkpoint(std::uint64_t seed = 1) {
+  Solved s{make_net(seed, 5, 2, 3), {}, {}, {}};
+  s.demands = random_demands(s.net, seed);
+  CgOptions opts;
+  opts.pricing = PricingMode::ExactAlways;
+  s.result = solve_column_generation(s.net, s.demands, opts);
+  s.ckpt = make_checkpoint(s.net, s.demands, s.result);
+  return s;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(CgCheckpoint, CapturesSolverState) {
+  const Solved s = solve_and_checkpoint();
+  ASSERT_TRUE(s.result.converged);
+  EXPECT_EQ(s.ckpt.links, s.net.num_links());
+  EXPECT_EQ(s.ckpt.channels, s.net.num_channels());
+  EXPECT_EQ(s.ckpt.iterations, s.result.iterations);
+  EXPECT_TRUE(s.ckpt.converged);
+  EXPECT_DOUBLE_EQ(s.ckpt.total_slots, s.result.total_slots);
+  EXPECT_FALSE(s.ckpt.pool.empty());
+  EXPECT_EQ(s.ckpt.pool.size(), s.ckpt.pool_tau.size());
+  EXPECT_EQ(static_cast<int>(s.ckpt.duals_hp.size()), s.net.num_links());
+  EXPECT_EQ(static_cast<int>(s.ckpt.duals_lp.size()), s.net.num_links());
+  // The emitted plan's durations live inside pool_tau: they must sum to the
+  // objective.
+  double tau_sum = 0.0;
+  for (double t : s.ckpt.pool_tau) tau_sum += t;
+  EXPECT_NEAR(tau_sum, s.result.total_slots, 1e-6 * s.result.total_slots);
+}
+
+TEST(CgCheckpoint, SerializeParseSerializeIsByteIdentical) {
+  const Solved s = solve_and_checkpoint();
+  const std::string text = serialize_checkpoint(s.ckpt);
+  const auto parsed = parse_checkpoint(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(serialize_checkpoint(parsed.value()), text);
+}
+
+TEST(CgCheckpoint, ParseRecoversEveryField) {
+  const Solved s = solve_and_checkpoint();
+  const auto parsed = parse_checkpoint(serialize_checkpoint(s.ckpt));
+  ASSERT_TRUE(parsed.ok());
+  const CgCheckpoint& c = parsed.value();
+  EXPECT_EQ(c.fingerprint, s.ckpt.fingerprint);
+  EXPECT_EQ(c.links, s.ckpt.links);
+  EXPECT_EQ(c.channels, s.ckpt.channels);
+  EXPECT_EQ(c.iterations, s.ckpt.iterations);
+  EXPECT_EQ(c.converged, s.ckpt.converged);
+  EXPECT_EQ(c.total_slots, s.ckpt.total_slots);  // %.17g: bit-exact
+  EXPECT_EQ(c.duals_hp, s.ckpt.duals_hp);
+  EXPECT_EQ(c.duals_lp, s.ckpt.duals_lp);
+  EXPECT_EQ(c.pool_tau, s.ckpt.pool_tau);
+  ASSERT_EQ(c.pool.size(), s.ckpt.pool.size());
+  for (std::size_t i = 0; i < c.pool.size(); ++i)
+    EXPECT_EQ(c.pool[i].key(), s.ckpt.pool[i].key());
+}
+
+TEST(CgCheckpoint, NanLowerBoundRoundTrips) {
+  Solved s = solve_and_checkpoint();
+  s.ckpt.lower_bound = std::nan("");
+  const auto parsed = parse_checkpoint(serialize_checkpoint(s.ckpt));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(std::isnan(parsed.value().lower_bound));
+}
+
+TEST(CgCheckpoint, SaveLoadRoundTrip) {
+  const Solved s = solve_and_checkpoint();
+  const std::string path = temp_path("ckpt_roundtrip.txt");
+  ASSERT_TRUE(save_checkpoint(s.ckpt, path).ok());
+  const auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(serialize_checkpoint(loaded.value()),
+            serialize_checkpoint(s.ckpt));
+  std::remove(path.c_str());
+}
+
+TEST(CgCheckpoint, FingerprintSeparatesInstances) {
+  const auto net1 = make_net(1, 5, 2, 3);
+  const auto net2 = make_net(2, 5, 2, 3);  // same dims, different gains
+  const auto d1 = random_demands(net1, 1);
+  const auto d2 = random_demands(net1, 2);
+  EXPECT_EQ(instance_fingerprint(net1, d1), instance_fingerprint(net1, d1));
+  EXPECT_NE(instance_fingerprint(net1, d1), instance_fingerprint(net2, d1));
+  EXPECT_NE(instance_fingerprint(net1, d1), instance_fingerprint(net1, d2));
+}
+
+// ---- Corruption matrix ---------------------------------------------------
+
+TEST(CgCheckpoint, EveryTruncationIsAStructuredError) {
+  const Solved s = solve_and_checkpoint();
+  const std::string text = serialize_checkpoint(s.ckpt);
+  // Cut at every prefix length on a stride (plus the exact line boundaries
+  // implicitly covered): none may parse, none may crash.
+  for (std::size_t cut = 0; cut < text.size();
+       cut += std::max<std::size_t>(1, text.size() / 257)) {
+    const auto parsed = parse_checkpoint(text.substr(0, cut));
+    ASSERT_FALSE(parsed.ok()) << "prefix of " << cut << " bytes parsed";
+    EXPECT_FALSE(parsed.status().message().empty());
+  }
+}
+
+TEST(CgCheckpoint, EveryByteFlipIsCaught) {
+  const Solved s = solve_and_checkpoint();
+  const std::string text = serialize_checkpoint(s.ckpt);
+  // Flip one bit at a stride of positions across the whole file.  Flips in
+  // the payload break the checksum; flips in the two header lines break
+  // magic/version/checksum parsing.  Either way: structured error.
+  for (std::size_t pos = 0; pos < text.size();
+       pos += std::max<std::size_t>(1, text.size() / 131)) {
+    std::string bad = text;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x08);
+    const auto parsed = parse_checkpoint(bad);
+    if (parsed.ok()) {
+      // The only tolerated survivor: a flip that leaves the bytes equal
+      // (impossible with XOR) — so this must never happen.
+      ADD_FAILURE() << "byte flip at " << pos << " went undetected";
+    } else {
+      EXPECT_EQ(parsed.status().code(), common::ErrorCode::kInvalidInput);
+    }
+  }
+}
+
+TEST(CgCheckpoint, VersionSkewIsDiagnosed) {
+  const Solved s = solve_and_checkpoint();
+  std::string text = serialize_checkpoint(s.ckpt);
+  const std::string tag = "checkpoint v1";
+  text.replace(text.find(tag), tag.size(), "checkpoint v2");
+  const auto parsed = parse_checkpoint(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
+}
+
+TEST(CgCheckpoint, RejectsEmptyAndGarbage) {
+  EXPECT_FALSE(parse_checkpoint("").ok());
+  EXPECT_FALSE(parse_checkpoint("\n").ok());
+  EXPECT_FALSE(parse_checkpoint("not a checkpoint\n").ok());
+  EXPECT_FALSE(parse_checkpoint(std::string(4096, 'x')).ok());
+  EXPECT_FALSE(parse_checkpoint(std::string("\0\0\0\0", 4)).ok());
+}
+
+TEST(CgCheckpoint, RejectsTrailingGarbage) {
+  const Solved s = solve_and_checkpoint();
+  std::string text = serialize_checkpoint(s.ckpt);
+  text += "extra\n";
+  EXPECT_FALSE(parse_checkpoint(text).ok());
+}
+
+TEST(CgCheckpoint, LoadOfMissingFileIsIoError) {
+  const auto loaded = load_checkpoint(temp_path("does_not_exist.ckpt"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::ErrorCode::kIoError);
+}
+
+// ---- Fault injection -----------------------------------------------------
+
+TEST(CgCheckpoint, InjectedWriteFailureIsIoError) {
+  const Solved s = solve_and_checkpoint();
+  const std::string path = temp_path("ckpt_write_fail.txt");
+  common::FaultInjector inj;
+  inj.arm(common::faults::kCheckpointWriteFail, {.times = 1});
+  common::FaultScope scope(inj);
+  const common::Status st = save_checkpoint(s.ckpt, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), common::ErrorCode::kIoError);
+  EXPECT_EQ(inj.fired(common::faults::kCheckpointWriteFail), 1);
+  // Nothing may be left behind at the target path.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST(CgCheckpoint, InjectedPayloadCorruptionDegradesToColdStart) {
+  const Solved s = solve_and_checkpoint();
+  const std::string path = temp_path("ckpt_corrupt.txt");
+  ASSERT_TRUE(save_checkpoint(s.ckpt, path).ok());
+
+  common::FaultInjector inj;
+  inj.arm(common::faults::kCheckpointCorrupt, {.times = 1});
+  common::FaultScope scope(inj);
+  // The flipped byte must fail the checksum and resolve_from_file must fall
+  // back to a cold solve that still reaches the optimum.
+  const ResolveResult r =
+      resolve_from_file(path, s.net, s.demands, CgOptions{});
+  EXPECT_EQ(inj.fired(common::faults::kCheckpointCorrupt), 1);
+  EXPECT_FALSE(r.used_checkpoint);
+  EXPECT_FALSE(r.checkpoint_status.ok());
+  EXPECT_TRUE(r.cg.converged);
+  EXPECT_NEAR(r.cg.total_slots, s.result.total_slots,
+              1e-7 * s.result.total_slots);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mmwave::core

@@ -1,0 +1,278 @@
+// The resolve() guarantee: a warm re-solve from a (possibly stale)
+// checkpoint reaches the same P1 optimum a cold solve certifies, under
+// every perturbation class the paper's environment produces — blocked
+// links, rescaled gains, regenerated demands — and under mid-solve fault
+// injection.  Warm columns may only accelerate CG, never bias it.
+#include "core/resolve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/fault_injection.h"
+#include "mmwave/blockage.h"
+
+namespace mmwave::core {
+namespace {
+
+constexpr double kRelTol = 1e-7;
+
+net::NetworkParams make_params(int links, int channels, int levels) {
+  net::NetworkParams p;
+  p.num_links = links;
+  p.num_channels = channels;
+  p.sinr_thresholds.resize(levels);
+  for (int q = 0; q < levels; ++q) p.sinr_thresholds[q] = 0.1 * (q + 1);
+  return p;
+}
+
+std::vector<video::LinkDemand> random_demands(int links, std::uint64_t seed) {
+  common::Rng rng(seed * 131 + 7);
+  std::vector<video::LinkDemand> d(links);
+  for (auto& x : d) {
+    x.hp_bits = rng.uniform(500.0, 2000.0);
+    x.lp_bits = rng.uniform(500.0, 2000.0);
+  }
+  return d;
+}
+
+/// One base instance plus a factory for receiver-side perturbed variants
+/// sharing the same underlying Table-I model (the blockage geometry).
+struct Scenario {
+  net::NetworkParams params;
+  std::unique_ptr<net::TableIChannelModel> base;
+  net::Network net;
+  std::vector<video::LinkDemand> demands;
+
+  static Scenario make(std::uint64_t seed, int links, int channels,
+                       int levels) {
+    net::NetworkParams params = make_params(links, channels, levels);
+    common::Rng rng(seed);
+    auto base = std::make_unique<net::TableIChannelModel>(
+        links, channels, params.noise_watts, rng);
+    std::vector<double> ones(links, 1.0);
+    net::Network net(params, std::make_unique<net::RxScaledChannelModel>(
+                                 base.get(), ones));
+    auto demands = random_demands(links, seed);
+    return {params, std::move(base), std::move(net), std::move(demands)};
+  }
+
+  /// The same instance with per-receiver gain scales applied.
+  net::Network scaled(std::vector<double> scales) const {
+    return net::Network(params, std::make_unique<net::RxScaledChannelModel>(
+                                    base.get(), std::move(scales)));
+  }
+};
+
+CgOptions exact_options() {
+  CgOptions opts;
+  opts.pricing = PricingMode::ExactAlways;
+  return opts;
+}
+
+/// Asserts resolve-from-checkpoint on `net` matches a cold certified solve.
+void expect_warm_matches_cold(const net::Network& net,
+                              const std::vector<video::LinkDemand>& demands,
+                              const CgCheckpoint& ckpt) {
+  const CgResult cold = solve_column_generation(net, demands, exact_options());
+  ASSERT_TRUE(cold.converged);
+  CgOptions warm_opts = exact_options();
+  warm_opts.verify = true;  // referee every warm column entering the pool
+  const ResolveResult warm = resolve(net, demands, ckpt, warm_opts);
+  ASSERT_TRUE(warm.used_checkpoint);
+  ASSERT_TRUE(warm.cg.converged);
+  EXPECT_NEAR(warm.cg.total_slots, cold.total_slots,
+              kRelTol * cold.total_slots);
+  EXPECT_TRUE(warm.cg.verification.ok())
+      << warm.cg.verification.errors.front();
+  if (!std::isnan(warm.cg.lower_bound)) {
+    EXPECT_LE(warm.cg.lower_bound,
+              warm.cg.total_slots * (1.0 + 1e-9) + 1e-9);
+  }
+}
+
+TEST(CgResolve, UnchangedInstanceReproducesResult) {
+  const Scenario sc = Scenario::make(1, 5, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  ASSERT_TRUE(cold.converged);
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+
+  ResolveOptions ropts;
+  ropts.require_fingerprint_match = true;
+  const ResolveResult warm =
+      resolve(sc.net, sc.demands, ckpt, exact_options(), ropts);
+  ASSERT_TRUE(warm.used_checkpoint);
+  EXPECT_TRUE(warm.fingerprint_matched);
+  EXPECT_TRUE(warm.checkpoint_status.ok());
+  // Nothing to repair on the unperturbed instance...
+  EXPECT_EQ(warm.repair.loaded, static_cast<int>(ckpt.pool.size()));
+  EXPECT_EQ(warm.repair.intact, warm.repair.loaded);
+  EXPECT_EQ(warm.repair.dropped, 0);
+  EXPECT_EQ(warm.repair.repaired, 0);
+  // ...and the warm solve re-certifies the same optimum, faster.
+  ASSERT_TRUE(warm.cg.converged);
+  EXPECT_NEAR(warm.cg.total_slots, cold.total_slots,
+              kRelTol * cold.total_slots);
+  EXPECT_LE(warm.cg.iterations, cold.iterations);
+}
+
+TEST(CgResolve, BlockedLinksPerturbation) {
+  const Scenario sc = Scenario::make(2, 6, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  ASSERT_TRUE(cold.converged);
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+
+  // Block two receivers hard (-13 dB): pooled columns using them die or
+  // lose members; survivors must carry the warm solve to the cold optimum.
+  std::vector<double> scales(sc.net.num_links(), 1.0);
+  scales[0] = scales[3] = 0.05;
+  const net::Network blocked = sc.scaled(scales);
+  expect_warm_matches_cold(blocked, sc.demands, ckpt);
+}
+
+TEST(CgResolve, GainChangePerturbation) {
+  const Scenario sc = Scenario::make(3, 5, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  ASSERT_TRUE(cold.converged);
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+
+  // Mild fading on every receiver: most columns should survive intact or
+  // repaired, and the optimum must still match the cold solve.
+  std::vector<double> scales(sc.net.num_links());
+  common::Rng rng(99);
+  for (double& s : scales) s = rng.uniform(0.6, 1.0);
+  const net::Network faded = sc.scaled(scales);
+  expect_warm_matches_cold(faded, sc.demands, ckpt);
+}
+
+TEST(CgResolve, DemandChangePerturbation) {
+  const Scenario sc = Scenario::make(4, 5, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  ASSERT_TRUE(cold.converged);
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+
+  // Next GOP's demands: the pool stays feasible (schedules are demand-
+  // independent) so everything should be reused as-is.
+  const auto next_demands = random_demands(sc.net.num_links(), 555);
+  const CgResult cold2 =
+      solve_column_generation(sc.net, next_demands, exact_options());
+  ASSERT_TRUE(cold2.converged);
+  const ResolveResult warm =
+      resolve(sc.net, next_demands, ckpt, exact_options());
+  ASSERT_TRUE(warm.used_checkpoint);
+  EXPECT_FALSE(warm.fingerprint_matched);  // demands are fingerprinted
+  EXPECT_EQ(warm.repair.dropped, 0);
+  EXPECT_EQ(warm.repair.intact, warm.repair.loaded);
+  ASSERT_TRUE(warm.cg.converged);
+  EXPECT_NEAR(warm.cg.total_slots, cold2.total_slots,
+              kRelTol * cold2.total_slots);
+}
+
+TEST(CgResolve, DimensionMismatchFallsBackCold) {
+  const Scenario small = Scenario::make(5, 4, 2, 2);
+  const CgResult r =
+      solve_column_generation(small.net, small.demands, exact_options());
+  const CgCheckpoint ckpt = make_checkpoint(small.net, small.demands, r);
+
+  const Scenario big = Scenario::make(6, 6, 2, 2);
+  const ResolveResult warm =
+      resolve(big.net, big.demands, ckpt, exact_options());
+  EXPECT_FALSE(warm.used_checkpoint);
+  EXPECT_FALSE(warm.checkpoint_status.ok());
+  EXPECT_EQ(warm.checkpoint_status.code(), common::ErrorCode::kInvalidInput);
+  EXPECT_EQ(warm.repair.loaded, 0);
+  EXPECT_TRUE(warm.cg.converged);  // the cold solve still runs
+}
+
+TEST(CgResolve, FingerprintMismatchRejectedWhenRequired) {
+  const Scenario sc = Scenario::make(7, 5, 2, 3);
+  const CgResult r =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, r);
+
+  std::vector<double> scales(sc.net.num_links(), 0.9);
+  const net::Network perturbed = sc.scaled(scales);
+  ResolveOptions ropts;
+  ropts.require_fingerprint_match = true;
+  const ResolveResult warm =
+      resolve(perturbed, sc.demands, ckpt, exact_options(), ropts);
+  EXPECT_FALSE(warm.fingerprint_matched);
+  EXPECT_FALSE(warm.used_checkpoint);
+  EXPECT_FALSE(warm.checkpoint_status.ok());
+  EXPECT_TRUE(warm.cg.converged);
+}
+
+TEST(CgResolve, MidSolvePerturbationFaultStillMatchesCold) {
+  const Scenario sc = Scenario::make(8, 6, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  ASSERT_TRUE(cold.converged);
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+
+  // The instance perturbs again under our feet: every third pool column is
+  // invalidated during repair.  Dropping warm columns can never change the
+  // optimum, only the iteration count.
+  common::FaultInjector inj(/*seed=*/7);
+  inj.arm(common::faults::kResolveDropColumn,
+          {.skip = 0, .times = 1 << 20, .probability = 1.0 / 3.0});
+  common::FaultScope scope(inj);
+  const ResolveResult warm = resolve(sc.net, sc.demands, ckpt, exact_options());
+  ASSERT_TRUE(warm.used_checkpoint);
+  EXPECT_GT(inj.fired(common::faults::kResolveDropColumn), 0);
+  EXPECT_EQ(warm.repair.dropped, inj.fired(common::faults::kResolveDropColumn));
+  ASSERT_TRUE(warm.cg.converged);
+  EXPECT_NEAR(warm.cg.total_slots, cold.total_slots,
+              kRelTol * cold.total_slots);
+}
+
+TEST(CgResolve, RepairPoolDropsOnlyWhatBroke) {
+  const Scenario sc = Scenario::make(9, 6, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+  ASSERT_FALSE(ckpt.pool.empty());
+
+  std::vector<double> scales(sc.net.num_links(), 1.0);
+  scales[1] = 0.02;
+  const net::Network blocked = sc.scaled(scales);
+  RepairStats stats;
+  const auto survivors = repair_pool(blocked, ckpt.pool, &stats);
+  EXPECT_EQ(stats.loaded, static_cast<int>(ckpt.pool.size()));
+  EXPECT_EQ(stats.survivors(), static_cast<int>(survivors.size()));
+  EXPECT_EQ(stats.loaded, stats.survivors() + stats.dropped);
+  // Every survivor is verifier-clean on the blocked instance and never
+  // mentions a transmission the repair claims to have removed wholesale.
+  const check::ScheduleVerifier referee(blocked);
+  for (const auto& col : survivors) {
+    EXPECT_TRUE(referee.verify(col).ok());
+    EXPECT_FALSE(col.empty());
+  }
+  // On the *unperturbed* net, the same pool is untouched.
+  RepairStats clean_stats;
+  const auto clean = repair_pool(sc.net, ckpt.pool, &clean_stats);
+  EXPECT_EQ(clean_stats.intact, clean_stats.loaded);
+  EXPECT_EQ(clean_stats.transmissions_dropped, 0);
+  EXPECT_EQ(clean.size(), ckpt.pool.size());
+}
+
+TEST(CgResolve, WarmPoolProfileCountsSeededColumns) {
+  const Scenario sc = Scenario::make(10, 5, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+  const ResolveResult warm = resolve(sc.net, sc.demands, ckpt, exact_options());
+  // TDMA columns duplicate part of the pool, so some warm columns are
+  // rejected as duplicates; accepted + rejected must cover the survivors.
+  const CgProfile& p = warm.cg.profile;
+  EXPECT_EQ(p.warm_pool_columns + p.warm_pool_rejected,
+            warm.repair.survivors());
+  EXPECT_GT(p.warm_pool_columns, 0);
+}
+
+}  // namespace
+}  // namespace mmwave::core

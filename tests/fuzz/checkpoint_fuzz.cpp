@@ -1,0 +1,158 @@
+// Fuzz target for core::parse_checkpoint — the text format the solver
+// reads back from disk after a crash, i.e. bytes that survived whatever
+// the filesystem did to them.  The contract under fuzz: never crash,
+// never throw, and either return a checkpoint whose fields are inside
+// their documented ranges (sizes aligned, every transmission in-bounds)
+// or a structured kInvalidInput error.
+//
+// Two drivers share this file (same layout as instance_spec_fuzz.cpp):
+//  * LLVMFuzzerTestOneInput: the libFuzzer entry point (clang
+//    -fsanitize=fuzzer builds; not compiled by default in this repo since
+//    the toolchain is gcc-only).
+//  * main(): a deterministic corpus-replay driver replaying every file in
+//    tests/fuzz/corpus_checkpoint/ plus a mutation battery derived from
+//    them, so the ctest run exercises thousands of inputs engine-free.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "core/checkpoint.h"
+
+namespace {
+
+/// One fuzz probe.  Returns false (after printing a diagnosis) if the
+/// parser violated its contract on this input.
+bool probe(std::string_view text) {
+  const auto result = mmwave::core::parse_checkpoint(text);
+  if (!result.ok()) {
+    if (result.status().code() != mmwave::common::ErrorCode::kInvalidInput ||
+        result.status().message().empty()) {
+      std::fprintf(stderr, "fuzz: unstructured error (code=%d, msg='%s')\n",
+                   static_cast<int>(result.status().code()),
+                   result.status().message().c_str());
+      return false;
+    }
+    return true;
+  }
+  const mmwave::core::CgCheckpoint& c = result.value();
+  bool sane = c.links >= 1 && c.links <= 4096 && c.channels >= 1 &&
+              c.channels <= 1024 && c.iterations >= 0 &&
+              c.total_slots >= 0.0 &&
+              c.duals_hp.size() == static_cast<std::size_t>(c.links) &&
+              c.duals_lp.size() == static_cast<std::size_t>(c.links) &&
+              c.pool.size() == c.pool_tau.size();
+  for (const auto& col : c.pool) {
+    for (const auto& tx : col.transmissions()) {
+      sane = sane && tx.link >= 0 && tx.link < c.links && tx.channel >= 0 &&
+             tx.channel < c.channels && tx.power_watts >= 0.0;
+    }
+  }
+  for (double tau : c.pool_tau) sane = sane && tau >= 0.0;
+  if (!sane) {
+    std::fprintf(stderr,
+                 "fuzz: accepted out-of-range checkpoint (links=%d "
+                 "channels=%d columns=%zu)\n",
+                 c.links, c.channels, c.pool.size());
+  }
+  return sane;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (!probe(std::string_view(reinterpret_cast<const char*>(data), size))) {
+    __builtin_trap();
+  }
+  return 0;
+}
+
+#ifndef MMWAVE_FUZZ_ENGINE
+namespace {
+
+std::string read_file(const char* path) {
+  std::string out;
+  if (std::FILE* f = std::fopen(path, "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+  }
+  return out;
+}
+
+/// Deterministic mutation battery over one corpus entry: truncations,
+/// byte flips, splices and repetitions.
+int replay_with_mutations(const std::string& seed_input,
+                          mmwave::common::Rng& rng) {
+  int failures = probe(seed_input) ? 0 : 1;
+  const std::size_t n = seed_input.size();
+  for (std::size_t cut = 0; cut <= n && cut <= 512; ++cut) {
+    if (!probe(std::string_view(seed_input).substr(0, cut))) ++failures;
+    if (!probe(std::string_view(seed_input).substr(n - cut))) ++failures;
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = seed_input;
+    const int edits = 1 + static_cast<int>(rng.uniform() * 4);
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform() * mutated.size());
+      switch (static_cast<int>(rng.uniform() * 3)) {
+        case 0:  // flip to an arbitrary byte (NUL and 0xff included)
+          mutated[pos] = static_cast<char>(rng.uniform() * 256.0);
+          break;
+        case 1:  // delete
+          mutated.erase(pos, 1);
+          break;
+        default:  // duplicate a chunk
+          mutated.insert(pos, mutated.substr(pos, 16));
+          break;
+      }
+    }
+    if (!probe(mutated)) ++failures;
+  }
+  if (n > 1 && !probe(seed_input.substr(n / 2) + seed_input.substr(0, n / 2)))
+    ++failures;
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mmwave::common::Rng rng(0xC4EC);
+  int failures = 0;
+  int inputs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string text = read_file(argv[i]);
+    failures += replay_with_mutations(text, rng);
+    ++inputs;
+  }
+  // Hostile built-ins: header-only fragments, oversized counts, and a
+  // checksum line pointing at a body that is not there.
+  const char* builtins[] = {
+      "",
+      "mmwave-cg-checkpoint v1\n",
+      "mmwave-cg-checkpoint v999999\nchecksum = 0x0000000000000000\n",
+      "mmwave-cg-checkpoint v1\nchecksum = 0xcbf29ce484222325\n",
+      "mmwave-cg-checkpoint v1\nchecksum = 0xzzzzzzzzzzzzzzzz\nrest\n",
+      "mmwave-cg-checkpoint v1\nchecksum = 0x0000000000000000\n"
+      "fingerprint = 0x0000000000000000\nlinks = 4096\nchannels = 1024\n"
+      "iterations = 0\nconverged = 0\ntotal_slots = 0\nlower_bound = nan\n"
+      "duals_hp = 0\nduals_lp = 0\ncolumns = 999999\n",
+  };
+  for (const char* b : builtins) {
+    failures += replay_with_mutations(b, rng);
+    ++inputs;
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "checkpoint_fuzz: %d contract violation(s)\n",
+                 failures);
+    return 1;
+  }
+  std::printf("checkpoint_fuzz: %d seed input(s) replayed clean\n", inputs);
+  return 0;
+}
+#endif  // MMWAVE_FUZZ_ENGINE

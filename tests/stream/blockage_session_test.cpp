@@ -114,5 +114,67 @@ TEST(BlockageSession, BlockageReducesOnTimeRatio) {
   EXPECT_LE(m_heavy.base.on_time_ratio, m_clear.base.on_time_ratio + 1e-12);
 }
 
+TEST(BlockageSession, SolverContextReusesPoolAcrossPeriods) {
+  auto f = make_fixture(6, 6, 2);
+  BlockageSessionConfig cfg = small_config(6);
+  cfg.blockage.p_block = 0.3;
+  cfg.blockage.attenuation = 0.05;
+
+  SolverContext ctx;
+  common::Rng rng(26);
+  const auto metrics = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}, &ctx), rng, &ctx);
+
+  // Every period solved through the context; periods after the first offer
+  // the previous pool for reuse.
+  EXPECT_EQ(metrics.pool_periods, 6);
+  EXPECT_GT(metrics.pool_columns_loaded, 0);
+  EXPECT_GT(metrics.pool_columns_reused, 0);
+  EXPECT_GT(metrics.pool_hit_rate, 0.0);
+  EXPECT_LE(metrics.pool_hit_rate, 1.0);
+  EXPECT_EQ(metrics.pool_columns_loaded,
+            metrics.pool_columns_reused + metrics.pool_columns_dropped);
+  EXPECT_FALSE(ctx.pool.empty());
+}
+
+TEST(BlockageSession, PoolReuseDoesNotChangeOutcomes) {
+  auto f = make_fixture(7, 5, 2);
+  BlockageSessionConfig cfg = small_config(5);
+  cfg.blockage.p_block = 0.25;
+  cfg.blockage.attenuation = 0.05;
+
+  common::Rng a(27), b(27);
+  const auto without = run_blockage_session(*f.model, f.params, cfg,
+                                            make_cg_scheduler({}), a);
+  SolverContext ctx;
+  const auto with = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}, &ctx), b, &ctx);
+
+  // Warm columns may only speed the solve: the per-period objective (and
+  // thus every stall/on-time metric) must be unchanged.
+  ASSERT_EQ(with.base.gops.size(), without.base.gops.size());
+  for (std::size_t g = 0; g < with.base.gops.size(); ++g) {
+    EXPECT_NEAR(with.base.gops[g].schedule_slots,
+                without.base.gops[g].schedule_slots,
+                1e-6 * (1.0 + without.base.gops[g].schedule_slots));
+  }
+  EXPECT_NEAR(with.base.on_time_ratio, without.base.on_time_ratio, 1e-12);
+}
+
+TEST(BlockageSession, ExecDropCountsMatchInvalidation) {
+  auto f = make_fixture(8, 6, 2);
+  BlockageSessionConfig cfg = small_config(8);
+  cfg.reschedule_each_period = false;
+  cfg.blockage.p_block = 0.5;
+  cfg.blockage.attenuation = 1e-3;
+  common::Rng rng(28);
+  const auto metrics = run_blockage_session(*f.model, f.params, cfg,
+                                            make_cg_scheduler({}), rng);
+  // Oblivious scheduling under heavy blockage drops transmissions, and the
+  // transmission counter is at least as fine-grained as the period flag.
+  EXPECT_GT(metrics.invalidated_periods, 0);
+  EXPECT_GE(metrics.exec_transmissions_dropped, metrics.invalidated_periods);
+}
+
 }  // namespace
 }  // namespace mmwave::stream

@@ -75,6 +75,33 @@ file(WRITE "${WORK_DIR}/good_spec.txt"
   "# tiny instance\nlinks = 4\nchannels = 2\nlevels = 2\nseed = 3\n")
 run(0 "" solve --instance=${WORK_DIR}/good_spec.txt --pricing=heuristic)
 
+# --- checkpoint / resume / resolve ------------------------------------------
+# solve --checkpoint persists the pool; --resume reloads it (fingerprint
+# must match) and reports the repair outcome; resolve re-solves against a
+# perturbed instance.  A corrupt checkpoint degrades to a cold start with
+# exit 0 — robustness means the file can never make the solve fail.
+set(CKPT "${WORK_DIR}/smoke.ckpt")
+file(REMOVE "${CKPT}")
+run(0 "checkpoint written to"
+    solve --links=4 --channels=2 --seed=3 --checkpoint=${CKPT})
+if(NOT EXISTS "${CKPT}")
+  message(SEND_ERROR "solve --checkpoint did not write ${CKPT}")
+  math(EXPR failures "${failures}+1")
+endif()
+run(0 "checkpoint: pool [0-9]+ loaded \\| [0-9]+ intact"
+    solve --links=4 --channels=2 --seed=3 --checkpoint=${CKPT} --resume)
+run(0 "checkpoint: pool [0-9]+ loaded"
+    resolve --checkpoint=${CKPT} --links=4 --channels=2 --seed=3
+            --block-links=0 --block-atten=0.05)
+run(2 "error: --resume requires --checkpoint"
+    solve --links=4 --channels=2 --resume)
+run(2 "error: resolve requires --checkpoint"
+    resolve --links=4 --channels=2)
+file(WRITE "${WORK_DIR}/corrupt.ckpt" "mmwave-cg-checkpoint v1\nchecksum = 0x0123456789abcdef\nnot a checkpoint\n")
+run(0 "checkpoint: unusable, cold start"
+    solve --links=4 --channels=2 --seed=3
+          --checkpoint=${WORK_DIR}/corrupt.ckpt --resume)
+
 # --- exit 3: degraded solve (deadline far too small for exact pricing) ------
 run(3 "DEGRADED" solve --links=25 --channels=5 --pricing=exact --deadline=0.2)
 

@@ -1,17 +1,29 @@
 // mmwave_cli — command-line front end to the library.
 //
 //   mmwave_cli solve   [instance flags] [--csv=plan.csv] [--profile]
-//                      [--warm-start=0|1]
+//                      [--warm-start=0|1] [--checkpoint=FILE] [--resume]
 //       Solve one instance with column generation; print the solution and
 //       optionally dump the (schedule, tau) plan as CSV.  --profile prints
 //       the per-phase wall-clock breakdown (master solves, pivots,
 //       warm-start hit rate, greedy/MILP pricing); --warm-start=0 forces
-//       cold two-phase master solves for A/B comparison.
+//       cold two-phase master solves for A/B comparison.  --checkpoint
+//       saves the solver state (column pool, duals, bounds) after the
+//       solve; --resume additionally warm-starts from that file first,
+//       requiring its fingerprint to match the instance (a mismatched or
+//       corrupt checkpoint degrades to a cold start, never an error).
 //   mmwave_cli compare [instance flags]
 //       Run CG, Benchmark 1, Benchmark 2 and TDMA on the same instance and
 //       print the metric table.
 //   mmwave_cli stream  [instance flags] [--gops=N] [--p-block=p]
 //       Multi-GOP streaming session (optionally under Markov blockage).
+//   mmwave_cli resolve --checkpoint=FILE [instance flags]
+//                      [--block-links=0,3] [--block-atten=a] [--update]
+//       Warm re-solve from a saved checkpoint against the (optionally
+//       perturbed) instance: blocked links attenuate all paths into their
+//       receivers by --block-atten, the pooled columns are repaired against
+//       the perturbed gains, and CG runs warm from the survivors.  An
+//       unusable checkpoint falls back to a cold solve.  --update rewrites
+//       the checkpoint with the new state afterwards.
 //   mmwave_cli check   [instance flags]
 //       Solve with the certificate checkers enabled (CgOptions::verify) and
 //       independently re-verify the emitted plan; exit non-zero on any
@@ -32,6 +44,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -40,7 +53,10 @@
 #include "check/schedule_verifier.h"
 #include "common/cli.h"
 #include "common/table.h"
+#include "core/checkpoint.h"
 #include "core/column_generation.h"
+#include "core/resolve.h"
+#include "mmwave/blockage.h"
 #include "sched/quantize.h"
 #include "sched/timeline.h"
 #include "stream/blockage_session.h"
@@ -172,6 +188,39 @@ Instance build_instance(const InstanceFlags& f) {
   return {std::move(net), std::move(demands)};
 }
 
+/// Prints the outcome of a checkpoint-assisted solve's repair pass.
+void report_checkpoint_use(const core::ResolveResult& r) {
+  if (r.used_checkpoint) {
+    std::printf("checkpoint: pool %d loaded | %d intact | %d repaired "
+                "(%d transmissions dropped) | %d dropped | hit rate %.0f%%\n",
+                r.repair.loaded, r.repair.intact, r.repair.repaired,
+                r.repair.transmissions_dropped, r.repair.dropped,
+                100.0 * r.repair.hit_rate());
+    if (!r.fingerprint_matched)
+      std::printf("checkpoint: fingerprint differs (perturbed instance)\n");
+  } else {
+    std::printf("checkpoint: unusable, cold start (%s)\n",
+                r.checkpoint_status.message().c_str());
+  }
+}
+
+/// Saves the post-solve state to `path`; false (with a message) on failure.
+bool write_checkpoint(const net::Network& net,
+                      const std::vector<video::LinkDemand>& demands,
+                      const core::CgResult& result, const std::string& path) {
+  const core::CgCheckpoint ckpt =
+      core::make_checkpoint(net, demands, result);
+  const common::Status st = core::save_checkpoint(ckpt, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: checkpoint save: %s\n",
+                 st.message().c_str());
+    return false;
+  }
+  std::printf("checkpoint written to %s (%zu columns)\n", path.c_str(),
+              ckpt.pool.size());
+  return true;
+}
+
 int cmd_solve(const common::CliFlags& flags) {
   const auto parsed = parse_instance(flags);
   if (!parsed.ok()) {
@@ -179,15 +228,36 @@ int cmd_solve(const common::CliFlags& flags) {
     return kExitInvalidInput;
   }
   const InstanceFlags f = parsed.value();
+  const std::string ckpt_path = flags.get_string("checkpoint", "");
+  const bool resume = flags.has("resume");
+  if (resume && ckpt_path.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint=FILE\n");
+    return kExitInvalidInput;
+  }
   Instance inst = build_instance(f);
   core::CgOptions opts;
   opts.pricing = f.pricing;
   opts.deadline_sec = f.deadline_sec;
   opts.warm_start_master = flags.get_int("warm-start", 1) != 0;
-  const auto result =
-      core::solve_column_generation(inst.net, inst.demands, opts);
+  core::CgResult result;
+  if (resume) {
+    // --resume asserts the instance is the one checkpointed, so the
+    // fingerprint must match; anything else degrades to a cold start.
+    core::ResolveOptions ropts;
+    ropts.require_fingerprint_match = true;
+    const core::ResolveResult r = core::resolve_from_file(
+        ckpt_path, inst.net, inst.demands, opts, ropts);
+    report_checkpoint_use(r);
+    result = r.cg;
+  } else {
+    result = core::solve_column_generation(inst.net, inst.demands, opts);
+  }
   const int health = report_solve_health(result);
   if (health == kExitInvalidInput) return health;
+  if (!ckpt_path.empty() &&
+      !write_checkpoint(inst.net, inst.demands, result, ckpt_path)) {
+    return kExitInvalidInput;
+  }
 
   std::printf("instance: L=%d K=%d Q=%d gamma x%.1f seed=%llu\n", f.links,
               f.channels, f.levels, f.gamma_scale,
@@ -343,6 +413,84 @@ int cmd_stream(const common::CliFlags& flags) {
   return 0;
 }
 
+int cmd_resolve(const common::CliFlags& flags) {
+  const auto parsed = parse_instance(flags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().message().c_str());
+    return kExitInvalidInput;
+  }
+  const InstanceFlags f = parsed.value();
+  const std::string ckpt_path = flags.get_string("checkpoint", "");
+  if (ckpt_path.empty()) {
+    std::fprintf(stderr, "error: resolve requires --checkpoint=FILE\n");
+    return kExitInvalidInput;
+  }
+  const auto atten =
+      flags.get_double_checked("block-atten", 0.05, 0.0, 1.0);
+  if (!atten.ok()) {
+    std::fprintf(stderr, "error: %s\n", atten.status().message().c_str());
+    return kExitInvalidInput;
+  }
+  const std::vector<std::int64_t> blocked =
+      flags.get_int_list("block-links", {});
+  for (std::int64_t l : blocked) {
+    if (l < 0 || l >= f.links) {
+      std::fprintf(stderr,
+                   "error: --block-links: link %lld outside [0, %d)\n",
+                   static_cast<long long>(l), f.links);
+      return kExitInvalidInput;
+    }
+  }
+
+  // Same rng stream as build_instance, so an unperturbed resolve
+  // fingerprints identically to `solve` on the same flags; the blockage is
+  // layered on top as a receiver-side attenuation.
+  common::Rng rng(f.seed);
+  net::NetworkParams params = params_of(f);
+  net::TableIChannelModel base(f.links, f.channels, params.noise_watts, rng);
+  video::DemandConfig dcfg;
+  dcfg.demand_scale = f.demand_scale;
+  common::Rng drng = rng.fork(0x5EED);
+  const auto demands = video::make_link_demands(f.links, dcfg, drng);
+  std::vector<double> scales(f.links, 1.0);
+  for (std::int64_t l : blocked) scales[l] = atten.value();
+  net::Network net(params, std::make_unique<net::RxScaledChannelModel>(
+                               &base, std::move(scales)));
+
+  core::CgOptions opts;
+  opts.pricing = f.pricing;
+  opts.deadline_sec = f.deadline_sec;
+  const core::ResolveResult r =
+      core::resolve_from_file(ckpt_path, net, demands, opts);
+  report_checkpoint_use(r);
+  const int health = report_solve_health(r.cg);
+  if (health == kExitInvalidInput) return health;
+
+  std::printf("instance: L=%d K=%d Q=%d gamma x%.1f seed=%llu "
+              "(%zu blocked links, atten %.3g)\n",
+              f.links, f.channels, f.levels, f.gamma_scale,
+              static_cast<unsigned long long>(f.seed), blocked.size(),
+              atten.value());
+  std::printf("status:   %s after %d iterations, %zu schedules in plan "
+              "(%.3f s, stop: %s)\n",
+              r.cg.converged ? "optimal (certified)" : "feasible",
+              r.cg.iterations, r.cg.timeline.size(), r.cg.solve_seconds,
+              core::to_string(r.cg.stop_reason));
+  std::printf("slots:    %.2f", r.cg.total_slots);
+  if (!std::isnan(r.cg.lower_bound))
+    std::printf("   (Theorem-1 LB %.2f, gap %.2e)", r.cg.lower_bound,
+                r.cg.gap());
+  std::printf("\n");
+  for (int l : r.cg.unserved_links)
+    std::printf("WARNING: link %d unservable (no reachable rate level)\n", l);
+
+  if (flags.has("update") &&
+      !write_checkpoint(net, demands, r.cg, ckpt_path)) {
+    return kExitInvalidInput;
+  }
+  return health;
+}
+
 int cmd_check(const common::CliFlags& flags) {
   const auto parsed = parse_instance(flags);
   if (!parsed.ok()) {
@@ -420,14 +568,21 @@ int main(int argc, char** argv) {
   if (cmd == "solve") return cmd_solve(flags);
   if (cmd == "compare") return cmd_compare(flags);
   if (cmd == "stream") return cmd_stream(flags);
+  if (cmd == "resolve") return cmd_resolve(flags);
   if (cmd == "check") return cmd_check(flags);
   std::printf(
-      "usage: mmwave_cli <solve|compare|stream|check> [--links=N]\n"
+      "usage: mmwave_cli <solve|compare|stream|resolve|check> [--links=N]\n"
       "       [--channels=K] [--levels=Q] [--gamma-scale=x] [--seed=s]\n"
       "       [--demand-scale=d] [--pricing=heuristic|hybrid|exact]\n"
       "       [--instance=FILE] [--deadline=SECONDS]\n"
       "  solve   also accepts --csv=plan.csv --profile --warm-start=0|1\n"
+      "          --checkpoint=FILE (save solver state) --resume (warm-start\n"
+      "          from that checkpoint; fingerprint must match)\n"
       "  stream  also accepts --gops=N --p-block=p\n"
+      "  resolve requires --checkpoint=FILE; also accepts\n"
+      "          --block-links=0,3 --block-atten=a --update: repairs the\n"
+      "          saved column pool against the perturbed instance and\n"
+      "          re-solves warm (corrupt/mismatched checkpoint = cold start)\n"
       "  check   runs the solve under the certificate checkers and exits\n"
       "          non-zero on any violated certificate\n"
       "exit status: 0 ok | 1 check failed / unknown command |\n"

@@ -15,28 +15,39 @@
 #   5. ThreadSanitizer                    thread-pool + warm-equivalence
 #                                         tests and a --threads bench smoke
 #                                         under MMWAVE_SANITIZE=thread
-#   6. perf bench                         perf_solvers (google-benchmark) on
-#                                         the plain build; writes
-#                                         BENCH_cg.json with the warm/cold
-#                                         CG master comparison
+#   6. perf bench                         perf_solvers + perf_resolve
+#                                         (google-benchmark) on the plain
+#                                         build; writes BENCH_cg.json (warm/
+#                                         cold CG master comparison) and
+#                                         BENCH_resolve.json (checkpoint
+#                                         restart/repair economics)
 #   7. robustness                         fault-injection + anytime-contract
-#                                         suites re-run under ASan+UBSan, plus
-#                                         the instance-spec fuzz harness (a
-#                                         30 s libFuzzer run when a clang
-#                                         fuzzer build exists, the
-#                                         deterministic corpus-replay battery
-#                                         otherwise)
+#                                         + checkpoint/resolve suites re-run
+#                                         under ASan+UBSan, plus the
+#                                         instance-spec and checkpoint fuzz
+#                                         harnesses (a 30 s libFuzzer run
+#                                         each when a clang fuzzer build
+#                                         exists, the deterministic
+#                                         corpus-replay battery otherwise)
 #
-# Usage:  tools/run_analysis.sh [--fast]
-#   --fast   skip legs 1 and 6 (the plain build and the perf bench) — the
-#            sanitized legs still run the full suite, so this is the quick
-#            pre-push variant.
+# Usage:  tools/run_analysis.sh [--fast|--robustness]
+#   --fast        skip legs 1 and 6 (the plain build and the perf bench) —
+#                 the sanitized legs still run the full suite, so this is
+#                 the quick pre-push variant.
+#   --robustness  the CI degraded-path gate: build the ASan+UBSan tree and
+#                 run only legs 4 and 7 (certificate verifier + fault/fuzz
+#                 batteries).  Skips the full sanitized ctest sweep, the
+#                 plain build, clang-tidy, TSan and the perf bench.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+ROBUSTNESS=0
+case "${1:-}" in
+  --fast) FAST=1 ;;
+  --robustness) ROBUSTNESS=1 ;;
+esac
 
 failures=()
 note() { printf '\n==== %s ====\n' "$*"; }
@@ -54,7 +65,7 @@ run_ctest() {
 }
 
 # ---- Leg 1: plain RelWithDebInfo + Werror ---------------------------------
-if [[ "$FAST" == 0 ]]; then
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 ]]; then
   note "leg 1: RelWithDebInfo + -Werror"
   if configure_and_build "$ROOT/build-analysis-rel" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
@@ -63,7 +74,7 @@ if [[ "$FAST" == 0 ]]; then
     leg_failed "build (RelWithDebInfo + Werror)"
   fi
 else
-  note "leg 1 skipped (--fast)"
+  note "leg 1 skipped"
 fi
 
 # ---- Leg 2: ASan + UBSan --------------------------------------------------
@@ -74,14 +85,20 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 if configure_and_build "$ASAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       "-DMMWAVE_SANITIZE=address;undefined"; then
-  run_ctest "$ASAN_DIR" || leg_failed "ctest (ASan+UBSan)"
+  if [[ "$ROBUSTNESS" == 0 ]]; then
+    run_ctest "$ASAN_DIR" || leg_failed "ctest (ASan+UBSan)"
+  else
+    echo "(--robustness: full sanitized ctest sweep skipped; legs 4 and 7 use this build)"
+  fi
 else
   leg_failed "build (ASan+UBSan)"
 fi
 
 # ---- Leg 3: clang-tidy over src/ ------------------------------------------
 note "leg 3: clang-tidy"
-if command -v clang-tidy > /dev/null 2>&1; then
+if [[ "$ROBUSTNESS" == 1 ]]; then
+  echo "leg 3 skipped (--robustness)"
+elif command -v clang-tidy > /dev/null 2>&1; then
   TIDY_DIR="$ASAN_DIR"
   [[ -d "$ROOT/build-analysis-rel" && "$FAST" == 0 ]] && TIDY_DIR="$ROOT/build-analysis-rel"
   cmake --build "$TIDY_DIR" -j "$JOBS" --target tidy || leg_failed "clang-tidy"
@@ -114,7 +131,9 @@ fi
 note "leg 5: ThreadSanitizer (thread pool + warm equivalence)"
 TSAN_DIR="$ROOT/build-analysis-tsan"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-if configure_and_build "$TSAN_DIR" \
+if [[ "$ROBUSTNESS" == 1 ]]; then
+  echo "leg 5 skipped (--robustness)"
+elif configure_and_build "$TSAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       "-DMMWAVE_SANITIZE=thread"; then
   (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
@@ -135,8 +154,8 @@ fi
 # The warm/cold CG master comparison the PR-level perf claims come from.
 # A missing binary is a failure, not a skip: the bench target silently
 # falling out of the build would otherwise go unnoticed.
-if [[ "$FAST" == 0 ]]; then
-  note "leg 6: perf bench (perf_solvers -> BENCH_cg.json)"
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 ]]; then
+  note "leg 6: perf bench (perf_solvers -> BENCH_cg.json, perf_resolve -> BENCH_resolve.json)"
   PERF="$ROOT/build-analysis-rel/bench/perf_solvers"
   if [[ -x "$PERF" ]]; then
     "$PERF" --benchmark_min_time=0.1 \
@@ -146,8 +165,17 @@ if [[ "$FAST" == 0 ]]; then
   else
     leg_failed "perf_solvers missing (bench targets fell out of the build?)"
   fi
+  PERF_RESOLVE="$ROOT/build-analysis-rel/bench/perf_resolve"
+  if [[ -x "$PERF_RESOLVE" ]]; then
+    "$PERF_RESOLVE" --benchmark_min_time=0.1 \
+        --benchmark_out="$ROOT/BENCH_resolve.json" --benchmark_out_format=json \
+      || leg_failed "perf_resolve"
+    [[ -s "$ROOT/BENCH_resolve.json" ]] || leg_failed "BENCH_resolve.json not written"
+  else
+    leg_failed "perf_resolve missing (bench targets fell out of the build?)"
+  fi
 else
-  note "leg 6 skipped (--fast)"
+  note "leg 6 skipped"
 fi
 
 # ---- Leg 7: robustness (fault injection + fuzz) ---------------------------
@@ -155,26 +183,33 @@ fi
 # scenario must return a verifier-clean incumbent without tripping ASan or
 # UBSan on the error paths (the places instrumentation matters most, since
 # ordinary runs rarely take them).
-note "leg 7: robustness (fault-injection suites + instance-spec fuzz)"
+note "leg 7: robustness (fault-injection + checkpoint suites, both fuzz harnesses)"
+
+# run_fuzz <name> <corpus-dir>: libFuzzer with a bounded budget on a clang
+# -DMMWAVE_FUZZ=ON build, the deterministic corpus-replay battery otherwise.
+run_fuzz() {
+  local name="$1" corpus="$2"
+  local bin="$ASAN_DIR/tests/fuzz/$name"
+  if [[ ! -x "$bin" ]]; then
+    leg_failed "$name missing (sanitized build incomplete?)"
+    return
+  fi
+  if "$bin" -help=1 > /dev/null 2>&1 && \
+     "$bin" -help=1 2>/dev/null | grep -q libFuzzer; then
+    "$bin" -max_total_time=30 "$corpus" \
+      || leg_failed "libFuzzer ($name, 30 s)"
+  else
+    "$bin" "$corpus"/* \
+      || leg_failed "fuzz corpus replay ($name)"
+  fi
+}
+
 if [[ -d "$ASAN_DIR" ]]; then
   (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-      -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|cli_smoke') \
+      -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|CgCheckpoint|CgResolve|BlockageSession|cli_smoke') \
     || leg_failed "ctest (robustness suites under ASan+UBSan)"
-  FUZZ="$ASAN_DIR/tests/fuzz/instance_spec_fuzz"
-  if [[ -x "$FUZZ" ]]; then
-    if "$FUZZ" -help=1 > /dev/null 2>&1 && \
-       "$FUZZ" -help=1 2>/dev/null | grep -q libFuzzer; then
-      # A clang -DMMWAVE_FUZZ=ON build: give the engine a bounded budget.
-      "$FUZZ" -max_total_time=30 "$ROOT/tests/fuzz/corpus" \
-        || leg_failed "libFuzzer (instance_spec_fuzz, 30 s)"
-    else
-      # gcc default build: deterministic corpus replay + mutation battery.
-      "$FUZZ" "$ROOT"/tests/fuzz/corpus/* \
-        || leg_failed "fuzz corpus replay (instance_spec_fuzz)"
-    fi
-  else
-    leg_failed "instance_spec_fuzz missing (sanitized build incomplete?)"
-  fi
+  run_fuzz instance_spec_fuzz "$ROOT/tests/fuzz/corpus"
+  run_fuzz checkpoint_fuzz "$ROOT/tests/fuzz/corpus_checkpoint"
 else
   leg_failed "robustness (sanitized build dir missing)"
 fi
