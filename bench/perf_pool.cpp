@@ -1,0 +1,163 @@
+// Pool-lifecycle economics (google-benchmark): master-LP time and warm-hit
+// rate vs the PoolManager cap on a long blockage trace.  Each period the
+// manager seeds the nearest known instances' surviving columns into the
+// solve and stores the result back under the cap/eviction policy; the
+// counters report what bounding the pool costs (or doesn't): repair hit
+// rate, per-resolve hit rate, evicted columns, neighbour-seeded columns and
+// master solve time.  Written to BENCH_pool.json by run_analysis leg 6.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pool_manager.h"
+#include "core/resolve.h"
+#include "mmwave/blockage.h"
+#include "video/demand.h"
+
+namespace {
+
+using namespace mmwave;
+
+constexpr int kLinks = 6;
+constexpr int kChannels = 2;
+constexpr int kLevels = 3;
+/// Long enough for blockage states to recur, so the multi-instance index
+/// has revisits to pay off on.
+constexpr int kPeriods = 16;
+
+struct Trace {
+  net::NetworkParams params;
+  std::unique_ptr<net::TableIChannelModel> base;
+  std::vector<std::vector<double>> scales;
+  std::vector<video::LinkDemand> demands;
+};
+
+Trace make_trace(std::uint64_t seed) {
+  Trace t;
+  t.params.num_links = kLinks;
+  t.params.num_channels = kChannels;
+  t.params.sinr_thresholds.resize(kLevels);
+  for (int q = 0; q < kLevels; ++q)
+    t.params.sinr_thresholds[q] = 0.1 * (q + 1);
+  common::Rng rng(seed);
+  t.base = std::make_unique<net::TableIChannelModel>(
+      kLinks, kChannels, t.params.noise_watts, rng);
+
+  net::BlockageConfig bcfg;
+  bcfg.p_block = 0.3;
+  bcfg.p_recover = 0.5;  // short blockage episodes: states revisit often
+  bcfg.attenuation = 0.05;
+  common::Rng brng = rng.fork(0xB10C);
+  net::BlockageProcess process(kLinks, bcfg, brng);
+  for (int g = 0; g < kPeriods; ++g) {
+    if (g > 0) process.advance(brng);
+    std::vector<double> s(kLinks);
+    for (int l = 0; l < kLinks; ++l) s[l] = process.rx_attenuation(l);
+    t.scales.push_back(std::move(s));
+  }
+
+  common::Rng drng = rng.fork(0x5EED);
+  t.demands.resize(kLinks);
+  for (auto& d : t.demands) {
+    d.hp_bits = drng.uniform(500.0, 2000.0);
+    d.lp_bits = drng.uniform(500.0, 2000.0);
+  }
+  return t;
+}
+
+net::Network period_net(const Trace& t, int g) {
+  return net::Network(t.params, std::make_unique<net::RxScaledChannelModel>(
+                                    t.base.get(), t.scales[g]));
+}
+
+core::CgOptions solve_options() {
+  core::CgOptions opts;
+  opts.pricing = core::PricingMode::HeuristicThenExact;
+  return opts;
+}
+
+/// One blockage trace solved through a PoolManager with cap = Arg(0)
+/// (0 = unbounded).  The manager's multi-instance index means a period
+/// whose blockage state resembles ANY earlier period seeds warm — not just
+/// the immediately previous one (the perf_resolve warm arm's limit).
+void BM_PoolTrace(benchmark::State& state) {
+  const Trace t = make_trace(17);
+  const int cap = static_cast<int>(state.range(0));
+  std::int64_t loaded = 0, reused = 0, resolves = 0, hits = 0;
+  std::int64_t evicted = 0, neighbour_seeded = 0;
+  double master_seconds = 0.0;
+  double slots = 0.0;
+  int pool_size = 0;
+  for (auto _ : state) {
+    core::PoolManagerOptions opts;
+    opts.cap = cap;
+    core::PoolManager manager(opts);
+    for (int g = 0; g < kPeriods; ++g) {
+      const net::Network net = period_net(t, g);
+      const core::InstanceSignature sig =
+          core::make_signature(net, t.demands);
+      core::CgOptions cg = solve_options();
+      core::RepairStats stats;
+      const std::vector<sched::Schedule> candidates = manager.seed(sig);
+      if (!candidates.empty())
+        cg.warm_pool = core::repair_pool(net, candidates, &stats);
+      const core::CgResult r =
+          core::solve_column_generation(net, t.demands, cg);
+      manager.store(sig, net, r);
+      loaded += stats.loaded;
+      reused += stats.survivors();
+      ++resolves;
+      if (stats.survivors() > 0) ++hits;
+      master_seconds += r.profile.master_seconds;
+      slots += r.total_slots;
+      benchmark::DoNotOptimize(slots);
+    }
+    evicted += manager.metrics().evicted;
+    neighbour_seeded += manager.metrics().neighbour_seeded;
+    pool_size = manager.size();
+  }
+  const double n =
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.counters["pool_hit_rate"] =
+      loaded > 0 ? static_cast<double>(reused) / loaded : 0.0;
+  state.counters["resolve_hit_rate"] =
+      resolves > 0 ? static_cast<double>(hits) / resolves : 0.0;
+  state.counters["master_ms"] = 1e3 * master_seconds / n;
+  state.counters["evicted"] = static_cast<double>(evicted) / n;
+  state.counters["neighbour_seeded"] =
+      static_cast<double>(neighbour_seeded) / n;
+  state.counters["pool_size"] = static_cast<double>(pool_size);
+  state.counters["slots"] = slots / n;
+}
+BENCHMARK(BM_PoolTrace)->Arg(0)->Arg(16)->Arg(8)->Arg(4);
+
+/// Baseline arm for the same trace with no pool at all: what the lifecycle
+/// layer's hit rate is worth in master-LP time.
+void BM_PoolTraceCold(benchmark::State& state) {
+  const Trace t = make_trace(17);
+  double master_seconds = 0.0;
+  double slots = 0.0;
+  for (auto _ : state) {
+    for (int g = 0; g < kPeriods; ++g) {
+      const net::Network net = period_net(t, g);
+      const core::CgResult r =
+          core::solve_column_generation(net, t.demands, solve_options());
+      master_seconds += r.profile.master_seconds;
+      slots += r.total_slots;
+      benchmark::DoNotOptimize(slots);
+    }
+  }
+  const double n =
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.counters["master_ms"] = 1e3 * master_seconds / n;
+  state.counters["slots"] = slots / n;
+}
+BENCHMARK(BM_PoolTraceCold);
+
+}  // namespace
+
+BENCHMARK_MAIN();

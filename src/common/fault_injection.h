@@ -50,6 +50,16 @@ inline constexpr const char* kCheckpointCorrupt = "checkpoint.corrupt_payload";
 /// instance perturbed again under our feet); the column must be dropped,
 /// never entered into the master.
 inline constexpr const char* kResolveDropColumn = "resolve.drop_column";
+/// A v2 checkpoint pool-metadata record reads as semantically bad: the
+/// parser must degrade to cold metadata (columns kept, scores reset),
+/// never reject the checkpoint or crash.
+inline constexpr const char* kCheckpointBadPoolRecord =
+    "checkpoint.v2_bad_pool_record";
+/// PoolManager eviction picks the wrong (best-scored) victim instead of
+/// the worst.  Pool quality decays but the invariants must hold: basis
+/// columns stay, and the resolve optimum is unchanged.
+inline constexpr const char* kPoolEvictWrongColumn =
+    "pool.evict_wrong_column";
 }  // namespace faults
 
 /// When/how often an armed site fires.  Namespace-scope (not nested) so it

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "common/fault_injection.h"
@@ -310,6 +311,29 @@ CgCheckpoint make_checkpoint(const net::Network& net,
   ckpt.pool_tau = result.pool_tau;
   if (ckpt.pool_tau.size() != ckpt.pool.size())
     ckpt.pool_tau.assign(ckpt.pool.size(), 0.0);
+  // Cold lifecycle metadata derived from the solve itself: reduced costs
+  // under the final duals, basis membership from tau.  core::score_pool
+  // computes the same record with a live PoolManager epoch; epoch 0 here
+  // means "age unknown" to whoever imports this checkpoint.
+  ckpt.pool_meta.resize(ckpt.pool.size());
+  for (std::size_t s = 0; s < ckpt.pool.size(); ++s) {
+    PoolColumnMeta& m = ckpt.pool_meta[s];
+    m.fingerprint = ckpt.fingerprint;
+    m.last_used_epoch = 0;
+    m.in_basis = ckpt.pool_tau[s] > 0.0;
+    double priced = 0.0;
+    const auto hp = ckpt.pool[s].rate_column_bits_per_slot(net, net::Layer::Hp);
+    const auto lp = ckpt.pool[s].rate_column_bits_per_slot(net, net::Layer::Lp);
+    for (int l = 0; l < net.num_links(); ++l) {
+      priced += (l < static_cast<int>(ckpt.duals_hp.size())
+                     ? ckpt.duals_hp[l] * hp[l]
+                     : 0.0) +
+                (l < static_cast<int>(ckpt.duals_lp.size())
+                     ? ckpt.duals_lp[l] * lp[l]
+                     : 0.0);
+    }
+    m.last_reduced_cost = std::isfinite(priced) ? 1.0 - priced : 0.0;
+  }
   return ckpt;
 }
 
@@ -354,6 +378,25 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
       body += '\n';
     }
   }
+  // v2 pool-metadata section: one record per column when metadata is
+  // aligned, an explicit empty section otherwise (cold metadata).
+  const bool have_meta = ckpt.pool_meta.size() == ckpt.pool.size();
+  body += "pool_meta = " +
+          std::to_string(have_meta ? ckpt.pool_meta.size() : 0);
+  body += '\n';
+  if (have_meta) {
+    for (const PoolColumnMeta& m : ckpt.pool_meta) {
+      body += "meta = ";
+      append_hex64(body, m.fingerprint);
+      body += ' ' + std::to_string(m.last_used_epoch) + ' ';
+      append_double(body,
+                    std::isfinite(m.last_reduced_cost) ? m.last_reduced_cost
+                                                       : 0.0);
+      body += ' ';
+      body += m.in_basis ? '1' : '0';
+      body += '\n';
+    }
+  }
   body += "end\n";
 
   std::string out;
@@ -383,11 +426,11 @@ common::Expected<CgCheckpoint> parse_checkpoint(std::string_view text) {
                        &version)) {
     return parse_error(1, "malformed version field");
   }
-  if (version != kCheckpointVersion) {
+  if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
     return parse_error(
         1, "unsupported checkpoint version v" + std::to_string(version) +
-               " (this build reads v" + std::to_string(kCheckpointVersion) +
-               ")");
+               " (this build reads v" + std::to_string(kMinCheckpointVersion) +
+               "..v" + std::to_string(kCheckpointVersion) + ")");
   }
 
   const std::size_t second_nl = text.find('\n', first_nl + 1);
@@ -511,6 +554,63 @@ common::Expected<CgCheckpoint> parse_checkpoint(std::string_view text) {
     }
     ckpt.pool.push_back(std::move(col));
     ckpt.pool_tau.push_back(tau);
+  }
+
+  // ---- v2 pool-metadata section ------------------------------------------
+  // Structural damage (wrong key, wrong token count, truncation) is a hard
+  // parse error like everywhere else; *semantic* damage — a record whose
+  // values are out of their documented ranges — only degrades the metadata
+  // to cold (pool_meta cleared, pool_meta_degraded set).  The columns are
+  // the expensive artifact; their lifecycle scores are merely advisory.
+  if (version >= 2) {
+    long long num_meta = 0;
+    {
+      auto v = expect_int(reader, "pool_meta", 0, kMaxColumns);
+      if (!v.ok()) return v.status();
+      num_meta = v.value();
+    }
+    if (num_meta != 0 && num_meta != num_columns) {
+      ckpt.pool_meta_degraded = true;  // count skew: scores unusable
+    }
+    ckpt.pool_meta.reserve(static_cast<std::size_t>(num_meta));
+    for (long long s = 0; s < num_meta; ++s) {
+      const int line_no = reader.line();
+      auto tokens = expect_kv(reader, "meta");
+      if (!tokens.ok()) return tokens.status();
+      const auto& t = tokens.value();
+      if (t.size() != 4) {
+        return parse_error(line_no,
+                           "meta: expected '<fingerprint> <epoch> <rc> "
+                           "<basis>'");
+      }
+      PoolColumnMeta m;
+      long long epoch = 0, basis = 0;
+      double rc = 0.0;
+      const bool record_ok =
+          parse_hex64_token(t[0], &m.fingerprint) &&
+          parse_int_token(t[1], 0, std::numeric_limits<long long>::max() - 1,
+                          &epoch) &&
+          parse_double_token(t[2], /*allow_nan=*/false, &rc) &&
+          parse_int_token(t[3], 0, 1, &basis) &&
+          !common::fault_fires(common::faults::kCheckpointBadPoolRecord);
+      if (!record_ok) {
+        ckpt.pool_meta_degraded = true;
+        continue;  // keep consuming the declared records
+      }
+      m.last_used_epoch = epoch;
+      m.last_reduced_cost = rc;
+      m.in_basis = basis != 0;
+      ckpt.pool_meta.push_back(m);
+    }
+    if (ckpt.pool_meta_degraded ||
+        ckpt.pool_meta.size() != ckpt.pool.size()) {
+      if (!ckpt.pool_meta.empty() || num_meta > 0) {
+        MMWAVE_LOG_WARN << "checkpoint: pool metadata degraded to cold "
+                           "(columns kept, scores reset)";
+      }
+      ckpt.pool_meta_degraded = num_meta > 0;
+      ckpt.pool_meta.clear();
+    }
   }
 
   // ---- Terminator + no trailing garbage ----------------------------------

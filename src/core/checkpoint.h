@@ -18,7 +18,11 @@
 //     field — returns a structured common::Status, never crashes and never
 //     yields a partially-parsed checkpoint;
 //   * fingerprint mismatches are detectable by the caller, so a checkpoint
-//     can never be silently replayed against the wrong instance.
+//     can never be silently replayed against the wrong instance;
+//   * the v2 pool-metadata section is advisory: a structurally sound file
+//     whose metadata values are out of range degrades to cold metadata
+//     (columns kept, scores reset) instead of rejecting the checkpoint —
+//     lifecycle hints must never cost the warm-start capital they score.
 #pragma once
 
 #include <cstdint>
@@ -35,8 +39,29 @@ namespace mmwave::core {
 
 struct CgResult;  // column_generation.h
 
-/// The on-disk format version this build reads and writes.
-inline constexpr int kCheckpointVersion = 1;
+/// The on-disk format version this build writes.  The parser also reads
+/// every older version (currently v1, which lacks the pool-metadata
+/// section; its pool loads with cold metadata).
+inline constexpr int kCheckpointVersion = 2;
+/// Oldest format version parse_checkpoint still accepts.
+inline constexpr int kMinCheckpointVersion = 1;
+
+/// Per-column lifecycle metadata (core::PoolManager's scoring state),
+/// persisted by checkpoint format v2.  The default-constructed value is
+/// the "cold metadata" a v1 checkpoint — or a v2 checkpoint whose metadata
+/// records were semantically bad — loads with.
+struct PoolColumnMeta {
+  /// Instance fingerprint the column last served under.
+  std::uint64_t fingerprint = 0;
+  /// Manager epoch (store() counter) at the column's last master admission
+  /// with tau > 0; its recency for eviction scoring.
+  std::int64_t last_used_epoch = 0;
+  /// Reduced cost last observed for the column under its master's final
+  /// duals (>= -eps at optimality; lower = more competitive).
+  double last_reduced_cost = 0.0;
+  /// tau > 0 in the most recent master solution: never evicted.
+  bool in_basis = false;
+};
 
 struct CgCheckpoint {
   /// FNV-1a fingerprint of the instance the state was computed on
@@ -59,6 +84,15 @@ struct CgCheckpoint {
   std::vector<sched::Schedule> pool;
   /// Incumbent durations tau^s aligned with `pool` (0 outside the plan).
   std::vector<double> pool_tau;
+  /// Lifecycle metadata aligned with `pool` (format v2).  Empty = cold
+  /// metadata: a v1 checkpoint, or a v2 file whose metadata records were
+  /// semantically out of range (see pool_meta_degraded).
+  std::vector<PoolColumnMeta> pool_meta;
+  /// True when a v2 checkpoint carried a pool-metadata section that had to
+  /// be discarded (out-of-range record, or the injected
+  /// faults::kCheckpointBadPoolRecord): the columns are still warm capital,
+  /// only their scores restarted cold.
+  bool pool_meta_degraded = false;
 };
 
 /// 64-bit FNV-1a over a byte string (the checkpoint payload checksum).

@@ -50,6 +50,25 @@ BlockageSessionMetrics run_blockage_session(
     const BlockageSessionConfig& config, const Scheduler& scheduler,
     common::Rng& rng, SolverContext* solver_context) {
   BlockageSessionMetrics out;
+  // The context's counters are cumulative across sessions; snapshot them now
+  // so the metrics below report this session's deltas.
+  struct ContextSnapshot {
+    int periods = 0, loaded = 0, reused = 0, repaired = 0, dropped = 0;
+    int resolves = 0, hits = 0, misses = 0;
+    std::int64_t evicted = 0, neighbour_seeded = 0;
+  } before;
+  if (solver_context != nullptr) {
+    before.periods = solver_context->periods;
+    before.loaded = solver_context->columns_loaded;
+    before.reused = solver_context->columns_reused;
+    before.repaired = solver_context->columns_repaired;
+    before.dropped = solver_context->columns_dropped;
+    before.resolves = solver_context->resolves;
+    before.hits = solver_context->pool_hits;
+    before.misses = solver_context->pool_misses;
+    before.evicted = solver_context->manager.metrics().evicted;
+    before.neighbour_seeded = solver_context->manager.metrics().neighbour_seeded;
+  }
   const int num_links = params.num_links;
   const SessionConfig& scfg = config.session;
   const double gop_seconds =
@@ -154,12 +173,26 @@ BlockageSessionMetrics run_blockage_session(
   out.base.mean_psnr_db = num_links > 0 ? psnr_sum / num_links : 0.0;
   out.mean_blocked_fraction = blocked_fraction_sum / scfg.num_gops;
   if (solver_context != nullptr) {
-    out.pool_periods = solver_context->periods;
-    out.pool_columns_loaded = solver_context->columns_loaded;
-    out.pool_columns_reused = solver_context->columns_reused;
-    out.pool_columns_repaired = solver_context->columns_repaired;
-    out.pool_columns_dropped = solver_context->columns_dropped;
-    out.pool_hit_rate = solver_context->hit_rate();
+    out.pool_periods = solver_context->periods - before.periods;
+    out.pool_columns_loaded = solver_context->columns_loaded - before.loaded;
+    out.pool_columns_reused = solver_context->columns_reused - before.reused;
+    out.pool_columns_repaired =
+        solver_context->columns_repaired - before.repaired;
+    out.pool_columns_dropped =
+        solver_context->columns_dropped - before.dropped;
+    out.pool_hit_rate =
+        out.pool_columns_loaded > 0
+            ? static_cast<double>(out.pool_columns_reused) /
+                  out.pool_columns_loaded
+            : 0.0;
+    out.pool_resolves = solver_context->resolves - before.resolves;
+    out.pool_hits = solver_context->pool_hits - before.hits;
+    out.pool_misses = solver_context->pool_misses - before.misses;
+    out.pool_evicted =
+        solver_context->manager.metrics().evicted - before.evicted;
+    out.pool_neighbour_seeded =
+        solver_context->manager.metrics().neighbour_seeded -
+        before.neighbour_seeded;
   }
   return out;
 }

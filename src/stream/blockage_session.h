@@ -36,13 +36,23 @@ struct BlockageSessionMetrics {
   int exec_transmissions_dropped = 0;
 
   // --- Pool-reuse accounting (populated when a SolverContext is threaded
-  // --- through run_blockage_session; zeros otherwise) --------------------
+  // --- through run_blockage_session; zeros otherwise).  All values are
+  // --- THIS session's deltas: the context's counters are cumulative, so a
+  // --- context reused across sessions still reports per-session numbers.
   int pool_periods = 0;           ///< periods solved through the context
   int pool_columns_loaded = 0;    ///< columns offered for cross-period reuse
   int pool_columns_reused = 0;    ///< columns that re-entered a master
   int pool_columns_repaired = 0;  ///< reused only after repair
   int pool_columns_dropped = 0;   ///< discarded as irreparable
   double pool_hit_rate = 0.0;     ///< reused / loaded
+  int pool_resolves = 0;          ///< context-routed solves this session
+  int pool_hits = 0;              ///< resolves with >=1 seeded survivor
+  int pool_misses = 0;            ///< resolves seeded with nothing usable
+  /// Columns evicted by the manager's cap policy during this session.
+  std::int64_t pool_evicted = 0;
+  /// Seeded columns that came from a neighbour instance (different
+  /// fingerprint) — the multi-instance sharing payoff.
+  std::int64_t pool_neighbour_seeded = 0;
 };
 
 /// `params` must match `base_model` (link/channel counts).  The blockage

@@ -20,21 +20,37 @@ Scheduler make_cg_scheduler(const CgSchedulerOptions& options,
     cg.pricing = options.heuristic_only
                      ? core::PricingMode::HeuristicOnly
                      : core::PricingMode::HeuristicThenExact;
-    if (context != nullptr && !context->pool.empty()) {
-      // Repair the previous period's pool against the current gains; only
-      // columns re-proven feasible on *this* network enter the master.
-      core::RepairStats stats;
-      cg.warm_pool = core::repair_pool(net, context->pool, &stats);
-      context->columns_loaded += stats.loaded;
-      context->columns_reused += stats.survivors();
-      context->columns_repaired += stats.repaired;
-      context->columns_dropped += stats.dropped;
-      context->transmissions_dropped += stats.transmissions_dropped;
+    core::InstanceSignature signature;
+    int seeded_survivors = 0;
+    if (context != nullptr) {
+      signature = core::make_signature(net, demands);
+      // The manager hands back the nearest known instances' columns; repair
+      // against the current gains so only columns re-proven feasible on
+      // *this* network enter the master.
+      const std::vector<sched::Schedule> candidates =
+          context->manager.seed(signature);
+      if (!candidates.empty()) {
+        core::RepairStats stats;
+        cg.warm_pool = core::repair_pool(net, candidates, &stats);
+        context->columns_loaded += stats.loaded;
+        context->columns_reused += stats.survivors();
+        context->columns_repaired += stats.repaired;
+        context->columns_dropped += stats.dropped;
+        context->transmissions_dropped += stats.transmissions_dropped;
+        seeded_survivors = stats.survivors();
+      }
     }
     const auto result = core::solve_column_generation(net, demands, cg);
     if (context != nullptr) {
+      context->manager.store(signature, net, result);
       context->pool = result.pool;
       ++context->periods;
+      ++context->resolves;
+      if (seeded_survivors > 0) {
+        ++context->pool_hits;
+      } else {
+        ++context->pool_misses;
+      }
     }
     SchedulerResult out;
     out.timeline = result.timeline;

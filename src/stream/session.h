@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/pool_manager.h"
 #include "mmwave/network.h"
 #include "sched/timeline.h"
 #include "video/demand.h"
@@ -37,17 +38,38 @@ using Scheduler = std::function<SchedulerResult(
     const net::Network&, const std::vector<video::LinkDemand>&)>;
 
 /// Persistent solver state carried across scheduling periods.  A scheduler
-/// bound to one (see the make_cg_scheduler overload) repairs the previous
-/// period's column pool against the current network — blockage may have
-/// invalidated columns — seeds the survivors into the master as a warm
-/// start, and stores the new pool back after the solve.  The counters
-/// accumulate over every period routed through this context, so a session
-/// runner can report pool-reuse economics (run_blockage_session does).
+/// bound to one (see the make_cg_scheduler overload) asks the embedded
+/// core::PoolManager for warm-start candidates — the nearest known
+/// instances' surviving columns, not just the previous period's — repairs
+/// them against the current network (blockage may have invalidated
+/// columns), seeds the survivors into the master, and stores the new pool
+/// back after the solve under the manager's cap/eviction policy.
+///
+/// All counters are CUMULATIVE across every period routed through this
+/// context, across sessions if the context is reused; call reset_metrics()
+/// to start a fresh accounting window (the pool itself is kept — resetting
+/// metrics must not cost warm-start capital).  Accounting identity,
+/// asserted by the blockage-session tests: pool_hits + pool_misses ==
+/// resolves.
 struct SolverContext {
-  /// Column pool left by the most recent solve (master order).
+  SolverContext() = default;
+  explicit SolverContext(core::PoolManagerOptions pool_options)
+      : manager(std::move(pool_options)) {}
+
+  /// Owns the cross-period, cross-instance column pool (cap + eviction).
+  core::PoolManager manager;
+  /// Column pool left by the most recent solve (master order) — the
+  /// single-period view; the manager holds the full multi-instance pool.
   std::vector<sched::Schedule> pool;
   /// Periods that solved through this context.
   int periods = 0;
+  /// Context-routed solves (== periods; kept separate so the hit/miss
+  /// identity reads against the quantity it is defined over).
+  int resolves = 0;
+  /// Resolves where at least one seeded column survived into the master.
+  int pool_hits = 0;
+  /// Resolves where no seeded column survived (cold or fully invalidated).
+  int pool_misses = 0;
   // Cumulative repair accounting (core::RepairStats summed over periods):
   int columns_loaded = 0;    ///< pool columns offered for reuse
   int columns_reused = 0;    ///< survived (intact or repaired) into the master
@@ -60,6 +82,15 @@ struct SolverContext {
     return columns_loaded > 0
                ? static_cast<double>(columns_reused) / columns_loaded
                : 0.0;
+  }
+
+  /// Zeroes every counter (including the manager's) without touching the
+  /// pool: the next session reports from a clean slate but stays warm.
+  void reset_metrics() {
+    periods = resolves = pool_hits = pool_misses = 0;
+    columns_loaded = columns_reused = columns_repaired = columns_dropped = 0;
+    transmissions_dropped = 0;
+    manager.reset_metrics();
   }
 };
 

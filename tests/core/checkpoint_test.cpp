@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <string>
 
 #include "common/fault_injection.h"
@@ -177,8 +178,10 @@ TEST(CgCheckpoint, EveryByteFlipIsCaught) {
 TEST(CgCheckpoint, VersionSkewIsDiagnosed) {
   const Solved s = solve_and_checkpoint();
   std::string text = serialize_checkpoint(s.ckpt);
-  const std::string tag = "checkpoint v1";
-  text.replace(text.find(tag), tag.size(), "checkpoint v2");
+  // One past the newest version this build writes (v2): must be refused.
+  const std::string tag = "checkpoint v" + std::to_string(kCheckpointVersion);
+  text.replace(text.find(tag), tag.size(),
+               "checkpoint v" + std::to_string(kCheckpointVersion + 1));
   const auto parsed = parse_checkpoint(text);
   ASSERT_FALSE(parsed.ok());
   EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
@@ -205,6 +208,146 @@ TEST(CgCheckpoint, LoadOfMissingFileIsIoError) {
   EXPECT_EQ(loaded.status().code(), common::ErrorCode::kIoError);
 }
 
+// ---- Format v2: pool-metadata section and v1 backward compatibility ------
+
+/// Reassembles a checkpoint after editing its payload: fresh checksum over
+/// the mutated payload, requested version in the magic line.  This is how
+/// the tests fabricate v1 files and semantically-damaged v2 files that are
+/// still structurally (checksum-)valid.
+std::string reassemble(const std::string& text, int version,
+                       const std::function<void(std::string&)>& mutate) {
+  const std::size_t first_nl = text.find('\n');
+  const std::size_t second_nl = text.find('\n', first_nl + 1);
+  std::string payload = text.substr(second_nl + 1);
+  mutate(payload);
+  char checksum[32];
+  std::snprintf(checksum, sizeof checksum, "0x%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  return "mmwave-cg-checkpoint v" + std::to_string(version) +
+         "\nchecksum = " + checksum + "\n" + payload;
+}
+
+/// Drops the v2 pool_meta section ("pool_meta = N" and its records),
+/// leaving exactly the v1 payload layout.
+void strip_pool_meta(std::string& payload) {
+  const std::size_t start = payload.find("pool_meta = ");
+  ASSERT_NE(start, std::string::npos);
+  const std::size_t end = payload.find("end\n", start);
+  ASSERT_NE(end, std::string::npos);
+  payload.erase(start, end - start);
+}
+
+TEST(CgCheckpoint, PoolMetadataRoundTrips) {
+  const Solved s = solve_and_checkpoint();
+  ASSERT_EQ(s.ckpt.pool_meta.size(), s.ckpt.pool.size());
+  const auto parsed = parse_checkpoint(serialize_checkpoint(s.ckpt));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const CgCheckpoint& c = parsed.value();
+  EXPECT_FALSE(c.pool_meta_degraded);
+  ASSERT_EQ(c.pool_meta.size(), s.ckpt.pool_meta.size());
+  for (std::size_t i = 0; i < c.pool_meta.size(); ++i) {
+    EXPECT_EQ(c.pool_meta[i].fingerprint, s.ckpt.pool_meta[i].fingerprint);
+    EXPECT_EQ(c.pool_meta[i].last_used_epoch,
+              s.ckpt.pool_meta[i].last_used_epoch);
+    EXPECT_EQ(c.pool_meta[i].in_basis, s.ckpt.pool_meta[i].in_basis);
+    // %.17g round-trips doubles bit-exactly.
+    EXPECT_EQ(c.pool_meta[i].last_reduced_cost,
+              s.ckpt.pool_meta[i].last_reduced_cost);
+  }
+  // Basis membership in the metadata agrees with the tau vector.
+  for (std::size_t i = 0; i < c.pool_meta.size(); ++i)
+    EXPECT_EQ(c.pool_meta[i].in_basis, c.pool_tau[i] > 0.0);
+}
+
+TEST(CgCheckpoint, V1CheckpointLoadsWithColdMetadata) {
+  const Solved s = solve_and_checkpoint();
+  const std::string v1 = reassemble(serialize_checkpoint(s.ckpt),
+                                    /*version=*/1, strip_pool_meta);
+  const auto parsed = parse_checkpoint(v1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const CgCheckpoint& c = parsed.value();
+  // The warm-start capital is fully preserved; only the lifecycle scores
+  // are absent (cold metadata) — and that is not a degradation.
+  EXPECT_FALSE(c.pool_meta_degraded);
+  EXPECT_TRUE(c.pool_meta.empty());
+  ASSERT_EQ(c.pool.size(), s.ckpt.pool.size());
+  for (std::size_t i = 0; i < c.pool.size(); ++i)
+    EXPECT_EQ(c.pool[i].key(), s.ckpt.pool[i].key());
+  EXPECT_EQ(c.pool_tau, s.ckpt.pool_tau);
+  // A v1 checkpoint resolves just as a v2 one does.
+  const ResolveResult r = resolve(s.net, s.demands, c, CgOptions{});
+  EXPECT_TRUE(r.used_checkpoint);
+  EXPECT_TRUE(r.cg.converged);
+  EXPECT_NEAR(r.cg.total_slots, s.result.total_slots,
+              1e-7 * s.result.total_slots);
+}
+
+TEST(CgCheckpoint, SemanticallyBadMetaRecordDegradesToColdMetadata) {
+  const Solved s = solve_and_checkpoint();
+  ASSERT_GE(s.ckpt.pool_meta.size(), 1u);
+  const std::string bad = reassemble(
+      serialize_checkpoint(s.ckpt), kCheckpointVersion,
+      [](std::string& payload) {
+        // Poison the first record's reduced cost: "nan" is token-shaped
+        // (structure intact) but semantically out of range for rc.
+        const std::size_t meta = payload.find("\nmeta = ");
+        ASSERT_NE(meta, std::string::npos);
+        const std::size_t eol = payload.find('\n', meta + 1);
+        std::string line = payload.substr(meta + 1, eol - meta - 1);
+        const std::size_t last_space = line.rfind(' ');
+        const std::size_t rc_space = line.rfind(' ', last_space - 1);
+        line.replace(rc_space + 1, last_space - rc_space - 1, "nan");
+        payload.replace(meta + 1, eol - meta - 1, line);
+      });
+  const auto parsed = parse_checkpoint(bad);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  // Columns kept, scores reset: never reject the checkpoint over advisory
+  // metadata.
+  EXPECT_TRUE(parsed.value().pool_meta_degraded);
+  EXPECT_TRUE(parsed.value().pool_meta.empty());
+  EXPECT_EQ(parsed.value().pool.size(), s.ckpt.pool.size());
+}
+
+TEST(CgCheckpoint, MetaCountSkewDegradesToColdMetadata) {
+  const Solved s = solve_and_checkpoint();
+  ASSERT_GE(s.ckpt.pool_meta.size(), 2u);
+  const std::string skewed = reassemble(
+      serialize_checkpoint(s.ckpt), kCheckpointVersion,
+      [&s](std::string& payload) {
+        // Declare one record fewer and drop the last one: structurally
+        // sound, but the count no longer matches the column count.
+        const std::size_t n = s.ckpt.pool_meta.size();
+        const std::string decl = "pool_meta = " + std::to_string(n);
+        const std::size_t at = payload.find(decl);
+        ASSERT_NE(at, std::string::npos);
+        payload.replace(at, decl.size(),
+                        "pool_meta = " + std::to_string(n - 1));
+        const std::size_t last = payload.rfind("meta = ");
+        const std::size_t eol = payload.find('\n', last);
+        payload.erase(last, eol - last + 1);
+      });
+  const auto parsed = parse_checkpoint(skewed);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(parsed.value().pool_meta_degraded);
+  EXPECT_TRUE(parsed.value().pool_meta.empty());
+  EXPECT_EQ(parsed.value().pool.size(), s.ckpt.pool.size());
+}
+
+TEST(CgCheckpoint, StructuralMetaDamageIsStillAHardError) {
+  const Solved s = solve_and_checkpoint();
+  const std::string broken = reassemble(
+      serialize_checkpoint(s.ckpt), kCheckpointVersion,
+      [](std::string& payload) {
+        // A misspelled record key is structural damage, not a bad value.
+        const std::size_t at = payload.find("\nmeta = ");
+        ASSERT_NE(at, std::string::npos);
+        payload.replace(at, 8, "\nmta = x");
+      });
+  const auto parsed = parse_checkpoint(broken);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), common::ErrorCode::kInvalidInput);
+}
+
 // ---- Fault injection -----------------------------------------------------
 
 TEST(CgCheckpoint, InjectedWriteFailureIsIoError) {
@@ -221,6 +364,28 @@ TEST(CgCheckpoint, InjectedWriteFailureIsIoError) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   EXPECT_EQ(f, nullptr);
   if (f != nullptr) std::fclose(f);
+}
+
+TEST(CgCheckpoint, InjectedBadPoolRecordDegradesMetadataOnly) {
+  const Solved s = solve_and_checkpoint();
+  const std::string text = serialize_checkpoint(s.ckpt);
+
+  common::FaultInjector inj;
+  inj.arm(common::faults::kCheckpointBadPoolRecord, {.times = 1});
+  common::FaultScope scope(inj);
+  const auto parsed = parse_checkpoint(text);
+  EXPECT_EQ(inj.fired(common::faults::kCheckpointBadPoolRecord), 1);
+  // The injected bad record costs the metadata, never the checkpoint: the
+  // pool is intact and a resolve from it still certifies the optimum.
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(parsed.value().pool_meta_degraded);
+  EXPECT_TRUE(parsed.value().pool_meta.empty());
+  ASSERT_EQ(parsed.value().pool.size(), s.ckpt.pool.size());
+  const ResolveResult r = resolve(s.net, s.demands, parsed.value(), CgOptions{});
+  EXPECT_TRUE(r.used_checkpoint);
+  EXPECT_TRUE(r.cg.converged);
+  EXPECT_NEAR(r.cg.total_slots, s.result.total_slots,
+              1e-7 * s.result.total_slots);
 }
 
 TEST(CgCheckpoint, InjectedPayloadCorruptionDegradesToColdStart) {

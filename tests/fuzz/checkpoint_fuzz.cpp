@@ -12,6 +12,7 @@
 //  * main(): a deterministic corpus-replay driver replaying every file in
 //    tests/fuzz/corpus_checkpoint/ plus a mutation battery derived from
 //    them, so the ctest run exercises thousands of inputs engine-free.
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -43,6 +44,14 @@ bool probe(std::string_view text) {
               c.duals_hp.size() == static_cast<std::size_t>(c.links) &&
               c.duals_lp.size() == static_cast<std::size_t>(c.links) &&
               c.pool.size() == c.pool_tau.size();
+  // v2 lifecycle metadata: either aligned with the pool or degraded away
+  // entirely — a partially-parsed meta section must never be returned.
+  sane = sane && (c.pool_meta.empty() || c.pool_meta.size() == c.pool.size());
+  if (c.pool_meta_degraded) sane = sane && c.pool_meta.empty();
+  for (const auto& m : c.pool_meta) {
+    sane = sane && m.last_used_epoch >= 0 &&
+           std::isfinite(m.last_reduced_cost);
+  }
   for (const auto& col : c.pool) {
     for (const auto& tx : col.transmissions()) {
       sane = sane && tx.link >= 0 && tx.link < c.links && tx.channel >= 0 &&

@@ -161,6 +161,100 @@ TEST(BlockageSession, PoolReuseDoesNotChangeOutcomes) {
   EXPECT_NEAR(with.base.on_time_ratio, without.base.on_time_ratio, 1e-12);
 }
 
+TEST(BlockageSession, PoolAccountingIdentityHolds) {
+  auto f = make_fixture(9, 6, 2);
+  BlockageSessionConfig cfg = small_config(6);
+  cfg.blockage.p_block = 0.3;
+  cfg.blockage.attenuation = 0.05;
+
+  SolverContext ctx;
+  common::Rng rng(29);
+  const auto metrics = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}, &ctx), rng, &ctx);
+
+  // The hit/miss ledger must balance: every context-routed solve is either
+  // a hit (>=1 seeded column survived into the master) or a miss.
+  EXPECT_EQ(ctx.pool_hits + ctx.pool_misses, ctx.resolves);
+  EXPECT_EQ(ctx.resolves, ctx.periods);
+  EXPECT_EQ(metrics.pool_hits + metrics.pool_misses, metrics.pool_resolves);
+  EXPECT_EQ(metrics.pool_resolves, 6);
+  // The first period seeds from an empty pool: at least one miss, and with
+  // mild blockage the later periods should mostly hit.
+  EXPECT_GE(metrics.pool_misses, 1);
+  EXPECT_GT(metrics.pool_hits, 0);
+  // The manager's ledger is consistent with the session's.
+  EXPECT_EQ(ctx.manager.metrics().stores,
+            static_cast<std::int64_t>(ctx.periods));
+  EXPECT_EQ(ctx.manager.metrics().seed_calls,
+            static_cast<std::int64_t>(ctx.resolves));
+}
+
+TEST(BlockageSession, ContextMetricsAccumulateAndResetKeepsThePool) {
+  auto f = make_fixture(10, 5, 2);
+  BlockageSessionConfig cfg = small_config(4);
+  cfg.blockage.p_block = 0.25;
+  cfg.blockage.attenuation = 0.05;
+
+  SolverContext ctx;
+  common::Rng a(30);
+  const auto first = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}, &ctx), a, &ctx);
+  const int loaded_after_first = ctx.columns_loaded;
+  common::Rng b(31);
+  const auto second = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}, &ctx), b, &ctx);
+
+  // The context counters are cumulative across sessions...
+  EXPECT_EQ(ctx.periods, 8);
+  EXPECT_GT(ctx.columns_loaded, loaded_after_first);
+  // ...while each session's metrics report only its own deltas.
+  EXPECT_EQ(first.pool_resolves, 4);
+  EXPECT_EQ(second.pool_resolves, 4);
+  EXPECT_EQ(first.pool_hits + first.pool_misses, first.pool_resolves);
+  EXPECT_EQ(second.pool_hits + second.pool_misses, second.pool_resolves);
+  // The second session starts warm (the manager already knows nearby
+  // instances), so it must not load fewer columns than the first.
+  EXPECT_GE(second.pool_columns_loaded, first.pool_columns_loaded);
+
+  // reset_metrics zeroes the ledger but keeps the warm-start capital.
+  const int pool_size = ctx.manager.size();
+  ASSERT_GT(pool_size, 0);
+  ctx.reset_metrics();
+  EXPECT_EQ(ctx.periods, 0);
+  EXPECT_EQ(ctx.resolves, 0);
+  EXPECT_EQ(ctx.pool_hits, 0);
+  EXPECT_EQ(ctx.pool_misses, 0);
+  EXPECT_EQ(ctx.columns_loaded, 0);
+  EXPECT_EQ(ctx.manager.metrics().stores, 0);
+  EXPECT_EQ(ctx.manager.size(), pool_size);
+}
+
+TEST(BlockageSession, CappedPoolDoesNotChangeOutcomes) {
+  auto f = make_fixture(11, 5, 2);
+  BlockageSessionConfig cfg = small_config(5);
+  cfg.blockage.p_block = 0.25;
+  cfg.blockage.attenuation = 0.05;
+
+  common::Rng a(32), b(32);
+  const auto without = run_blockage_session(*f.model, f.params, cfg,
+                                            make_cg_scheduler({}), a);
+  core::PoolManagerOptions pool_opts;
+  pool_opts.cap = 4;
+  SolverContext ctx(pool_opts);
+  const auto with = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}, &ctx), b, &ctx);
+
+  // Evicting columns can cost iterations, never bits: every per-period
+  // objective matches the context-free run.
+  ASSERT_EQ(with.base.gops.size(), without.base.gops.size());
+  for (std::size_t g = 0; g < with.base.gops.size(); ++g) {
+    EXPECT_NEAR(with.base.gops[g].schedule_slots,
+                without.base.gops[g].schedule_slots,
+                1e-6 * (1.0 + without.base.gops[g].schedule_slots));
+  }
+  EXPECT_GT(with.pool_evicted, 0);
+}
+
 TEST(BlockageSession, ExecDropCountsMatchInvalidation) {
   auto f = make_fixture(8, 6, 2);
   BlockageSessionConfig cfg = small_config(8);

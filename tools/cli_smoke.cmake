@@ -102,6 +102,36 @@ run(0 "checkpoint: unusable, cold start"
     solve --links=4 --channels=2 --seed=3
           --checkpoint=${WORK_DIR}/corrupt.ckpt --resume)
 
+# --- pool lifecycle flags ---------------------------------------------------
+# --pool-cap=0 means unbounded: a plain solve must run clean; a malformed
+# policy is an exit-2 flag error like any other.
+run(0 "" solve --links=4 --channels=2 --seed=3 --pool-cap=0)
+run(2 "error: --pool-policy: .*expected lru\\|rc-hybrid"
+    solve --links=4 --channels=2 --pool-policy=bogus)
+run(2 "error: .*out of range" solve --links=4 --channels=2 --pool-cap=-1)
+
+# A v1 checkpoint (no pool_meta section) must still load under the v2-aware
+# parser: columns kept, lifecycle metadata cold, exit 0.  The checksum is the
+# repo's FNV-1a over the payload, precomputed for exactly these bytes — edit
+# the payload and it becomes (correctly) a corrupt-checkpoint case.
+file(WRITE "${WORK_DIR}/v1_compat.ckpt"
+  "mmwave-cg-checkpoint v1\n"
+  "checksum = 0xfc15082131e73c01\n"
+  "fingerprint = 0x0000000000000000\n"
+  "links = 4\n"
+  "channels = 2\n"
+  "iterations = 1\n"
+  "converged = 1\n"
+  "total_slots = 0\n"
+  "lower_bound = 0\n"
+  "duals_hp = 0 0 0 0\n"
+  "duals_lp = 0 0 0 0\n"
+  "columns = 0\n"
+  "end\n")
+run(0 "checkpoint: pool [0-9]+ loaded"
+    resolve --checkpoint=${WORK_DIR}/v1_compat.ckpt --links=4 --channels=2
+            --seed=3 --block-links=0 --block-atten=0.05)
+
 # --- exit 3: degraded solve (deadline far too small for exact pricing) ------
 run(3 "DEGRADED" solve --links=25 --channels=5 --pricing=exact --deadline=0.2)
 

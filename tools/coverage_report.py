@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage and gate it against recorded floors.
+
+Walks a build tree compiled with MMWAVE_COVERAGE=ON (gcc --coverage), runs
+`gcov --json-format` on every .gcda, and unions the per-TU line counters per
+source file: a line is covered if ANY translation unit executed it (headers
+are compiled into many TUs).  Only files under the configured prefixes are
+scored.  Exits non-zero if any prefix falls below its floor.
+
+No gcovr/lcov dependency: the container ships bare gcov + python3 only.
+
+Usage:
+  tools/coverage_report.py --build build-analysis-cov \
+      [--root .] [--baseline tools/coverage_baseline.txt]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def parse_baseline(path):
+    """Return {prefix: floor_percent} from 'prefix floor' lines."""
+    floors = {}
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            prefix, floor = line.split()
+            floors[prefix] = float(floor)
+    if not floors:
+        raise ValueError(f"{path}: no floors recorded")
+    return floors
+
+
+def gcov_json(gcda, build_dir):
+    """Run gcov on one .gcda and yield its parsed per-file records."""
+    proc = subprocess.run(
+        ["gcov", "--stdout", "--json-format", gcda],
+        cwd=os.path.dirname(gcda) or build_dir,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        print(f"warning: gcov failed on {gcda}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return
+    # One JSON document per .gcno referenced by the .gcda (usually one).
+    for doc in proc.stdout.splitlines():
+        doc = doc.strip()
+        if not doc:
+            continue
+        try:
+            data = json.loads(doc)
+        except json.JSONDecodeError:
+            continue
+        cwd = data.get("current_working_directory", "")
+        for record in data.get("files", []):
+            path = record.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.normpath(os.path.join(cwd, path))
+            yield path, record.get("lines", [])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", required=True, help="build tree with .gcda files")
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--baseline", default=None,
+                    help="floor file (default: <root>/tools/coverage_baseline.txt)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    baseline = args.baseline or os.path.join(root, "tools",
+                                             "coverage_baseline.txt")
+    floors = parse_baseline(baseline)
+
+    gcdas = []
+    for dirpath, _, names in os.walk(os.path.abspath(args.build)):
+        gcdas.extend(os.path.join(dirpath, n)
+                     for n in names if n.endswith(".gcda"))
+    if not gcdas:
+        print("error: no .gcda files found -- was the build configured with "
+              "MMWAVE_COVERAGE=ON and the test suite run?", file=sys.stderr)
+        return 2
+
+    # file -> {line_number: max count across TUs}
+    lines_by_file = {}
+    for gcda in gcdas:
+        for path, lines in gcov_json(gcda, args.build):
+            rel = os.path.relpath(path, root)
+            if not any(rel.startswith(p.rstrip("/") + "/") for p in floors):
+                continue
+            counts = lines_by_file.setdefault(rel, {})
+            for entry in lines:
+                num = entry["line_number"]
+                counts[num] = max(counts.get(num, 0), entry["count"])
+
+    failed = False
+    for prefix in sorted(floors):
+        total = covered = 0
+        scored = []
+        for rel in sorted(lines_by_file):
+            if not rel.startswith(prefix.rstrip("/") + "/"):
+                continue
+            counts = lines_by_file[rel]
+            hit = sum(1 for c in counts.values() if c > 0)
+            scored.append((rel, hit, len(counts)))
+            total += len(counts)
+            covered += hit
+        if total == 0:
+            print(f"{prefix}: NO DATA (floor {floors[prefix]:.1f}%) -- FAIL")
+            failed = True
+            continue
+        pct = 100.0 * covered / total
+        verdict = "ok" if pct >= floors[prefix] else "FAIL"
+        if verdict == "FAIL":
+            failed = True
+        print(f"{prefix}: {pct:.2f}% line coverage "
+              f"({covered}/{total} lines, floor {floors[prefix]:.1f}%) -- "
+              f"{verdict}")
+        for rel, hit, n in scored:
+            if n > 0:
+                print(f"  {rel}: {100.0 * hit / n:.1f}% ({hit}/{n})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/checkpoint.h"
+#include "core/pool_manager.h"
 #include "core/column_generation.h"
 #include "core/resolve.h"
 #include "mmwave/blockage.h"
@@ -188,6 +189,25 @@ Instance build_instance(const InstanceFlags& f) {
   return {std::move(net), std::move(demands)};
 }
 
+/// --pool-cap / --pool-policy: the column-pool lifecycle knobs (core::
+/// PoolManager).  Cap 0 = unbounded (the pre-lifecycle behaviour).
+common::Expected<core::PoolManagerOptions> parse_pool_flags(
+    const common::CliFlags& flags) {
+  core::PoolManagerOptions opts;
+  const auto cap = flags.get_int_checked("pool-cap", 0, 0, 1 << 20);
+  if (!cap.ok()) return cap.status();
+  opts.cap = static_cast<int>(cap.value());
+  const auto policy = core::parse_pool_policy(
+      flags.get_string("pool-policy", core::to_string(opts.policy)));
+  if (!policy.ok()) {
+    return common::Status::Error(
+        common::ErrorCode::kInvalidInput,
+        "--pool-policy: " + policy.status().message());
+  }
+  opts.policy = policy.value();
+  return opts;
+}
+
 /// Prints the outcome of a checkpoint-assisted solve's repair pass.
 void report_checkpoint_use(const core::ResolveResult& r) {
   if (r.used_checkpoint) {
@@ -205,11 +225,14 @@ void report_checkpoint_use(const core::ResolveResult& r) {
 }
 
 /// Saves the post-solve state to `path`; false (with a message) on failure.
+/// When `manager` is non-null its eviction policy trims the saved pool to
+/// its cap first (a no-op at cap 0).
 bool write_checkpoint(const net::Network& net,
                       const std::vector<video::LinkDemand>& demands,
-                      const core::CgResult& result, const std::string& path) {
-  const core::CgCheckpoint ckpt =
-      core::make_checkpoint(net, demands, result);
+                      const core::CgResult& result, const std::string& path,
+                      const core::PoolManager* manager = nullptr) {
+  core::CgCheckpoint ckpt = core::make_checkpoint(net, demands, result);
+  if (manager != nullptr) manager->trim_checkpoint(&ckpt);
   const common::Status st = core::save_checkpoint(ckpt, path);
   if (!st.ok()) {
     std::fprintf(stderr, "error: checkpoint save: %s\n",
@@ -234,6 +257,13 @@ int cmd_solve(const common::CliFlags& flags) {
     std::fprintf(stderr, "error: --resume requires --checkpoint=FILE\n");
     return kExitInvalidInput;
   }
+  const auto pool_flags = parse_pool_flags(flags);
+  if (!pool_flags.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 pool_flags.status().message().c_str());
+    return kExitInvalidInput;
+  }
+  const core::PoolManager pool_manager(pool_flags.value());
   Instance inst = build_instance(f);
   core::CgOptions opts;
   opts.pricing = f.pricing;
@@ -255,7 +285,8 @@ int cmd_solve(const common::CliFlags& flags) {
   const int health = report_solve_health(result);
   if (health == kExitInvalidInput) return health;
   if (!ckpt_path.empty() &&
-      !write_checkpoint(inst.net, inst.demands, result, ckpt_path)) {
+      !write_checkpoint(inst.net, inst.demands, result, ckpt_path,
+                        &pool_manager)) {
     return kExitInvalidInput;
   }
 
@@ -431,6 +462,13 @@ int cmd_resolve(const common::CliFlags& flags) {
     std::fprintf(stderr, "error: %s\n", atten.status().message().c_str());
     return kExitInvalidInput;
   }
+  const auto pool_flags = parse_pool_flags(flags);
+  if (!pool_flags.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 pool_flags.status().message().c_str());
+    return kExitInvalidInput;
+  }
+  core::PoolManager pool_manager(pool_flags.value());
   const std::vector<std::int64_t> blocked =
       flags.get_int_list("block-links", {});
   for (std::int64_t l : blocked) {
@@ -460,8 +498,25 @@ int cmd_resolve(const common::CliFlags& flags) {
   core::CgOptions opts;
   opts.pricing = f.pricing;
   opts.deadline_sec = f.deadline_sec;
-  const core::ResolveResult r =
-      core::resolve_from_file(ckpt_path, net, demands, opts);
+  core::ResolveResult r;
+  const auto loaded = core::load_checkpoint(ckpt_path);
+  if (loaded.ok() && pool_manager.options().cap > 0) {
+    // Route the saved pool through the lifecycle manager so resolve seeds
+    // from at most --pool-cap columns (eviction under --pool-policy).
+    const std::size_t saved = loaded.value().pool.size();
+    pool_manager.import_checkpoint(loaded.value());
+    const core::CgCheckpoint capped =
+        pool_manager.export_checkpoint(loaded.value());
+    std::printf("pool: cap %d (%s): %zu of %zu saved columns retained\n",
+                pool_manager.options().cap,
+                core::to_string(pool_manager.options().policy),
+                capped.pool.size(), saved);
+    r = core::resolve(net, demands, capped, opts);
+  } else {
+    // Unbounded pool, or an unusable file: resolve_from_file keeps the
+    // established degrade-to-cold behaviour (and its diagnostics).
+    r = core::resolve_from_file(ckpt_path, net, demands, opts);
+  }
   report_checkpoint_use(r);
   const int health = report_solve_health(r.cg);
   if (health == kExitInvalidInput) return health;
@@ -485,7 +540,7 @@ int cmd_resolve(const common::CliFlags& flags) {
     std::printf("WARNING: link %d unservable (no reachable rate level)\n", l);
 
   if (flags.has("update") &&
-      !write_checkpoint(net, demands, r.cg, ckpt_path)) {
+      !write_checkpoint(net, demands, r.cg, ckpt_path, &pool_manager)) {
     return kExitInvalidInput;
   }
   return health;
@@ -578,11 +633,14 @@ int main(int argc, char** argv) {
       "  solve   also accepts --csv=plan.csv --profile --warm-start=0|1\n"
       "          --checkpoint=FILE (save solver state) --resume (warm-start\n"
       "          from that checkpoint; fingerprint must match)\n"
+      "          --pool-cap=N --pool-policy=lru|rc-hybrid (trim the saved\n"
+      "          pool to N columns; 0 = unbounded)\n"
       "  stream  also accepts --gops=N --p-block=p\n"
       "  resolve requires --checkpoint=FILE; also accepts\n"
       "          --block-links=0,3 --block-atten=a --update: repairs the\n"
       "          saved column pool against the perturbed instance and\n"
       "          re-solves warm (corrupt/mismatched checkpoint = cold start)\n"
+      "          --pool-cap=N --pool-policy=lru|rc-hybrid cap the seeded pool\n"
       "  check   runs the solve under the certificate checkers and exits\n"
       "          non-zero on any violated certificate\n"
       "exit status: 0 ok | 1 check failed / unknown command |\n"

@@ -15,38 +15,51 @@
 #   5. ThreadSanitizer                    thread-pool + warm-equivalence
 #                                         tests and a --threads bench smoke
 #                                         under MMWAVE_SANITIZE=thread
-#   6. perf bench                         perf_solvers + perf_resolve
-#                                         (google-benchmark) on the plain
-#                                         build; writes BENCH_cg.json (warm/
-#                                         cold CG master comparison) and
+#   6. perf bench                         perf_solvers + perf_resolve +
+#                                         perf_pool (google-benchmark) on the
+#                                         plain build; writes BENCH_cg.json
+#                                         (warm/cold CG master comparison),
 #                                         BENCH_resolve.json (checkpoint
-#                                         restart/repair economics)
+#                                         restart/repair economics) and
+#                                         BENCH_pool.json (master-LP time and
+#                                         warm-hit rate vs pool cap)
 #   7. robustness                         fault-injection + anytime-contract
-#                                         + checkpoint/resolve suites re-run
-#                                         under ASan+UBSan, plus the
+#                                         + checkpoint/resolve/pool suites
+#                                         re-run under ASan+UBSan, plus the
 #                                         instance-spec and checkpoint fuzz
 #                                         harnesses (a 30 s libFuzzer run
 #                                         each when a clang fuzzer build
 #                                         exists, the deterministic
 #                                         corpus-replay battery otherwise)
+#   8. coverage                           gcov line-coverage gate: Debug +
+#                                         MMWAVE_COVERAGE=ON build, full
+#                                         ctest, then tools/coverage_report.py
+#                                         fails if src/core or src/stream
+#                                         drops below the floors recorded in
+#                                         tools/coverage_baseline.txt
 #
-# Usage:  tools/run_analysis.sh [--fast|--robustness]
-#   --fast        skip legs 1 and 6 (the plain build and the perf bench) —
-#                 the sanitized legs still run the full suite, so this is
-#                 the quick pre-push variant.
+# Usage:  tools/run_analysis.sh [--fast|--robustness|--coverage]
+#   --fast        skip legs 1, 6 and 8 (the plain build, the perf bench and
+#                 the coverage gate) — the sanitized legs still run the full
+#                 suite, so this is the quick pre-push variant.
 #   --robustness  the CI degraded-path gate: build the ASan+UBSan tree and
 #                 run only legs 4 and 7 (certificate verifier + fault/fuzz
 #                 batteries).  Skips the full sanitized ctest sweep, the
-#                 plain build, clang-tidy, TSan and the perf bench.
+#                 plain build, clang-tidy, TSan, the perf bench and coverage.
+#   --coverage    the CI coverage gate: run only leg 8 (instrumented build +
+#                 full ctest + coverage_report.py against the recorded
+#                 floors).
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
 ROBUSTNESS=0
+COVERAGE_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --robustness) ROBUSTNESS=1 ;;
+  --coverage) COVERAGE_ONLY=1 ;;
 esac
 
 failures=()
@@ -65,7 +78,7 @@ run_ctest() {
 }
 
 # ---- Leg 1: plain RelWithDebInfo + Werror ---------------------------------
-if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 ]]; then
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 ]]; then
   note "leg 1: RelWithDebInfo + -Werror"
   if configure_and_build "$ROOT/build-analysis-rel" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
@@ -82,7 +95,9 @@ note "leg 2: AddressSanitizer + UndefinedBehaviorSanitizer + -Werror"
 ASAN_DIR="$ROOT/build-analysis-asan"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
-if configure_and_build "$ASAN_DIR" \
+if [[ "$COVERAGE_ONLY" == 1 ]]; then
+  echo "leg 2 skipped (--coverage)"
+elif configure_and_build "$ASAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       "-DMMWAVE_SANITIZE=address;undefined"; then
   if [[ "$ROBUSTNESS" == 0 ]]; then
@@ -96,8 +111,8 @@ fi
 
 # ---- Leg 3: clang-tidy over src/ ------------------------------------------
 note "leg 3: clang-tidy"
-if [[ "$ROBUSTNESS" == 1 ]]; then
-  echo "leg 3 skipped (--robustness)"
+if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 ]]; then
+  echo "leg 3 skipped"
 elif command -v clang-tidy > /dev/null 2>&1; then
   TIDY_DIR="$ASAN_DIR"
   [[ -d "$ROOT/build-analysis-rel" && "$FAST" == 0 ]] && TIDY_DIR="$ROOT/build-analysis-rel"
@@ -112,7 +127,9 @@ fi
 # so this leg doubles as a deep sanitizer workout of the hot path.
 note "leg 4: solver certificate verifier (mmwave_cli check)"
 CLI="$ASAN_DIR/tools/mmwave_cli"
-if [[ -x "$CLI" ]]; then
+if [[ "$COVERAGE_ONLY" == 1 ]]; then
+  echo "leg 4 skipped (--coverage)"
+elif [[ -x "$CLI" ]]; then
   # Fig. 1 scenario family: Table I ladder, K = 5, hybrid pricing.
   "$CLI" check --links=10 --channels=5 --seed=1 \
     || leg_failed "verifier (Fig. 1 scenario)"
@@ -131,8 +148,8 @@ fi
 note "leg 5: ThreadSanitizer (thread pool + warm equivalence)"
 TSAN_DIR="$ROOT/build-analysis-tsan"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-if [[ "$ROBUSTNESS" == 1 ]]; then
-  echo "leg 5 skipped (--robustness)"
+if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 ]]; then
+  echo "leg 5 skipped"
 elif configure_and_build "$TSAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       "-DMMWAVE_SANITIZE=thread"; then
@@ -154,8 +171,8 @@ fi
 # The warm/cold CG master comparison the PR-level perf claims come from.
 # A missing binary is a failure, not a skip: the bench target silently
 # falling out of the build would otherwise go unnoticed.
-if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 ]]; then
-  note "leg 6: perf bench (perf_solvers -> BENCH_cg.json, perf_resolve -> BENCH_resolve.json)"
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 ]]; then
+  note "leg 6: perf bench (perf_solvers -> BENCH_cg.json, perf_resolve -> BENCH_resolve.json, perf_pool -> BENCH_pool.json)"
   PERF="$ROOT/build-analysis-rel/bench/perf_solvers"
   if [[ -x "$PERF" ]]; then
     "$PERF" --benchmark_min_time=0.1 \
@@ -173,6 +190,15 @@ if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 ]]; then
     [[ -s "$ROOT/BENCH_resolve.json" ]] || leg_failed "BENCH_resolve.json not written"
   else
     leg_failed "perf_resolve missing (bench targets fell out of the build?)"
+  fi
+  PERF_POOL="$ROOT/build-analysis-rel/bench/perf_pool"
+  if [[ -x "$PERF_POOL" ]]; then
+    "$PERF_POOL" --benchmark_min_time=0.1 \
+        --benchmark_out="$ROOT/BENCH_pool.json" --benchmark_out_format=json \
+      || leg_failed "perf_pool"
+    [[ -s "$ROOT/BENCH_pool.json" ]] || leg_failed "BENCH_pool.json not written"
+  else
+    leg_failed "perf_pool missing (bench targets fell out of the build?)"
   fi
 else
   note "leg 6 skipped"
@@ -204,14 +230,38 @@ run_fuzz() {
   fi
 }
 
-if [[ -d "$ASAN_DIR" ]]; then
+if [[ "$COVERAGE_ONLY" == 1 ]]; then
+  echo "leg 7 skipped (--coverage)"
+elif [[ -d "$ASAN_DIR" ]]; then
   (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-      -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|CgCheckpoint|CgResolve|BlockageSession|cli_smoke') \
+      -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|CgCheckpoint|CgResolve|PoolManager|PoolPolicy|InstanceSignature|BlockageSession|cli_smoke') \
     || leg_failed "ctest (robustness suites under ASan+UBSan)"
   run_fuzz instance_spec_fuzz "$ROOT/tests/fuzz/corpus"
   run_fuzz checkpoint_fuzz "$ROOT/tests/fuzz/corpus_checkpoint"
 else
   leg_failed "robustness (sanitized build dir missing)"
+fi
+
+# ---- Leg 8: coverage gate --------------------------------------------------
+# Instrumented Debug build + full suite, then gcov aggregation over src/core
+# and src/stream against the floors in tools/coverage_baseline.txt.  The
+# floors are a ratchet: they record the coverage the tree actually has, so a
+# PR that adds untested solver/session code fails here before review.
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 ]]; then
+  note "leg 8: coverage gate (gcov, src/core + src/stream floors)"
+  COV_DIR="$ROOT/build-analysis-cov"
+  if configure_and_build "$COV_DIR" \
+        -DCMAKE_BUILD_TYPE=Debug -DMMWAVE_COVERAGE=ON; then
+    # Stale counters from a previous run would inflate the numbers.
+    find "$COV_DIR" -name '*.gcda' -delete
+    run_ctest "$COV_DIR" || leg_failed "ctest (coverage build)"
+    python3 "$ROOT/tools/coverage_report.py" --build "$COV_DIR" --root "$ROOT" \
+      || leg_failed "coverage below recorded floors (tools/coverage_baseline.txt)"
+  else
+    leg_failed "build (coverage)"
+  fi
+else
+  note "leg 8 skipped"
 fi
 
 # ---- Summary --------------------------------------------------------------
