@@ -184,7 +184,7 @@ InstanceReport validate_instance(const net::Network& net,
 
 namespace {
 
-common::Status spec_error(int line, const std::string& what) {
+[[nodiscard]] common::Status spec_error(int line, const std::string& what) {
   return common::Status::Error(
       common::ErrorCode::kInvalidInput,
       "instance spec line " + std::to_string(line) + ": " + what);
@@ -235,7 +235,8 @@ bool parse_uint_token(std::string_view token, unsigned long long& out) {
 
 }  // namespace
 
-common::Expected<InstanceSpec> parse_instance_spec(std::string_view text) {
+[[nodiscard]] common::Expected<InstanceSpec> parse_instance_spec(
+    std::string_view text) {
   InstanceSpec spec;
   int line_no = 0;
   while (!text.empty()) {

@@ -94,6 +94,7 @@ struct InstanceSpec {
 /// (links in [1, 4096], channels in [1, 1024], levels in [1, 64], positive
 /// finite scales) and malformed lines each yield kInvalidInput with a
 /// one-line "line N: ..." diagnosis.  Never throws on any byte sequence.
-common::Expected<InstanceSpec> parse_instance_spec(std::string_view text);
+[[nodiscard]] common::Expected<InstanceSpec> parse_instance_spec(
+    std::string_view text);
 
 }  // namespace mmwave::check

@@ -9,7 +9,7 @@ namespace mmwave::common {
 
 namespace {
 
-Status flag_error(const std::string& name, const std::string& what) {
+[[nodiscard]] Status flag_error(const std::string& name, const std::string& what) {
   return Status::Error(ErrorCode::kInvalidInput, "--" + name + ": " + what);
 }
 
@@ -68,7 +68,7 @@ bool CliFlags::get_bool(const std::string& name, bool def) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
-Expected<std::int64_t> CliFlags::get_int_checked(const std::string& name,
+[[nodiscard]] Expected<std::int64_t> CliFlags::get_int_checked(const std::string& name,
                                                  std::int64_t def,
                                                  std::int64_t lo,
                                                  std::int64_t hi) const {
@@ -87,7 +87,7 @@ Expected<std::int64_t> CliFlags::get_int_checked(const std::string& name,
   return static_cast<std::int64_t>(v);
 }
 
-Expected<double> CliFlags::get_double_checked(const std::string& name,
+[[nodiscard]] Expected<double> CliFlags::get_double_checked(const std::string& name,
                                               double def, double lo,
                                               double hi) const {
   auto it = values_.find(name);

@@ -35,11 +35,11 @@ class CliFlags {
   /// whose value is not fully numeric ("--links=abc", "--links=10x") or out
   /// of [lo, hi] yields kInvalidInput with a one-line "--name: ..."
   /// diagnosis instead of the silent-zero of the strtoll-based getters.
-  Expected<std::int64_t> get_int_checked(
+  [[nodiscard]] Expected<std::int64_t> get_int_checked(
       const std::string& name, std::int64_t def,
       std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
       std::int64_t hi = std::numeric_limits<std::int64_t>::max()) const;
-  Expected<double> get_double_checked(
+  [[nodiscard]] Expected<double> get_double_checked(
       const std::string& name, double def,
       double lo = -std::numeric_limits<double>::infinity(),
       double hi = std::numeric_limits<double>::infinity()) const;

@@ -26,41 +26,10 @@
 #include <map>
 #include <string>
 
+#include "common/fault_sites.h"
 #include "common/rng.h"
 
 namespace mmwave::common {
-
-/// Site names used by the solver stack (kept here so tests and solvers
-/// cannot drift apart on spelling).
-namespace faults {
-/// solve_milp returns NoSolution (limit hit, no incumbent) immediately.
-inline constexpr const char* kMilpNoSolution = "milp.force_no_solution";
-/// Branch & bound stops at the first incumbent (truncated Feasible exit).
-inline constexpr const char* kMilpTruncate = "milp.truncate_incumbent";
-/// A simplex pivot is poisoned: the solve aborts with NumericalError.
-inline constexpr const char* kLpPivotPoison = "lp.pivot_poison";
-/// The column-generation deadline reads as exhausted mid-iteration.
-inline constexpr const char* kCgDeadline = "cg.deadline_exhausted";
-/// save_checkpoint fails as if the disk write failed (full disk, EIO).
-inline constexpr const char* kCheckpointWriteFail = "checkpoint.write_fail";
-/// load_checkpoint reads a bit-flipped payload; the checksum must catch it
-/// and the caller must degrade to a cold start.
-inline constexpr const char* kCheckpointCorrupt = "checkpoint.corrupt_payload";
-/// resolve()'s pool repair sees a column invalidated mid-solve (the
-/// instance perturbed again under our feet); the column must be dropped,
-/// never entered into the master.
-inline constexpr const char* kResolveDropColumn = "resolve.drop_column";
-/// A v2 checkpoint pool-metadata record reads as semantically bad: the
-/// parser must degrade to cold metadata (columns kept, scores reset),
-/// never reject the checkpoint or crash.
-inline constexpr const char* kCheckpointBadPoolRecord =
-    "checkpoint.v2_bad_pool_record";
-/// PoolManager eviction picks the wrong (best-scored) victim instead of
-/// the worst.  Pool quality decays but the invariants must hold: basis
-/// columns stay, and the resolve optimum is unchanged.
-inline constexpr const char* kPoolEvictWrongColumn =
-    "pool.evict_wrong_column";
-}  // namespace faults
 
 /// When/how often an armed site fires.  Namespace-scope (not nested) so it
 /// can serve as a default argument below — GCC parses nested-class default

@@ -1,0 +1,50 @@
+// Central registry of fault-injection site names.
+//
+// Every `FaultInjector` site string used anywhere in src/ must be declared
+// here, exactly once, as a `faults::k...` constant — and solver code must
+// refer to the constant, never repeat the literal.  This file is the source
+// of truth for the project-invariant linter's family-4 check
+// (tools/lint/project_lint.py): the linter parses these declarations and
+// verifies that (a) no site string is registered twice, (b) every src/
+// `fault_fires` call uses a registry constant rather than a free literal,
+// (c) every registered site is reached by solver code, and (d) every
+// registered site is exercised by at least one test.  Tests may still arm
+// ad-hoc site names ("site.a") to probe the injector mechanics themselves;
+// the registry governs only the sites the production solvers check.
+//
+// Adding a fault site is therefore a three-part change by construction:
+// declare the constant here, check it in the solver, and script it in a
+// test — the lint gate fails if any leg is missing.
+#pragma once
+
+namespace mmwave::common::faults {
+
+/// solve_milp returns NoSolution (limit hit, no incumbent) immediately.
+inline constexpr const char* kMilpNoSolution = "milp.force_no_solution";
+/// Branch & bound stops at the first incumbent (truncated Feasible exit).
+inline constexpr const char* kMilpTruncate = "milp.truncate_incumbent";
+/// A simplex pivot is poisoned: the solve aborts with NumericalError.
+inline constexpr const char* kLpPivotPoison = "lp.pivot_poison";
+/// The column-generation deadline reads as exhausted mid-iteration.
+inline constexpr const char* kCgDeadline = "cg.deadline_exhausted";
+/// save_checkpoint fails as if the disk write failed (full disk, EIO).
+inline constexpr const char* kCheckpointWriteFail = "checkpoint.write_fail";
+/// load_checkpoint reads a bit-flipped payload; the checksum must catch it
+/// and the caller must degrade to a cold start.
+inline constexpr const char* kCheckpointCorrupt = "checkpoint.corrupt_payload";
+/// resolve()'s pool repair sees a column invalidated mid-solve (the
+/// instance perturbed again under our feet); the column must be dropped,
+/// never entered into the master.
+inline constexpr const char* kResolveDropColumn = "resolve.drop_column";
+/// A v2 checkpoint pool-metadata record reads as semantically bad: the
+/// parser must degrade to cold metadata (columns kept, scores reset),
+/// never reject the checkpoint or crash.
+inline constexpr const char* kCheckpointBadPoolRecord =
+    "checkpoint.v2_bad_pool_record";
+/// PoolManager eviction picks the wrong (best-scored) victim instead of
+/// the worst.  Pool quality decays but the invariants must hold: basis
+/// columns stay, and the resolve optimum is unchanged.
+inline constexpr const char* kPoolEvictWrongColumn =
+    "pool.evict_wrong_column";
+
+}  // namespace mmwave::common::faults

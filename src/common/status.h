@@ -41,8 +41,8 @@ class [[nodiscard]] Status {
   Status(ErrorCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status Error(ErrorCode code, std::string message) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Error(ErrorCode code, std::string message) {
     return Status(code, std::move(message));
   }
 

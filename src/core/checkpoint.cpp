@@ -24,7 +24,7 @@ constexpr int kMaxChannels = 1024;
 constexpr int kMaxColumns = 1'000'000;
 constexpr int kMaxRateLevels = 64;
 
-common::Status parse_error(int line, const std::string& what) {
+[[nodiscard]] common::Status parse_error(int line, const std::string& what) {
   return common::Status::Error(
       common::ErrorCode::kInvalidInput,
       "checkpoint line " + std::to_string(line) + ": " + what);
@@ -147,7 +147,7 @@ std::vector<std::string_view> split_tokens(std::string_view line) {
 }
 
 /// Reads one `key = <value tokens...>` line; returns the value tokens.
-common::Expected<std::vector<std::string_view>> expect_kv(
+[[nodiscard]] common::Expected<std::vector<std::string_view>> expect_kv(
     LineReader& reader, std::string_view key) {
   std::string_view line;
   const int line_no = reader.line();
@@ -165,7 +165,7 @@ common::Expected<std::vector<std::string_view>> expect_kv(
   return tokens;
 }
 
-common::Expected<long long> expect_int(LineReader& reader,
+[[nodiscard]] common::Expected<long long> expect_int(LineReader& reader,
                                        std::string_view key, long long lo,
                                        long long hi) {
   const int line_no = reader.line();
@@ -181,7 +181,7 @@ common::Expected<long long> expect_int(LineReader& reader,
   return v;
 }
 
-common::Expected<double> expect_double(LineReader& reader,
+[[nodiscard]] common::Expected<double> expect_double(LineReader& reader,
                                        std::string_view key, bool allow_nan) {
   const int line_no = reader.line();
   auto tokens = expect_kv(reader, key);
@@ -196,7 +196,8 @@ common::Expected<double> expect_double(LineReader& reader,
   return v;
 }
 
-common::Expected<std::vector<double>> expect_dual_vector(LineReader& reader,
+[[nodiscard]] common::Expected<std::vector<double>> expect_dual_vector(
+    LineReader& reader,
                                                          std::string_view key,
                                                          int expected_size) {
   const int line_no = reader.line();
@@ -410,7 +411,8 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
   return out;
 }
 
-common::Expected<CgCheckpoint> parse_checkpoint(std::string_view text) {
+[[nodiscard]] common::Expected<CgCheckpoint> parse_checkpoint(
+    std::string_view text) {
   // ---- Header: magic + version, then the payload checksum ----------------
   const std::size_t first_nl = text.find('\n');
   if (first_nl == std::string_view::npos)
@@ -631,7 +633,7 @@ common::Expected<CgCheckpoint> parse_checkpoint(std::string_view text) {
   return ckpt;
 }
 
-common::Status save_checkpoint(const CgCheckpoint& ckpt,
+[[nodiscard]] common::Status save_checkpoint(const CgCheckpoint& ckpt,
                                const std::string& path) {
   if (common::fault_fires(common::faults::kCheckpointWriteFail)) {
     return common::Status::Error(common::ErrorCode::kIoError,
@@ -663,7 +665,8 @@ common::Status save_checkpoint(const CgCheckpoint& ckpt,
   return common::Status::Ok();
 }
 
-common::Expected<CgCheckpoint> load_checkpoint(const std::string& path) {
+[[nodiscard]] common::Expected<CgCheckpoint> load_checkpoint(
+    const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return common::Status::Error(

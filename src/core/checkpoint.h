@@ -118,18 +118,20 @@ std::string serialize_checkpoint(const CgCheckpoint& checkpoint);
 /// version skew, checksum mismatch, truncation, out-of-range or
 /// non-numeric fields, trailing garbage.  Never throws on any byte
 /// sequence (fuzzed contract).
-common::Expected<CgCheckpoint> parse_checkpoint(std::string_view text);
+[[nodiscard]] common::Expected<CgCheckpoint> parse_checkpoint(
+    std::string_view text);
 
 /// Atomic write: serialize to `path + ".tmp"`, fsync-free fwrite + rename.
 /// Returns kIoError on any filesystem failure (the fault site
 /// faults::kCheckpointWriteFail scripts one); a failed save never leaves a
 /// half-written file at `path`.
-common::Status save_checkpoint(const CgCheckpoint& checkpoint,
+[[nodiscard]] common::Status save_checkpoint(const CgCheckpoint& checkpoint,
                                const std::string& path);
 
 /// Reads and strictly parses `path`.  kIoError when unreadable; otherwise
 /// parse_checkpoint's verdict.  The fault site faults::kCheckpointCorrupt
 /// flips a payload byte after the read to prove the checksum catches it.
-common::Expected<CgCheckpoint> load_checkpoint(const std::string& path);
+[[nodiscard]] common::Expected<CgCheckpoint> load_checkpoint(
+    const std::string& path);
 
 }  // namespace mmwave::core

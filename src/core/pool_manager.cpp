@@ -22,7 +22,8 @@ const char* to_string(PoolPolicy policy) {
   return "?";
 }
 
-common::Expected<PoolPolicy> parse_pool_policy(std::string_view text) {
+[[nodiscard]] common::Expected<PoolPolicy> parse_pool_policy(
+    std::string_view text) {
   if (text == "lru") return PoolPolicy::kLru;
   if (text == "rc-hybrid") return PoolPolicy::kRcHybrid;
   return common::Status::Error(

@@ -54,7 +54,8 @@ const char* to_string(PoolPolicy policy);
 
 /// Parses "lru" | "rc-hybrid" (the --pool-policy CLI values).  Anything
 /// else is a structured kInvalidInput naming the accepted spellings.
-common::Expected<PoolPolicy> parse_pool_policy(std::string_view text);
+[[nodiscard]] common::Expected<PoolPolicy> parse_pool_policy(
+    std::string_view text);
 
 struct PoolManagerOptions {
   /// Maximum columns retained across ALL instances; 0 = unbounded.  The cap

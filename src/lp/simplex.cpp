@@ -81,7 +81,7 @@ class Simplex {
   }
 
   /// Maps an exit status to the structured error the caller propagates.
-  common::Status describe(SolveStatus st) const {
+  [[nodiscard]] common::Status describe(SolveStatus st) const {
     using common::ErrorCode;
     using common::Status;
     switch (st) {

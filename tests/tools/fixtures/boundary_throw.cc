@@ -1,0 +1,17 @@
+// lint fixture: family 2 — `throw` inside the no-throw solver boundary
+// (fixture files lint as src/core).  Expected findings: exactly 1 ×
+// boundary-throw.
+#include <stdexcept>
+
+namespace fixture {
+
+int checked_gain(int q) {
+  if (q < 0) throw std::out_of_range("q");  // finding
+  return q;
+}
+
+// The word "throw" in a comment or string is not a finding:
+// never throw here.
+const char* kDoc = "does not throw";
+
+}  // namespace fixture

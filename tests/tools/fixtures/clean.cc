@@ -1,0 +1,42 @@
+// lint fixture: every rule family's near-miss patterns in one file.
+// Expected findings: none (exit 0).
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+
+namespace fixture {
+
+using mmwave::common::Expected;
+using mmwave::common::Status;
+
+[[nodiscard]] Status do_thing();
+[[nodiscard]] inline static Expected<int> parse_thing(const std::string& s);
+const Status& last_status();  // reference return needs no attribute
+
+int caller() {
+  Status st = do_thing();              // consumed: clean
+  if (!st.ok()) return 1;
+  const auto parsed =
+      parse_thing("x");                // continuation line is not a
+  if (!parsed.ok()) return 1;          // statement-level call
+  (void)do_thing();  // lint: discard -- warm-up call, result irrelevant
+  Expected<int> e(42);                 // paren initializer, not a decl
+  return parsed.value() + e.value();
+}
+
+int sum_sorted(const std::unordered_map<std::string, int>& by_key) {
+  std::map<std::string, int> sorted(by_key.begin(), by_key.end());
+  int total = 0;
+  for (const auto& kv : sorted) total += kv.second;  // ordered: clean
+  return total;
+}
+
+bool guarded() {
+  // Doc mentioning fault_fires("site.in.comment") is clean.
+  return mmwave::common::fault_fires(mmwave::common::faults::kLpPivotPoison);
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// lint fixture: family 1b — a statement-level call whose Status evaporates.
+// Expected findings: exactly 2 × status-discarded.
+#include "common/status.h"
+
+namespace fixture {
+
+[[nodiscard]] mmwave::common::Status do_thing();
+[[nodiscard]] mmwave::common::Expected<int> parse_thing();
+
+int caller() {
+  do_thing();                       // finding: result ignored
+  (void)parse_thing();              // finding: (void) without justification
+  (void)do_thing();  // lint: discard -- probed for side effects only
+  mmwave::common::Status st = do_thing();
+  if (!st.ok()) return 1;
+  return 0;
+}
+
+}  // namespace fixture

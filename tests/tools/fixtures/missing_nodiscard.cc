@@ -1,0 +1,14 @@
+// lint fixture: family 1a — Status/Expected returned by value without
+// [[nodiscard]].  Expected findings: exactly 2 × status-nodiscard (the
+// reference-returning accessor and the annotated function are clean).
+#include "common/status.h"
+
+namespace fixture {
+
+mmwave::common::Status naked_status();                  // finding
+mmwave::common::Expected<double> naked_expected(int l,  // finding
+                                                int q);
+[[nodiscard]] mmwave::common::Status annotated_status();
+const mmwave::common::Status& status_ref();             // reference: clean
+
+}  // namespace fixture

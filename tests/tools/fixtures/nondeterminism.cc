@@ -1,0 +1,25 @@
+// lint fixture: family 3 — libc randomness and wall-clock reads in a
+// deterministic-output module.  Expected findings: exactly 3 ×
+// nondeterminism (rand, time, random_device; the steady_clock read and the
+// named member solve_time() are clean).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+struct Profile {
+  double solve_time() const { return 0.0; }  // suffix `time(` is clean
+};
+
+unsigned noisy_seed() {
+  const int r = std::rand();                       // finding
+  const std::time_t t = time(nullptr);             // finding
+  std::random_device rd;                           // finding
+  const auto tick = std::chrono::steady_clock::now();  // clean
+  (void)tick;
+  return static_cast<unsigned>(r) ^ static_cast<unsigned>(t) ^ rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// lint fixture: family 3 — range-for over an unordered container leaks
+// hash order into module output.  Expected findings: exactly 2 ×
+// unordered-iteration (the justified loop and the std::map loop are clean).
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int tally(const std::unordered_map<std::string, int>& by_key) {
+  std::unordered_set<int> seen;
+  int total = 0;
+  for (const auto& kv : by_key) total += kv.second;  // finding
+  for (int v : seen) total += v;                     // finding
+  for (const auto& kv : by_key) total += kv.second;  // lint: order-independent
+  std::map<std::string, int> sorted(by_key.begin(), by_key.end());
+  for (const auto& kv : sorted) total += kv.second;  // ordered: clean
+  return total;
+}
+
+}  // namespace fixture

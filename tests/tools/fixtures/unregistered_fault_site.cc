@@ -1,0 +1,13 @@
+// lint fixture: family 4 — a free site-string literal at an injector call
+// site in solver code.  Expected findings: exactly 1 × fault-site-literal
+// (the faults:: constant is the compliant form).
+#include "common/fault_injection.h"
+
+namespace fixture {
+
+bool degraded_path() {
+  if (mmwave::common::fault_fires("rogue.site")) return true;  // finding
+  return mmwave::common::fault_fires(mmwave::common::faults::kCgDeadline);
+}
+
+}  // namespace fixture

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/lint/project_lint.py.
+
+Each fixture under tests/tools/fixtures/ is a known-bad (or known-clean)
+C++ snippet for one rule family; the suite asserts the linter's exact
+finding counts per rule, its exit codes (0 clean / 1 findings / 2 usage
+error), and that the repository at HEAD lints clean.  Runs under ctest as
+`lint_test`; stdlib only, mirroring the linter itself.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+LINTER = os.path.join(ROOT, "tools", "lint", "project_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+FINDING_RE = re.compile(r"^.+:\d+: \[([\w-]+)\] ", re.MULTILINE)
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINTER, *args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    counts = {}
+    for rule in FINDING_RE.findall(proc.stdout):
+        counts[rule] = counts.get(rule, 0) + 1
+    return proc.returncode, counts, proc
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+class FixtureFindings(unittest.TestCase):
+    """Exit code 1 and exact per-rule counts on each known-bad snippet."""
+
+    def assert_findings(self, name, expected):
+        code, counts, proc = run_lint(fixture(name))
+        self.assertEqual(counts, expected, proc.stdout)
+        self.assertEqual(code, 1, proc.stdout + proc.stderr)
+
+    def test_ignored_status(self):
+        self.assert_findings("ignored_status.cc", {"status-discarded": 2})
+
+    def test_missing_nodiscard(self):
+        self.assert_findings("missing_nodiscard.cc", {"status-nodiscard": 2})
+
+    def test_boundary_throw(self):
+        self.assert_findings("boundary_throw.cc", {"boundary-throw": 1})
+
+    def test_unordered_iteration(self):
+        self.assert_findings("unordered_iteration.cc",
+                             {"unordered-iteration": 2})
+
+    def test_nondeterminism(self):
+        self.assert_findings("nondeterminism.cc", {"nondeterminism": 3})
+
+    def test_unregistered_fault_site(self):
+        self.assert_findings("unregistered_fault_site.cc",
+                             {"fault-site-literal": 1})
+
+    def test_all_bad_fixtures_at_once(self):
+        bad = [fixture(n) for n in sorted(os.listdir(FIXTURES))
+               if n.endswith(".cc") and n != "clean.cc"]
+        code, counts, proc = run_lint(*bad)
+        self.assertEqual(code, 1, proc.stdout)
+        self.assertEqual(sum(counts.values()), 11, proc.stdout)
+
+
+class CleanAndModes(unittest.TestCase):
+    def test_clean_fixture_exits_zero(self):
+        code, counts, proc = run_lint(fixture("clean.cc"))
+        self.assertEqual(counts, {}, proc.stdout)
+        self.assertEqual(code, 0, proc.stdout + proc.stderr)
+
+    def test_boundary_throw_outside_guarded_module_is_clean(self):
+        # The same snippet linted as src/mmwave (outside the no-throw
+        # boundary) keeps its throw.
+        code, counts, proc = run_lint(
+            "--as-module", "mmwave", fixture("boundary_throw.cc"))
+        self.assertEqual(counts, {}, proc.stdout)
+        self.assertEqual(code, 0, proc.stdout)
+
+    def test_repo_at_head_is_clean(self):
+        code, counts, proc = run_lint("--root", ROOT)
+        self.assertEqual(counts, {}, proc.stdout)
+        self.assertEqual(code, 0, proc.stdout + proc.stderr)
+
+
+class UsageErrors(unittest.TestCase):
+    """Exit code 2 on malformed invocations, never 0/1."""
+
+    def test_unknown_option(self):
+        code, _, _ = run_lint("--bogus")
+        self.assertEqual(code, 2)
+
+    def test_missing_file(self):
+        code, _, _ = run_lint(os.path.join(FIXTURES, "no_such_file.cc"))
+        self.assertEqual(code, 2)
+
+    def test_root_and_files_are_exclusive(self):
+        code, _, _ = run_lint("--root", ROOT, fixture("clean.cc"))
+        self.assertEqual(code, 2)
+
+    def test_root_must_be_a_directory(self):
+        code, _, _ = run_lint("--root", fixture("clean.cc"))
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,592 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for the mmWave scheduler.
+
+Enforces the contracts the compiler never checks (same philosophy as
+tools/coverage_report.py: python3 stdlib only — no libclang, no external
+packages).  Four rule families, documented in DESIGN.md §10:
+
+  1. Status discipline
+     - status-nodiscard:  every function returning common::Status or
+       common::Expected<T> *by value* carries [[nodiscard]] on every
+       declaration, definitions included.
+     - status-discarded:  every statement-level call to such a function
+       consumes the result (assign, return, compare, branch).  An explicit
+       `(void)` cast is allowed only with a `// lint: discard` justification
+       on one of the statement's lines.
+
+  2. Module-boundary no-throw (DESIGN §7)
+     - boundary-throw:  no `throw` in src/lp, src/milp, src/core,
+       src/stream, src/check.  Intentional internal uses go in
+       tools/lint/throw_allowlist.txt (format documented there).
+
+  3. Determinism (thread-pool contract, DESIGN §5)
+     - nondeterminism:  rand()/srand(), std::random_device, time(),
+       gettimeofday, std::chrono::system_clock are forbidden in the
+       output-affecting modules src/{lp,milp,core,sched,stream}.
+     - unordered-iteration:  range-for over std::unordered_map /
+       std::unordered_set in those modules leaks hash order into results.
+     Either finding is suppressed by a `// lint: order-independent`
+     justification on the offending line.
+
+  4. Fault-site registry (src/common/fault_sites.h)
+     - fault-site-literal:    src/ code must pass faults:: constants to
+       fault_fires()/should_fire()/arm(), never free string literals.
+     - fault-site-duplicate:  a site string registered more than once.
+     - fault-site-unused:     a registered site no solver code checks.
+     - fault-site-untested:   a registered site no test exercises.
+
+Usage:
+  project_lint.py [--root DIR]            lint the whole repository
+  project_lint.py [--as-module MOD] FILE...   lint specific files (fixture
+                                          mode; files are treated as living
+                                          in src/MOD, default `core`, and
+                                          registry cross-checks are skipped)
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+import os
+import re
+import sys
+
+# Modules whose boundary may not throw (family 2).
+NOTHROW_MODULES = ("lp", "milp", "core", "stream", "check")
+# Output-affecting modules under the determinism contract (family 3).
+DETERMINISTIC_MODULES = ("lp", "milp", "core", "sched", "stream")
+# Scan roots relative to the repo root, and accepted extensions.
+SCAN_DIRS = ("src", "tests", "bench", "tools")
+EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+# The linter's own test corpus is deliberately full of violations.
+EXCLUDE_PARTS = ("tests/tools/fixtures",)
+
+REGISTRY_RELPATH = os.path.join("src", "common", "fault_sites.h")
+ALLOWLIST_RELPATH = os.path.join("tools", "lint", "throw_allowlist.txt")
+
+JUSTIFY_RE = re.compile(r"//\s*lint:\s*(discard|order-independent)\b")
+
+# A function declaration returning Status/Expected by value.  Anchored at a
+# statement boundary (or access specifier) so `return Status::Error(...)`
+# and local variables of type Status never match: the name must be directly
+# followed by the parameter list's `(`.
+DECL_RE = re.compile(
+    r"(?:^|[;{}]|\b(?:public|private|protected)\s*:)"
+    r"(?P<prefix>(?:\s*(?:\[\[[^\]]*\]\]|static|inline|constexpr|friend|"
+    r"virtual|explicit|const))*)"
+    r"\s*(?P<ret>(?:mmwave\s*::\s*)?(?:common\s*::\s*)?"
+    r"(?:Status|Expected\s*<[^;{}()]*>))"
+    r"\s*(?P<ref>[&*]?)\s*"
+    r"(?P<name>(?:\w+\s*::\s*)*[A-Za-z_]\w*)\s*\(",
+    re.MULTILINE,
+)
+
+NONDET_PATTERNS = (
+    (re.compile(r"\bsrand\s*\("), "srand() seeds global libc state"),
+    (re.compile(r"(?:(?<![\w.:])|(?<=\bstd::))rand\s*\("),
+     "rand() is seed- and libc-dependent"),
+    (re.compile(r"\brandom_device\b"), "std::random_device is nondeterministic"),
+    (re.compile(r"\bstd\s*::\s*time\s*\("), "std::time() reads the wall clock"),
+    (re.compile(r"(?<![\w.:])time\s*\("), "time() reads the wall clock"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday reads the wall clock"),
+    (re.compile(r"\bsystem_clock\b"),
+     "system_clock is wall-clock time (use steady_clock for durations)"),
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<[^;{}]*?>\s*&?\s*(\w+)\s*[;={(),]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^();]*?):([^();]*?)\)")
+
+REGISTRY_CONST_RE = re.compile(
+    r"constexpr\s+const\s+char\s*\*\s+(k\w+)\s*=\s*\"([^\"]+)\"")
+FAULT_LITERAL_RE = re.compile(
+    r"(?:\bfault_fires|\bshould_fire|\.arm)\s*\(\s*\"([^\"]+)\"")
+
+STMT_SKIP_HEADS = frozenset((
+    "return", "co_return", "if", "else", "while", "for", "do", "switch",
+    "case", "default", "break", "continue", "goto", "throw", "using",
+    "namespace", "delete", "new", "typedef", "template", "class", "struct",
+    "enum", "friend", "extern", "public", "private", "protected", "try",
+    "catch", "static_assert",
+))
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root) if root else self.path
+        return "%s:%d: [%s] %s" % (rel, self.line, self.rule, self.message)
+
+
+def strip_code(text, keep_strings=False):
+    """Blank comments — and, unless keep_strings, string/char literal
+    *contents* — with spaces, preserving line structure and the quote
+    characters themselves."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "str":
+            if c == "\\":
+                out.append(text[i:i + 2] if keep_strings else "  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; bail to code to stay line-stable
+                state = "code"
+                out.append(c)
+            else:
+                out.append(c if keep_strings else " ")
+        elif state == "chr":
+            if c == "\\":
+                out.append(text[i:i + 2] if keep_strings else "  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append(c)
+            elif c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(c if keep_strings else " ")
+        i += 1
+    return "".join(out)
+
+
+def blank_preprocessor(stripped):
+    """Blank preprocessor directives so #include <...> and macro bodies do
+    not confuse the statement splitter."""
+    lines = stripped.split("\n")
+    for idx, line in enumerate(lines):
+        if line.lstrip().startswith("#"):
+            lines[idx] = " " * len(line)
+    return "\n".join(lines)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+class SourceFile:
+    def __init__(self, path, module, scope):
+        self.path = path
+        self.module = module  # src module name ("core", ...) or None
+        self.scope = scope    # "src", "tests", "bench", "tools"
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            self.raw = fh.read()
+        self.stripped = blank_preprocessor(strip_code(self.raw))
+        # Comments blanked but string literals intact: what the fault-site
+        # scan reads (doc comments may legitimately quote site names).
+        self.code_with_strings = strip_code(self.raw, keep_strings=True)
+        self.justified = {}  # line -> kind
+        for idx, line in enumerate(self.raw.split("\n"), start=1):
+            m = JUSTIFY_RE.search(line)
+            if m:
+                self.justified[idx] = m.group(1)
+
+
+def split_statements(text):
+    """Yield (start_line, end_line, statement_text) split on ; { } at paren
+    depth zero.  Brace boundaries terminate statements so function headers
+    and block contents separate naturally."""
+    start = 0
+    depth = 0
+    line = 1
+    start_line = 1
+    for i, c in enumerate(text):
+        if c == "\n":
+            line += 1
+            continue
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth = max(0, depth - 1)
+        elif c in ";{}" and depth == 0:
+            stmt = text[start:i].strip()
+            if stmt:
+                yield start_line, line, stmt
+            start = i + 1
+            start_line = line
+    tail = text[start:].strip()
+    if tail:
+        yield start_line, line, tail
+
+
+def paren_contents(text, open_pos):
+    """Text between the paren at open_pos and its match (best effort)."""
+    depth = 0
+    for i in range(open_pos, min(len(text), open_pos + 4000)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_pos + 1:i]
+    return text[open_pos + 1:open_pos + 4000]
+
+
+# A parenthesized *initializer* rather than a parameter list:
+# `Expected<int> e(42)`, `Expected<int> e(Status::Error(...))`.  Parameter
+# lists start with a type; initializers start with a literal, a unary
+# operator, or an identifier-chain that is immediately called/dereferenced.
+INITIALIZER_RE = re.compile(
+    r'^\s*(?:[0-9"\'\-+!~*]|[A-Za-z_][\w:]*\s*[(.]|[A-Za-z_][\w:]*\s*->)')
+
+
+def scan_declarations(src, findings):
+    """Family 1a.  Returns the set of Status/Expected-returning function
+    names declared in this file (nodiscard or not)."""
+    names = set()
+    for m in DECL_RE.finditer(src.stripped):
+        if m.group("ref"):  # reference/pointer return: discard is harmless
+            continue
+        args = paren_contents(src.stripped, m.end() - 1)
+        if INITIALIZER_RE.match(args):  # variable with paren initializer
+            continue
+        name = re.sub(r"\s+", "", m.group("name")).split("::")[-1]
+        if name in ("operator", "if", "while", "for", "switch", "return"):
+            continue
+        names.add(name)
+        if "nodiscard" not in m.group("prefix"):
+            findings.append(Finding(
+                src.path, line_of(src.stripped, m.start("ret")),
+                "status-nodiscard",
+                "function '%s' returns %s by value but is not [[nodiscard]]"
+                % (name, re.sub(r"\s+", "", m.group("ret")))))
+    return names
+
+
+CALL_HEAD_RE = re.compile(
+    r"^(?P<void>\(\s*void\s*\)\s*)?"
+    r"(?P<chain>(?:[A-Za-z_]\w*(?:\s*::\s*|\s*\.\s*|\s*->\s*))*)"
+    r"(?P<name>[A-Za-z_]\w*)\s*\(")
+
+
+def scan_discarded_calls(src, nodiscard_names, findings):
+    """Family 1b: statement-level calls whose result evaporates."""
+    for start_line, end_line, stmt in split_statements(src.stripped):
+        head = re.match(r"[A-Za-z_]\w*", stmt)
+        if head and head.group(0) in STMT_SKIP_HEADS:
+            continue
+        if "=" in stmt:  # assignment or initialized declaration
+            continue
+        m = CALL_HEAD_RE.match(stmt)
+        if not m or m.group("name") not in nodiscard_names:
+            continue
+        justified = any(
+            src.justified.get(ln) == "discard"
+            for ln in range(start_line, end_line + 1))
+        if m.group("void"):
+            if not justified:
+                findings.append(Finding(
+                    src.path, start_line, "status-discarded",
+                    "(void)-discarded result of '%s' lacks a "
+                    "`// lint: discard` justification" % m.group("name")))
+        else:
+            findings.append(Finding(
+                src.path, start_line, "status-discarded",
+                "result of '%s' is ignored (assign it, branch on it, or "
+                "`(void)` it with a `// lint: discard` justification)"
+                % m.group("name")))
+
+
+def scan_throws(src, allowlist, findings):
+    """Family 2: `throw` inside the no-throw boundary."""
+    if src.scope != "src" or src.module not in NOTHROW_MODULES:
+        return
+    for m in re.finditer(r"\bthrow\b", src.stripped):
+        line = line_of(src.stripped, m.start())
+        content = src.stripped.split("\n")[line - 1]
+        allowed = any(
+            os.path.normpath(path) in os.path.normpath(src.path)
+            and (sub == "*" or sub in content)
+            for path, sub in allowlist)
+        if not allowed:
+            findings.append(Finding(
+                src.path, line, "boundary-throw",
+                "`throw` inside the no-throw solver boundary (DESIGN §7); "
+                "return common::Status, or allowlist this line in "
+                "tools/lint/throw_allowlist.txt"))
+
+
+def scan_determinism(src, findings):
+    """Family 3: wall-clock / libc randomness / hash-order leaks."""
+    if src.scope != "src" or src.module not in DETERMINISTIC_MODULES:
+        return
+    flagged = set()
+    for pattern, why in NONDET_PATTERNS:
+        for m in pattern.finditer(src.stripped):
+            line = line_of(src.stripped, m.start())
+            if src.justified.get(line) == "order-independent":
+                continue
+            if (line, why) in flagged:
+                continue
+            flagged.add((line, why))
+            findings.append(Finding(
+                src.path, line, "nondeterminism",
+                why + " (deterministic-output module)"))
+    unordered_vars = set(UNORDERED_DECL_RE.findall(src.stripped))
+    for m in RANGE_FOR_RE.finditer(src.stripped):
+        range_expr = m.group(2)
+        over_unordered = "unordered_" in range_expr or any(
+            re.search(r"\b%s\b" % re.escape(v), range_expr)
+            for v in unordered_vars)
+        if not over_unordered:
+            continue
+        line = line_of(src.stripped, m.start())
+        if src.justified.get(line) == "order-independent":
+            continue
+        findings.append(Finding(
+            src.path, line, "unordered-iteration",
+            "range-for over an unordered container leaks hash order into "
+            "module output; iterate a sorted copy or justify with "
+            "`// lint: order-independent`"))
+
+
+def parse_registry(path, findings):
+    """Family 4 source of truth.  Returns {const_name: site_string}."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    sites = {}
+    seen_strings = {}
+    for m in REGISTRY_CONST_RE.finditer(text):
+        const, site = m.group(1), m.group(2)
+        line = line_of(text, m.start())
+        if const in sites:
+            findings.append(Finding(
+                path, line, "fault-site-duplicate",
+                "constant '%s' declared more than once" % const))
+        if site in seen_strings:
+            findings.append(Finding(
+                path, line, "fault-site-duplicate",
+                "site string \"%s\" registered twice (also %s)"
+                % (site, seen_strings[site])))
+        sites[const] = site
+        seen_strings.setdefault(site, const)
+    return sites
+
+
+def scan_fault_literals(src, findings):
+    """Family 4b: free site-string literals at injector call sites in src/."""
+    if src.scope != "src":
+        return
+    for m in FAULT_LITERAL_RE.finditer(src.code_with_strings):
+        findings.append(Finding(
+            src.path, line_of(src.code_with_strings, m.start()),
+            "fault-site-literal",
+            "free site string \"%s\" at an injector call site; use a "
+            "faults:: constant from src/common/fault_sites.h" % m.group(1)))
+
+
+def cross_check_registry(sites, registry_path, sources, findings):
+    """Family 4c/4d: every registered site is checked by solver code and
+    exercised by at least one test."""
+    src_text = []
+    test_text = []
+    for s in sources:
+        if os.path.normpath(s.path) == os.path.normpath(registry_path):
+            continue
+        if s.scope == "src":
+            src_text.append(s.stripped)
+        elif s.scope == "tests":
+            test_text.append(s.stripped)
+    src_blob = "\n".join(src_text)
+    test_blob = "\n".join(test_text)
+    with open(registry_path, "r", encoding="utf-8") as fh:
+        reg_text = fh.read()
+    for const, site in sorted(sites.items()):
+        m = re.search(r"\b%s\b" % const, reg_text)
+        line = line_of(reg_text, m.start()) if m else 1
+        if not re.search(r"\b%s\b" % const, src_blob):
+            findings.append(Finding(
+                registry_path, line, "fault-site-unused",
+                "registered site '%s' (\"%s\") is never checked by solver "
+                "code" % (const, site)))
+        if not re.search(r"\b%s\b" % const, test_blob):
+            findings.append(Finding(
+                registry_path, line, "fault-site-untested",
+                "registered site '%s' (\"%s\") is not exercised by any test"
+                % (const, site)))
+
+
+def load_allowlist(path):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 1)
+            entries.append((parts[0], parts[1] if len(parts) > 1 else "*"))
+    return entries
+
+
+def classify(path, root):
+    """(module, scope) of a repo file."""
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    scope = rel.split("/", 1)[0]
+    module = None
+    if scope == "src":
+        parts = rel.split("/")
+        if len(parts) > 2:
+            module = parts[1]
+    return module, scope
+
+
+def collect_repo_files(root):
+    files = []
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            rel = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            if any(part in rel for part in EXCLUDE_PARTS):
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def usage_error(msg):
+    sys.stderr.write("project_lint: %s\n" % msg)
+    sys.stderr.write(__doc__.split("Usage:")[1])
+    return 2
+
+
+def main(argv):
+    root = None
+    as_module = "core"
+    explicit = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--root":
+            if i + 1 >= len(argv):
+                return usage_error("--root needs a directory")
+            root = argv[i + 1]
+            i += 2
+        elif arg.startswith("--root="):
+            root = arg.split("=", 1)[1]
+            i += 1
+        elif arg == "--as-module":
+            if i + 1 >= len(argv):
+                return usage_error("--as-module needs a module name")
+            as_module = argv[i + 1]
+            i += 2
+        elif arg.startswith("--as-module="):
+            as_module = arg.split("=", 1)[1]
+            i += 1
+        elif arg in ("-h", "--help"):
+            sys.stdout.write(__doc__)
+            return 0
+        elif arg.startswith("-"):
+            return usage_error("unknown option %r" % arg)
+        else:
+            explicit.append(arg)
+            i += 1
+
+    if explicit and root:
+        return usage_error("--root and explicit FILEs are mutually exclusive")
+    if not explicit:
+        root = root or os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        if not os.path.isdir(root):
+            return usage_error("root %r is not a directory" % root)
+
+    findings = []
+    sources = []
+    if explicit:
+        for path in explicit:
+            if not os.path.isfile(path):
+                return usage_error("no such file: %r" % path)
+            sources.append(SourceFile(path, as_module, "src"))
+        display_root = None
+    else:
+        for path in collect_repo_files(root):
+            module, scope = classify(path, root)
+            sources.append(SourceFile(path, module, scope))
+        display_root = root
+
+    allowlist = load_allowlist(
+        os.path.join(root, ALLOWLIST_RELPATH) if root else ALLOWLIST_RELPATH)
+
+    # Family 1a across everything first: the call-site pass needs the full
+    # name set so a header's declaration covers its .cpp's callers.
+    nodiscard_names = set()
+    for src in sources:
+        nodiscard_names |= scan_declarations(src, findings)
+
+    for src in sources:
+        scan_discarded_calls(src, nodiscard_names, findings)
+        scan_throws(src, allowlist, findings)
+        scan_determinism(src, findings)
+        scan_fault_literals(src, findings)
+
+    if not explicit:
+        registry_path = os.path.join(root, REGISTRY_RELPATH)
+        if os.path.isfile(registry_path):
+            sites = parse_registry(registry_path, findings)
+            cross_check_registry(sites, registry_path, sources, findings)
+        else:
+            findings.append(Finding(
+                registry_path, 1, "fault-site-unused",
+                "fault-site registry header is missing"))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f.render(display_root))
+    print("project_lint: %d finding(s) across %d file(s)"
+          % (len(findings), len(sources)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

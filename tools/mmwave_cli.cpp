@@ -87,7 +87,8 @@ struct InstanceFlags {
 /// "--channels=-3", an unreadable --instance file) is a structured error
 /// the caller prints once and exits kExitInvalidInput on — never a silent
 /// zero that solves the wrong instance.
-common::Expected<InstanceFlags> parse_instance(const common::CliFlags& flags) {
+[[nodiscard]] common::Expected<InstanceFlags> parse_instance(
+    const common::CliFlags& flags) {
   InstanceFlags f;
   if (flags.has("instance")) {
     const std::string path = flags.get_string("instance", "");
@@ -191,7 +192,7 @@ Instance build_instance(const InstanceFlags& f) {
 
 /// --pool-cap / --pool-policy: the column-pool lifecycle knobs (core::
 /// PoolManager).  Cap 0 = unbounded (the pre-lifecycle behaviour).
-common::Expected<core::PoolManagerOptions> parse_pool_flags(
+[[nodiscard]] common::Expected<core::PoolManagerOptions> parse_pool_flags(
     const common::CliFlags& flags) {
   core::PoolManagerOptions opts;
   const auto cap = flags.get_int_checked("pool-cap", 0, 0, 1 << 20);

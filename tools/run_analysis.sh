@@ -37,8 +37,15 @@
 #                                         fails if src/core or src/stream
 #                                         drops below the floors recorded in
 #                                         tools/coverage_baseline.txt
+#   9. project lint                       tools/lint/project_lint.py — the
+#                                         repo's own invariants made static:
+#                                         [[nodiscard]] Status discipline,
+#                                         the DESIGN §7 no-throw boundary,
+#                                         the determinism contract, and the
+#                                         fault-site registry cross-check
+#                                         (zero findings allowed; DESIGN §10)
 #
-# Usage:  tools/run_analysis.sh [--fast|--robustness|--coverage]
+# Usage:  tools/run_analysis.sh [--fast|--robustness|--coverage|--lint]
 #   --fast        skip legs 1, 6 and 8 (the plain build, the perf bench and
 #                 the coverage gate) — the sanitized legs still run the full
 #                 suite, so this is the quick pre-push variant.
@@ -49,6 +56,9 @@
 #   --coverage    the CI coverage gate: run only leg 8 (instrumented build +
 #                 full ctest + coverage_report.py against the recorded
 #                 floors).
+#   --lint        the CI static-analysis gate: run only legs 3 and 9
+#                 (clang-tidy + project lint).  Configures a build tree for
+#                 the compilation database but compiles nothing.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -56,10 +66,12 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
 ROBUSTNESS=0
 COVERAGE_ONLY=0
+LINT_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --robustness) ROBUSTNESS=1 ;;
   --coverage) COVERAGE_ONLY=1 ;;
+  --lint) LINT_ONLY=1 ;;
 esac
 
 failures=()
@@ -78,7 +90,8 @@ run_ctest() {
 }
 
 # ---- Leg 1: plain RelWithDebInfo + Werror ---------------------------------
-if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 ]]; then
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
+      && "$LINT_ONLY" == 0 ]]; then
   note "leg 1: RelWithDebInfo + -Werror"
   if configure_and_build "$ROOT/build-analysis-rel" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
@@ -95,8 +108,8 @@ note "leg 2: AddressSanitizer + UndefinedBehaviorSanitizer + -Werror"
 ASAN_DIR="$ROOT/build-analysis-asan"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
-if [[ "$COVERAGE_ONLY" == 1 ]]; then
-  echo "leg 2 skipped (--coverage)"
+if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
+  echo "leg 2 skipped (--coverage/--lint)"
 elif configure_and_build "$ASAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       "-DMMWAVE_SANITIZE=address;undefined"; then
@@ -116,6 +129,14 @@ if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 ]]; then
 elif command -v clang-tidy > /dev/null 2>&1; then
   TIDY_DIR="$ASAN_DIR"
   [[ -d "$ROOT/build-analysis-rel" && "$FAST" == 0 ]] && TIDY_DIR="$ROOT/build-analysis-rel"
+  if [[ "$LINT_ONLY" == 1 ]]; then
+    # --lint skips the sanitized build; configure (not compile) a plain
+    # tree so the tidy target has a compilation database to run against.
+    TIDY_DIR="$ROOT/build-analysis-rel"
+    cmake -B "$TIDY_DIR" -S "$ROOT" -DMMWAVE_WERROR=ON \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null \
+      || leg_failed "configure (clang-tidy compilation database)"
+  fi
   cmake --build "$TIDY_DIR" -j "$JOBS" --target tidy || leg_failed "clang-tidy"
 else
   echo "clang-tidy not found on PATH -- static-analysis leg SKIPPED" >&2
@@ -127,8 +148,8 @@ fi
 # so this leg doubles as a deep sanitizer workout of the hot path.
 note "leg 4: solver certificate verifier (mmwave_cli check)"
 CLI="$ASAN_DIR/tools/mmwave_cli"
-if [[ "$COVERAGE_ONLY" == 1 ]]; then
-  echo "leg 4 skipped (--coverage)"
+if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
+  echo "leg 4 skipped (--coverage/--lint)"
 elif [[ -x "$CLI" ]]; then
   # Fig. 1 scenario family: Table I ladder, K = 5, hybrid pricing.
   "$CLI" check --links=10 --channels=5 --seed=1 \
@@ -148,7 +169,7 @@ fi
 note "leg 5: ThreadSanitizer (thread pool + warm equivalence)"
 TSAN_DIR="$ROOT/build-analysis-tsan"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 ]]; then
+if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
   echo "leg 5 skipped"
 elif configure_and_build "$TSAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -171,7 +192,8 @@ fi
 # The warm/cold CG master comparison the PR-level perf claims come from.
 # A missing binary is a failure, not a skip: the bench target silently
 # falling out of the build would otherwise go unnoticed.
-if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 ]]; then
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
+      && "$LINT_ONLY" == 0 ]]; then
   note "leg 6: perf bench (perf_solvers -> BENCH_cg.json, perf_resolve -> BENCH_resolve.json, perf_pool -> BENCH_pool.json)"
   PERF="$ROOT/build-analysis-rel/bench/perf_solvers"
   if [[ -x "$PERF" ]]; then
@@ -230,8 +252,8 @@ run_fuzz() {
   fi
 }
 
-if [[ "$COVERAGE_ONLY" == 1 ]]; then
-  echo "leg 7 skipped (--coverage)"
+if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
+  echo "leg 7 skipped (--coverage/--lint)"
 elif [[ -d "$ASAN_DIR" ]]; then
   (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
       -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|CgCheckpoint|CgResolve|PoolManager|PoolPolicy|InstanceSignature|BlockageSession|cli_smoke') \
@@ -247,7 +269,7 @@ fi
 # and src/stream against the floors in tools/coverage_baseline.txt.  The
 # floors are a ratchet: they record the coverage the tree actually has, so a
 # PR that adds untested solver/session code fails here before review.
-if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 ]]; then
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$LINT_ONLY" == 0 ]]; then
   note "leg 8: coverage gate (gcov, src/core + src/stream floors)"
   COV_DIR="$ROOT/build-analysis-cov"
   if configure_and_build "$COV_DIR" \
@@ -262,6 +284,23 @@ if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 ]]; then
   fi
 else
   note "leg 8 skipped"
+fi
+
+# ---- Leg 9: project-invariant lint ----------------------------------------
+# The repo's own contracts, machine-checked (DESIGN §10): [[nodiscard]]
+# Status discipline, the §7 no-throw boundary, the determinism contract,
+# and the fault-site registry.  Pure python3 over the sources — no build
+# needed — so it runs in every mode except the narrowly-scoped CI gates.
+if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 ]]; then
+  note "leg 9: project lint (tools/lint/project_lint.py)"
+  if command -v python3 > /dev/null 2>&1; then
+    python3 "$ROOT/tools/lint/project_lint.py" --root "$ROOT" \
+      || leg_failed "project lint (tools/lint/project_lint.py)"
+  else
+    leg_failed "project lint (python3 not found)"
+  fi
+else
+  note "leg 9 skipped"
 fi
 
 # ---- Summary --------------------------------------------------------------
