@@ -18,10 +18,10 @@ namespace {
 
 using namespace mmwave;
 
-void BM_SimplexCoveringLp(benchmark::State& state) {
-  const int rows = static_cast<int>(state.range(0));
-  const int cols = 2 * rows;
-  common::Rng rng(42);
+// Shared random covering LP (the CG master's shape): min c'x, sparse
+// A x >= b, 0 <= x <= 100, density 0.3.
+lp::LpModel make_covering_lp(int rows, int cols, std::uint64_t seed) {
+  common::Rng rng(seed);
   lp::LpModel model;
   for (int j = 0; j < cols; ++j)
     model.add_variable(0.0, 100.0, rng.uniform(0.5, 2.0));
@@ -34,12 +34,100 @@ void BM_SimplexCoveringLp(benchmark::State& state) {
     model.add_constraint(std::move(terms), lp::Sense::Ge,
                          rng.uniform(1.0, 5.0));
   }
+  return model;
+}
+
+void BM_SimplexCoveringLp(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const lp::LpModel model = make_covering_lp(rows, 2 * rows, 42);
   for (auto _ : state) {
     auto sol = lp::solve_lp(model);
     benchmark::DoNotOptimize(sol.objective);
   }
 }
 BENCHMARK(BM_SimplexCoveringLp)->Arg(20)->Arg(60)->Arg(120);
+
+// Head-to-head cold solve: sparse LU + eta engine (dense=0) vs the dense
+// explicit-inverse reference (dense=1), small and large bases.
+void BM_RevisedVsDense(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const bool dense = state.range(1) != 0;
+  const lp::LpModel model = make_covering_lp(rows, 2 * rows, 42);
+  lp::LpOptions opt;
+  opt.dense_basis = dense;
+  std::int64_t pivots = 0;
+  for (auto _ : state) {
+    auto sol = lp::solve_lp(model, opt);
+    benchmark::DoNotOptimize(sol.objective);
+    pivots += sol.iterations;
+  }
+  state.counters["pivots"] =
+      static_cast<double>(pivots) /
+      std::max<std::int64_t>(1, state.iterations());
+}
+BENCHMARK(BM_RevisedVsDense)
+    ->Args({40, 0})
+    ->Args({40, 1})
+    ->Args({160, 0})
+    ->Args({160, 1})
+    ->ArgNames({"rows", "dense"});
+
+// CG-style warm resume: solve once, append a handful of columns, then
+// benchmark the warm re-solve from the exported basis.
+void BM_RevisedVsDenseWarm(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const bool dense = state.range(1) != 0;
+  lp::LpModel model = make_covering_lp(rows, 2 * rows, 42);
+  lp::LpOptions opt;
+  opt.dense_basis = dense;
+  lp::WarmStart base_warm;
+  auto seed_sol = lp::solve_lp(model, opt, &base_warm);
+  // Grow the model the way column generation does: new covering columns.
+  common::Rng rng(43);
+  for (int a = 0; a < 8; ++a) {
+    const int j = model.add_variable(0.0, 100.0, rng.uniform(0.3, 1.5));
+    for (int i = 0; i < rows; ++i)
+      if (rng.bernoulli(0.3)) model.add_term(i, j, rng.uniform(0.1, 1.0));
+  }
+  for (auto _ : state) {
+    lp::WarmStart warm = base_warm;
+    auto sol = lp::solve_lp(model, opt, &warm);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  benchmark::DoNotOptimize(seed_sol.objective);
+}
+BENCHMARK(BM_RevisedVsDenseWarm)
+    ->Args({40, 0})
+    ->Args({40, 1})
+    ->Args({160, 0})
+    ->Args({160, 1})
+    ->ArgNames({"rows", "dense"});
+
+// Pricing-rule arm on the sparse engine: Dantzig vs steepest-edge, pivots
+// and wall clock head-to-head.
+void BM_SimplexPricing(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const bool steepest = state.range(1) != 0;
+  const lp::LpModel model = make_covering_lp(rows, 2 * rows, 42);
+  lp::LpOptions opt;
+  opt.pricing = steepest ? lp::PricingRule::kSteepestEdge
+                         : lp::PricingRule::kDantzig;
+  std::int64_t pivots = 0;
+  for (auto _ : state) {
+    auto sol = lp::solve_lp(model, opt);
+    benchmark::DoNotOptimize(sol.objective);
+    pivots += sol.iterations;
+  }
+  state.counters["pivots"] =
+      static_cast<double>(pivots) /
+      std::max<std::int64_t>(1, state.iterations());
+}
+BENCHMARK(BM_SimplexPricing)
+    ->Args({60, 0})
+    ->Args({60, 1})
+    ->Args({160, 0})
+    ->Args({160, 1})
+    ->ArgNames({"rows", "steepest"});
 
 void BM_MilpKnapsack(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

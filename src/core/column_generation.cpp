@@ -232,6 +232,13 @@ CgResult solve_cg_impl(const net::Network& net,
 
   MasterProblem master(net, effective);
   master.set_warm_start(options.warm_start_master);
+  {
+    lp::LpOptions lp_opts;
+    lp_opts.pricing = options.lp_pricing;
+    lp_opts.dense_basis = options.lp_dense_basis;
+    master.set_lp_options(lp_opts);
+    result.profile.lp_pricing_rule = lp::to_string(options.lp_pricing);
+  }
   for (const sched::Schedule& s : tdma_initial_columns(net)) {
     verify_column(s, "TDMA initial column");
     master.add_column(s);
@@ -278,6 +285,9 @@ CgResult solve_cg_impl(const net::Network& net,
     last_master_seconds = seconds_since(t0);
     prof.master_seconds += last_master_seconds;
     prof.master_pivots += mp.simplex_iterations;
+    prof.lp_ftran_calls += mp.lp_stats.ftran_calls;
+    prof.lp_btran_calls += mp.lp_stats.btran_calls;
+    prof.lp_refactorizations += mp.lp_stats.refactorizations;
     ++prof.master_solves;
     if (mp.warm_started) ++prof.master_warm_hits;
     return mp;

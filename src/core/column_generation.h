@@ -71,6 +71,13 @@ struct CgOptions {
   /// iteration — the pre-incremental behavior, kept for A/B benchmarking
   /// and the warm/cold equivalence tests.
   bool warm_start_master = true;
+  /// Entering-variable pricing rule of the master LP's revised simplex
+  /// (lp/pricing.h): Dantzig (default) or steepest-edge.  Distinct from
+  /// `pricing`, which selects the column-generation pricing subproblem.
+  lp::PricingRule lp_pricing = lp::PricingRule::kDantzig;
+  /// Solve master LPs with the dense explicit-inverse reference engine
+  /// instead of the sparse LU (A/B benchmarking and equivalence tests).
+  bool lp_dense_basis = false;
   /// Run the independent certificate checkers (src/check) alongside the
   /// solve: an LP certificate of every master solve, a ScheduleVerifier
   /// pass over every column entering the pool, the Theorem-1 invariant
@@ -185,6 +192,12 @@ struct CgProfile {
   /// (CgOptions::warm_pool; rejected = failed re-validation or duplicate).
   int warm_pool_columns = 0;
   int warm_pool_rejected = 0;
+  /// Basis-engine work across all master solves (revised simplex).
+  std::int64_t lp_ftran_calls = 0;
+  std::int64_t lp_btran_calls = 0;
+  int lp_refactorizations = 0;
+  /// Pricing rule the master LPs ran ("dantzig" | "steepest-edge").
+  const char* lp_pricing_rule = "";
 
   /// Fraction of master solves that resumed from a prior basis.
   double warm_hit_rate() const {

@@ -48,21 +48,28 @@ MasterSolution MasterProblem::solve(MasterCertificate* certificate) {
   const int num_links = net_.num_links();
 
   lp::LpSolution sol = lp::solve_lp(
-      model_, lp::LpOptions{}, warm_start_enabled_ ? &warm_ : nullptr);
+      model_, lp_options_, warm_start_enabled_ ? &warm_ : nullptr);
   if (!sol.optimal() && warm_start_enabled_) {
     // The warm path already falls back to a cold start when the stale basis
     // is unusable, but a breakdown *during* the cold re-solve (or a poisoned
     // pivot) can still surface here.  One explicit cold retry with the
     // snapshot dropped is the cheapest recovery that can possibly work.
     out.simplex_iterations += sol.iterations;
+    out.lp_stats.ftran_calls += sol.stats.ftran_calls;
+    out.lp_stats.btran_calls += sol.stats.btran_calls;
+    out.lp_stats.refactorizations += sol.stats.refactorizations;
     warm_.valid = false;
-    sol = lp::solve_lp(model_, lp::LpOptions{}, &warm_);
+    sol = lp::solve_lp(model_, lp_options_, &warm_);
   }
   if (certificate) {
     certificate->solution = sol;
     certificate->model = model_;
   }
   out.simplex_iterations += sol.iterations;
+  out.lp_stats.ftran_calls += sol.stats.ftran_calls;
+  out.lp_stats.btran_calls += sol.stats.btran_calls;
+  out.lp_stats.refactorizations += sol.stats.refactorizations;
+  out.lp_stats.pricing_rule = sol.stats.pricing_rule;
   out.warm_started = sol.warm_started;
   out.status = sol.error;
   if (!sol.optimal()) {

@@ -102,7 +102,44 @@ std::vector<PoolColumnMeta> score_pool(const net::Network& net,
 }
 
 PoolManager::PoolManager(PoolManagerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.adaptive) {
+    options_.min_cap = std::max(1, options_.min_cap);
+    if (options_.max_cap > 0)
+      options_.max_cap = std::max(options_.max_cap, options_.min_cap);
+    adaptive_cap_ = options_.cap > 0 ? options_.cap : options_.min_cap;
+    adaptive_cap_ = std::max(adaptive_cap_, options_.min_cap);
+    if (options_.max_cap > 0)
+      adaptive_cap_ = std::min(adaptive_cap_, options_.max_cap);
+  }
+}
+
+void PoolManager::observe(double warm_hit_rate, double master_seconds) {
+  if (!options_.adaptive) return;
+  if (!std::isfinite(warm_hit_rate) || !std::isfinite(master_seconds)) return;
+  // Multiplicative-ish steps (a quarter of the current cap) so the cap
+  // converges in a handful of periods from any starting point, while a
+  // single noisy observation can never move it far.
+  const int step = std::max(1, adaptive_cap_ / 4);
+  int next = adaptive_cap_;
+  const bool over_budget = master_seconds > options_.master_seconds_budget;
+  if (warm_hit_rate < options_.shrink_hit_rate || over_budget) {
+    next -= step;
+  } else if (warm_hit_rate >= options_.grow_hit_rate && !over_budget) {
+    next += step;
+  }
+  next = std::max(next, options_.min_cap);
+  if (options_.max_cap > 0) next = std::min(next, options_.max_cap);
+  if (next == adaptive_cap_) return;
+  if (next > adaptive_cap_) {
+    ++metrics_.cap_grown;
+  } else {
+    ++metrics_.cap_shrunk;
+  }
+  adaptive_cap_ = next;
+  // A shrink takes effect now, not at the next store().
+  metrics_.evicted += evict(entries_, epoch_);
+}
 
 double PoolManager::penalty(const PoolColumnMeta& meta,
                             std::int64_t now) const {
@@ -117,9 +154,10 @@ double PoolManager::penalty(const PoolColumnMeta& meta,
 
 std::int64_t PoolManager::evict(std::vector<Entry>& entries,
                                 std::int64_t now) const {
-  if (options_.cap <= 0) return 0;
+  const int cap = effective_cap();
+  if (cap <= 0) return 0;
   std::int64_t evicted = 0;
-  while (static_cast<int>(entries.size()) > options_.cap) {
+  while (static_cast<int>(entries.size()) > cap) {
     // Deterministic victim selection: scan in insertion order, keep the
     // strictly-worst penalty (ties resolve to the oldest entry).  Basis
     // columns are never candidates, even if that pins the pool above cap.
@@ -318,7 +356,7 @@ CgCheckpoint PoolManager::export_checkpoint(const CgCheckpoint& base) const {
 }
 
 void PoolManager::trim_checkpoint(CgCheckpoint* checkpoint) const {
-  if (options_.cap <= 0) return;
+  if (effective_cap() <= 0) return;
   std::vector<Entry> entries;
   entries.reserve(checkpoint->pool.size());
   const bool have_meta =
@@ -338,7 +376,7 @@ void PoolManager::trim_checkpoint(CgCheckpoint* checkpoint) const {
   const std::int64_t evicted = evict(entries, epoch_);
   if (evicted > 0) {
     MMWAVE_LOG_INFO << "pool: checkpoint trimmed by " << evicted
-                    << " column(s) to cap " << options_.cap << " ("
+                    << " column(s) to cap " << effective_cap() << " ("
                     << to_string(options_.policy) << ")";
   }
   checkpoint->pool.clear();

@@ -68,6 +68,24 @@ struct PoolManagerOptions {
   double rc_weight = 4.0;
   /// seed() consults at most this many nearest instance entries.
   int max_neighbours = 3;
+
+  // --- Adaptive cap -----------------------------------------------------
+  /// Let the cap float between [min_cap, max_cap] from observed solve
+  /// feedback (observe()): a high warm-start hit rate under an affordable
+  /// master-LP time grows the cap (the pool is earning its keep), a low hit
+  /// rate or an over-budget master shrinks it (stale columns are dead
+  /// weight the master still pays to carry).  `cap` is the starting point;
+  /// with adaptive off it stays the fixed cap as before.
+  bool adaptive = false;
+  int min_cap = 8;
+  /// 0 = no upper bound on adaptive growth.
+  int max_cap = 0;
+  /// Grow when hit rate >= grow_hit_rate AND master time <= budget.
+  double grow_hit_rate = 0.85;
+  /// Shrink when hit rate < shrink_hit_rate OR master time > budget.
+  double shrink_hit_rate = 0.5;
+  /// Master-LP wall-clock budget per observed solve, seconds.
+  double master_seconds_budget = 0.05;
 };
 
 // PoolColumnMeta (the per-column lifecycle record this manager scores and
@@ -111,6 +129,8 @@ struct PoolManagerMetrics {
   /// than the queried one) — the multi-instance sharing payoff.
   std::int64_t neighbour_seeded = 0;
   std::int64_t evicted = 0;         ///< columns removed by the cap policy
+  std::int64_t cap_grown = 0;       ///< adaptive-cap growth steps applied
+  std::int64_t cap_shrunk = 0;      ///< adaptive-cap shrink steps applied
 };
 
 class PoolManager {
@@ -149,6 +169,18 @@ class PoolManager {
   /// without touching the manager: the `solve --pool-cap` save path.
   void trim_checkpoint(CgCheckpoint* checkpoint) const;
 
+  /// Feeds one finished solve's warm-start hit rate and master-LP seconds
+  /// into the adaptive-cap controller (no-op unless options().adaptive).
+  /// The new cap takes effect immediately: a shrink evicts down right away.
+  /// Non-finite inputs are ignored (a degraded solve must not move the cap).
+  void observe(double warm_hit_rate, double master_seconds);
+
+  /// The cap currently in force: the adaptive cap when adaptive, the fixed
+  /// options().cap otherwise (0 = unbounded).
+  int effective_cap() const {
+    return options_.adaptive ? adaptive_cap_ : options_.cap;
+  }
+
   int size() const { return static_cast<int>(entries_.size()); }
   const std::vector<Entry>& entries() const { return entries_; }
   const PoolManagerOptions& options() const { return options_; }
@@ -164,6 +196,8 @@ class PoolManager {
   std::int64_t evict(std::vector<Entry>& entries, std::int64_t now) const;
 
   PoolManagerOptions options_;
+  /// Current adaptive cap (observe() moves it within [min_cap, max_cap]).
+  int adaptive_cap_ = 0;
   std::vector<Entry> entries_;  ///< insertion order (deterministic ties)
   /// Known instance signatures, most recent store epoch per fingerprint.
   struct KnownInstance {

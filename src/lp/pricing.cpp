@@ -1,0 +1,132 @@
+#include "lp/pricing.h"
+
+#include <cmath>
+#include <string>
+
+namespace mmwave::lp {
+namespace {
+
+class DantzigPricing final : public Pricing {
+ public:
+  [[nodiscard]] const char* name() const override { return "dantzig"; }
+  void reset(int /*num_cols*/) override {}
+
+  [[nodiscard]] int select(
+      const std::vector<PricingCandidate>& candidates) const override {
+    // Largest violation; ties resolve to the lowest column index (the list
+    // is in ascending column order), keeping pivot sequences deterministic.
+    int best = candidates.front().column;
+    double best_violation = candidates.front().violation;
+    for (const PricingCandidate& c : candidates) {
+      if (c.violation > best_violation) {
+        best = c.column;
+        best_violation = c.violation;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] bool wants_pivot_row() const override { return false; }
+  void update(int /*entering*/, int /*leaving*/,
+              const std::vector<double>& /*d*/, int /*r*/,
+              const std::vector<double>& /*alphas*/) override {}
+};
+
+class SteepestEdgePricing final : public Pricing {
+ public:
+  [[nodiscard]] const char* name() const override { return "steepest-edge"; }
+
+  void reset(int num_cols) override { weights_.assign(num_cols, 1.0); }
+
+  [[nodiscard]] int select(
+      const std::vector<PricingCandidate>& candidates) const override {
+    int best = candidates.front().column;
+    double best_score = score(candidates.front());
+    for (const PricingCandidate& c : candidates) {
+      const double s = score(c);
+      if (s > best_score) {
+        best = c.column;
+        best_score = s;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] bool wants_pivot_row() const override { return true; }
+
+  void update(int entering, int leaving, const std::vector<double>& d, int r,
+              const std::vector<double>& alphas) override {
+    // Devex reference-weight update: with alpha_q = d[r] the pivot element
+    // and gamma_q the entering column's weight,
+    //   gamma_j <- max(gamma_j, (alpha_j / alpha_q)^2 gamma_q)
+    //   gamma_p <- max(gamma_q / alpha_q^2, 1)      (the leaving variable).
+    const double alpha_q = d[r];
+    if (std::abs(alpha_q) < 1e-12 ||
+        static_cast<std::size_t>(entering) >= weights_.size()) {
+      // A degenerate pivot element makes the recurrence meaningless;
+      // restart the reference framework instead of amplifying noise.
+      weights_.assign(weights_.size(), 1.0);
+      return;
+    }
+    const double gamma_q = std::max(weights_[entering], 1.0);
+    const double inv_q2 = 1.0 / (alpha_q * alpha_q);
+    double max_weight = 1.0;
+    for (std::size_t j = 0; j < alphas.size(); ++j) {
+      const double a = alphas[j];
+      if (a == 0.0 || static_cast<int>(j) == entering) continue;
+      const double cand = a * a * inv_q2 * gamma_q;
+      if (cand > weights_[j]) weights_[j] = cand;
+      if (weights_[j] > max_weight) max_weight = weights_[j];
+    }
+    if (static_cast<std::size_t>(leaving) < weights_.size()) {
+      weights_[leaving] = std::max(gamma_q * inv_q2, 1.0);
+    }
+    // Weight blow-up means the reference framework has drifted far from
+    // the current basis; reset rather than price on garbage.
+    if (max_weight > 1e12) weights_.assign(weights_.size(), 1.0);
+  }
+
+ private:
+  double score(const PricingCandidate& c) const {
+    const double w =
+        static_cast<std::size_t>(c.column) < weights_.size()
+            ? std::max(weights_[c.column], 1e-12)
+            : 1.0;
+    return c.violation * c.violation / w;
+  }
+
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+Pricing::~Pricing() = default;
+
+const char* to_string(PricingRule rule) {
+  switch (rule) {
+    case PricingRule::kDantzig:
+      return "dantzig";
+    case PricingRule::kSteepestEdge:
+      return "steepest-edge";
+  }
+  return "?";
+}
+
+[[nodiscard]] common::Expected<PricingRule> parse_pricing_rule(
+    std::string_view text) {
+  if (text == "dantzig") return PricingRule::kDantzig;
+  if (text == "steepest" || text == "steepest-edge")
+    return PricingRule::kSteepestEdge;
+  return common::Status::Error(
+      common::ErrorCode::kInvalidInput,
+      "pricing rule: expected dantzig|steepest, got '" + std::string(text) +
+          "'");
+}
+
+std::unique_ptr<Pricing> make_pricing(PricingRule rule) {
+  if (rule == PricingRule::kSteepestEdge)
+    return std::make_unique<SteepestEdgePricing>();
+  return std::make_unique<DantzigPricing>();
+}
+
+}  // namespace mmwave::lp

@@ -1,0 +1,76 @@
+// Pluggable entering-variable pricing for the revised simplex.
+//
+// Pricing decides which optimality-violating nonbasic column enters the
+// basis each pivot; the rule is the single biggest lever on pivot counts.
+// Two rules are provided:
+//
+//   * Dantzig — largest reduced-cost violation.  Zero bookkeeping per
+//     pivot; the historical default, and still the cheapest per iteration.
+//   * Steepest-edge (Devex reference weights) — largest violation^2 / gamma_j
+//     where gamma_j approximates ||B^{-1} a_j||^2 and is updated
+//     incrementally from the pivot row after every basis change.  Costs one
+//     extra BTRAN plus one sparse dot per nonbasic column per pivot, and
+//     typically repays it in far fewer pivots on larger bases.
+//
+// The simplex stays rule-agnostic: it hands every rule the candidate list
+// (column + violation) and, only when the rule asks (wants_pivot_row()),
+// the pivot-row alphas needed for incremental weight updates.  Bland's-rule
+// anti-cycling bypasses the rule entirely, so the termination guarantee is
+// independent of the pricing choice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mmwave::lp {
+
+enum class PricingRule : std::uint8_t { kDantzig, kSteepestEdge };
+
+const char* to_string(PricingRule rule);
+
+/// Parses "dantzig" | "steepest" | "steepest-edge" (the CLI spellings).
+/// Anything else is a structured kInvalidInput naming the accepted values.
+[[nodiscard]] common::Expected<PricingRule> parse_pricing_rule(
+    std::string_view text);
+
+/// One nonbasic column whose reduced cost violates optimality, as collected
+/// by the simplex's pricing pass (violation > tolerance, ascending column
+/// order).
+struct PricingCandidate {
+  int column = 0;
+  double violation = 0.0;
+};
+
+class Pricing {
+ public:
+  virtual ~Pricing();
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Restarts the rule's reference framework for a model with `num_cols`
+  /// columns (called once per solve, before the first pricing pass).
+  virtual void reset(int num_cols) = 0;
+
+  /// Picks the entering column from a non-empty candidate list.
+  [[nodiscard]] virtual int select(
+      const std::vector<PricingCandidate>& candidates) const = 0;
+
+  /// True when update() needs the pivot-row alphas (one BTRAN of e_r plus a
+  /// sparse dot per nonbasic column); Dantzig skips that work entirely.
+  [[nodiscard]] virtual bool wants_pivot_row() const = 0;
+
+  /// Post-pivot bookkeeping: `entering` replaced the variable `leaving` at
+  /// basis position r, d = B^{-1} a_entering (position-indexed, from the
+  /// pre-pivot basis), and alphas[j] = (B^{-1} a_j)_r for every nonbasic
+  /// column j (alphas[entering] = d[r], the pivot element).  `alphas` is
+  /// empty when wants_pivot_row() is false.
+  virtual void update(int entering, int leaving, const std::vector<double>& d,
+                      int r, const std::vector<double>& alphas) = 0;
+};
+
+std::unique_ptr<Pricing> make_pricing(PricingRule rule);
+
+}  // namespace mmwave::lp

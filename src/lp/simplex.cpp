@@ -4,10 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "common/fault_injection.h"
 #include "common/log.h"
 #include "common/matrix.h"
+#include "lp/lu_factor.h"
 
 namespace mmwave::lp {
 namespace {
@@ -16,6 +19,173 @@ using common::LuFactorization;
 using common::Matrix;
 
 enum class VarState : std::uint8_t { Basic, AtLower, AtUpper, FreeNonbasic };
+
+/// Basis-representation engine of the revised simplex.  The iteration loop
+/// only ever talks to the basis through these six operations, so the sparse
+/// LU + eta-file engine (the default) and the historical dense
+/// explicit-inverse engine (LpOptions::dense_basis, the property-test
+/// reference) are interchangeable.
+///
+/// Index conventions: FTRAN results and eta directions are indexed by basis
+/// position; BTRAN inputs are position-indexed basic costs and outputs are
+/// original-row-indexed duals.
+class BasisEngine {
+ public:
+  virtual ~BasisEngine() = default;
+  /// Factorizes the basis whose position-k column is *columns[k].  Returns
+  /// false on a singular basis; the previous factorization stays usable.
+  virtual bool refactorize(
+      const std::vector<const std::vector<Term>*>& columns) = 0;
+  /// O(m) install of a diagonal basis (the signed all-artificial start);
+  /// `diag` holds the matrix diagonal itself.
+  virtual void reset_diagonal(const std::vector<double>& diag) = 0;
+  /// d = B^{-1} a for a sparse column a.
+  virtual void ftran_column(const std::vector<Term>& a,
+                            std::vector<double>& d) = 0;
+  /// x = B^{-1} rhs for a dense row-indexed right-hand side.
+  virtual void ftran_dense(const std::vector<double>& rhs,
+                           std::vector<double>& x) = 0;
+  /// y = B^{-T} c.
+  virtual void btran_dense(const std::vector<double>& c,
+                           std::vector<double>& y) = 0;
+  /// rho = B^{-T} e_r — row r of B^{-1}, the pivot row steepest-edge needs.
+  virtual void btran_unit(int r, std::vector<double>& rho) = 0;
+  /// Applies the basis change of a pivot at position r with FTRAN result d.
+  /// False when the pivot element is numerically unusable for an update;
+  /// the caller must refactorize instead.
+  virtual bool update(const std::vector<double>& d, int r) = 0;
+};
+
+/// The pre-revised-simplex engine: B^{-1} held as a dense matrix, pivots
+/// apply the explicit rank-one inverse update, refactorization inverts a
+/// dense LU.  O(m^2) per operation — kept because it is an independent
+/// implementation the sparse engine is property-tested against.
+class DenseEngine final : public BasisEngine {
+ public:
+  explicit DenseEngine(int m) : m_(m), binv_(m, m) {}
+
+  bool refactorize(
+      const std::vector<const std::vector<Term>*>& columns) override {
+    Matrix basis_matrix(m_, m_);
+    for (int k = 0; k < m_; ++k) {
+      for (const auto& [row, coef] : *columns[k]) basis_matrix(row, k) += coef;
+    }
+    LuFactorization lu(std::move(basis_matrix));
+    if (!lu.ok()) return false;
+    binv_ = lu.inverse();
+    return true;
+  }
+
+  void reset_diagonal(const std::vector<double>& diag) override {
+    binv_ = Matrix(m_, m_);
+    for (int i = 0; i < m_; ++i) binv_(i, i) = 1.0 / diag[i];
+  }
+
+  void ftran_column(const std::vector<Term>& a,
+                    std::vector<double>& d) override {
+    d.assign(m_, 0.0);
+    for (const auto& [row, coef] : a) {
+      for (int k = 0; k < m_; ++k) d[k] += binv_(k, row) * coef;
+    }
+  }
+
+  void ftran_dense(const std::vector<double>& rhs,
+                   std::vector<double>& x) override {
+    x.assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double* row = binv_.row(i);
+      double v = 0.0;
+      for (int k = 0; k < m_; ++k) v += row[k] * rhs[k];
+      x[i] = v;
+    }
+  }
+
+  void btran_dense(const std::vector<double>& c,
+                   std::vector<double>& y) override {
+    y.assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      if (c[i] == 0.0) continue;
+      const double* row = binv_.row(i);
+      for (int k = 0; k < m_; ++k) y[k] += c[i] * row[k];
+    }
+  }
+
+  void btran_unit(int r, std::vector<double>& rho) override {
+    rho.assign(m_, 0.0);
+    const double* row = binv_.row(r);
+    for (int k = 0; k < m_; ++k) rho[k] = row[k];
+  }
+
+  bool update(const std::vector<double>& d, int r) override {
+    const double pivot = d[r];
+    if (std::abs(pivot) <= 1e-12) return false;
+    double* prow = binv_.row(r);
+    const double inv_pivot = 1.0 / pivot;
+    for (int k = 0; k < m_; ++k) prow[k] *= inv_pivot;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r || d[i] == 0.0) continue;
+      double* row = binv_.row(i);
+      const double factor = d[i];
+      for (int k = 0; k < m_; ++k) row[k] -= factor * prow[k];
+    }
+    return true;
+  }
+
+ private:
+  int m_;
+  Matrix binv_;
+};
+
+/// The revised-simplex engine: sparse LU of the basis plus a product-form
+/// eta file (lp::LuFactor).  Work per solve scales with the factor's
+/// nonzeros, not m^2, and a pivot costs O(nnz(d)) instead of a dense
+/// rank-one inverse update.
+class SparseEngine final : public BasisEngine {
+ public:
+  explicit SparseEngine(int m) : m_(m) {}
+
+  bool refactorize(
+      const std::vector<const std::vector<Term>*>& columns) override {
+    return lu_.factorize(m_, columns);
+  }
+
+  void reset_diagonal(const std::vector<double>& diag) override {
+    lu_.reset_diagonal(diag);
+  }
+
+  void ftran_column(const std::vector<Term>& a,
+                    std::vector<double>& d) override {
+    d.assign(m_, 0.0);
+    for (const auto& [row, coef] : a) d[row] += coef;
+    lu_.ftran(d);
+  }
+
+  void ftran_dense(const std::vector<double>& rhs,
+                   std::vector<double>& x) override {
+    x = rhs;
+    lu_.ftran(x);
+  }
+
+  void btran_dense(const std::vector<double>& c,
+                   std::vector<double>& y) override {
+    y = c;
+    lu_.btran(y);
+  }
+
+  void btran_unit(int r, std::vector<double>& rho) override {
+    rho.assign(m_, 0.0);
+    rho[r] = 1.0;
+    lu_.btran(rho);
+  }
+
+  bool update(const std::vector<double>& d, int r) override {
+    return lu_.push_eta(d, r);
+  }
+
+ private:
+  int m_;
+  LuFactor lu_;
+};
 
 /// Internal bounded-variable simplex working on the computational form
 ///   min c'x  s.t.  A x = b,  l <= x <= u
@@ -36,6 +206,7 @@ class Simplex {
 
   LpSolution run(const LpModel& model, WarmStart* warm) {
     LpSolution sol;
+    sol.stats.pricing_rule = pricing_->name();
     if (bad_bounds_) {
       sol.status = SolveStatus::Infeasible;
       sol.error = common::Status::Error(common::ErrorCode::kInvalidInput,
@@ -77,6 +248,8 @@ class Simplex {
         export_warm_basis(*warm);
     }
     sol.error = describe(st);
+    sol.stats = stats_;
+    sol.stats.pricing_rule = pricing_->name();
     return sol;
   }
 
@@ -132,16 +305,18 @@ class Simplex {
       ub_[j] = use_override ? ub_override[j] : v.ub;
       if (lb_[j] > ub_[j] + options_.feasibility_tol) bad_bounds_ = true;
       cost_[j] = maximize_ ? -v.cost : v.cost;
+      // Structural columns come straight from the model's incrementally
+      // maintained transpose view: O(nnz) instead of re-scanning every row.
+      for (const auto& [row, coef] : model.column(j)) {
+        if (coef == 0.0) continue;
+        cols_[j].emplace_back(row, coef);
+      }
     }
 
     for (int i = 0; i < m_; ++i) {
       const Constraint& row = model.constraint(i);
       b_[i] = row.rhs;
       rhs_scale_ = std::max(rhs_scale_, std::abs(row.rhs));
-      for (const auto& [col, coef] : row.terms) {
-        if (coef == 0.0) continue;
-        cols_[col].emplace_back(i, coef);
-      }
       // Slack column.
       const int sj = n_slack_start_ + i;
       cols_[sj].emplace_back(i, 1.0);
@@ -186,6 +361,15 @@ class Simplex {
                           ? options_.max_iterations
                           : std::max<std::int64_t>(
                                 2000, 60LL * (m_ + n_struct_));
+
+    if (options_.dense_basis) {
+      engine_ = std::make_unique<DenseEngine>(m_);
+    } else {
+      engine_ = std::make_unique<SparseEngine>(m_);
+    }
+    pricing_ = make_pricing(options_.pricing);
+    pricing_->reset(num_cols_);
+    deadline_stride_ = std::max(1, options_.deadline_check_stride);
   }
 
   /// Places all structural/slack variables at a finite bound (or 0 if free),
@@ -224,13 +408,13 @@ class Simplex {
       state_[aj] = VarState::Basic;
       xval_[aj] = std::abs(residual[i]);
     }
-    // The all-artificial basis matrix is diagonal (+/-1), so its inverse is
-    // written down directly instead of running the generic O(m^3) dense
-    // refactorization — which for a few-thousand-row LP costs more than an
-    // entire budgeted solve.
-    binv_ = Matrix(m_, m_);
-    for (int i = 0; i < m_; ++i)
-      binv_(i, i) = cols_[basis_[i]].front().second;
+    // The all-artificial basis matrix is diagonal (+/-1), so both engines
+    // install it in O(m) instead of running a generic refactorization —
+    // which for a few-thousand-row LP costs more than an entire budgeted
+    // solve.
+    diag_.resize(m_);
+    for (int i = 0; i < m_; ++i) diag_[i] = cols_[basis_[i]].front().second;
+    engine_->reset_diagonal(diag_);
     pivots_since_refactor_ = 0;
   }
 
@@ -328,7 +512,7 @@ class Simplex {
       basis_[i] = col;
       state_[col] = VarState::Basic;
     }
-    if (!refactorize()) return false;
+    if (!refactor_basis()) return false;
 
     const double tol = options_.feasibility_tol * (1.0 + rhs_scale_);
     for (int i = 0; i < m_; ++i) {
@@ -388,16 +572,20 @@ class Simplex {
     bool bland = false;
     while (true) {
       if (iterations_ >= max_iterations_) return SolveStatus::IterationLimit;
-      // The wall-clock budget preempts long solves mid-flight.  Checked
-      // every pivot: a steady_clock read is nanoseconds against a pivot's
-      // O(m^2) basis update, and only solves that opted into a limit pay it.
-      if (deadline_enabled_ && Clock::now() >= deadline_) {
+      // The wall-clock budget preempts long solves mid-flight.  The clock
+      // is read only every deadline_check_stride pivots (including pivot
+      // 0, so a tiny budget still fires immediately): a steady_clock read
+      // is cheap but no longer free next to a sparse pivot, and only
+      // solves that opted into a limit pay even the strided cost.
+      if (deadline_enabled_ && iterations_ % deadline_stride_ == 0 &&
+          Clock::now() >= deadline_) {
         timed_out_ = true;
         return SolveStatus::IterationLimit;
       }
       // Robustness-test hook: a scripted scenario can poison this pivot,
       // modelling the mid-solve numerical breakdowns a singular or badly
-      // conditioned basis produces in the wild.
+      // conditioned basis produces in the wild.  Stays per-pivot — the
+      // deadline stride must not change where a scripted fault fires.
       if (common::fault_fires(common::faults::kLpPivotPoison)) {
         poisoned_ = true;
         return SolveStatus::NumericalError;
@@ -418,7 +606,9 @@ class Simplex {
         dir = rc < 0.0 ? +1 : -1;
       }
 
-      std::vector<double> d = ftran(entering);
+      engine_->ftran_column(cols_[entering], d_);
+      ++stats_.ftran_calls;
+      const std::vector<double>& d = d_;
 
       // Ratio test.  Relaxed ratios (bound + feasibility_tol) are used only
       // to *select* the blocking variable (Harris-style, for numerical
@@ -506,22 +696,37 @@ class Simplex {
       basis_[leaving_pos] = entering;
       state_[entering] = VarState::Basic;
 
-      update_basis_inverse(d, leaving_pos);
+      // Steepest-edge needs the pivot row of the PRE-pivot basis inverse,
+      // so the weights update runs before the engine absorbs the pivot.
+      if (pricing_->wants_pivot_row()) {
+        update_pricing_weights(entering, leaving_var, leaving_pos);
+      }
 
-      if (++pivots_since_refactor_ >= options_.refactor_interval) {
-        refactorize();
+      if (!engine_->update(d_, leaving_pos)) {
+        // Pivot element too small for a product-form/inverse update: a
+        // fresh factorization of the (already changed) basis is the only
+        // consistent continuation.
+        if (!refactor_basis()) return SolveStatus::NumericalError;
+      } else if (++pivots_since_refactor_ >= options_.refactor_interval) {
+        // A failed periodic refactorization keeps the eta/update chain
+        // alive — tolerances will catch drift — exactly like the old
+        // dense path kept its updated inverse.
+        (void)refactor_basis();
       }
     }
   }
 
   void compute_duals() {
-    y_.assign(m_, 0.0);
+    cb_.assign(m_, 0.0);
+    bool any = false;
     for (int i = 0; i < m_; ++i) {
-      const double cb = column_cost(basis_[i]);
-      if (cb == 0.0) continue;
-      const double* row = binv_.row(i);
-      for (int k = 0; k < m_; ++k) y_[k] += cb * row[k];
+      cb_[i] = column_cost(basis_[i]);
+      any = any || cb_[i] != 0.0;
     }
+    y_.assign(m_, 0.0);
+    if (!any) return;
+    engine_->btran_dense(cb_, y_);
+    ++stats_.btran_calls;
   }
 
   double reduced_cost(int j) const {
@@ -531,10 +736,12 @@ class Simplex {
   }
 
   /// Returns the entering column, or -1 when the current basis is optimal.
+  /// Collects every violating candidate and delegates the choice to the
+  /// pricing rule; under Bland's rule the first (lowest-index) eligible
+  /// column is taken unconditionally, preserving the anti-cycling proof.
   int price(bool bland) {
     const double tol = options_.optimality_tol * (1.0 + cost_scale_);
-    int best = -1;
-    double best_violation = tol;
+    candidates_.clear();
     for (int j = 0; j < num_cols_; ++j) {
       if (state_[j] == VarState::Basic) continue;
       if (lb_[j] == ub_[j]) continue;  // fixed, never eligible
@@ -547,64 +754,55 @@ class Simplex {
       } else {  // free
         violation = std::abs(rc);
       }
-      if (violation <= best_violation) continue;
+      if (violation <= tol) continue;
       if (bland) return j;  // first eligible (lowest index)
-      best = j;
-      best_violation = violation;
+      candidates_.push_back({j, violation});
     }
-    return best;
+    if (candidates_.empty()) return -1;
+    const int pick = pricing_->select(candidates_);
+    return pick >= 0 ? pick : candidates_.front().column;
   }
 
-  /// d = B^{-1} A_j.
-  std::vector<double> ftran(int j) const {
-    std::vector<double> d(m_, 0.0);
-    for (const auto& [row, coef] : cols_[j]) {
-      for (int k = 0; k < m_; ++k) d[k] += binv_(k, row) * coef;
+  /// Feeds the pivot row to the pricing rule: rho = B^{-T} e_r from the
+  /// pre-pivot basis, alpha_j = rho . a_j for every nonbasic column.
+  void update_pricing_weights(int entering, int leaving_var, int r) {
+    engine_->btran_unit(r, rho_);
+    ++stats_.btran_calls;
+    alpha_.assign(num_cols_, 0.0);
+    for (int j = 0; j < num_cols_; ++j) {
+      if (state_[j] == VarState::Basic || lb_[j] == ub_[j]) continue;
+      double a = 0.0;
+      for (const auto& [row, coef] : cols_[j]) a += rho_[row] * coef;
+      alpha_[j] = a;
     }
-    return d;
+    alpha_[entering] = d_[r];
+    pricing_->update(entering, leaving_var, d_, r, alpha_);
   }
 
-  void update_basis_inverse(const std::vector<double>& d, int r) {
-    const double pivot = d[r];
-    double* prow = binv_.row(r);
-    const double inv_pivot = 1.0 / pivot;
-    for (int k = 0; k < m_; ++k) prow[k] *= inv_pivot;
-    for (int i = 0; i < m_; ++i) {
-      if (i == r || d[i] == 0.0) continue;
-      double* row = binv_.row(i);
-      const double factor = d[i];
-      for (int k = 0; k < m_; ++k) row[k] -= factor * prow[k];
-    }
-  }
-
-  /// Returns false when the basis matrix is singular (the previous inverse
-  /// is kept; warm-start installation treats this as "basis unusable").
-  bool refactorize() {
-    Matrix basis_matrix(m_, m_);
-    for (int i = 0; i < m_; ++i) {
-      for (const auto& [row, coef] : cols_[basis_[i]])
-        basis_matrix(row, i) = coef;
-    }
-    LuFactorization lu(std::move(basis_matrix));
-    if (!lu.ok()) {
+  /// Refactorizes the current basis through the engine and, on success,
+  /// recomputes the basic values from scratch to shed accumulated error.
+  /// Returns false when the basis matrix is singular (the engine keeps its
+  /// previous state; warm-start installation treats this as "basis
+  /// unusable", the pivot loop as "keep limping on the update chain").
+  bool refactor_basis() {
+    basis_cols_.clear();
+    basis_cols_.reserve(m_);
+    for (int i = 0; i < m_; ++i) basis_cols_.push_back(&cols_[basis_[i]]);
+    if (!engine_->refactorize(basis_cols_)) {
       MMWAVE_LOG_WARN << "simplex: singular basis at refactorization";
-      return false;  // keep the updated inverse; tolerances will catch drift
+      return false;
     }
-    binv_ = lu.inverse();
+    ++stats_.refactorizations;
     pivots_since_refactor_ = 0;
 
-    // Recompute basic values from scratch to shed accumulated error.
-    std::vector<double> rhs = b_;
+    rhs_ = b_;
     for (int j = 0; j < num_cols_; ++j) {
       if (state_[j] == VarState::Basic || xval_[j] == 0.0) continue;
-      for (const auto& [row, coef] : cols_[j]) rhs[row] -= coef * xval_[j];
+      for (const auto& [row, coef] : cols_[j]) rhs_[row] -= coef * xval_[j];
     }
-    for (int i = 0; i < m_; ++i) {
-      double v = 0.0;
-      const double* row = binv_.row(i);
-      for (int k = 0; k < m_; ++k) v += row[k] * rhs[k];
-      xval_[basis_[i]] = v;
-    }
+    engine_->ftran_dense(rhs_, xb_);
+    ++stats_.ftran_calls;
+    for (int i = 0; i < m_; ++i) xval_[basis_[i]] = xb_[i];
     return true;
   }
 
@@ -673,6 +871,7 @@ class Simplex {
   std::int64_t max_iterations_ = 0;
   std::int64_t iterations_ = 0;
   int pivots_since_refactor_ = 0;
+  int deadline_stride_ = 1;
   bool poisoned_ = false;  // an injected fault aborted this solve
   using Clock = std::chrono::steady_clock;
   bool deadline_enabled_ = false;
@@ -686,7 +885,15 @@ class Simplex {
   std::vector<VarState> state_;
   std::vector<int> basis_;
   std::vector<double> y_;
-  Matrix binv_;
+
+  std::unique_ptr<BasisEngine> engine_;
+  std::unique_ptr<Pricing> pricing_;
+  LpStats stats_;
+  std::vector<PricingCandidate> candidates_;
+  // Reused per-pivot scratch (FTRAN direction, basic costs, pivot row,
+  // pricing alphas, refactorization rhs/values, diagonal install).
+  std::vector<double> d_, cb_, rho_, alpha_, rhs_, xb_, diag_;
+  std::vector<const std::vector<Term>*> basis_cols_;
 };
 
 }  // namespace

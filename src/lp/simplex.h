@@ -10,11 +10,15 @@
 //  * Bounds are handled by the upper-bounded simplex technique (nonbasic
 //    variables rest at either bound; the ratio test allows bound flips), so
 //    binaries and power caps never cost extra rows.
-//  * The basis inverse is kept explicitly (dense) with eta-style row updates
-//    and periodic refactorization through LU; problem sizes here are a few
-//    thousand rows at most.
-//  * Dantzig pricing with a Bland's-rule fallback once a run of degenerate
-//    pivots is detected, which guarantees termination.
+//  * Revised simplex: the basis is held as a sparse LU factorization
+//    (lp::LuFactor) with product-form eta updates per pivot and periodic
+//    refactorization; FTRAN/BTRAN solves replace explicit-inverse
+//    maintenance.  The historical dense explicit-inverse engine survives
+//    behind LpOptions::dense_basis as the property-test reference.
+//  * Pluggable pricing (lp::Pricing): Dantzig (default) or steepest-edge
+//    with incremental reference weights, with a Bland's-rule fallback once
+//    a run of degenerate pivots is detected, which guarantees termination
+//    under either rule.
 //
 // Dual sign convention (Minimize): a >= row has dual >= 0, a <= row has
 // dual <= 0, an = row is unconstrained in sign.  For Maximize models the
@@ -28,6 +32,7 @@
 
 #include "common/status.h"
 #include "lp/model.h"
+#include "lp/pricing.h"
 
 namespace mmwave::lp {
 
@@ -51,10 +56,32 @@ struct LpOptions {
   double time_limit_sec = 0.0;
   double feasibility_tol = 1e-7;
   double optimality_tol = 1e-7;
-  /// Rebuild the basis inverse from scratch every this many pivots.
+  /// Refactorize the basis from scratch every this many pivots (bounds the
+  /// eta file of the sparse engine, sheds drift on the dense one).
   int refactor_interval = 128;
   /// Consecutive non-improving pivots before switching to Bland's rule.
   int stall_threshold = 60;
+  /// Entering-variable pricing rule (see lp/pricing.h).
+  PricingRule pricing = PricingRule::kDantzig;
+  /// Use the dense explicit-inverse basis engine instead of the sparse LU.
+  /// Kept as the independently-implemented reference the revised solver is
+  /// property-tested against, and for A/B benchmarks.
+  bool dense_basis = false;
+  /// Read the deadline clock only every this many pivots when
+  /// time_limit_sec is set, so tight solves don't pay a clock call per
+  /// pivot.  The fault-injection hook stays per-pivot regardless.
+  int deadline_check_stride = 16;
+};
+
+/// Basis-engine work counters of one solve (surfaced through CgProfile and
+/// `mmwave_cli solve --profile`).
+struct LpStats {
+  std::int64_t ftran_calls = 0;
+  std::int64_t btran_calls = 0;
+  /// Full basis (re)factorizations, including the warm-start install.
+  int refactorizations = 0;
+  /// Name of the pricing rule that ran ("dantzig" | "steepest-edge").
+  const char* pricing_rule = "";
 };
 
 struct LpSolution {
@@ -72,6 +99,8 @@ struct LpSolution {
   /// (kNumericalBreakdown, kLimitHit, kInfeasible, kUnbounded) plus a
   /// message saying where the solve gave out.
   common::Status error;
+  /// Basis-engine work counters (FTRAN/BTRAN/refactorization, pricing rule).
+  LpStats stats;
 
   bool optimal() const { return status == SolveStatus::Optimal; }
 };

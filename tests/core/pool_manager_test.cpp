@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <set>
 #include <string>
@@ -391,6 +392,100 @@ TEST(PoolManager, MetricsAccumulateAndResetWithoutTouchingThePool) {
   EXPECT_EQ(manager.metrics().seed_calls, 0);
   EXPECT_EQ(manager.metrics().seeded_columns, 0);
   EXPECT_EQ(manager.size(), size_before);  // resetting metrics keeps capital
+}
+
+/// Adaptive-cap property: under ANY observe() sequence the effective cap
+/// stays inside [min_cap, max_cap], moves in the documented direction for
+/// unambiguous signals, and a shrink evicts immediately (still never below
+/// the protected basis).
+TEST(PoolManager, AdaptiveCapStaysWithinConfiguredBounds) {
+  const Scenario sc = Scenario::make(21, 5, 2, 3);
+  const CgResult result =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  ASSERT_TRUE(result.converged);
+
+  PoolManagerOptions opts;
+  opts.adaptive = true;
+  opts.cap = 12;
+  opts.min_cap = 4;
+  opts.max_cap = 32;
+  PoolManager manager(opts);
+  manager.store(make_signature(sc.net, sc.demands), sc.net, result);
+  const int basis_size = static_cast<int>(basis_keys(result).size());
+
+  common::Rng rng(0xADA9CAB);
+  for (int step = 0; step < 200; ++step) {
+    const double hit_rate = rng.uniform(0.0, 1.0);
+    const double seconds = rng.uniform(0.0, 0.2);
+    const int before = manager.effective_cap();
+    manager.observe(hit_rate, seconds);
+    const int after = manager.effective_cap();
+    ASSERT_GE(after, opts.min_cap) << "step " << step;
+    ASSERT_LE(after, opts.max_cap) << "step " << step;
+    const bool over = seconds > opts.master_seconds_budget;
+    if (hit_rate < opts.shrink_hit_rate || over) {
+      ASSERT_LE(after, before) << "step " << step;
+    } else if (hit_rate >= opts.grow_hit_rate && !over) {
+      ASSERT_GE(after, before) << "step " << step;
+    } else {
+      ASSERT_EQ(after, before) << "step " << step;  // dead band holds
+    }
+    // The cap is enforced on the live pool at observe time (basis excepted).
+    ASSERT_LE(manager.size(), std::max(after, basis_size)) << "step " << step;
+  }
+  // Degenerate feedback must not move the cap.
+  const int cap = manager.effective_cap();
+  manager.observe(std::nan(""), 0.0);
+  manager.observe(0.0, std::nan(""));
+  EXPECT_EQ(manager.effective_cap(), cap);
+
+  // A non-adaptive manager ignores observe() entirely.
+  PoolManager fixed(PoolManagerOptions{});
+  fixed.observe(0.0, 1e9);
+  EXPECT_EQ(fixed.effective_cap(), 0);
+}
+
+/// Correctness is cap-independent: a pool squeezed by adaptive shrinks must
+/// still seed a resolve that matches the cold solve of the perturbed
+/// instance — adaptation costs speed, never the optimum.
+TEST(PoolManager, AdaptiveCappedSeedingMatchesColdSolve) {
+  const Scenario sc = Scenario::make(22, 5, 2, 3);
+  const CgResult first =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  ASSERT_TRUE(first.converged);
+
+  std::vector<double> scales(5, 1.0);
+  scales[2] = 0.05;
+  const net::Network perturbed = sc.scaled(scales);
+  const auto next_demands = random_demands(5, 901);
+  const CgResult cold =
+      solve_column_generation(perturbed, next_demands, exact_options());
+  ASSERT_TRUE(cold.converged);
+
+  PoolManagerOptions opts;
+  opts.adaptive = true;
+  opts.cap = 16;
+  opts.min_cap = 2;
+  opts.max_cap = 24;
+  PoolManager manager(opts);
+  manager.store(make_signature(sc.net, sc.demands), sc.net, first);
+  // Simulate a string of cold periods: the controller squeezes the pool to
+  // its floor before the next seed.
+  for (int i = 0; i < 10; ++i) manager.observe(0.0, 1.0);
+  EXPECT_EQ(manager.effective_cap(), opts.min_cap);
+  EXPECT_GT(manager.metrics().cap_shrunk, 0);
+
+  const std::vector<sched::Schedule> candidates =
+      manager.seed(make_signature(perturbed, next_demands));
+  CgOptions warm_opts = exact_options();
+  warm_opts.verify = true;
+  RepairStats stats;
+  warm_opts.warm_pool = repair_pool(perturbed, candidates, &stats);
+  const CgResult warm =
+      solve_column_generation(perturbed, next_demands, warm_opts);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_NEAR(warm.total_slots, cold.total_slots, kRelTol * cold.total_slots);
+  EXPECT_TRUE(warm.verification.ok());
 }
 
 }  // namespace

@@ -50,6 +50,18 @@ endfunction()
 run(0 "" solve --links=4 --channels=2 --pricing=heuristic)
 run(0 "" help)
 
+# --- master-LP pricing rule: --pricing combines the CG mode with the simplex
+# rule as comma-separated tokens; --profile reports the rule that ran plus
+# the basis-engine work counters.
+run(0 "" solve --links=4 --channels=2 --pricing=dantzig)
+run(0 "" solve --links=4 --channels=2 --pricing=heuristic,steepest)
+run(0 "lp engine +pricing=steepest-edge.*ftran.*btran.*refactorizations"
+    solve --links=4 --channels=2 --pricing=heuristic,steepest --profile)
+run(0 "lp engine +pricing=dantzig"
+    solve --links=4 --channels=2 --pricing=heuristic --profile)
+run(2 "error: --pricing: expected heuristic\\|hybrid\\|exact"
+    solve --links=4 --pricing=hybrid,quantum)
+
 # --- exit 1: unknown command ------------------------------------------------
 run(1 "" frobnicate)
 
