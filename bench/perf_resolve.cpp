@@ -177,6 +177,61 @@ void BM_RestartWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_RestartWarm);
 
+/// Repair-policy comparison on the blockage trace (the `stream --repair`
+/// decision): drop discards every SINR-violated transmission, downgrade
+/// first steps the rate level down the SINR ladder and only drops from the
+/// ladder floor.  Downgrade keeps more of the pool alive across blockage
+/// transitions (higher pool_hit_rate, more columns seeded warm) for a
+/// slightly costlier repair pass; the two arms quantify that trade.
+template <core::RepairPolicy Policy>
+void BM_RepairPolicyTrace(benchmark::State& state) {
+  const Trace t = make_trace(17);
+  core::ResolveOptions ropts;
+  ropts.repair = Policy;
+  std::int64_t iterations = 0;
+  std::int64_t loaded = 0;
+  std::int64_t reused = 0;
+  std::int64_t dropped_tx = 0;
+  std::int64_t downgraded_tx = 0;
+  double slots = 0.0;
+  for (auto _ : state) {
+    core::CgCheckpoint ckpt;
+    bool have_ckpt = false;
+    for (int g = 0; g < kPeriods; ++g) {
+      const net::Network net = period_net(t, g);
+      core::CgResult r;
+      if (have_ckpt) {
+        const core::ResolveResult rr =
+            core::resolve(net, t.demands, ckpt, solve_options(), ropts);
+        loaded += rr.repair.loaded;
+        reused += rr.repair.survivors();
+        dropped_tx += rr.repair.transmissions_dropped;
+        downgraded_tx += rr.repair.transmissions_downgraded;
+        r = std::move(rr.cg);
+      } else {
+        r = core::solve_column_generation(net, t.demands, solve_options());
+      }
+      iterations += r.iterations;
+      slots += r.total_slots;
+      benchmark::DoNotOptimize(slots);
+      ckpt = core::make_checkpoint(net, t.demands, r);
+      have_ckpt = true;
+    }
+  }
+  const double n =
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.counters["cg_iterations"] = static_cast<double>(iterations) / n;
+  state.counters["slots"] = slots / n;
+  state.counters["pool_hit_rate"] =
+      loaded > 0 ? static_cast<double>(reused) / loaded : 0.0;
+  state.counters["tx_dropped"] = static_cast<double>(dropped_tx) / n;
+  state.counters["tx_downgraded"] = static_cast<double>(downgraded_tx) / n;
+}
+BENCHMARK(BM_RepairPolicyTrace<core::RepairPolicy::kDropTransmissions>)
+    ->Name("BM_RepairDropTrace");
+BENCHMARK(BM_RepairPolicyTrace<core::RepairPolicy::kDowngradeRate>)
+    ->Name("BM_RepairDowngradeTrace");
+
 /// Serialization overhead: the full save path (serialize + checksum) and
 /// the strict parse, on a real solved checkpoint.
 void BM_CheckpointRoundTrip(benchmark::State& state) {

@@ -46,5 +46,26 @@ inline constexpr const char* kCheckpointBadPoolRecord =
 /// columns stay, and the resolve optimum is unchanged.
 inline constexpr const char* kPoolEvictWrongColumn =
     "pool.evict_wrong_column";
+/// CheckpointLog::save tears a delta append mid-block (half the bytes land,
+/// then EIO).  The writer must report kIoError and force a compaction on
+/// the next save; the loader must replay the chain up to the torn block and
+/// drop the tail, never crash or apply a partial delta.
+inline constexpr const char* kCheckpointDeltaTornWrite =
+    "checkpoint.delta_torn_write";
+/// CheckpointLog compaction dies after writing a partial temp file, before
+/// the rename.  The old base + delta chain must remain fully loadable; the
+/// next save retries the compaction.
+inline constexpr const char* kCheckpointCompactCrash =
+    "checkpoint.compact_crash";
+/// A v3 checkpoint session cursor reads as semantically bad: the parser
+/// must degrade to "no session" (solver pool kept, stream restarts the
+/// session cold), never reject the checkpoint or crash.
+inline constexpr const char* kSessionCursorCorrupt =
+    "session.cursor_corrupt";
+/// A v3 pool-index record (the multi-instance neighbour index) reads as
+/// semantically bad: the parser must degrade to an empty index (columns
+/// kept, neighbour seeding rebuilt from scratch), never reject the file.
+inline constexpr const char* kCheckpointBadIndexRecord =
+    "checkpoint.v3_bad_index_record";
 
 }  // namespace mmwave::common::faults

@@ -5,222 +5,28 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
-#include <sstream>
 
 #include "common/fault_injection.h"
 #include "common/log.h"
+#include "core/checkpoint_detail.h"
 #include "core/column_generation.h"
 
 namespace mmwave::core {
 namespace {
 
+using detail::LineReader;
+using detail::append_double;
+using detail::append_hex64;
+using detail::expect_double;
+using detail::expect_int;
+using detail::expect_kv;
+using detail::parse_double_token;
+using detail::parse_error;
+using detail::parse_hex64_token;
+using detail::parse_int_token;
+using detail::split_tokens;
+
 constexpr const char* kMagic = "mmwave-cg-checkpoint";
-
-// Hard ceilings on parsed counts: a corrupted header must not be able to
-// drive a multi-gigabyte allocation before the checksum line is even
-// reachable (the checksum is verified first, but belt and braces).
-constexpr int kMaxLinks = 4096;
-constexpr int kMaxChannels = 1024;
-constexpr int kMaxColumns = 1'000'000;
-constexpr int kMaxRateLevels = 64;
-
-[[nodiscard]] common::Status parse_error(int line, const std::string& what) {
-  return common::Status::Error(
-      common::ErrorCode::kInvalidInput,
-      "checkpoint line " + std::to_string(line) + ": " + what);
-}
-
-/// %.17g round-trips IEEE doubles exactly, which is what makes the
-/// save -> load -> serialize cycle byte-identical.
-void append_double(std::string& out, double v) {
-  if (std::isnan(v)) {
-    out += "nan";
-    return;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
-
-/// Strict full-token double parse; `allow_nan` admits the literal "nan".
-bool parse_double_token(std::string_view token, bool allow_nan, double* out) {
-  if (token.empty() || token.size() >= 63) return false;
-  if (token == "nan") {
-    if (!allow_nan) return false;
-    *out = std::nan("");
-    return true;
-  }
-  char buf[64];
-  std::memcpy(buf, token.data(), token.size());
-  buf[token.size()] = '\0';
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(buf, &end);
-  if (end != buf + token.size() || errno == ERANGE || !std::isfinite(v))
-    return false;
-  *out = v;
-  return true;
-}
-
-bool parse_int_token(std::string_view token, long long lo, long long hi,
-                     long long* out) {
-  if (token.empty() || token.size() >= 31) return false;
-  char buf[32];
-  std::memcpy(buf, token.data(), token.size());
-  buf[token.size()] = '\0';
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(buf, &end, 10);
-  if (end != buf + token.size() || errno == ERANGE || v < lo || v > hi)
-    return false;
-  *out = v;
-  return true;
-}
-
-bool parse_hex64_token(std::string_view token, std::uint64_t* out) {
-  if (token.size() != 18 || token[0] != '0' || token[1] != 'x') return false;
-  std::uint64_t v = 0;
-  for (std::size_t i = 2; i < token.size(); ++i) {
-    const char c = token[i];
-    int digit;
-    if (c >= '0' && c <= '9') digit = c - '0';
-    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
-    else return false;
-    v = (v << 4) | static_cast<std::uint64_t>(digit);
-  }
-  *out = v;
-  return true;
-}
-
-void append_hex64(std::string& out, std::uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "0x%016llx",
-                static_cast<unsigned long long>(v));
-  out += buf;
-}
-
-/// Line cursor over the payload; tracks 1-based line numbers for errors.
-class LineReader {
- public:
-  LineReader(std::string_view text, int first_line)
-      : text_(text), line_(first_line - 1) {}
-
-  /// Next line without its '\n'.  False at end of input.
-  bool next(std::string_view* out) {
-    if (pos_ >= text_.size()) return false;
-    const std::size_t nl = text_.find('\n', pos_);
-    if (nl == std::string_view::npos) {
-      // A checkpoint always ends in a newline; a final unterminated line is
-      // a truncation, reported by the caller when the content mismatches.
-      *out = text_.substr(pos_);
-      pos_ = text_.size();
-    } else {
-      *out = text_.substr(pos_, nl - pos_);
-      pos_ = nl + 1;
-    }
-    ++line_;
-    return true;
-  }
-  bool at_end() const { return pos_ >= text_.size(); }
-  int line() const { return line_ + 1; }  ///< line number of the NEXT line
-
- private:
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  int line_;
-};
-
-/// Splits on single spaces (the serializer never emits doubles/tabs).
-std::vector<std::string_view> split_tokens(std::string_view line) {
-  std::vector<std::string_view> tokens;
-  std::size_t pos = 0;
-  while (pos <= line.size()) {
-    const std::size_t sp = line.find(' ', pos);
-    if (sp == std::string_view::npos) {
-      tokens.push_back(line.substr(pos));
-      break;
-    }
-    tokens.push_back(line.substr(pos, sp - pos));
-    pos = sp + 1;
-  }
-  return tokens;
-}
-
-/// Reads one `key = <value tokens...>` line; returns the value tokens.
-[[nodiscard]] common::Expected<std::vector<std::string_view>> expect_kv(
-    LineReader& reader, std::string_view key) {
-  std::string_view line;
-  const int line_no = reader.line();
-  if (!reader.next(&line)) {
-    return parse_error(line_no, "truncated: expected '" + std::string(key) +
-                                    " = ...'");
-  }
-  auto tokens = split_tokens(line);
-  if (tokens.size() < 3 || tokens[0] != key || tokens[1] != "=") {
-    return parse_error(line_no, "expected '" + std::string(key) +
-                                    " = ...', got '" + std::string(line) +
-                                    "'");
-  }
-  tokens.erase(tokens.begin(), tokens.begin() + 2);
-  return tokens;
-}
-
-[[nodiscard]] common::Expected<long long> expect_int(LineReader& reader,
-                                       std::string_view key, long long lo,
-                                       long long hi) {
-  const int line_no = reader.line();
-  auto tokens = expect_kv(reader, key);
-  if (!tokens.ok()) return tokens.status();
-  long long v = 0;
-  if (tokens.value().size() != 1 ||
-      !parse_int_token(tokens.value()[0], lo, hi, &v)) {
-    return parse_error(line_no, std::string(key) + ": expected an integer in [" +
-                                    std::to_string(lo) + ", " +
-                                    std::to_string(hi) + "]");
-  }
-  return v;
-}
-
-[[nodiscard]] common::Expected<double> expect_double(LineReader& reader,
-                                       std::string_view key, bool allow_nan) {
-  const int line_no = reader.line();
-  auto tokens = expect_kv(reader, key);
-  if (!tokens.ok()) return tokens.status();
-  double v = 0.0;
-  if (tokens.value().size() != 1 ||
-      !parse_double_token(tokens.value()[0], allow_nan, &v)) {
-    return parse_error(line_no,
-                       std::string(key) + ": expected a finite number" +
-                           (allow_nan ? " or 'nan'" : ""));
-  }
-  return v;
-}
-
-[[nodiscard]] common::Expected<std::vector<double>> expect_dual_vector(
-    LineReader& reader,
-                                                         std::string_view key,
-                                                         int expected_size) {
-  const int line_no = reader.line();
-  auto tokens = expect_kv(reader, key);
-  if (!tokens.ok()) return tokens.status();
-  if (static_cast<int>(tokens.value().size()) != expected_size) {
-    return parse_error(line_no, std::string(key) + ": expected " +
-                                    std::to_string(expected_size) +
-                                    " values, got " +
-                                    std::to_string(tokens.value().size()));
-  }
-  std::vector<double> values;
-  values.reserve(tokens.value().size());
-  for (std::string_view t : tokens.value()) {
-    double v = 0.0;
-    if (!parse_double_token(t, /*allow_nan=*/false, &v) || v < 0.0) {
-      return parse_error(line_no, std::string(key) +
-                                      ": dual values must be finite and >= 0");
-    }
-    values.push_back(v);
-  }
-  return values;
-}
 
 /// Incremental FNV-1a over typed fields (the instance fingerprint).
 class FingerprintHasher {
@@ -242,6 +48,115 @@ class FingerprintHasher {
  private:
   std::uint64_t hash_ = 1469598103934665603ULL;
 };
+
+/// Serializes the v3 session section (grammar in DESIGN §12).  The vectors
+/// carry explicit counts so the serializer is total over any StreamCursor;
+/// the parser's semantic checks enforce count == links on load.
+void append_session(std::string& body, const CgCheckpoint& ckpt) {
+  body += "session = ";
+  body += ckpt.has_session ? '1' : '0';
+  body += '\n';
+  if (!ckpt.has_session) return;
+  const StreamCursor& s = ckpt.session;
+  detail::append_cursor_block(body, s);
+  body += "gops = " + std::to_string(s.gops.size());
+  body += '\n';
+  for (const StreamGopRecord& g : s.gops) detail::append_gop_record(body, g);
+}
+
+/// Parses the v3 pool-index section.  Structural damage (wrong key, token
+/// count, truncation) is a hard parse error; *semantic* damage — a record
+/// whose values are out of range, or the injected
+/// faults::kCheckpointBadIndexRecord — degrades to an empty index (columns
+/// kept, neighbour seeding restarts from scratch).
+[[nodiscard]] common::Status parse_pool_index(LineReader& reader,
+                                              CgCheckpoint* ckpt) {
+  long long count = 0;
+  {
+    auto v = expect_int(reader, "pool_index", 0, detail::kMaxIndexEntries);
+    if (!v.ok()) return v.status();
+    count = v.value();
+  }
+  ckpt->pool_index.reserve(static_cast<std::size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    PoolIndexEntry entry;
+    bool record_ok = true;
+    const common::Status st =
+        detail::parse_index_entry(reader, &entry, &record_ok);
+    if (!st.ok()) return st;
+    // Semantic range checks: a structurally sound record whose dimensions
+    // are nonsense degrades the index instead of rejecting the checkpoint.
+    if (!record_ok ||
+        common::fault_fires(common::faults::kCheckpointBadIndexRecord)) {
+      ckpt->pool_index_degraded = true;
+      continue;  // keep consuming the declared records
+    }
+    ckpt->pool_index.push_back(std::move(entry));
+  }
+  if (ckpt->pool_index_degraded) {
+    MMWAVE_LOG_WARN << "checkpoint: pool index degraded to empty "
+                       "(columns kept, neighbour index reset)";
+    ckpt->pool_index.clear();
+  }
+  return common::Status::Ok();
+}
+
+/// Parses the v3 session section.  Same split as the pool index: structural
+/// damage is a hard error, semantic damage (an out-of-range cursor, a
+/// replay-impossible field combination, or the injected
+/// faults::kSessionCursorCorrupt) degrades to "no session" — the solver
+/// pool stays warm, only the stream restarts its session cold.
+[[nodiscard]] common::Status parse_session(LineReader& reader,
+                                           CgCheckpoint* ckpt) {
+  long long present = 0;
+  {
+    auto v = expect_int(reader, "session", 0, 1);
+    if (!v.ok()) return v.status();
+    present = v.value();
+  }
+  if (present == 0) return common::Status::Ok();
+  StreamCursor s;
+  bool semantic_ok = true;
+  {
+    const common::Status st = detail::parse_cursor_block(reader, &s,
+                                                         &semantic_ok);
+    if (!st.ok()) return st;
+  }
+  long long num_gops_records = 0;
+  {
+    auto v = expect_int(reader, "gops", 0, detail::kMaxGops);
+    if (!v.ok()) return v.status();
+    num_gops_records = v.value();
+  }
+  s.gops.reserve(static_cast<std::size_t>(num_gops_records));
+  for (long long i = 0; i < num_gops_records; ++i) {
+    StreamGopRecord rec;
+    const common::Status st =
+        detail::parse_gop_record(reader, &rec, &semantic_ok);
+    if (!st.ok()) return st;
+    if (rec.gop != static_cast<int>(i)) semantic_ok = false;
+    s.gops.push_back(rec);
+  }
+  // Cursor-level semantic checks: replayability requires a completed-period
+  // prefix consistent with the horizon and with the per-link vectors.
+  semantic_ok = semantic_ok && s.next_gop >= 1 && s.num_gops >= 1 &&
+                s.next_gop <= s.num_gops &&
+                static_cast<long long>(s.gops.size()) == s.next_gop &&
+                static_cast<int>(s.delivered_bits.size()) == ckpt->links &&
+                static_cast<int>(s.blocked.size()) == ckpt->links &&
+                s.carryover_stall >= 0.0 && s.blocked_fraction_sum >= 0.0;
+  semantic_ok = semantic_ok &&
+                !common::fault_fires(common::faults::kSessionCursorCorrupt);
+  if (!semantic_ok) {
+    MMWAVE_LOG_WARN << "checkpoint: session cursor degraded (solver pool "
+                       "kept, stream session restarts cold)";
+    ckpt->session_degraded = true;
+    return common::Status::Ok();
+  }
+  ckpt->has_session = true;
+  ckpt->session = std::move(s);
+  return common::Status::Ok();
+}
 
 }  // namespace
 
@@ -365,19 +280,8 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
   body += "\ncolumns = " + std::to_string(ckpt.pool.size());
   body += '\n';
   for (std::size_t s = 0; s < ckpt.pool.size(); ++s) {
-    const sched::Schedule& col = ckpt.pool[s];
-    body += "column = tau ";
-    append_double(body, s < ckpt.pool_tau.size() ? ckpt.pool_tau[s] : 0.0);
-    body += " txs " + std::to_string(col.size());
-    body += '\n';
-    for (const sched::Transmission& tx : col.transmissions()) {
-      body += "tx = " + std::to_string(tx.link) + ' ' +
-              std::to_string(static_cast<int>(tx.layer)) + ' ' +
-              std::to_string(tx.rate_level) + ' ' +
-              std::to_string(tx.channel) + ' ';
-      append_double(body, tx.power_watts);
-      body += '\n';
-    }
+    detail::append_column(body, ckpt.pool[s],
+                          s < ckpt.pool_tau.size() ? ckpt.pool_tau[s] : 0.0);
   }
   // v2 pool-metadata section: one record per column when metadata is
   // aligned, an explicit empty section otherwise (cold metadata).
@@ -386,18 +290,18 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
           std::to_string(have_meta ? ckpt.pool_meta.size() : 0);
   body += '\n';
   if (have_meta) {
-    for (const PoolColumnMeta& m : ckpt.pool_meta) {
-      body += "meta = ";
-      append_hex64(body, m.fingerprint);
-      body += ' ' + std::to_string(m.last_used_epoch) + ' ';
-      append_double(body,
-                    std::isfinite(m.last_reduced_cost) ? m.last_reduced_cost
-                                                       : 0.0);
-      body += ' ';
-      body += m.in_basis ? '1' : '0';
-      body += '\n';
-    }
+    for (const PoolColumnMeta& m : ckpt.pool_meta)
+      detail::append_meta_record(body, m);
   }
+  // v3 sections: delta-log binding, the multi-instance neighbour index, and
+  // the stream-session cursor.
+  body += "base_seq = " + std::to_string(ckpt.base_seq);
+  body += "\npool_epoch = " + std::to_string(ckpt.pool_epoch);
+  body += "\npool_index = " + std::to_string(ckpt.pool_index.size());
+  body += '\n';
+  for (const PoolIndexEntry& e : ckpt.pool_index)
+    detail::append_index_entry(body, e);
+  append_session(body, ckpt);
   body += "end\n";
 
   std::string out;
@@ -468,12 +372,12 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
     }
   }
   {
-    auto v = expect_int(reader, "links", 1, kMaxLinks);
+    auto v = expect_int(reader, "links", 1, detail::kMaxLinks);
     if (!v.ok()) return v.status();
     ckpt.links = static_cast<int>(v.value());
   }
   {
-    auto v = expect_int(reader, "channels", 1, kMaxChannels);
+    auto v = expect_int(reader, "channels", 1, detail::kMaxChannels);
     if (!v.ok()) return v.status();
     ckpt.channels = static_cast<int>(v.value());
   }
@@ -501,18 +405,18 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
     ckpt.lower_bound = v.value();
   }
   {
-    auto v = expect_dual_vector(reader, "duals_hp", ckpt.links);
+    auto v = detail::parse_dual_vector(reader, "duals_hp", ckpt.links);
     if (!v.ok()) return v.status();
     ckpt.duals_hp = std::move(v.value());
   }
   {
-    auto v = expect_dual_vector(reader, "duals_lp", ckpt.links);
+    auto v = detail::parse_dual_vector(reader, "duals_lp", ckpt.links);
     if (!v.ok()) return v.status();
     ckpt.duals_lp = std::move(v.value());
   }
   long long num_columns = 0;
   {
-    auto v = expect_int(reader, "columns", 0, kMaxColumns);
+    auto v = expect_int(reader, "columns", 0, detail::kMaxColumns);
     if (!v.ok()) return v.status();
     num_columns = v.value();
   }
@@ -520,40 +424,11 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
   ckpt.pool.reserve(static_cast<std::size_t>(num_columns));
   ckpt.pool_tau.reserve(static_cast<std::size_t>(num_columns));
   for (long long s = 0; s < num_columns; ++s) {
-    const int line_no = reader.line();
-    auto tokens = expect_kv(reader, "column");
-    if (!tokens.ok()) return tokens.status();
-    const auto& t = tokens.value();
-    double tau = 0.0;
-    long long num_txs = 0;
-    if (t.size() != 4 || t[0] != "tau" || t[2] != "txs" ||
-        !parse_double_token(t[1], /*allow_nan=*/false, &tau) || tau < 0.0 ||
-        !parse_int_token(t[3], 0, 2LL * kMaxLinks, &num_txs)) {
-      return parse_error(line_no,
-                         "column: expected 'column = tau <t> txs <n>'");
-    }
     sched::Schedule col;
-    for (long long i = 0; i < num_txs; ++i) {
-      const int tx_line = reader.line();
-      auto tx_tokens = expect_kv(reader, "tx");
-      if (!tx_tokens.ok()) return tx_tokens.status();
-      const auto& tt = tx_tokens.value();
-      long long link = 0, layer = 0, level = 0, channel = 0;
-      double power = 0.0;
-      if (tt.size() != 5 ||
-          !parse_int_token(tt[0], 0, ckpt.links - 1, &link) ||
-          !parse_int_token(tt[1], 0, 1, &layer) ||
-          !parse_int_token(tt[2], 0, kMaxRateLevels - 1, &level) ||
-          !parse_int_token(tt[3], 0, ckpt.channels - 1, &channel) ||
-          !parse_double_token(tt[4], /*allow_nan=*/false, &power) ||
-          power < 0.0) {
-        return parse_error(
-            tx_line, "tx: expected '<link> <layer> <level> <channel> <power>' "
-                     "with all fields in range");
-      }
-      col.add({static_cast<int>(link), static_cast<net::Layer>(layer),
-               static_cast<int>(level), static_cast<int>(channel), power});
-    }
+    double tau = 0.0;
+    const common::Status st =
+        detail::parse_column(reader, ckpt.links, ckpt.channels, &col, &tau);
+    if (!st.ok()) return st;
     ckpt.pool.push_back(std::move(col));
     ckpt.pool_tau.push_back(tau);
   }
@@ -567,7 +442,7 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
   if (version >= 2) {
     long long num_meta = 0;
     {
-      auto v = expect_int(reader, "pool_meta", 0, kMaxColumns);
+      auto v = expect_int(reader, "pool_meta", 0, detail::kMaxColumns);
       if (!v.ok()) return v.status();
       num_meta = v.value();
     }
@@ -576,32 +451,16 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
     }
     ckpt.pool_meta.reserve(static_cast<std::size_t>(num_meta));
     for (long long s = 0; s < num_meta; ++s) {
-      const int line_no = reader.line();
-      auto tokens = expect_kv(reader, "meta");
-      if (!tokens.ok()) return tokens.status();
-      const auto& t = tokens.value();
-      if (t.size() != 4) {
-        return parse_error(line_no,
-                           "meta: expected '<fingerprint> <epoch> <rc> "
-                           "<basis>'");
-      }
       PoolColumnMeta m;
-      long long epoch = 0, basis = 0;
-      double rc = 0.0;
-      const bool record_ok =
-          parse_hex64_token(t[0], &m.fingerprint) &&
-          parse_int_token(t[1], 0, std::numeric_limits<long long>::max() - 1,
-                          &epoch) &&
-          parse_double_token(t[2], /*allow_nan=*/false, &rc) &&
-          parse_int_token(t[3], 0, 1, &basis) &&
-          !common::fault_fires(common::faults::kCheckpointBadPoolRecord);
-      if (!record_ok) {
+      bool record_ok = true;
+      const common::Status st = detail::parse_meta_record(reader, &m,
+                                                          &record_ok);
+      if (!st.ok()) return st;
+      if (!record_ok ||
+          common::fault_fires(common::faults::kCheckpointBadPoolRecord)) {
         ckpt.pool_meta_degraded = true;
         continue;  // keep consuming the declared records
       }
-      m.last_used_epoch = epoch;
-      m.last_reduced_cost = rc;
-      m.in_basis = basis != 0;
       ckpt.pool_meta.push_back(m);
     }
     if (ckpt.pool_meta_degraded ||
@@ -612,6 +471,30 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
       }
       ckpt.pool_meta_degraded = num_meta > 0;
       ckpt.pool_meta.clear();
+    }
+  }
+
+  // ---- v3 sections: delta binding, pool index, session cursor ------------
+  if (version >= 3) {
+    {
+      auto v = expect_int(reader, "base_seq", 0,
+                          std::numeric_limits<long long>::max() - 1);
+      if (!v.ok()) return v.status();
+      ckpt.base_seq = v.value();
+    }
+    {
+      auto v = expect_int(reader, "pool_epoch", 0,
+                          std::numeric_limits<long long>::max() - 1);
+      if (!v.ok()) return v.status();
+      ckpt.pool_epoch = v.value();
+    }
+    {
+      const common::Status st = parse_pool_index(reader, &ckpt);
+      if (!st.ok()) return st;
+    }
+    {
+      const common::Status st = parse_session(reader, &ckpt);
+      if (!st.ok()) return st;
     }
   }
 

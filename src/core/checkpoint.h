@@ -40,9 +40,10 @@ namespace mmwave::core {
 struct CgResult;  // column_generation.h
 
 /// The on-disk format version this build writes.  The parser also reads
-/// every older version (currently v1, which lacks the pool-metadata
-/// section; its pool loads with cold metadata).
-inline constexpr int kCheckpointVersion = 2;
+/// every older version: v1 lacks the pool-metadata section (its pool loads
+/// with cold metadata), v2 lacks the session/pool-index sections (it loads
+/// with no stream cursor and an empty neighbour index).
+inline constexpr int kCheckpointVersion = 3;
 /// Oldest format version parse_checkpoint still accepts.
 inline constexpr int kMinCheckpointVersion = 1;
 
@@ -61,6 +62,80 @@ struct PoolColumnMeta {
   double last_reduced_cost = 0.0;
   /// tau > 0 in the most recent master solution: never evicted.
   bool in_basis = false;
+};
+
+/// One entry of the multi-instance neighbour index (core::PoolManager's
+/// `instances_`), persisted by checkpoint format v3 so a restarted session
+/// recovers nearest-neighbour seeding, not just one instance's pool.
+struct PoolIndexEntry {
+  std::uint64_t fingerprint = 0;
+  int links = 0;
+  int channels = 0;
+  /// Manager epoch of the instance's most recent store().
+  std::int64_t last_epoch = 0;
+  /// The signature feature vector (gains/ladder/demands) the neighbour
+  /// distance is computed over; empty = identity-only (no similarity).
+  std::vector<double> features;
+};
+
+/// Per-GOP scoring record of a completed streaming period (mirrors
+/// stream::GopRecord; lives here because core cannot depend on stream).
+struct StreamGopRecord {
+  int gop = 0;
+  double demand_bits = 0.0;
+  double schedule_slots = 0.0;
+  double budget_slots = 0.0;
+  bool on_time = false;
+  double stall_slots = 0.0;
+};
+
+/// Cumulative stream::SolverContext counters at the cursor position, so a
+/// resumed session's final pool-reuse metrics equal the uninterrupted run's.
+struct StreamSolverCounters {
+  int periods = 0;
+  int resolves = 0;
+  int pool_hits = 0;
+  int pool_misses = 0;
+  int columns_loaded = 0;
+  int columns_reused = 0;
+  int columns_repaired = 0;
+  int columns_dropped = 0;
+  int transmissions_dropped = 0;
+  std::int64_t pool_evicted = 0;
+  std::int64_t pool_neighbour_seeded = 0;
+};
+
+/// The stream-session cursor persisted by checkpoint format v3: everything
+/// `stream::run_blockage_session` needs to continue mid-session after a
+/// crash.  Demands and blockage states are regenerated deterministically
+/// from the session seed; the cursor pins where in those streams the
+/// session was, plus the cumulative scores that cannot be replayed without
+/// re-solving.
+struct StreamCursor {
+  /// First GOP period the resumed session still has to run; == num_gops
+  /// when the session finished.  Always >= 1 in a valid cursor (a session
+  /// with nothing completed saves no cursor).
+  int next_gop = 0;
+  int num_gops = 0;
+  /// Hash of the session-defining inputs (instance flags, blockage config,
+  /// horizon, seed); a resume against a different session is rejected.
+  std::uint64_t session_fingerprint = 0;
+  double carryover_stall = 0.0;
+  double blocked_fraction_sum = 0.0;
+  int invalidated_periods = 0;
+  int exec_transmissions_dropped = 0;
+  /// Rolling FNV digest over every solved period's timeline (the chaos-soak
+  /// equality witness).
+  std::uint64_t plan_digest = 0;
+  /// Per-link bits delivered so far; size == links.
+  std::vector<double> delivered_bits;
+  /// Blockage state (0/1 per link) observed at period next_gop - 1: the
+  /// resume replays the Markov chain and must land on exactly these bits,
+  /// otherwise the cursor is stale and gets rejected.
+  std::vector<int> blocked;
+  StreamSolverCounters counters;
+  /// Scoring records of the completed periods, in order (size next_gop).
+  std::vector<StreamGopRecord> gops;
 };
 
 struct CgCheckpoint {
@@ -93,6 +168,29 @@ struct CgCheckpoint {
   /// faults::kCheckpointBadPoolRecord): the columns are still warm capital,
   /// only their scores restarted cold.
   bool pool_meta_degraded = false;
+
+  // ---- Format v3 fields (defaults = what a v1/v2 file loads with) --------
+  /// Compaction counter of the delta log this base belongs to; delta blocks
+  /// bind to it so a stale .delta chain can never replay onto a newer base.
+  std::int64_t base_seq = 0;
+  /// PoolManager store() epoch at save time, restored on import so recency
+  /// scoring continues instead of restarting at zero.
+  std::int64_t pool_epoch = 0;
+  /// The multi-instance neighbour index (v3).  Empty for v1/v2 files and
+  /// when a v3 index section was semantically damaged (pool_index_degraded).
+  std::vector<PoolIndexEntry> pool_index;
+  /// True when a v3 pool-index section had to be discarded (out-of-range
+  /// record, or the injected faults::kCheckpointBadIndexRecord): the pool
+  /// is intact, only the neighbour index restarts empty.
+  bool pool_index_degraded = false;
+  /// True when `session` holds a usable stream cursor.
+  bool has_session = false;
+  /// The stream-session cursor (meaningful only when has_session).
+  StreamCursor session;
+  /// True when a v3 session section had to be discarded (out-of-range
+  /// cursor, or the injected faults::kSessionCursorCorrupt): the solver
+  /// pool is intact, only the stream session restarts cold.
+  bool session_degraded = false;
 };
 
 /// 64-bit FNV-1a over a byte string (the checkpoint payload checksum).

@@ -327,6 +327,32 @@ void PoolManager::import_checkpoint(const CgCheckpoint& checkpoint) {
       entries_.push_back(std::move(e));
     }
   }
+  // v3 cross-instance state: advance the epoch clock so restored recency
+  // values stay meaningful, then merge the persisted neighbour index (by
+  // fingerprint: refresh known instances, append unknown ones in saved
+  // order so seeding stays deterministic).
+  if (checkpoint.pool_epoch > epoch_) epoch_ = checkpoint.pool_epoch;
+  for (const PoolIndexEntry& e : checkpoint.pool_index) {
+    bool merged = false;
+    for (KnownInstance& inst : instances_) {
+      if (inst.signature.fingerprint != e.fingerprint) continue;
+      if (e.last_epoch > inst.last_epoch) inst.last_epoch = e.last_epoch;
+      if (inst.signature.features.empty() && !e.features.empty()) {
+        inst.signature.links = e.links;
+        inst.signature.channels = e.channels;
+        inst.signature.features = e.features;
+      }
+      merged = true;
+      break;
+    }
+    if (merged) continue;
+    InstanceSignature sig;
+    sig.fingerprint = e.fingerprint;
+    sig.links = e.links;
+    sig.channels = e.channels;
+    sig.features = e.features;
+    instances_.push_back({std::move(sig), e.last_epoch});
+  }
   bool known = false;
   for (const KnownInstance& inst : instances_)
     known = known || inst.signature.fingerprint == checkpoint.fingerprint;
@@ -352,6 +378,22 @@ CgCheckpoint PoolManager::export_checkpoint(const CgCheckpoint& base) const {
     out.pool_tau.push_back(e.tau);
     out.pool_meta.push_back(e.meta);
   }
+  // Format v3: persist the manager's cross-instance state so a restarted
+  // process recovers neighbour seeding and recency scoring, not just one
+  // instance's columns.
+  out.pool_epoch = epoch_;
+  out.pool_index.clear();
+  out.pool_index.reserve(instances_.size());
+  for (const KnownInstance& inst : instances_) {
+    PoolIndexEntry e;
+    e.fingerprint = inst.signature.fingerprint;
+    e.links = inst.signature.links;
+    e.channels = inst.signature.channels;
+    e.last_epoch = inst.last_epoch;
+    e.features = inst.signature.features;
+    out.pool_index.push_back(std::move(e));
+  }
+  out.pool_index_degraded = false;
   return out;
 }
 

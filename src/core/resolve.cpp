@@ -8,35 +8,76 @@
 
 namespace mmwave::core {
 
+const char* to_string(RepairPolicy policy) {
+  switch (policy) {
+    case RepairPolicy::kDropTransmissions:
+      return "drop";
+    case RepairPolicy::kDowngradeRate:
+      return "downgrade";
+  }
+  return "unknown";
+}
+
 bool repair_schedule(sched::Schedule& schedule,
                      const check::ScheduleVerifier& verifier,
-                     int* transmissions_dropped) {
+                     int* transmissions_dropped, RepairPolicy policy,
+                     int* transmissions_downgraded) {
   if (schedule.empty()) return false;
-  // Each pass removes at least one transmission or terminates, so size()+1
-  // passes bound the loop even against an adversarial verifier.
-  const std::size_t max_passes = schedule.size() + 1;
+  // Each pass removes a transmission or steps one down the rate ladder (or
+  // terminates), so the potential sum(rate levels) + size bounds the loop
+  // even against an adversarial verifier.
+  std::size_t max_passes = schedule.size() + 1;
+  if (policy == RepairPolicy::kDowngradeRate) {
+    for (const sched::Transmission& tx : schedule.transmissions()) {
+      max_passes += static_cast<std::size_t>(
+          tx.rate_level > 0 ? tx.rate_level : 0);
+    }
+  }
   for (std::size_t pass = 0; pass < max_passes; ++pass) {
     const check::VerifyReport report = verifier.verify(schedule);
     if (report.ok()) return !schedule.empty();
 
-    std::unordered_set<int> bad_links;
+    std::unordered_set<int> drop_links;
+    std::unordered_set<int> downgrade_links;
     for (const check::Violation& v : report.violations) {
       // A violation with no offending link (structural damage the verifier
       // cannot pin down) makes the whole column irreparable.
       if (v.link < 0) return false;
-      bad_links.insert(v.link);
+      // Only an SINR shortfall is fixable by a lower MCS; every structural
+      // violation (half-duplex, power cap, duplicates...) still drops.
+      if (policy == RepairPolicy::kDowngradeRate &&
+          v.kind == check::ViolationKind::SinrBelowThreshold) {
+        downgrade_links.insert(v.link);
+      } else {
+        drop_links.insert(v.link);
+      }
     }
 
     std::vector<sched::Transmission> kept;
     kept.reserve(schedule.size());
+    int dropped = 0;
+    int downgraded = 0;
     for (const sched::Transmission& tx : schedule.transmissions()) {
-      if (bad_links.count(tx.link) == 0) kept.push_back(tx);
+      if (drop_links.count(tx.link) != 0) {
+        ++dropped;
+        continue;
+      }
+      sched::Transmission next = tx;
+      if (downgrade_links.count(tx.link) != 0) {
+        if (next.rate_level > 0) {
+          --next.rate_level;
+          ++downgraded;
+        } else {
+          ++dropped;  // already at the ladder floor: nothing left to try
+          continue;
+        }
+      }
+      kept.push_back(next);
     }
-    if (kept.size() == schedule.size()) return false;  // no progress
-    if (transmissions_dropped != nullptr) {
-      *transmissions_dropped +=
-          static_cast<int>(schedule.size() - kept.size());
-    }
+    if (dropped == 0 && downgraded == 0) return false;  // no progress
+    if (transmissions_dropped != nullptr) *transmissions_dropped += dropped;
+    if (transmissions_downgraded != nullptr)
+      *transmissions_downgraded += downgraded;
     if (kept.empty()) return false;
     schedule = sched::Schedule(std::move(kept));
   }
@@ -45,7 +86,8 @@ bool repair_schedule(sched::Schedule& schedule,
 
 std::vector<sched::Schedule> repair_pool(
     const net::Network& net, const std::vector<sched::Schedule>& pool,
-    RepairStats* stats, const check::VerifyOptions& options) {
+    RepairStats* stats, const check::VerifyOptions& options,
+    RepairPolicy policy) {
   const check::ScheduleVerifier verifier(net, options);
   RepairStats local;
   local.loaded = static_cast<int>(pool.size());
@@ -58,15 +100,18 @@ std::vector<sched::Schedule> repair_pool(
     }
     sched::Schedule candidate = column;
     int txs_dropped = 0;
-    if (!repair_schedule(candidate, verifier, &txs_dropped)) {
+    int txs_downgraded = 0;
+    if (!repair_schedule(candidate, verifier, &txs_dropped, policy,
+                         &txs_downgraded)) {
       ++local.dropped;
       continue;
     }
-    if (txs_dropped == 0) {
+    if (txs_dropped == 0 && txs_downgraded == 0) {
       ++local.intact;
     } else {
       ++local.repaired;
       local.transmissions_dropped += txs_dropped;
+      local.transmissions_downgraded += txs_downgraded;
     }
     survivors.push_back(std::move(candidate));
   }
@@ -101,15 +146,18 @@ ResolveResult resolve(const net::Network& net,
   } else {
     check::VerifyOptions verify = options.verify;
     verify.allow_layer_split = cg_options.exact.allow_layer_split;
-    warm.warm_pool =
-        repair_pool(net, checkpoint.pool, &result.repair, verify);
+    warm.warm_pool = repair_pool(net, checkpoint.pool, &result.repair,
+                                 verify, options.repair);
     result.used_checkpoint = true;
     MMWAVE_LOG_INFO << "resolve: pool " << result.repair.loaded
                     << " loaded, " << result.repair.intact << " intact, "
                     << result.repair.repaired << " repaired ("
                     << result.repair.transmissions_dropped
-                    << " transmissions dropped), " << result.repair.dropped
-                    << " dropped";
+                    << " transmissions dropped, "
+                    << result.repair.transmissions_downgraded
+                    << " downgraded, policy "
+                    << to_string(options.repair) << "), "
+                    << result.repair.dropped << " dropped";
   }
   if (!result.checkpoint_status.ok()) {
     MMWAVE_LOG_WARN << "resolve: " << result.checkpoint_status.message();

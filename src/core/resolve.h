@@ -29,14 +29,31 @@
 
 namespace mmwave::core {
 
+/// What repair_schedule does to a transmission whose link fails the SINR
+/// check on the perturbed instance.
+enum class RepairPolicy {
+  /// Remove the violated transmissions (the conservative default: the link
+  /// sends nothing this slot group).
+  kDropTransmissions,
+  /// Perturbation-aware: first step the transmission's rate level down the
+  /// SINR ladder (gamma^{q-1} < gamma^q, so an attenuated link often still
+  /// sustains a lower MCS), and drop only from the ladder's floor.  Keeps
+  /// more columns alive under partial blockage at lower embedded rates.
+  kDowngradeRate,
+};
+
+const char* to_string(RepairPolicy policy);
+
 /// Outcome of one repair_pool pass over a checkpointed column pool.
 struct RepairStats {
   int loaded = 0;    ///< columns offered for repair
   int intact = 0;    ///< verified feasible as-is on the new instance
-  int repaired = 0;  ///< survived after dropping some transmissions
+  int repaired = 0;  ///< survived after dropping/downgrading transmissions
   int dropped = 0;   ///< discarded entirely (irreparable or force-dropped)
   /// Transmissions removed from columns that survived as `repaired`.
   int transmissions_dropped = 0;
+  /// Transmissions stepped down the rate ladder (kDowngradeRate only).
+  int transmissions_downgraded = 0;
 
   int survivors() const { return intact + repaired; }
   /// Fraction of the loaded pool that re-entered the master (warm hit rate).
@@ -46,16 +63,20 @@ struct RepairStats {
 };
 
 /// Repairs one schedule in place against `verifier`'s instance: repeatedly
-/// verifies and removes every transmission on a violated link (blocked,
-/// SINR-starved, over-cap...).  Dropping interferers only *raises* the
-/// surviving receivers' SINR, so the loop converges in at most size() +1
+/// verifies and fixes every transmission on a violated link — removal for
+/// structural violations, removal or (under kDowngradeRate) a rate-ladder
+/// step-down for SINR shortfalls.  Dropping interferers only *raises* the
+/// surviving receivers' SINR and a downgrade strictly lowers the required
+/// threshold, so the loop converges in at most size() + sum(rate levels) +1
 /// passes.  Returns true when the schedule ends verified and non-empty;
 /// false means the column must be discarded (also when a violation is not
 /// attributable to a link, e.g. a structural defect).  `transmissions_dropped`
-/// (optional) accumulates the number of removed transmissions.
+/// and `transmissions_downgraded` (optional) accumulate the repair actions.
 bool repair_schedule(sched::Schedule& schedule,
                      const check::ScheduleVerifier& verifier,
-                     int* transmissions_dropped = nullptr);
+                     int* transmissions_dropped = nullptr,
+                     RepairPolicy policy = RepairPolicy::kDropTransmissions,
+                     int* transmissions_downgraded = nullptr);
 
 /// Repairs every column of `pool` against the current instance, returning
 /// the survivors (intact + repaired, original order) and filling `stats`.
@@ -64,7 +85,9 @@ bool repair_schedule(sched::Schedule& schedule,
 std::vector<sched::Schedule> repair_pool(const net::Network& net,
                                          const std::vector<sched::Schedule>& pool,
                                          RepairStats* stats,
-                                         const check::VerifyOptions& options = {});
+                                         const check::VerifyOptions& options = {},
+                                         RepairPolicy policy =
+                                             RepairPolicy::kDropTransmissions);
 
 struct ResolveOptions {
   /// Reject the checkpoint (cold start) when its fingerprint does not match
@@ -75,6 +98,8 @@ struct ResolveOptions {
   /// Verifier slack for the repair pass.  allow_layer_split is overridden
   /// from CgOptions::exact so repair and solve agree on legality.
   check::VerifyOptions verify;
+  /// How SINR-violated transmissions are repaired (drop vs rate downgrade).
+  RepairPolicy repair = RepairPolicy::kDropTransmissions;
 };
 
 struct ResolveResult {

@@ -1,9 +1,12 @@
 #include "stream/blockage_session.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <map>
 #include <memory>
 
+#include "common/fault_injection.h"
 #include "mmwave/power_control.h"
 
 namespace mmwave::stream {
@@ -43,12 +46,95 @@ sched::Schedule degrade_schedule(const net::Network& exec_net,
   return degraded;
 }
 
+void append_json(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+void append_json(std::string& out, const char* key, int value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void append_json(std::string& out, const char* key, bool value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += value ? "true" : "false";
+}
+
 }  // namespace
+
+std::uint64_t blockage_session_fingerprint(const BlockageSessionConfig& config,
+                                           int num_links, std::uint64_t seed) {
+  std::string bytes = "blockage-session|";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%d|%d|%.17g|", num_links,
+                config.session.num_gops, config.session.demand_scale);
+  bytes += buf;
+  std::snprintf(buf, sizeof(buf), "%.17g|%.17g|", config.session.video.fps,
+                config.session.video.mean_bitrate_bps);
+  bytes += buf;
+  bytes += config.session.video.gop_pattern;
+  std::snprintf(buf, sizeof(buf), "|%.17g|%.17g|%.17g|%.17g|%d|%" PRIu64,
+                config.blockage.p_block, config.blockage.p_recover,
+                config.blockage.attenuation, config.blockage.initial_blocked,
+                config.reschedule_each_period ? 1 : 0, seed);
+  bytes += buf;
+  return core::fnv1a64(bytes);
+}
+
+std::string BlockageSessionMetrics::to_json_line() const {
+  std::string out = "{\"type\":\"session\",";
+  append_json(out, "gops", static_cast<int>(base.gops.size()));
+  out += ',';
+  append_json(out, "start_gop", start_gop);
+  out += ',';
+  append_json(out, "completed", completed);
+  out += ',';
+  append_json(out, "resume_rejected", resume_rejected);
+  out += ',';
+  append_json(out, "on_time_ratio", base.on_time_ratio);
+  out += ',';
+  append_json(out, "total_stall_slots", base.total_stall_slots);
+  out += ',';
+  append_json(out, "mean_psnr_db", base.mean_psnr_db);
+  out += ',';
+  append_json(out, "all_served", base.all_served);
+  out += ',';
+  append_json(out, "mean_blocked_fraction", mean_blocked_fraction);
+  out += ',';
+  append_json(out, "invalidated_periods", invalidated_periods);
+  out += ',';
+  append_json(out, "exec_transmissions_dropped", exec_transmissions_dropped);
+  out += ',';
+  append_json(out, "pool_resolves", pool_resolves);
+  out += ',';
+  append_json(out, "pool_hits", pool_hits);
+  out += ',';
+  append_json(out, "pool_misses", pool_misses);
+  out += ',';
+  append_json(out, "pool_hit_rate", pool_hit_rate);
+  out += ',';
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "0x%016" PRIx64, plan_digest_chain);
+  out += "\"plan_digest_chain\":\"";
+  out += digest;
+  out += "\"}";
+  return out;
+}
 
 BlockageSessionMetrics run_blockage_session(
     const net::ChannelModel& base_model, const net::NetworkParams& params,
     const BlockageSessionConfig& config, const Scheduler& scheduler,
-    common::Rng& rng, SolverContext* solver_context) {
+    common::Rng& rng, SolverContext* solver_context,
+    const BlockageRunControl* control) {
   BlockageSessionMetrics out;
   // The context's counters are cumulative across sessions; snapshot them now
   // so the metrics below report this session's deltas.
@@ -98,7 +184,92 @@ BlockageSessionMetrics run_blockage_session(
   std::vector<double> delivered_bits(num_links, 0.0);
   double blocked_fraction_sum = 0.0;
 
-  for (int g = 0; g < scfg.num_gops; ++g) {
+  // ---- Resume: validate the cursor, replay the Markov chain, restore the
+  // ---- session state (scores, deliveries, digest chain, counter offsets).
+  int start_gop = 0;
+  const core::StreamCursor* resume =
+      control != nullptr ? control->resume : nullptr;
+  if (resume != nullptr) {
+    bool usable =
+        resume->next_gop >= 1 && resume->num_gops == scfg.num_gops &&
+        resume->next_gop <= resume->num_gops &&
+        static_cast<int>(resume->gops.size()) == resume->next_gop &&
+        static_cast<int>(resume->delivered_bits.size()) == num_links &&
+        static_cast<int>(resume->blocked.size()) == num_links &&
+        resume->carryover_stall >= 0.0 &&
+        resume->blocked_fraction_sum >= 0.0 &&
+        !common::fault_fires(common::faults::kSessionCursorCorrupt);
+    if (usable && config.session_fingerprint != 0 &&
+        resume->session_fingerprint != config.session_fingerprint) {
+      usable = false;
+    }
+    if (usable) {
+      // Advance the chain to the cursor's last executed period; it must
+      // land on exactly the saved blockage bits, otherwise the cursor is
+      // from a different seed or config and gets rejected.
+      for (int g = 1; g < resume->next_gop; ++g)
+        process.advance(blockage_rng);
+      for (int l = 0; l < num_links && usable; ++l) {
+        if ((process.blocked(l) ? 1 : 0) != resume->blocked[l]) usable = false;
+      }
+    }
+    if (!usable) {
+      // Fresh run keeping only the warm pool.  fork() is pure, so re-forking
+      // rebuilds the exact process a fresh session would have seen.
+      out.resume_rejected = true;
+      blockage_rng = rng.fork(0xB10C);
+      process =
+          net::BlockageProcess(num_links, config.blockage, blockage_rng);
+    } else {
+      start_gop = resume->next_gop;
+      carryover_stall = resume->carryover_stall;
+      blocked_fraction_sum = resume->blocked_fraction_sum;
+      out.invalidated_periods = resume->invalidated_periods;
+      out.exec_transmissions_dropped = resume->exec_transmissions_dropped;
+      delivered_bits = resume->delivered_bits;
+      for (const core::StreamGopRecord& r : resume->gops) {
+        GopRecord rec;
+        rec.gop = r.gop;
+        rec.demand_bits = r.demand_bits;
+        rec.schedule_slots = r.schedule_slots;
+        rec.budget_slots = r.budget_slots;
+        rec.on_time = r.on_time;
+        rec.stall_slots = r.stall_slots;
+        out.base.total_stall_slots += rec.stall_slots;
+        out.base.gops.push_back(rec);
+      }
+      if (solver_context != nullptr) {
+        // Counter-offset trick: the cursor stores the context's cumulative
+        // counters at save time; shifting the snapshot back by them makes
+        // this call's deltas cover the pre-crash periods too, so the final
+        // pool metrics equal the uninterrupted run's.
+        before.periods =
+            solver_context->periods - resume->counters.periods;
+        before.loaded =
+            solver_context->columns_loaded - resume->counters.columns_loaded;
+        before.reused =
+            solver_context->columns_reused - resume->counters.columns_reused;
+        before.repaired = solver_context->columns_repaired -
+                          resume->counters.columns_repaired;
+        before.dropped = solver_context->columns_dropped -
+                         resume->counters.columns_dropped;
+        before.resolves =
+            solver_context->resolves - resume->counters.resolves;
+        before.hits = solver_context->pool_hits - resume->counters.pool_hits;
+        before.misses =
+            solver_context->pool_misses - resume->counters.pool_misses;
+        before.evicted = solver_context->manager.metrics().evicted -
+                         resume->counters.pool_evicted;
+        before.neighbour_seeded =
+            solver_context->manager.metrics().neighbour_seeded -
+            resume->counters.pool_neighbour_seeded;
+        solver_context->plan_digest_chain = resume->plan_digest;
+      }
+    }
+  }
+  out.start_gop = start_gop;
+
+  for (int g = start_gop; g < scfg.num_gops; ++g) {
     if (g > 0) process.advance(blockage_rng);
     blocked_fraction_sum +=
         static_cast<double>(process.num_blocked()) / num_links;
@@ -152,6 +323,55 @@ BlockageSessionMetrics run_blockage_session(
           exec.hp_delivered_bits[l] + exec.lp_delivered_bits[l];
     }
     out.base.gops.push_back(rec);
+
+    if (control != nullptr && control->on_period) {
+      // Surface the cursor describing this GOP boundary; the callback can
+      // persist it (crash-recovery point) and/or stop the run (simulated
+      // crash — the chaos-soak harness kills sessions exactly here).
+      core::StreamCursor cur;
+      cur.next_gop = g + 1;
+      cur.num_gops = scfg.num_gops;
+      cur.session_fingerprint = config.session_fingerprint;
+      cur.carryover_stall = carryover_stall;
+      cur.blocked_fraction_sum = blocked_fraction_sum;
+      cur.invalidated_periods = out.invalidated_periods;
+      cur.exec_transmissions_dropped = out.exec_transmissions_dropped;
+      cur.delivered_bits = delivered_bits;
+      cur.blocked.resize(num_links);
+      for (int l = 0; l < num_links; ++l)
+        cur.blocked[l] = process.blocked(l) ? 1 : 0;
+      if (solver_context != nullptr) {
+        cur.plan_digest = solver_context->plan_digest_chain;
+        cur.counters.periods = solver_context->periods;
+        cur.counters.resolves = solver_context->resolves;
+        cur.counters.pool_hits = solver_context->pool_hits;
+        cur.counters.pool_misses = solver_context->pool_misses;
+        cur.counters.columns_loaded = solver_context->columns_loaded;
+        cur.counters.columns_reused = solver_context->columns_reused;
+        cur.counters.columns_repaired = solver_context->columns_repaired;
+        cur.counters.columns_dropped = solver_context->columns_dropped;
+        cur.counters.transmissions_dropped =
+            solver_context->transmissions_dropped;
+        cur.counters.pool_evicted = solver_context->manager.metrics().evicted;
+        cur.counters.pool_neighbour_seeded =
+            solver_context->manager.metrics().neighbour_seeded;
+      }
+      cur.gops.reserve(out.base.gops.size());
+      for (const GopRecord& r : out.base.gops) {
+        core::StreamGopRecord sr;
+        sr.gop = r.gop;
+        sr.demand_bits = r.demand_bits;
+        sr.schedule_slots = r.schedule_slots;
+        sr.budget_slots = r.budget_slots;
+        sr.on_time = r.on_time;
+        sr.stall_slots = r.stall_slots;
+        cur.gops.push_back(sr);
+      }
+      if (!control->on_period(cur, g)) {
+        out.completed = false;
+        break;
+      }
+    }
   }
 
   int on_time = 0;
@@ -193,6 +413,7 @@ BlockageSessionMetrics run_blockage_session(
     out.pool_neighbour_seeded =
         solver_context->manager.metrics().neighbour_seeded -
         before.neighbour_seeded;
+    out.plan_digest_chain = solver_context->plan_digest_chain;
   }
   return out;
 }

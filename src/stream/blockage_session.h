@@ -9,6 +9,11 @@
 // schedule computed once on the clear-air gains.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/checkpoint.h"
 #include "mmwave/blockage.h"
 #include "stream/session.h"
 
@@ -22,6 +27,35 @@ struct BlockageSessionConfig {
   /// blocked gains — rate levels that no longer meet their SINR deliver
   /// nothing that period.
   bool reschedule_each_period = true;
+  /// Binds saved stream cursors to this session's defining inputs.  Compute
+  /// with blockage_session_fingerprint(); 0 disables the fingerprint check
+  /// on resume (the blockage-replay check still applies).
+  std::uint64_t session_fingerprint = 0;
+};
+
+/// Hash of the session-defining inputs — dimensions, horizon, demand
+/// scaling, video shape, blockage chain parameters, and the session seed.
+/// Two sessions that could produce different period streams fingerprint
+/// differently, so a cursor can never be silently resumed against the
+/// wrong session.
+std::uint64_t blockage_session_fingerprint(const BlockageSessionConfig& config,
+                                           int num_links, std::uint64_t seed);
+
+/// Optional crash-recovery hooks for run_blockage_session.
+struct BlockageRunControl {
+  /// Resume from this cursor: periods [next_gop, num_gops) are run on top
+  /// of the cursor's replayed state.  The cursor must come from the same
+  /// session (fingerprint, horizon, dimensions, and a Markov-chain replay
+  /// of the blockage states are all validated; any mismatch sets
+  /// BlockageSessionMetrics::resume_rejected and the session runs fresh
+  /// from period 0 — the solver pool, if any, is kept).
+  const core::StreamCursor* resume = nullptr;
+  /// Called after each completed period with the cursor describing the
+  /// session state at that GOP boundary; return false to stop the run there
+  /// (BlockageSessionMetrics::completed turns false).  Persisting the
+  /// cursor (core::CheckpointLog::save of a checkpoint carrying it) makes
+  /// that boundary a crash-recovery point.
+  std::function<bool(const core::StreamCursor&, int gop)> on_period;
 };
 
 struct BlockageSessionMetrics {
@@ -53,6 +87,27 @@ struct BlockageSessionMetrics {
   /// Seeded columns that came from a neighbour instance (different
   /// fingerprint) — the multi-instance sharing payoff.
   std::int64_t pool_neighbour_seeded = 0;
+
+  // --- Crash-recovery accounting ------------------------------------------
+  /// First period this call actually executed (> 0 only after a resume).
+  /// base.gops still covers the whole horizon: replayed periods are scored
+  /// from the cursor, so the final metrics equal the uninterrupted run's.
+  /// base.all_served reflects only the periods executed by this call (the
+  /// cursor does not carry per-period served flags).
+  int start_gop = 0;
+  /// A resume cursor was offered but failed validation or blockage replay;
+  /// the session ran fresh from period 0 (the warm pool was kept).
+  bool resume_rejected = false;
+  /// False when BlockageRunControl::on_period stopped the run early.
+  bool completed = true;
+  /// Final rolling digest over every solved period's timeline (0 when no
+  /// SolverContext was threaded through) — the chaos-soak witness.
+  std::uint64_t plan_digest_chain = 0;
+
+  /// One-line JSON rendering (stable key order, %.17g doubles) for log
+  /// scraping; `mmwave_cli stream --metrics-json` emits it after the
+  /// per-period lines.
+  std::string to_json_line() const;
 };
 
 /// `params` must match `base_model` (link/channel counts).  The blockage
@@ -62,9 +117,16 @@ struct BlockageSessionMetrics {
 /// was built with (make_cg_scheduler overload): the session then reports its
 /// cross-period pool-reuse counters in the returned metrics.  Passing a
 /// context the scheduler does not use is harmless (the counters stay zero).
+///
+/// `control`, when non-null, adds crash recovery: `control->resume` replays
+/// a saved cursor and continues mid-session, `control->on_period` surfaces
+/// a fresh cursor at every GOP boundary (and can stop the run, simulating a
+/// crash).  Resuming restores the solver context's digest chain and offsets
+/// the pool counters so the final metrics equal the uninterrupted run's.
 BlockageSessionMetrics run_blockage_session(
     const net::ChannelModel& base_model, const net::NetworkParams& params,
     const BlockageSessionConfig& config, const Scheduler& scheduler,
-    common::Rng& rng, SolverContext* solver_context = nullptr);
+    common::Rng& rng, SolverContext* solver_context = nullptr,
+    const BlockageRunControl* control = nullptr);
 
 }  // namespace mmwave::stream

@@ -1,12 +1,36 @@
 #include "stream/session.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "baselines/baselines.h"
+#include "core/checkpoint.h"
 #include "core/column_generation.h"
 #include "core/resolve.h"
 
 namespace mmwave::stream {
+
+namespace {
+
+// Canonical byte string for a solved timeline: the schedule's content key
+// (sorted transmissions, power excluded) plus the exact slot count.  Two
+// solves that produce byte-identical plans hash equal; anything else — a
+// different column, a different duration — does not.  The digest chain over
+// these is the chaos-soak equality witness.
+std::uint64_t timeline_digest(
+    const std::vector<sched::TimedSchedule>& timeline) {
+  std::string bytes;
+  char buf[64];
+  for (const sched::TimedSchedule& entry : timeline) {
+    bytes += entry.schedule.key();
+    std::snprintf(buf, sizeof(buf), "|%.17g;", entry.slots);
+    bytes += buf;
+  }
+  return core::fnv1a64(bytes);
+}
+
+}  // namespace
 
 Scheduler make_cg_scheduler(const CgSchedulerOptions& options) {
   return make_cg_scheduler(options, nullptr);
@@ -20,6 +44,7 @@ Scheduler make_cg_scheduler(const CgSchedulerOptions& options,
     cg.pricing = options.heuristic_only
                      ? core::PricingMode::HeuristicOnly
                      : core::PricingMode::HeuristicThenExact;
+    cg.verify = options.verify;
     core::InstanceSignature signature;
     int seeded_survivors = 0;
     if (context != nullptr) {
@@ -31,7 +56,8 @@ Scheduler make_cg_scheduler(const CgSchedulerOptions& options,
           context->manager.seed(signature);
       if (!candidates.empty()) {
         core::RepairStats stats;
-        cg.warm_pool = core::repair_pool(net, candidates, &stats);
+        cg.warm_pool =
+            core::repair_pool(net, candidates, &stats, {}, options.repair);
         context->columns_loaded += stats.loaded;
         context->columns_reused += stats.survivors();
         context->columns_repaired += stats.repaired;
@@ -50,6 +76,22 @@ Scheduler make_cg_scheduler(const CgSchedulerOptions& options,
         ++context->pool_hits;
       } else {
         ++context->pool_misses;
+      }
+      if (options.verify && !result.verification.errors.empty()) {
+        ++context->verify_failures;
+      }
+      // Fold this period's plan into the digest chain: a resumed session
+      // replaying the same periods must reproduce the same chain.
+      const std::uint64_t digest = timeline_digest(result.timeline);
+      context->last_plan_digest = digest;
+      char chain_bytes[40];
+      std::snprintf(chain_bytes, sizeof(chain_bytes), "%016llx%016llx",
+                    static_cast<unsigned long long>(context->plan_digest_chain),
+                    static_cast<unsigned long long>(digest));
+      context->plan_digest_chain = core::fnv1a64(chain_bytes);
+      if (options.capture_checkpoint) {
+        context->last_checkpoint = core::make_checkpoint(net, demands, result);
+        context->has_last_checkpoint = true;
       }
     }
     SchedulerResult out;

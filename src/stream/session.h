@@ -13,11 +13,13 @@
 // column generation, either benchmark, or TDMA.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/pool_manager.h"
+#include "core/resolve.h"
 #include "mmwave/network.h"
 #include "sched/timeline.h"
 #include "video/demand.h"
@@ -77,6 +79,21 @@ struct SolverContext {
   int columns_dropped = 0;   ///< discarded as irreparable
   int transmissions_dropped = 0;
 
+  // ---- Crash-recovery state (populated by make_cg_scheduler) -------------
+  /// Snapshot of the most recent solve (CgSchedulerOptions::
+  /// capture_checkpoint): the raw make_checkpoint output, which callers
+  /// typically route through manager.export_checkpoint() before persisting.
+  core::CgCheckpoint last_checkpoint;
+  bool has_last_checkpoint = false;
+  /// FNV digest of the most recent solve's timeline, and the rolling chain
+  /// over every timeline solved through this context — the chaos-soak
+  /// witness that a resumed session re-derives the exact same plans.
+  std::uint64_t last_plan_digest = 0;
+  std::uint64_t plan_digest_chain = 0;
+  /// Solves whose certificate re-check (CgSchedulerOptions::verify)
+  /// reported at least one error.  Stays 0 on healthy runs.
+  int verify_failures = 0;
+
   /// Fraction of offered pool columns that re-entered a master.
   double hit_rate() const {
     return columns_loaded > 0
@@ -90,6 +107,8 @@ struct SolverContext {
     periods = resolves = pool_hits = pool_misses = 0;
     columns_loaded = columns_reused = columns_repaired = columns_dropped = 0;
     transmissions_dropped = 0;
+    last_plan_digest = plan_digest_chain = 0;
+    verify_failures = 0;
     manager.reset_metrics();
   }
 };
@@ -109,6 +128,15 @@ Scheduler make_benchmark2_scheduler();
 struct CgSchedulerOptions {
   /// Heuristic pricing by default: the PNC must decide within a GOP period.
   bool heuristic_only = true;
+  /// Capture a core::CgCheckpoint of each solve into the SolverContext so
+  /// the session loop can persist a checkpoint after every period.
+  bool capture_checkpoint = false;
+  /// Re-check LP certificates and column feasibility after every solve;
+  /// failures are counted in SolverContext::verify_failures.
+  bool verify = false;
+  /// Repair policy applied to warm-start candidates (satellite: a downgrade
+  /// step down the SINR ladder can keep more columns alive under blockage).
+  core::RepairPolicy repair = core::RepairPolicy::kDropTransmissions;
 };
 
 struct SessionConfig {

@@ -409,5 +409,254 @@ TEST(CgCheckpoint, InjectedPayloadCorruptionDegradesToColdStart) {
   std::remove(path.c_str());
 }
 
+// ---- Format v3: pool index + stream-session cursor -----------------------
+
+StreamCursor make_cursor(int links, int next_gop, int num_gops) {
+  StreamCursor c;
+  c.next_gop = next_gop;
+  c.num_gops = num_gops;
+  c.session_fingerprint = 0x5EED5EED5EED5EEDULL;
+  c.carryover_stall = 1.5;
+  c.blocked_fraction_sum = 0.75;
+  c.invalidated_periods = 1;
+  c.exec_transmissions_dropped = 2;
+  c.plan_digest = 0xD16E57D16E57D165ULL;
+  c.delivered_bits.assign(links, 1234.5);
+  c.blocked.assign(links, 0);
+  c.blocked[0] = 1;
+  c.counters.periods = next_gop;
+  c.counters.resolves = next_gop;
+  c.counters.pool_hits = next_gop - 1;
+  c.counters.pool_misses = 1;
+  c.counters.columns_loaded = 7;
+  c.counters.columns_reused = 6;
+  c.counters.columns_repaired = 1;
+  c.counters.columns_dropped = 1;
+  c.counters.transmissions_dropped = 1;
+  c.counters.pool_evicted = 3;
+  c.counters.pool_neighbour_seeded = 2;
+  for (int g = 0; g < next_gop; ++g) {
+    StreamGopRecord r;
+    r.gop = g;
+    r.demand_bits = 1000.0 + g;
+    r.schedule_slots = 10.0 + g;
+    r.budget_slots = 20.0;
+    r.on_time = g % 2 == 0;
+    r.stall_slots = r.on_time ? 0.0 : 0.5;
+    c.gops.push_back(r);
+  }
+  return c;
+}
+
+/// A solved checkpoint with every v3 field populated.
+Solved solve_with_v3_state() {
+  Solved s = solve_and_checkpoint();
+  s.ckpt.base_seq = 4;
+  s.ckpt.pool_epoch = 17;
+  PoolIndexEntry a;
+  a.fingerprint = s.ckpt.fingerprint;
+  a.links = 5;
+  a.channels = 2;
+  a.last_epoch = 17;
+  a.features = {0.5, 1.25, -3.0};
+  PoolIndexEntry b;
+  b.fingerprint = 0xFEEDFACEFEEDFACEULL;
+  b.links = 5;
+  b.channels = 2;
+  b.last_epoch = 9;
+  s.ckpt.pool_index = {a, b};
+  s.ckpt.has_session = true;
+  s.ckpt.session = make_cursor(5, 3, 8);
+  return s;
+}
+
+/// Turns a v3 payload into a v2 one: drop everything from the delta-binding
+/// line through the session section (the byte range v2 never wrote).
+void strip_v3_sections(std::string& payload) {
+  const std::size_t start = payload.find("base_seq = ");
+  ASSERT_NE(start, std::string::npos);
+  const std::size_t end = payload.find("end\n", start);
+  ASSERT_NE(end, std::string::npos);
+  payload.erase(start, end - start);
+}
+
+TEST(CgCheckpoint, V3SessionAndIndexRoundTrip) {
+  const Solved s = solve_with_v3_state();
+  const std::string text = serialize_checkpoint(s.ckpt);
+  const auto parsed = parse_checkpoint(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const CgCheckpoint& c = parsed.value();
+  EXPECT_EQ(serialize_checkpoint(c), text);
+
+  EXPECT_EQ(c.base_seq, 4);
+  EXPECT_EQ(c.pool_epoch, 17);
+  EXPECT_FALSE(c.pool_index_degraded);
+  ASSERT_EQ(c.pool_index.size(), 2u);
+  EXPECT_EQ(c.pool_index[0].fingerprint, s.ckpt.fingerprint);
+  EXPECT_EQ(c.pool_index[0].features, s.ckpt.pool_index[0].features);
+  EXPECT_EQ(c.pool_index[1].last_epoch, 9);
+  EXPECT_TRUE(c.pool_index[1].features.empty());
+
+  ASSERT_TRUE(c.has_session);
+  EXPECT_FALSE(c.session_degraded);
+  const StreamCursor& cur = c.session;
+  EXPECT_EQ(cur.next_gop, 3);
+  EXPECT_EQ(cur.num_gops, 8);
+  EXPECT_EQ(cur.session_fingerprint, s.ckpt.session.session_fingerprint);
+  EXPECT_EQ(cur.carryover_stall, 1.5);  // %.17g: bit-exact
+  EXPECT_EQ(cur.delivered_bits, s.ckpt.session.delivered_bits);
+  EXPECT_EQ(cur.blocked, s.ckpt.session.blocked);
+  EXPECT_EQ(cur.plan_digest, s.ckpt.session.plan_digest);
+  EXPECT_EQ(cur.counters.pool_neighbour_seeded, 2);
+  ASSERT_EQ(cur.gops.size(), 3u);
+  EXPECT_EQ(cur.gops[2].gop, 2);
+  EXPECT_EQ(cur.gops[1].stall_slots, 0.5);
+}
+
+TEST(CgCheckpoint, V3FileSurvivesSaveAndLoad) {
+  const Solved s = solve_with_v3_state();
+  const std::string path = temp_path("ckpt_v3_roundtrip.txt");
+  ASSERT_TRUE(save_checkpoint(s.ckpt, path).ok());
+  const auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(serialize_checkpoint(loaded.value()),
+            serialize_checkpoint(s.ckpt));
+  std::remove(path.c_str());
+}
+
+TEST(CgCheckpoint, V2FileLoadsWithColdV3Defaults) {
+  const Solved s = solve_with_v3_state();
+  const std::string v2 = reassemble(serialize_checkpoint(s.ckpt),
+                                    /*version=*/2, strip_v3_sections);
+  const auto parsed = parse_checkpoint(v2);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const CgCheckpoint& c = parsed.value();
+  // Pre-v3 files carry no cursor and no index — and that is not damage.
+  EXPECT_EQ(c.base_seq, 0);
+  EXPECT_EQ(c.pool_epoch, 0);
+  EXPECT_TRUE(c.pool_index.empty());
+  EXPECT_FALSE(c.pool_index_degraded);
+  EXPECT_FALSE(c.has_session);
+  EXPECT_FALSE(c.session_degraded);
+  // The v2 payload itself is fully honoured.
+  ASSERT_EQ(c.pool.size(), s.ckpt.pool.size());
+  EXPECT_EQ(c.pool_tau, s.ckpt.pool_tau);
+  EXPECT_FALSE(c.pool_meta.empty());
+  const ResolveResult r = resolve(s.net, s.demands, c, CgOptions{});
+  EXPECT_TRUE(r.used_checkpoint);
+  EXPECT_TRUE(r.cg.converged);
+  EXPECT_NEAR(r.cg.total_slots, s.result.total_slots,
+              1e-7 * s.result.total_slots);
+}
+
+TEST(CgCheckpoint, V3SectionsInAV2FileAreRejected) {
+  const Solved s = solve_with_v3_state();
+  // Same bytes, version stamp lowered: the v3 sections become trailing
+  // garbage, which the strict parser must refuse.
+  const std::string bad = reassemble(serialize_checkpoint(s.ckpt),
+                                     /*version=*/2, [](std::string&) {});
+  const auto parsed = parse_checkpoint(bad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), common::ErrorCode::kInvalidInput);
+}
+
+TEST(CgCheckpoint, SemanticallyBadCursorDegradesSessionOnly) {
+  const Solved s = solve_with_v3_state();
+  const std::string damaged = reassemble(
+      serialize_checkpoint(s.ckpt), kCheckpointVersion,
+      [](std::string& payload) {
+        // next_gop beyond num_gops: structurally fine, semantically stale.
+        const std::size_t at = payload.find("cursor = 3 8 ");
+        ASSERT_NE(at, std::string::npos);
+        payload.replace(at, 13, "cursor = 9 8 ");
+      });
+  const auto parsed = parse_checkpoint(damaged);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const CgCheckpoint& c = parsed.value();
+  EXPECT_TRUE(c.session_degraded);
+  EXPECT_FALSE(c.has_session);
+  // Solver state is untouched: warm pool, metadata, index all intact.
+  EXPECT_EQ(c.pool.size(), s.ckpt.pool.size());
+  EXPECT_FALSE(c.pool_meta.empty());
+  EXPECT_EQ(c.pool_index.size(), 2u);
+  EXPECT_FALSE(c.pool_index_degraded);
+}
+
+TEST(CgCheckpoint, SemanticallyBadIndexRecordDegradesIndexOnly) {
+  const Solved s = solve_with_v3_state();
+  const std::string damaged = reassemble(
+      serialize_checkpoint(s.ckpt), kCheckpointVersion,
+      [](std::string& payload) {
+        // links = 0 parses but no instance can have it.
+        const std::size_t inst = payload.find("inst = ");
+        ASSERT_NE(inst, std::string::npos);
+        const std::size_t dims = payload.find(" 5 2 ", inst);
+        ASSERT_NE(dims, std::string::npos);
+        payload.replace(dims, 5, " 0 2 ");
+      });
+  const auto parsed = parse_checkpoint(damaged);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const CgCheckpoint& c = parsed.value();
+  EXPECT_TRUE(c.pool_index_degraded);
+  EXPECT_TRUE(c.pool_index.empty());
+  // The cursor and the solver pool ride through unharmed.
+  EXPECT_TRUE(c.has_session);
+  EXPECT_FALSE(c.session_degraded);
+  EXPECT_EQ(c.pool.size(), s.ckpt.pool.size());
+}
+
+TEST(CgCheckpoint, StructuralCursorDamageIsStillAHardError) {
+  const Solved s = solve_with_v3_state();
+  const std::string broken = reassemble(
+      serialize_checkpoint(s.ckpt), kCheckpointVersion,
+      [](std::string& payload) {
+        const std::size_t at = payload.find("\ndelivered = ");
+        ASSERT_NE(at, std::string::npos);
+        payload.replace(at, 13, "\ndelivred = x");
+      });
+  const auto parsed = parse_checkpoint(broken);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), common::ErrorCode::kInvalidInput);
+}
+
+TEST(CgCheckpoint, InjectedSessionCursorCorruptDegradesSessionOnly) {
+  const Solved s = solve_with_v3_state();
+  const std::string text = serialize_checkpoint(s.ckpt);
+
+  common::FaultInjector inj;
+  inj.arm(common::faults::kSessionCursorCorrupt, {.times = 1});
+  common::FaultScope scope(inj);
+  const auto parsed = parse_checkpoint(text);
+  EXPECT_EQ(inj.fired(common::faults::kSessionCursorCorrupt), 1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  // The injected corrupt cursor costs the session, never the checkpoint:
+  // the pool still resolves to the certified optimum.
+  EXPECT_TRUE(parsed.value().session_degraded);
+  EXPECT_FALSE(parsed.value().has_session);
+  ASSERT_EQ(parsed.value().pool.size(), s.ckpt.pool.size());
+  const ResolveResult r =
+      resolve(s.net, s.demands, parsed.value(), CgOptions{});
+  EXPECT_TRUE(r.used_checkpoint);
+  EXPECT_TRUE(r.cg.converged);
+  EXPECT_NEAR(r.cg.total_slots, s.result.total_slots,
+              1e-7 * s.result.total_slots);
+}
+
+TEST(CgCheckpoint, InjectedBadIndexRecordDegradesIndexOnly) {
+  const Solved s = solve_with_v3_state();
+  const std::string text = serialize_checkpoint(s.ckpt);
+
+  common::FaultInjector inj;
+  inj.arm(common::faults::kCheckpointBadIndexRecord, {.times = 1});
+  common::FaultScope scope(inj);
+  const auto parsed = parse_checkpoint(text);
+  EXPECT_EQ(inj.fired(common::faults::kCheckpointBadIndexRecord), 1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(parsed.value().pool_index_degraded);
+  EXPECT_TRUE(parsed.value().pool_index.empty());
+  EXPECT_TRUE(parsed.value().has_session);
+  ASSERT_EQ(parsed.value().pool.size(), s.ckpt.pool.size());
+}
+
 }  // namespace
 }  // namespace mmwave::core

@@ -488,5 +488,104 @@ TEST(PoolManager, AdaptiveCappedSeedingMatchesColdSolve) {
   EXPECT_TRUE(warm.verification.ok());
 }
 
+// ---- Format v3: cross-session persistence of the multi-instance index ----
+
+TEST(PoolManager, ExportCarriesTheInstanceIndexAndEpoch) {
+  const Scenario sc = Scenario::make(30, 5, 2, 3);
+  // Heavy blockage, so the two instances' optimal pools share little: the
+  // first instance keeps live columns under its own fingerprint and its
+  // index entry survives the second store.
+  std::vector<double> heavy(5, 1.0);
+  heavy[0] = heavy[2] = heavy[3] = 0.01;
+  const net::Network heavy_net = sc.scaled(heavy);
+
+  PoolManager manager;
+  const CgResult r_clear =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  const CgResult r_heavy =
+      solve_column_generation(heavy_net, sc.demands, exact_options());
+  manager.store(make_signature(sc.net, sc.demands), sc.net, r_clear);
+  manager.store(make_signature(heavy_net, sc.demands), heavy_net, r_heavy);
+
+  const CgCheckpoint base = make_checkpoint(sc.net, sc.demands, r_clear);
+  const CgCheckpoint exported = manager.export_checkpoint(base);
+  EXPECT_EQ(exported.pool_epoch, 2);
+  ASSERT_EQ(exported.pool_index.size(), 2u);
+  EXPECT_FALSE(exported.pool_index_degraded);
+  std::set<std::uint64_t> fps;
+  for (const PoolIndexEntry& e : exported.pool_index) {
+    fps.insert(e.fingerprint);
+    EXPECT_EQ(e.links, 5);
+    EXPECT_EQ(e.channels, 2);
+    // store() learned the full signature, so the persisted entry carries
+    // the feature vector neighbour distance is computed over.
+    EXPECT_FALSE(e.features.empty());
+  }
+  EXPECT_TRUE(fps.count(make_signature(sc.net, sc.demands).fingerprint));
+  EXPECT_TRUE(fps.count(make_signature(heavy_net, sc.demands).fingerprint));
+}
+
+TEST(PoolManager, ImportRestoresNeighbourSeedingAcrossRestart) {
+  const Scenario sc = Scenario::make(31, 5, 2, 3);
+  std::vector<double> mild(5, 1.0), heavy(5, 1.0);
+  mild[0] = 0.7;
+  heavy[0] = heavy[2] = heavy[3] = 0.01;
+  const net::Network mild_net = sc.scaled(mild);
+  const net::Network heavy_net = sc.scaled(heavy);
+
+  PoolManagerOptions opts;
+  opts.max_neighbours = 1;
+  PoolManager manager(opts);
+  const CgResult r_mild =
+      solve_column_generation(mild_net, sc.demands, exact_options());
+  const CgResult r_heavy =
+      solve_column_generation(heavy_net, sc.demands, exact_options());
+  manager.store(make_signature(heavy_net, sc.demands), heavy_net, r_heavy);
+  manager.store(make_signature(mild_net, sc.demands), mild_net, r_mild);
+
+  // Restart: serialize through the actual v3 text format, then re-import.
+  const CgCheckpoint exported = manager.export_checkpoint(
+      make_checkpoint(mild_net, sc.demands, r_mild));
+  const auto reparsed = parse_checkpoint(serialize_checkpoint(exported));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  PoolManager reloaded(opts);
+  reloaded.import_checkpoint(reparsed.value());
+
+  // The restarted manager makes the same nearest-neighbour call the
+  // original would: clear air seeds from the mild instance only.
+  const InstanceSignature query = make_signature(sc.net, sc.demands);
+  const std::vector<sched::Schedule> before = manager.seed(query);
+  const std::vector<sched::Schedule> after = reloaded.seed(query);
+  ASSERT_FALSE(after.empty());
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i].key(), after[i].key());
+  EXPECT_EQ(reloaded.metrics().neighbour_seeded,
+            static_cast<std::int64_t>(after.size()));
+}
+
+TEST(PoolManager, ImportAdvancesTheEpochClockInsteadOfRestartingIt) {
+  const Scenario sc = Scenario::make(32, 5, 2, 3);
+  const CgResult result =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  PoolManager manager;
+  manager.store(make_signature(sc.net, sc.demands), sc.net, result);
+  manager.store(make_signature(sc.net, sc.demands), sc.net, result);
+  const CgCheckpoint exported = manager.export_checkpoint(
+      make_checkpoint(sc.net, sc.demands, result));
+  ASSERT_EQ(exported.pool_epoch, 2);
+
+  PoolManager reloaded;
+  reloaded.import_checkpoint(exported);
+  reloaded.store(make_signature(sc.net, sc.demands), sc.net, result);
+  const CgCheckpoint again = reloaded.export_checkpoint(
+      make_checkpoint(sc.net, sc.demands, result));
+  // Recency scores saved at epochs 1..2 stay meaningful: the restarted
+  // clock continues at 3 rather than colliding with them at 1.
+  EXPECT_EQ(again.pool_epoch, 3);
+  ASSERT_EQ(again.pool_index.size(), 1u);
+  EXPECT_EQ(again.pool_index[0].last_epoch, 3);
+}
+
 }  // namespace
 }  // namespace mmwave::core

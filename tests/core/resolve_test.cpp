@@ -274,5 +274,100 @@ TEST(CgResolve, WarmPoolProfileCountsSeededColumns) {
   EXPECT_GT(p.warm_pool_columns, 0);
 }
 
+// ---- Perturbation-aware repair (rate downgrade vs transmission drop) -----
+
+TEST(CgResolve, DowngradeRepairKeepsMoreCapitalThanDrop) {
+  const Scenario sc = Scenario::make(11, 6, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+  ASSERT_FALSE(ckpt.pool.empty());
+
+  // Partial blockage: the link loses half its gain — too weak for the top
+  // MCS, strong enough for a lower rung of the gamma ladder.
+  std::vector<double> scales(sc.net.num_links(), 1.0);
+  scales[2] = 0.5;
+  const net::Network attenuated = sc.scaled(scales);
+
+  RepairStats drop_stats;
+  const auto drop_survivors =
+      repair_pool(attenuated, ckpt.pool, &drop_stats, {},
+                  RepairPolicy::kDropTransmissions);
+  RepairStats down_stats;
+  const auto down_survivors =
+      repair_pool(attenuated, ckpt.pool, &down_stats, {},
+                  RepairPolicy::kDowngradeRate);
+
+  // The downgrade path actually exercised the ladder and never pays more
+  // transmissions than the drop path does.
+  EXPECT_GT(down_stats.transmissions_downgraded, 0);
+  EXPECT_LE(down_stats.transmissions_dropped, drop_stats.transmissions_dropped);
+  EXPECT_GE(down_stats.survivors(), drop_stats.survivors());
+  EXPECT_EQ(drop_stats.transmissions_downgraded, 0);  // drop never downgrades
+
+  // Both repairs hand back only verifier-clean, non-empty columns.
+  const check::ScheduleVerifier referee(attenuated);
+  for (const auto& col : drop_survivors) EXPECT_TRUE(referee.verify(col).ok());
+  for (const auto& col : down_survivors) {
+    EXPECT_TRUE(referee.verify(col).ok());
+    EXPECT_FALSE(col.empty());
+  }
+}
+
+TEST(CgResolve, DowngradeResolveStillReachesTheOptimum) {
+  const Scenario sc = Scenario::make(12, 5, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+
+  std::vector<double> scales(sc.net.num_links(), 1.0);
+  scales[0] = 0.4;
+  scales[3] = 0.6;
+  const net::Network perturbed = sc.scaled(scales);
+  const CgResult fresh =
+      solve_column_generation(perturbed, sc.demands, exact_options());
+  ASSERT_TRUE(fresh.converged);
+
+  CgOptions warm_opts = exact_options();
+  warm_opts.verify = true;
+  ResolveOptions ropts;
+  ropts.repair = RepairPolicy::kDowngradeRate;
+  const ResolveResult warm =
+      resolve(perturbed, sc.demands, ckpt, warm_opts, ropts);
+  ASSERT_TRUE(warm.used_checkpoint);
+  ASSERT_TRUE(warm.cg.converged);
+  // Downgraded columns are extra feasible columns, never a different
+  // optimum: the warm solve certifies the same objective as the cold one.
+  EXPECT_NEAR(warm.cg.total_slots, fresh.total_slots,
+              kRelTol * fresh.total_slots);
+  EXPECT_TRUE(warm.cg.verification.ok());
+}
+
+TEST(CgResolve, DowngradeDropsFromTheLadderFloor) {
+  const Scenario sc = Scenario::make(13, 6, 2, 3);
+  const CgResult cold =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  const CgCheckpoint ckpt = make_checkpoint(sc.net, sc.demands, cold);
+
+  // Full blockage: not even gamma^1 survives a -40 dB hole, so downgrading
+  // must bottom out and fall back to dropping the transmissions.
+  std::vector<double> scales(sc.net.num_links(), 1.0);
+  scales[1] = 1e-4;
+  const net::Network blocked = sc.scaled(scales);
+  RepairStats stats;
+  const auto survivors = repair_pool(blocked, ckpt.pool, &stats, {},
+                                     RepairPolicy::kDowngradeRate);
+  EXPECT_GT(stats.transmissions_dropped + stats.dropped, 0);
+  EXPECT_EQ(stats.loaded, stats.survivors() + stats.dropped);
+  const check::ScheduleVerifier referee(blocked);
+  for (const auto& col : survivors) EXPECT_TRUE(referee.verify(col).ok());
+}
+
+TEST(CgResolve, RepairPolicyNamesAreStable) {
+  // CLI flags and BENCH json key off these names.
+  EXPECT_STREQ(to_string(RepairPolicy::kDropTransmissions), "drop");
+  EXPECT_STREQ(to_string(RepairPolicy::kDowngradeRate), "downgrade");
+}
+
 }  // namespace
 }  // namespace mmwave::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
+
 namespace mmwave::stream {
 namespace {
 
@@ -268,6 +270,237 @@ TEST(BlockageSession, ExecDropCountsMatchInvalidation) {
   // transmission counter is at least as fine-grained as the period flag.
   EXPECT_GT(metrics.invalidated_periods, 0);
   EXPECT_GE(metrics.exec_transmissions_dropped, metrics.invalidated_periods);
+}
+
+// ---- Crash recovery: cursor capture, resume, rejection -------------------
+
+TEST(BlockageSession, OnPeriodCursorsDescribeEveryBoundary) {
+  auto f = make_fixture(40);
+  BlockageSessionConfig cfg = small_config(4);
+  cfg.blockage.p_block = 0.3;
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 77);
+
+  std::vector<core::StreamCursor> cursors;
+  BlockageRunControl control;
+  control.on_period = [&](const core::StreamCursor& c, int gop) {
+    EXPECT_EQ(c.next_gop, gop + 1);
+    cursors.push_back(c);
+    return true;
+  };
+  common::Rng rng(77);
+  const auto metrics = run_blockage_session(*f.model, f.params, cfg,
+                                            make_cg_scheduler({}), rng,
+                                            nullptr, &control);
+  EXPECT_TRUE(metrics.completed);
+  ASSERT_EQ(cursors.size(), 4u);
+  for (const core::StreamCursor& c : cursors) {
+    EXPECT_EQ(c.num_gops, 4);
+    EXPECT_EQ(c.session_fingerprint, cfg.session_fingerprint);
+    EXPECT_EQ(c.gops.size(), static_cast<std::size_t>(c.next_gop));
+    EXPECT_EQ(c.delivered_bits.size(), 5u);
+    EXPECT_EQ(c.blocked.size(), 5u);
+    EXPECT_GE(c.carryover_stall, 0.0);
+  }
+  // The final cursor's records ARE the session's records.
+  ASSERT_EQ(cursors.back().gops.size(), metrics.base.gops.size());
+  for (std::size_t g = 0; g < metrics.base.gops.size(); ++g) {
+    EXPECT_EQ(cursors.back().gops[g].stall_slots,
+              metrics.base.gops[g].stall_slots);
+    EXPECT_EQ(cursors.back().gops[g].on_time, metrics.base.gops[g].on_time);
+  }
+}
+
+TEST(BlockageSession, ResumeMidSessionMatchesTheUninterruptedRun) {
+  auto f = make_fixture(41, 5, 2);
+  BlockageSessionConfig cfg = small_config(6);
+  cfg.blockage.p_block = 0.35;
+  cfg.blockage.attenuation = 0.05;
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 90);
+  CgSchedulerOptions sched_opts;
+  sched_opts.capture_checkpoint = true;
+
+  // The uninterrupted reference.
+  SolverContext ref_ctx;
+  common::Rng ref_rng(90);
+  const auto ref = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler(sched_opts, &ref_ctx),
+      ref_rng, &ref_ctx);
+  ASSERT_NE(ref.plan_digest_chain, 0u);
+
+  // "Crash" after period 2: keep the cursor and the exported pool.
+  SolverContext crash_ctx;
+  core::StreamCursor cursor;
+  BlockageRunControl stop;
+  stop.on_period = [&](const core::StreamCursor& c, int gop) {
+    cursor = c;
+    return gop != 2;
+  };
+  common::Rng crash_rng(90);
+  const auto partial = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler(sched_opts, &crash_ctx),
+      crash_rng, &crash_ctx, &stop);
+  EXPECT_FALSE(partial.completed);
+  ASSERT_EQ(partial.base.gops.size(), 3u);
+  ASSERT_TRUE(crash_ctx.has_last_checkpoint);
+
+  // A fresh process: import the pool, replay the cursor, finish the run.
+  SolverContext resumed_ctx;
+  resumed_ctx.manager.import_checkpoint(
+      crash_ctx.manager.export_checkpoint(crash_ctx.last_checkpoint));
+  BlockageRunControl resume;
+  resume.resume = &cursor;
+  common::Rng resumed_rng(90);
+  const auto resumed = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler(sched_opts, &resumed_ctx),
+      resumed_rng, &resumed_ctx, &resume);
+
+  EXPECT_FALSE(resumed.resume_rejected);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.start_gop, 3);
+  // The digest chain is exact plan identity, period by period.
+  EXPECT_EQ(resumed.plan_digest_chain, ref.plan_digest_chain);
+  ASSERT_EQ(resumed.base.gops.size(), ref.base.gops.size());
+  for (std::size_t g = 0; g < ref.base.gops.size(); ++g) {
+    EXPECT_EQ(resumed.base.gops[g].on_time, ref.base.gops[g].on_time);
+    EXPECT_NEAR(resumed.base.gops[g].stall_slots,
+                ref.base.gops[g].stall_slots, 1e-9);
+  }
+  EXPECT_NEAR(resumed.base.on_time_ratio, ref.base.on_time_ratio, 1e-12);
+  EXPECT_NEAR(resumed.base.total_stall_slots, ref.base.total_stall_slots,
+              1e-9);
+  EXPECT_NEAR(resumed.base.mean_psnr_db, ref.base.mean_psnr_db, 1e-9);
+  EXPECT_NEAR(resumed.mean_blocked_fraction, ref.mean_blocked_fraction,
+              1e-12);
+  // Counter offsetting: the resumed session reports whole-session numbers.
+  EXPECT_EQ(resumed.pool_periods, ref.pool_periods);
+  EXPECT_EQ(resumed.pool_resolves, ref.pool_resolves);
+}
+
+TEST(BlockageSession, ResumeRejectsAForeignOrStaleCursor) {
+  auto f = make_fixture(42, 5, 2);
+  BlockageSessionConfig cfg = small_config(5);
+  cfg.blockage.p_block = 0.3;
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 91);
+
+  core::StreamCursor cursor;
+  BlockageRunControl stop;
+  stop.on_period = [&](const core::StreamCursor& c, int gop) {
+    cursor = c;
+    return gop != 1;
+  };
+  common::Rng crash_rng(91);
+  (void)run_blockage_session(*f.model, f.params, cfg,
+                             make_cg_scheduler({}), crash_rng, nullptr,
+                             &stop);
+
+  // A fresh cold run is what every rejected resume must degrade to.
+  common::Rng fresh_rng(91);
+  SolverContext fresh_ctx;
+  const auto fresh = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}, &fresh_ctx), fresh_rng,
+      &fresh_ctx);
+
+  // (a) A cursor whose fingerprint names another session.
+  {
+    core::StreamCursor foreign = cursor;
+    foreign.session_fingerprint ^= 0x1;
+    BlockageRunControl resume;
+    resume.resume = &foreign;
+    common::Rng rng(91);
+    SolverContext ctx;
+    const auto m = run_blockage_session(*f.model, f.params, cfg,
+                                        make_cg_scheduler({}, &ctx), rng,
+                                        &ctx, &resume);
+    EXPECT_TRUE(m.resume_rejected);
+    EXPECT_EQ(m.start_gop, 0);
+    EXPECT_TRUE(m.completed);
+    EXPECT_EQ(m.plan_digest_chain, fresh.plan_digest_chain);
+  }
+  // (b) A cursor whose blockage bits do not replay (stale state).
+  {
+    core::StreamCursor stale = cursor;
+    stale.blocked[0] = 1 - stale.blocked[0];
+    BlockageRunControl resume;
+    resume.resume = &stale;
+    common::Rng rng(91);
+    SolverContext ctx;
+    const auto m = run_blockage_session(*f.model, f.params, cfg,
+                                        make_cg_scheduler({}, &ctx), rng,
+                                        &ctx, &resume);
+    EXPECT_TRUE(m.resume_rejected);
+    EXPECT_EQ(m.plan_digest_chain, fresh.plan_digest_chain);
+  }
+  // (c) A cursor for a different horizon.
+  {
+    core::StreamCursor wrong = cursor;
+    wrong.num_gops = 7;
+    BlockageRunControl resume;
+    resume.resume = &wrong;
+    common::Rng rng(91);
+    SolverContext ctx;
+    const auto m = run_blockage_session(*f.model, f.params, cfg,
+                                        make_cg_scheduler({}, &ctx), rng,
+                                        &ctx, &resume);
+    EXPECT_TRUE(m.resume_rejected);
+    EXPECT_EQ(m.plan_digest_chain, fresh.plan_digest_chain);
+  }
+}
+
+TEST(BlockageSession, InjectedCursorCorruptionRejectsTheResume) {
+  auto f = make_fixture(43, 5, 2);
+  BlockageSessionConfig cfg = small_config(4);
+  cfg.blockage.p_block = 0.3;
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 92);
+
+  core::StreamCursor cursor;
+  BlockageRunControl stop;
+  stop.on_period = [&](const core::StreamCursor& c, int gop) {
+    cursor = c;
+    return gop != 1;
+  };
+  common::Rng crash_rng(92);
+  (void)run_blockage_session(*f.model, f.params, cfg,
+                             make_cg_scheduler({}), crash_rng, nullptr,
+                             &stop);
+
+  common::FaultInjector inj;
+  inj.arm(common::faults::kSessionCursorCorrupt, {.times = 1});
+  common::FaultScope scope(inj);
+  BlockageRunControl resume;
+  resume.resume = &cursor;
+  common::Rng rng(92);
+  const auto m = run_blockage_session(*f.model, f.params, cfg,
+                                      make_cg_scheduler({}), rng, nullptr,
+                                      &resume);
+  EXPECT_EQ(inj.fired(common::faults::kSessionCursorCorrupt), 1);
+  // The degradation ladder's last rung: corrupt cursor -> full fresh run,
+  // never a crash, never a half-resumed session.
+  EXPECT_TRUE(m.resume_rejected);
+  EXPECT_EQ(m.start_gop, 0);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.base.gops.size(), 4u);
+}
+
+TEST(BlockageSession, ToJsonLineCarriesTheSessionSummary) {
+  auto f = make_fixture(44);
+  BlockageSessionConfig cfg = small_config(3);
+  cfg.blockage.p_block = 0.2;
+  SolverContext ctx;
+  common::Rng rng(93);
+  const auto metrics = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}, &ctx), rng, &ctx);
+  const std::string line = metrics.to_json_line();
+  // One line, stable keys, hex digest.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"type\":\"session\""), std::string::npos);
+  EXPECT_NE(line.find("\"gops\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"start_gop\":0"), std::string::npos);
+  EXPECT_NE(line.find("\"completed\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"resume_rejected\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"on_time_ratio\":"), std::string::npos);
+  EXPECT_NE(line.find("\"mean_psnr_db\":"), std::string::npos);
+  EXPECT_NE(line.find("\"pool_hit_rate\":"), std::string::npos);
+  EXPECT_NE(line.find("\"plan_digest_chain\":\"0x"), std::string::npos);
 }
 
 }  // namespace

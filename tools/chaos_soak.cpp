@@ -1,0 +1,374 @@
+// chaos_soak — seeded crash-recovery soak driver for streaming sessions.
+//
+// Property under test (the PR's acceptance bar): for every seed, a blockage
+// streaming session that is killed at randomized-but-deterministic GOP
+// boundaries and resumed from its delta-checkpoint log produces EXACTLY the
+// uninterrupted run's results — every per-GOP record equal to 1e-7 and the
+// plan digest chain bit-identical — including legs where the registered
+// fault sites tear delta writes (checkpoint.delta_torn_write), crash
+// compactions (checkpoint.compact_crash) and corrupt the saved cursor
+// (session.cursor_corrupt).  Injected damage may cost re-solved periods
+// (degrading delta chain -> last good base -> cold start); it must never
+// cost correctness and never crash.
+//
+//   chaos_soak [--seeds=N] [--seed-base=S] [--gops=G] [--links --channels
+//              --levels] [--p-block=p] [--out=BENCH_soak.json]
+//
+// Exit status: 0 when every seed's soak matched, 1 otherwise.  The JSON
+// report also records the delta-vs-full save cost (CheckpointLog's
+// track_full_equiv accounting), the evidence that delta saves are cheaper
+// than rewriting the full checkpoint every period.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "core/checkpoint_log.h"
+#include "mmwave/channel.h"
+#include "mmwave/network.h"
+#include "stream/blockage_session.h"
+#include "stream/session.h"
+
+namespace {
+
+using namespace mmwave;
+
+struct SoakSetup {
+  int links = 4;
+  int channels = 2;
+  int levels = 3;
+  int gops = 10;
+  double p_block = 0.3;
+  double demand_scale = 1e-3;
+};
+
+net::NetworkParams params_of(const SoakSetup& s) {
+  net::NetworkParams params;
+  params.num_links = s.links;
+  params.num_channels = s.channels;
+  params.sinr_thresholds.resize(s.levels);
+  for (int q = 0; q < s.levels; ++q)
+    params.sinr_thresholds[q] = 0.1 * (q + 1);
+  return params;
+}
+
+stream::BlockageSessionConfig config_of(const SoakSetup& s,
+                                        std::uint64_t seed) {
+  stream::BlockageSessionConfig cfg;
+  cfg.session.num_gops = s.gops;
+  cfg.session.demand_scale = s.demand_scale;
+  cfg.blockage.p_block = s.p_block;
+  cfg.blockage.attenuation = 0.05;
+  cfg.session_fingerprint =
+      stream::blockage_session_fingerprint(cfg, s.links, seed);
+  return cfg;
+}
+
+/// One process lifetime: builds the session world deterministically from
+/// `seed`, opens the checkpoint log at `path`, resumes from its cursor when
+/// one is present, and runs until `kill_gop` (on_period refuses to continue
+/// there, simulating a crash at that GOP boundary; -1 = run to completion).
+/// Every completed period is persisted through the log.
+///
+/// Degradation-ladder discipline: the pool is imported ONLY together with a
+/// usable cursor.  A lifetime whose cursor is missing, degraded, or
+/// rejected replays the whole session fully cold — determinism then makes
+/// the cold rerun bit-identical to the uninterrupted run, which is exactly
+/// the property the soak asserts.  (A warm pool without its cursor could
+/// steer column generation to a different optimal timeline: same objective,
+/// different digest chain.)
+stream::BlockageSessionMetrics run_lifetime(const SoakSetup& s,
+                                            std::uint64_t seed,
+                                            const std::string& path,
+                                            int kill_gop,
+                                            core::CheckpointLogStats* stats,
+                                            bool allow_resume = true) {
+  common::Rng rng(seed);
+  net::NetworkParams params = params_of(s);
+  net::TableIChannelModel base(s.links, s.channels, params.noise_watts, rng);
+  const stream::BlockageSessionConfig cfg = config_of(s, seed);
+
+  stream::SolverContext context;
+  stream::CgSchedulerOptions sched_opts;
+  sched_opts.heuristic_only = true;
+  sched_opts.capture_checkpoint = true;
+
+  core::CheckpointLogOptions log_opts;
+  log_opts.track_full_equiv = true;
+  core::CheckpointLog log(path, log_opts);
+  const core::CheckpointLogLoad loaded = log.open();
+  core::StreamCursor cursor;
+  stream::BlockageRunControl control;
+  if (allow_resume && loaded.loaded && loaded.state.has_session) {
+    context.manager.import_checkpoint(loaded.state);
+    cursor = loaded.state.session;
+    control.resume = &cursor;
+  }
+  control.on_period = [&](const core::StreamCursor& cur, int gop) {
+    if (context.has_last_checkpoint) {
+      core::CgCheckpoint ckpt =
+          context.manager.export_checkpoint(context.last_checkpoint);
+      ckpt.has_session = true;
+      ckpt.session = cur;
+      // Save failures (torn writes, crashed compactions) are the scenario,
+      // not an error: the next save escalates to a compaction and the next
+      // restart recovers from the last good state.
+      (void)log.save(ckpt).ok();  // lint: discard
+    }
+    return gop != kill_gop;
+  };
+
+  common::Rng session_rng = rng.fork(1);
+  const auto metrics = stream::run_blockage_session(
+      base, params, cfg, stream::make_cg_scheduler(sched_opts, &context),
+      session_rng, &context, &control);
+  if (stats != nullptr) {
+    stats->saves += log.stats().saves;
+    stats->delta_saves += log.stats().delta_saves;
+    stats->full_saves += log.stats().full_saves;
+    stats->compactions += log.stats().compactions;
+    stats->delta_bytes += log.stats().delta_bytes;
+    stats->full_bytes += log.stats().full_bytes;
+    stats->full_equiv_bytes += log.stats().full_equiv_bytes;
+  }
+  if (metrics.resume_rejected && allow_resume) {
+    // The session itself refused the cursor (stale replay / fingerprint /
+    // injected corruption): bottom of the ladder, rerun fully cold.
+    return run_lifetime(s, seed, path, kill_gop, stats,
+                        /*allow_resume=*/false);
+  }
+  return metrics;
+}
+
+/// The uninterrupted run every chaos variant must reproduce.
+stream::BlockageSessionMetrics run_reference(const SoakSetup& s,
+                                             std::uint64_t seed) {
+  common::Rng rng(seed);
+  net::NetworkParams params = params_of(s);
+  net::TableIChannelModel base(s.links, s.channels, params.noise_watts, rng);
+  const stream::BlockageSessionConfig cfg = config_of(s, seed);
+  stream::SolverContext context;
+  stream::CgSchedulerOptions sched_opts;
+  sched_opts.heuristic_only = true;
+  common::Rng session_rng = rng.fork(1);
+  return stream::run_blockage_session(
+      base, params, cfg, stream::make_cg_scheduler(sched_opts, &context),
+      session_rng, &context);
+}
+
+bool close_to(double a, double b) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  return std::fabs(a - b) <= 1e-7 * std::max(1.0, std::max(std::fabs(a),
+                                                           std::fabs(b)));
+}
+
+int compare_runs(const stream::BlockageSessionMetrics& ref,
+                 const stream::BlockageSessionMetrics& got,
+                 std::uint64_t seed) {
+  int mismatches = 0;
+  auto fail = [&](const char* what, double want, double have) {
+    std::fprintf(stderr,
+                 "MISMATCH seed=%llu %s: reference %.17g, resumed %.17g\n",
+                 static_cast<unsigned long long>(seed), what, want, have);
+    ++mismatches;
+  };
+  if (ref.plan_digest_chain != got.plan_digest_chain) {
+    std::fprintf(stderr,
+                 "MISMATCH seed=%llu plan_digest_chain: reference "
+                 "0x%016" PRIx64 ", resumed 0x%016" PRIx64 "\n",
+                 static_cast<unsigned long long>(seed), ref.plan_digest_chain,
+                 got.plan_digest_chain);
+    ++mismatches;
+  }
+  if (ref.base.gops.size() != got.base.gops.size()) {
+    fail("gop count", static_cast<double>(ref.base.gops.size()),
+         static_cast<double>(got.base.gops.size()));
+    return mismatches;
+  }
+  for (std::size_t g = 0; g < ref.base.gops.size(); ++g) {
+    const stream::GopRecord& a = ref.base.gops[g];
+    const stream::GopRecord& b = got.base.gops[g];
+    if (!close_to(a.demand_bits, b.demand_bits))
+      fail("gop demand_bits", a.demand_bits, b.demand_bits);
+    if (!close_to(a.schedule_slots, b.schedule_slots))
+      fail("gop schedule_slots", a.schedule_slots, b.schedule_slots);
+    if (!close_to(a.stall_slots, b.stall_slots))
+      fail("gop stall_slots", a.stall_slots, b.stall_slots);
+    if (a.on_time != b.on_time)
+      fail("gop on_time", a.on_time ? 1.0 : 0.0, b.on_time ? 1.0 : 0.0);
+  }
+  if (!close_to(ref.base.on_time_ratio, got.base.on_time_ratio))
+    fail("on_time_ratio", ref.base.on_time_ratio, got.base.on_time_ratio);
+  if (!close_to(ref.base.total_stall_slots, got.base.total_stall_slots))
+    fail("total_stall_slots", ref.base.total_stall_slots,
+         got.base.total_stall_slots);
+  if (!close_to(ref.base.mean_psnr_db, got.base.mean_psnr_db))
+    fail("mean_psnr_db", ref.base.mean_psnr_db, got.base.mean_psnr_db);
+  if (!close_to(ref.mean_blocked_fraction, got.mean_blocked_fraction))
+    fail("mean_blocked_fraction", ref.mean_blocked_fraction,
+         got.mean_blocked_fraction);
+  return mismatches;
+}
+
+struct SeedOutcome {
+  std::uint64_t seed = 0;
+  int lifetimes = 0;
+  int fault_legs = 0;
+  int mismatches = 0;
+  core::CheckpointLogStats stats;
+};
+
+/// Runs the chaos variant for one seed: a deterministic kill schedule, each
+/// lifetime under a cycling fault leg, final lifetime running to completion.
+SeedOutcome soak_seed(const SoakSetup& s, std::uint64_t seed,
+                      const std::string& dir) {
+  SeedOutcome out;
+  out.seed = seed;
+  const std::string path =
+      dir + "/soak_" + std::to_string(seed) + ".ckpt";
+  std::remove(path.c_str());
+  std::remove((path + ".delta").c_str());
+
+  const auto reference = run_reference(s, seed);
+
+  // Deterministic kill schedule: 1..3 kills at boundaries before the last
+  // period, strictly increasing so every lifetime makes progress.
+  common::Rng kr(seed ^ 0xC4A05011ULL);
+  const int num_kills =
+      1 + static_cast<int>(kr.uniform_index(std::min(3, s.gops - 1)));
+  std::vector<int> kills;
+  int lo = 0;
+  for (int i = 0; i < num_kills && lo < s.gops - 1; ++i) {
+    const int k = lo + static_cast<int>(kr.uniform_index(
+                           static_cast<std::uint64_t>(s.gops - 1 - lo)));
+    kills.push_back(k);
+    lo = k + 1;
+  }
+  kills.push_back(-1);  // final lifetime: run to completion
+
+  stream::BlockageSessionMetrics last;
+  for (std::size_t i = 0; i < kills.size(); ++i) {
+    // Cycle the fault legs so every site gets exercised across the soak:
+    // 0 none, 1 torn delta append, 2 crashed compaction, 3 corrupted
+    // cursor (forces a cold-start session that must still match).
+    common::FaultInjector injector(seed ^ (0xFA017ULL + i));
+    const int leg = static_cast<int>(i % 4);
+    if (leg == 1) {
+      injector.arm(common::faults::kCheckpointDeltaTornWrite,
+                   {.skip = static_cast<int>(i % 2), .times = 1});
+      ++out.fault_legs;
+    } else if (leg == 2) {
+      injector.arm(common::faults::kCheckpointCompactCrash, {.times = 1});
+      ++out.fault_legs;
+    } else if (leg == 3) {
+      injector.arm(common::faults::kSessionCursorCorrupt, {.times = 1});
+      ++out.fault_legs;
+    }
+    common::FaultScope scope(injector);
+    last = run_lifetime(s, seed, path, kills[i], &out.stats);
+    ++out.lifetimes;
+  }
+  if (!last.completed) {
+    std::fprintf(stderr, "MISMATCH seed=%llu: final lifetime incomplete\n",
+                 static_cast<unsigned long long>(seed));
+    ++out.mismatches;
+  }
+  out.mismatches += compare_runs(reference, last, seed);
+  std::remove(path.c_str());
+  std::remove((path + ".delta").c_str());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliFlags flags;
+  flags.parse(argc, argv);
+  SoakSetup s;
+  s.links = static_cast<int>(flags.get_int("links", s.links));
+  s.channels = static_cast<int>(flags.get_int("channels", s.channels));
+  s.levels = static_cast<int>(flags.get_int("levels", s.levels));
+  s.gops = static_cast<int>(flags.get_int("gops", s.gops));
+  s.p_block = flags.get_double("p-block", s.p_block);
+  const int seeds = static_cast<int>(flags.get_int("seeds", 3));
+  const std::uint64_t seed_base =
+      static_cast<std::uint64_t>(flags.get_int("seed-base", 1));
+  const std::string out_path = flags.get_string("out", "");
+  const std::string dir = flags.get_string("dir", ".");
+  if (s.gops < 2 || seeds < 1) {
+    std::fprintf(stderr, "error: need --gops>=2 and --seeds>=1\n");
+    return 1;
+  }
+
+  std::vector<SeedOutcome> outcomes;
+  int total_mismatches = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+    SeedOutcome o = soak_seed(s, seed, dir);
+    std::printf("seed %llu: %d lifetimes (%d fault legs), %lld saves "
+                "(%lld delta / %lld full), delta %lld B vs full-equiv "
+                "%lld B: %s\n",
+                static_cast<unsigned long long>(seed), o.lifetimes,
+                o.fault_legs, static_cast<long long>(o.stats.saves),
+                static_cast<long long>(o.stats.delta_saves),
+                static_cast<long long>(o.stats.full_saves),
+                static_cast<long long>(o.stats.delta_bytes),
+                static_cast<long long>(o.stats.full_equiv_bytes),
+                o.mismatches == 0 ? "MATCH" : "MISMATCH");
+    total_mismatches += o.mismatches;
+    outcomes.push_back(std::move(o));
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\"bench\":\"chaos_soak\",\"links\":%d,\"channels\":%d,"
+                   "\"gops\":%d,\"p_block\":%.17g,\"seeds\":%d,"
+                   "\"all_match\":%s,\"runs\":[",
+                   s.links, s.channels, s.gops, s.p_block, seeds,
+                   total_mismatches == 0 ? "true" : "false");
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const SeedOutcome& o = outcomes[i];
+        std::fprintf(
+            f,
+            "%s{\"seed\":%llu,\"lifetimes\":%d,\"fault_legs\":%d,"
+            "\"mismatches\":%d,\"saves\":%lld,\"delta_saves\":%lld,"
+            "\"full_saves\":%lld,\"compactions\":%lld,"
+            "\"delta_bytes\":%lld,"
+            "\"full_equiv_bytes\":%lld,\"delta_savings\":%.4f}",
+            i == 0 ? "" : ",", static_cast<unsigned long long>(o.seed),
+            o.lifetimes, o.fault_legs, o.mismatches,
+            static_cast<long long>(o.stats.saves),
+            static_cast<long long>(o.stats.delta_saves),
+            static_cast<long long>(o.stats.full_saves),
+            static_cast<long long>(o.stats.compactions),
+            static_cast<long long>(o.stats.delta_bytes),
+            static_cast<long long>(o.stats.full_equiv_bytes),
+            o.stats.full_equiv_bytes > 0
+                ? 1.0 - static_cast<double>(o.stats.delta_bytes +
+                                            o.stats.full_bytes) /
+                            static_cast<double>(o.stats.full_equiv_bytes)
+                : 0.0);
+      }
+      std::fprintf(f, "]}\n");
+      std::fclose(f);
+      std::printf("report written to %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
+    }
+  }
+
+  if (total_mismatches == 0) {
+    std::printf("chaos soak PASSED: %d seed(s), resumed runs identical to "
+                "uninterrupted runs\n", seeds);
+    return 0;
+  }
+  std::printf("chaos soak FAILED: %d mismatch(es)\n", total_mismatches);
+  return 1;
+}

@@ -144,6 +144,49 @@ run(0 "checkpoint: pool [0-9]+ loaded"
     resolve --checkpoint=${WORK_DIR}/v1_compat.ckpt --links=4 --channels=2
             --seed=3 --block-links=0 --block-atten=0.05)
 
+# --- stream crash recovery (checkpoint v3 delta log + session cursor) -------
+# stream --checkpoint writes a base + delta chain and reports the save mix;
+# --resume replays the saved cursor (or falls back down the ladder with exit
+# 0 when the state is unusable); --metrics-json emits one JSON line per GOP
+# plus a session summary line.  --repair validates like any other enum flag.
+set(SLOG "${WORK_DIR}/smoke_stream.ckpt")
+file(REMOVE "${SLOG}" "${SLOG}.delta")
+run(0 "checkpoints: +[0-9]+ saves"
+    stream --links=4 --channels=2 --seed=7 --gops=4 --p-block=0.2
+           --checkpoint=${SLOG})
+if(NOT EXISTS "${SLOG}")
+  message(SEND_ERROR "stream --checkpoint did not write ${SLOG}")
+  math(EXPR failures "${failures}+1")
+endif()
+# The finished session resumes as a no-op continuation: the cursor sits at
+# num_gops, so the run reports itself as resumed and replays nothing.
+run(0 "resume: cursor at gop 4/4"
+    stream --links=4 --channels=2 --seed=7 --gops=4 --p-block=0.2
+           --checkpoint=${SLOG} --resume)
+# A different session (other seed) must reject the cursor and run fresh.
+run(0 "resume: cursor rejected"
+    stream --links=4 --channels=2 --seed=8 --gops=4 --p-block=0.2
+           --checkpoint=${SLOG} --resume)
+# A torn delta tail degrades, never errors: append garbage to the chain.
+file(APPEND "${SLOG}.delta" "delta = 999 999 128 0xdeadbeefdeadbeef\ntorn")
+run(0 "" stream --links=4 --channels=2 --seed=7 --gops=4 --p-block=0.2
+         --checkpoint=${SLOG} --resume)
+# Resuming against a missing file is a cold start, exit 0.  (The run
+# itself then writes that checkpoint, so clear it for re-runs.)
+file(REMOVE "${WORK_DIR}/absent_stream.ckpt"
+            "${WORK_DIR}/absent_stream.ckpt.delta")
+run(0 "resume: no usable checkpoint"
+    stream --links=4 --channels=2 --seed=7 --gops=2
+           --checkpoint=${WORK_DIR}/absent_stream.ckpt --resume)
+run(0 "\"type\":\"gop\".*\"type\":\"session\""
+    stream --links=4 --channels=2 --seed=7 --gops=3 --p-block=0.1
+           --metrics-json)
+run(0 "" stream --links=4 --channels=2 --seed=7 --gops=3 --repair=downgrade)
+run(2 "error: --repair: expected drop\\|downgrade"
+    stream --links=4 --channels=2 --gops=3 --repair=polish)
+run(2 "error: --resume requires --checkpoint"
+    stream --links=4 --channels=2 --gops=3 --resume)
+
 # --- exit 3: degraded solve (deadline far too small for exact pricing) ------
 run(3 "DEGRADED" solve --links=25 --channels=5 --pricing=exact --deadline=0.2)
 

@@ -43,6 +43,7 @@
 //      spec, or an instance rejected by check::validate_instance
 //   3  degraded solve: the anytime contract returned an incumbent (deadline,
 //      stall, solver breakdown) instead of a certified answer
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -56,6 +57,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/checkpoint.h"
+#include "core/checkpoint_log.h"
 #include "core/pool_manager.h"
 #include "core/column_generation.h"
 #include "core/resolve.h"
@@ -226,13 +228,27 @@ Instance build_instance(const InstanceFlags& f) {
   return opts;
 }
 
+/// --repair: how SINR-violated pooled transmissions are fixed (drop them,
+/// or first step down the rate ladder — core::RepairPolicy).
+[[nodiscard]] common::Expected<core::RepairPolicy> parse_repair_flag(
+    const common::CliFlags& flags) {
+  const std::string repair = flags.get_string("repair", "drop");
+  if (repair == "drop") return core::RepairPolicy::kDropTransmissions;
+  if (repair == "downgrade") return core::RepairPolicy::kDowngradeRate;
+  return common::Status::Error(
+      common::ErrorCode::kInvalidInput,
+      "--repair: expected drop|downgrade, got '" + repair + "'");
+}
+
 /// Prints the outcome of a checkpoint-assisted solve's repair pass.
 void report_checkpoint_use(const core::ResolveResult& r) {
   if (r.used_checkpoint) {
     std::printf("checkpoint: pool %d loaded | %d intact | %d repaired "
-                "(%d transmissions dropped) | %d dropped | hit rate %.0f%%\n",
+                "(%d transmissions dropped, %d downgraded) | %d dropped | "
+                "hit rate %.0f%%\n",
                 r.repair.loaded, r.repair.intact, r.repair.repaired,
-                r.repair.transmissions_dropped, r.repair.dropped,
+                r.repair.transmissions_dropped,
+                r.repair.transmissions_downgraded, r.repair.dropped,
                 100.0 * r.repair.hit_rate());
     if (!r.fingerprint_matched)
       std::printf("checkpoint: fingerprint differs (perturbed instance)\n");
@@ -441,6 +457,21 @@ int cmd_stream(const common::CliFlags& flags) {
   }
   const int gops = static_cast<int>(gops_flag.value());
   const double p_block = p_block_flag.value();
+  const std::string ckpt_path = flags.get_string("checkpoint", "");
+  const bool resume = flags.has("resume");
+  const bool metrics_json = flags.has("metrics-json");
+  if (resume && ckpt_path.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint=FILE\n");
+    return kExitInvalidInput;
+  }
+  const auto pool_flags = parse_pool_flags(flags);
+  const auto repair = parse_repair_flag(flags);
+  if (!pool_flags.ok() || !repair.ok()) {
+    const common::Status& bad =
+        pool_flags.ok() ? repair.status() : pool_flags.status();
+    std::fprintf(stderr, "error: %s\n", bad.message().c_str());
+    return kExitInvalidInput;
+  }
 
   common::Rng rng(f.seed);
   net::NetworkParams params = params_of(f);
@@ -451,14 +482,86 @@ int cmd_stream(const common::CliFlags& flags) {
   cfg.session.demand_scale = f.demand_scale;
   cfg.blockage.p_block = p_block;
   cfg.blockage.attenuation = 0.05;
+  cfg.session_fingerprint =
+      stream::blockage_session_fingerprint(cfg, f.links, f.seed);
 
+  stream::SolverContext context(pool_flags.value());
   stream::CgSchedulerOptions sched_opts;
   sched_opts.heuristic_only = f.pricing == core::PricingMode::HeuristicOnly;
+  sched_opts.repair = repair.value();
+  sched_opts.capture_checkpoint = !ckpt_path.empty();
+
+  // --checkpoint persists the session through a delta log (base + deltas,
+  // compacted periodically); --resume replays the stream cursor saved there
+  // and continues mid-session.  Any unusable state degrades down the ladder
+  // — delta chain, last good base, cold start — never into an error.
+  stream::BlockageRunControl control;
+  core::StreamCursor resume_cursor;
+  std::unique_ptr<core::CheckpointLog> log;
+  if (!ckpt_path.empty()) {
+    log = std::make_unique<core::CheckpointLog>(ckpt_path);
+    const core::CheckpointLogLoad loaded = log->open();
+    if (loaded.loaded) {
+      // The saved pool is warm capital with or without a cursor.
+      context.manager.import_checkpoint(loaded.state);
+      if (resume && loaded.state.has_session) {
+        resume_cursor = loaded.state.session;
+        control.resume = &resume_cursor;
+        std::printf("resume: cursor at gop %d/%d (%d deltas applied%s)\n",
+                    resume_cursor.next_gop, resume_cursor.num_gops,
+                    loaded.deltas_applied,
+                    loaded.tail_dropped ? ", torn tail dropped" : "");
+      } else if (resume) {
+        std::printf("resume: checkpoint has no usable session cursor; "
+                    "starting fresh (pool kept)\n");
+      }
+    } else if (resume) {
+      std::printf("resume: no usable checkpoint at %s; cold start\n",
+                  ckpt_path.c_str());
+    }
+  }
+  if (log != nullptr || metrics_json) {
+    control.on_period = [&](const core::StreamCursor& cur, int gop) {
+      if (metrics_json && !cur.gops.empty()) {
+        const core::StreamGopRecord& r = cur.gops.back();
+        int blocked_links = 0;
+        for (int b : cur.blocked) blocked_links += b;
+        std::printf(
+            "{\"type\":\"gop\",\"gop\":%d,\"demand_bits\":%.17g,"
+            "\"schedule_slots\":%.17g,\"budget_slots\":%.17g,"
+            "\"on_time\":%s,\"stall_slots\":%.17g,\"blocked_links\":%d,"
+            "\"plan_digest\":\"0x%016" PRIx64 "\"}\n",
+            r.gop, r.demand_bits, r.schedule_slots, r.budget_slots,
+            r.on_time ? "true" : "false", r.stall_slots, blocked_links,
+            cur.plan_digest);
+      }
+      if (log != nullptr && context.has_last_checkpoint) {
+        core::CgCheckpoint ckpt =
+            context.manager.export_checkpoint(context.last_checkpoint);
+        ckpt.has_session = true;
+        ckpt.session = cur;
+        const common::Status st = log->save(ckpt);
+        if (!st.ok()) {
+          std::fprintf(stderr,
+                       "warning: checkpoint save failed at gop %d: %s\n",
+                       gop, st.message().c_str());
+        }
+      }
+      return true;
+    };
+  }
+
   common::Rng session_rng = rng.fork(1);
   const auto metrics = stream::run_blockage_session(
-      base, params, cfg, stream::make_cg_scheduler(sched_opts), session_rng);
+      base, params, cfg, stream::make_cg_scheduler(sched_opts, &context),
+      session_rng, &context, &control);
 
-  std::printf("streaming %d GOPs (p_block=%.2f):\n", gops, p_block);
+  if (metrics_json) std::printf("%s\n", metrics.to_json_line().c_str());
+  if (metrics.resume_rejected)
+    std::printf("resume: cursor rejected (stale or wrong session); "
+                "ran fresh\n");
+  std::printf("streaming %d GOPs (p_block=%.2f%s):\n", gops, p_block,
+              metrics.start_gop > 0 ? ", resumed" : "");
   std::printf("  on-time GOPs:   %.1f%%\n", 100.0 * metrics.base.on_time_ratio);
   std::printf("  total stall:    %.1f slots\n",
               metrics.base.total_stall_slots);
@@ -466,6 +569,16 @@ int cmd_stream(const common::CliFlags& flags) {
   std::printf("  blocked frac:   %.3f\n", metrics.mean_blocked_fraction);
   std::printf("  all served:     %s\n",
               metrics.base.all_served ? "yes" : "NO");
+  if (log != nullptr) {
+    const core::CheckpointLogStats& s = log->stats();
+    std::printf("  checkpoints:    %lld saves (%lld delta, %lld full), "
+                "%lld delta bytes, %lld full bytes\n",
+                static_cast<long long>(s.saves),
+                static_cast<long long>(s.delta_saves),
+                static_cast<long long>(s.full_saves),
+                static_cast<long long>(s.delta_bytes),
+                static_cast<long long>(s.full_bytes));
+  }
   return 0;
 }
 
@@ -488,9 +601,11 @@ int cmd_resolve(const common::CliFlags& flags) {
     return kExitInvalidInput;
   }
   const auto pool_flags = parse_pool_flags(flags);
-  if (!pool_flags.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 pool_flags.status().message().c_str());
+  const auto repair = parse_repair_flag(flags);
+  if (!pool_flags.ok() || !repair.ok()) {
+    const common::Status& bad =
+        pool_flags.ok() ? repair.status() : pool_flags.status();
+    std::fprintf(stderr, "error: %s\n", bad.message().c_str());
     return kExitInvalidInput;
   }
   core::PoolManager pool_manager(pool_flags.value());
@@ -524,6 +639,8 @@ int cmd_resolve(const common::CliFlags& flags) {
   opts.pricing = f.pricing;
   opts.lp_pricing = f.lp_pricing;
   opts.deadline_sec = f.deadline_sec;
+  core::ResolveOptions ropts;
+  ropts.repair = repair.value();
   core::ResolveResult r;
   const auto loaded = core::load_checkpoint(ckpt_path);
   if (loaded.ok() && pool_manager.options().cap > 0) {
@@ -537,11 +654,11 @@ int cmd_resolve(const common::CliFlags& flags) {
                 pool_manager.options().cap,
                 core::to_string(pool_manager.options().policy),
                 capped.pool.size(), saved);
-    r = core::resolve(net, demands, capped, opts);
+    r = core::resolve(net, demands, capped, opts, ropts);
   } else {
     // Unbounded pool, or an unusable file: resolve_from_file keeps the
     // established degrade-to-cold behaviour (and its diagnostics).
-    r = core::resolve_from_file(ckpt_path, net, demands, opts);
+    r = core::resolve_from_file(ckpt_path, net, demands, opts, ropts);
   }
   report_checkpoint_use(r);
   const int health = report_solve_health(r.cg);
@@ -665,12 +782,18 @@ int main(int argc, char** argv) {
       "          from that checkpoint; fingerprint must match)\n"
       "          --pool-cap=N --pool-policy=lru|rc-hybrid (trim the saved\n"
       "          pool to N columns; 0 = unbounded)\n"
-      "  stream  also accepts --gops=N --p-block=p\n"
+      "  stream  also accepts --gops=N --p-block=p --metrics-json\n"
+      "          --checkpoint=FILE (persist the session as base+delta\n"
+      "          checkpoints at every GOP boundary) --resume (continue a\n"
+      "          checkpointed session mid-stream) --pool-cap=N\n"
+      "          --pool-policy=... --repair=drop|downgrade\n"
       "  resolve requires --checkpoint=FILE; also accepts\n"
       "          --block-links=0,3 --block-atten=a --update: repairs the\n"
       "          saved column pool against the perturbed instance and\n"
       "          re-solves warm (corrupt/mismatched checkpoint = cold start)\n"
       "          --pool-cap=N --pool-policy=lru|rc-hybrid cap the seeded pool\n"
+      "          --repair=drop|downgrade (step SINR-violated transmissions\n"
+      "          down the rate ladder instead of dropping them)\n"
       "  check   runs the solve under the certificate checkers and exits\n"
       "          non-zero on any violated certificate\n"
       "exit status: 0 ok | 1 check failed / unknown command |\n"

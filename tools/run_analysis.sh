@@ -44,8 +44,18 @@
 #                                         the determinism contract, and the
 #                                         fault-site registry cross-check
 #                                         (zero findings allowed; DESIGN §10)
+#  10. chaos soak                         tools/chaos_soak on the sanitized
+#                                         build: seeded kill/restart sessions
+#                                         resumed from the delta-checkpoint
+#                                         log must match the uninterrupted
+#                                         runs to 1e-7 (digest chains
+#                                         bit-identical), including legs with
+#                                         torn delta writes, compaction
+#                                         crashes and corrupted cursors;
+#                                         writes BENCH_soak.json with the
+#                                         delta-vs-full save economics
 #
-# Usage:  tools/run_analysis.sh [--fast|--robustness|--coverage|--lint]
+# Usage:  tools/run_analysis.sh [--fast|--robustness|--coverage|--lint|--soak]
 #   --fast        skip legs 1, 6 and 8 (the plain build, the perf bench and
 #                 the coverage gate) — the sanitized legs still run the full
 #                 suite, so this is the quick pre-push variant.
@@ -59,6 +69,9 @@
 #   --lint        the CI static-analysis gate: run only legs 3 and 9
 #                 (clang-tidy + project lint).  Configures a build tree for
 #                 the compilation database but compiles nothing.
+#   --soak        the CI crash-recovery gate: build the ASan+UBSan tree and
+#                 run only leg 10 (the chaos-soak driver, deeper seed sweep
+#                 than the smoke ctest) plus the checkpoint-log suites.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -67,11 +80,13 @@ FAST=0
 ROBUSTNESS=0
 COVERAGE_ONLY=0
 LINT_ONLY=0
+SOAK_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --robustness) ROBUSTNESS=1 ;;
   --coverage) COVERAGE_ONLY=1 ;;
   --lint) LINT_ONLY=1 ;;
+  --soak) SOAK_ONLY=1 ;;
 esac
 
 failures=()
@@ -91,7 +106,7 @@ run_ctest() {
 
 # ---- Leg 1: plain RelWithDebInfo + Werror ---------------------------------
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
-      && "$LINT_ONLY" == 0 ]]; then
+      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 ]]; then
   note "leg 1: RelWithDebInfo + -Werror"
   if configure_and_build "$ROOT/build-analysis-rel" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
@@ -113,10 +128,10 @@ if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
 elif configure_and_build "$ASAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       "-DMMWAVE_SANITIZE=address;undefined"; then
-  if [[ "$ROBUSTNESS" == 0 ]]; then
+  if [[ "$ROBUSTNESS" == 0 && "$SOAK_ONLY" == 0 ]]; then
     run_ctest "$ASAN_DIR" || leg_failed "ctest (ASan+UBSan)"
   else
-    echo "(--robustness: full sanitized ctest sweep skipped; legs 4 and 7 use this build)"
+    echo "(--robustness/--soak: full sanitized ctest sweep skipped; later legs use this build)"
   fi
 else
   leg_failed "build (ASan+UBSan)"
@@ -124,7 +139,7 @@ fi
 
 # ---- Leg 3: clang-tidy over src/ ------------------------------------------
 note "leg 3: clang-tidy"
-if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 ]]; then
+if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 || "$SOAK_ONLY" == 1 ]]; then
   echo "leg 3 skipped"
 elif command -v clang-tidy > /dev/null 2>&1; then
   TIDY_DIR="$ASAN_DIR"
@@ -148,8 +163,8 @@ fi
 # so this leg doubles as a deep sanitizer workout of the hot path.
 note "leg 4: solver certificate verifier (mmwave_cli check)"
 CLI="$ASAN_DIR/tools/mmwave_cli"
-if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
-  echo "leg 4 skipped (--coverage/--lint)"
+if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 || "$SOAK_ONLY" == 1 ]]; then
+  echo "leg 4 skipped (--coverage/--lint/--soak)"
 elif [[ -x "$CLI" ]]; then
   # Fig. 1 scenario family: Table I ladder, K = 5, hybrid pricing.
   "$CLI" check --links=10 --channels=5 --seed=1 \
@@ -169,7 +184,8 @@ fi
 note "leg 5: ThreadSanitizer (thread pool + warm equivalence)"
 TSAN_DIR="$ROOT/build-analysis-tsan"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
+if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 \
+      || "$SOAK_ONLY" == 1 ]]; then
   echo "leg 5 skipped"
 elif configure_and_build "$TSAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -196,7 +212,7 @@ fi
 # A missing binary is a failure, not a skip: the bench target silently
 # falling out of the build would otherwise go unnoticed.
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
-      && "$LINT_ONLY" == 0 ]]; then
+      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 ]]; then
   note "leg 6: perf bench (perf_solvers -> BENCH_cg.json, perf_resolve -> BENCH_resolve.json, perf_pool -> BENCH_pool.json)"
   PERF="$ROOT/build-analysis-rel/bench/perf_solvers"
   if [[ -x "$PERF" ]]; then
@@ -255,11 +271,11 @@ run_fuzz() {
   fi
 }
 
-if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
-  echo "leg 7 skipped (--coverage/--lint)"
+if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 || "$SOAK_ONLY" == 1 ]]; then
+  echo "leg 7 skipped (--coverage/--lint/--soak)"
 elif [[ -d "$ASAN_DIR" ]]; then
   (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-      -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|CgCheckpoint|CgResolve|PoolManager|PoolPolicy|InstanceSignature|BlockageSession|cli_smoke') \
+      -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|CgCheckpoint|CheckpointLog|CgResolve|PoolManager|PoolPolicy|InstanceSignature|BlockageSession|cli_smoke') \
     || leg_failed "ctest (robustness suites under ASan+UBSan)"
   run_fuzz instance_spec_fuzz "$ROOT/tests/fuzz/corpus"
   run_fuzz checkpoint_fuzz "$ROOT/tests/fuzz/corpus_checkpoint"
@@ -272,7 +288,8 @@ fi
 # and src/stream against the floors in tools/coverage_baseline.txt.  The
 # floors are a ratchet: they record the coverage the tree actually has, so a
 # PR that adds untested solver/session code fails here before review.
-if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$LINT_ONLY" == 0 ]]; then
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$LINT_ONLY" == 0 \
+      && "$SOAK_ONLY" == 0 ]]; then
   note "leg 8: coverage gate (gcov, src/core + src/stream floors)"
   COV_DIR="$ROOT/build-analysis-cov"
   if configure_and_build "$COV_DIR" \
@@ -294,7 +311,7 @@ fi
 # Status discipline, the §7 no-throw boundary, the determinism contract,
 # and the fault-site registry.  Pure python3 over the sources — no build
 # needed — so it runs in every mode except the narrowly-scoped CI gates.
-if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 ]]; then
+if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 && "$SOAK_ONLY" == 0 ]]; then
   note "leg 9: project lint (tools/lint/project_lint.py)"
   if command -v python3 > /dev/null 2>&1; then
     python3 "$ROOT/tools/lint/project_lint.py" --root "$ROOT" \
@@ -304,6 +321,37 @@ if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 ]]; then
   fi
 else
   note "leg 9 skipped"
+fi
+
+# ---- Leg 10: chaos soak (crash-recovery property) --------------------------
+# Seeded kill/restart sessions resumed from the delta-checkpoint log must
+# match the uninterrupted runs exactly (1e-7 per record, digest chains
+# bit-identical) with the registered fault sites firing.  Runs on the
+# sanitized build so the recovery paths are instrumented; --soak sweeps
+# more seeds than the default pre-merge pass.
+if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
+      && "$LINT_ONLY" == 0 ]]; then
+  note "leg 10: chaos soak (tools/chaos_soak -> BENCH_soak.json)"
+  SOAK="$ASAN_DIR/tools/chaos_soak"
+  SOAK_SEEDS=5
+  [[ "$SOAK_ONLY" == 1 ]] && SOAK_SEEDS=10
+  if [[ -x "$SOAK" ]]; then
+    if [[ "$SOAK_ONLY" == 1 ]]; then
+      (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
+          -R 'CheckpointLog|CgCheckpoint|BlockageSession|chaos_soak_smoke|cli_smoke') \
+        || leg_failed "ctest (checkpoint-log + session suites under ASan+UBSan)"
+    fi
+    SOAK_DIR="$ASAN_DIR/soak-work"
+    mkdir -p "$SOAK_DIR"
+    "$SOAK" --seeds="$SOAK_SEEDS" --gops=10 --dir="$SOAK_DIR" \
+        --out="$ROOT/BENCH_soak.json" \
+      || leg_failed "chaos_soak (resumed runs diverged from uninterrupted)"
+    [[ -s "$ROOT/BENCH_soak.json" ]] || leg_failed "BENCH_soak.json not written"
+  else
+    leg_failed "chaos_soak missing (sanitized build incomplete?)"
+  fi
+else
+  note "leg 10 skipped"
 fi
 
 # ---- Summary --------------------------------------------------------------
