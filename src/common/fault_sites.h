@@ -67,5 +67,21 @@ inline constexpr const char* kSessionCursorCorrupt =
 /// kept, neighbour seeding rebuilt from scratch), never reject the file.
 inline constexpr const char* kCheckpointBadIndexRecord =
     "checkpoint.v3_bad_index_record";
+/// A fleet request arrives poisoned (undecodable payload past admission):
+/// the server must emit an error record for THAT request and keep serving —
+/// one bad piconet never takes down the daemon.
+inline constexpr const char* kFleetRequestPoison = "fleet.request_poison";
+/// Admission reads the queue as full regardless of real occupancy: the
+/// request must be shed with an explicit kOverloaded record, never dropped
+/// silently and never enqueued past the bound.
+inline constexpr const char* kFleetQueueOverflow = "fleet.queue_overflow";
+/// A worker stalls mid-request (solver wedged past its deadline): the
+/// watchdog must cancel the request at the hard deadline multiple while the
+/// other workers keep draining the queue.
+inline constexpr const char* kFleetWorkerStall = "fleet.worker_stall";
+/// The drain-time queue checkpoint write dies with a transient kIoError:
+/// the per-request retry-with-backoff must land it on a later attempt so a
+/// SIGTERM drain still leaves a resumable queue on disk.
+inline constexpr const char* kFleetDrainCrash = "fleet.drain_crash";
 
 }  // namespace mmwave::common::faults

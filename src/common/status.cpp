@@ -14,6 +14,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kUnbounded: return "Unbounded";
     case ErrorCode::kIoError: return "IoError";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

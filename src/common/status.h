@@ -31,6 +31,10 @@ enum class ErrorCode {
   kIoError,
   /// Unexpected internal failure (caught exception, broken invariant).
   kInternal,
+  /// Admission control rejected the work: the serving queue was at capacity
+  /// and the request was shed with an explicit record, never silently
+  /// dropped (fleet::Server backpressure, DESIGN section 13).
+  kOverloaded,
 };
 
 const char* to_string(ErrorCode code);

@@ -454,6 +454,22 @@ CheckpointLogLoad load_checkpoint_log(const std::string& path) {
 CheckpointLog::CheckpointLog(std::string path, CheckpointLogOptions options)
     : path_(std::move(path)), options_(options) {}
 
+namespace {
+/// Size of `path` in bytes, 0 when missing/unreadable (adaptive-budget
+/// bookkeeping only; load correctness never depends on it).
+std::int64_t file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::int64_t size = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long end = std::ftell(f);
+    if (end > 0) size = static_cast<std::int64_t>(end);
+  }
+  (void)std::fclose(f);
+  return size;
+}
+}  // namespace
+
 CheckpointLogLoad CheckpointLog::open() {
   CheckpointLogLoad r = load_checkpoint_log(path_);
   if (r.loaded) {
@@ -462,11 +478,17 @@ CheckpointLogLoad CheckpointLog::open() {
     base_seq_ = r.state.base_seq;
     next_delta_seq_ = r.deltas_applied + 1;
     deltas_since_compact_ = r.deltas_applied;
+    // load_checkpoint_log already truncated the chain to its valid prefix,
+    // so the on-disk sizes ARE the live base/chain the budgets track.
+    base_bytes_ = file_bytes(path_);
+    chain_bytes_ = file_bytes(delta_path());
   } else {
     have_shadow_ = false;
     base_seq_ = 0;
     next_delta_seq_ = 1;
     deltas_since_compact_ = 0;
+    base_bytes_ = 0;
+    chain_bytes_ = 0;
   }
   dirty_tail_ = false;
   return r;
@@ -481,22 +503,42 @@ CheckpointLogLoad CheckpointLog::open() {
         static_cast<std::int64_t>(serialize_checkpoint(equiv).size());
   }
 
+  // Stride gate (fixed policy only): the adaptive policy budgets on the
+  // block actually produced, so it defers the decision until after
+  // build_delta_payload below.
+  const bool stride_ok =
+      options_.adaptive || (options_.compact_every > 0 &&
+                            deltas_since_compact_ < options_.compact_every);
   std::string payload;
-  const bool can_delta = have_shadow_ && !dirty_tail_ &&
-                         options_.compact_every > 0 &&
-                         deltas_since_compact_ < options_.compact_every &&
-                         build_delta_payload(ckpt, &payload);
+  bool can_delta = have_shadow_ && !dirty_tail_ && stride_ok &&
+                   build_delta_payload(ckpt, &payload);
+  std::string block;
+  if (can_delta) {
+    block = "delta = " + std::to_string(base_seq_) + ' ' +
+            std::to_string(next_delta_seq_) + ' ' +
+            std::to_string(payload.size()) + ' ';
+    append_hex64(block, fnv1a64(payload));
+    block += '\n';
+    block += payload;
+    if (options_.adaptive) {
+      // Budget the chain this block would leave behind: bytes against a
+      // fraction of the base it extends, blocks against the replay cost a
+      // recovery would pay.  Either budget exceeded -> fold into a new base.
+      const std::int64_t projected_bytes =
+          chain_bytes_ + static_cast<std::int64_t>(block.size());
+      const bool bytes_over =
+          static_cast<double>(projected_bytes) >
+          options_.max_chain_fraction * static_cast<double>(base_bytes_);
+      const bool blocks_over = options_.max_replay_blocks > 0 &&
+                               deltas_since_compact_ + 1 >
+                                   options_.max_replay_blocks;
+      if (bytes_over || blocks_over) can_delta = false;
+    }
+  }
   if (!can_delta) {
     // stats_.saves already counted; compact() accounts the full write.
     return compact(ckpt);
   }
-
-  std::string block = "delta = " + std::to_string(base_seq_) + ' ' +
-                      std::to_string(next_delta_seq_) + ' ' +
-                      std::to_string(payload.size()) + ' ';
-  append_hex64(block, fnv1a64(payload));
-  block += '\n';
-  block += payload;
 
   if (common::fault_fires(common::faults::kCheckpointDeltaTornWrite)) {
     // Crash window: half the block lands, then the write dies.  The chain
@@ -521,6 +563,7 @@ CheckpointLogLoad CheckpointLog::open() {
   ++deltas_since_compact_;
   ++stats_.delta_saves;
   stats_.delta_bytes += static_cast<std::int64_t>(block.size());
+  chain_bytes_ += static_cast<std::int64_t>(block.size());
   return common::Status::Ok();
 }
 
@@ -551,8 +594,11 @@ CheckpointLogLoad CheckpointLog::open() {
   next_delta_seq_ = 1;
   deltas_since_compact_ = 0;
   dirty_tail_ = false;
-  stats_.full_bytes +=
+  const std::int64_t written =
       static_cast<std::int64_t>(serialize_checkpoint(copy).size());
+  base_bytes_ = written;
+  chain_bytes_ = 0;
+  stats_.full_bytes += written;
   ++stats_.full_saves;
   ++stats_.compactions;
   shadow_ = std::move(copy);

@@ -394,6 +394,39 @@ TEST(PoolManager, MetricsAccumulateAndResetWithoutTouchingThePool) {
   EXPECT_EQ(manager.size(), size_before);  // resetting metrics keeps capital
 }
 
+/// Regression pin for the accounting-window contract: reset_metrics() must
+/// clear the adaptive-cap counters (cap_grown/cap_shrunk) together with the
+/// traffic counters — a window that keeps stale cap steps breaks the window
+/// identities fleet-mode reporting sums over.  (Investigated as a suspected
+/// leak when the fleet server became observe()'s first production caller;
+/// the leak does not reproduce — metrics_ = {} value-initializes every
+/// field — and this test keeps it that way.)  The cap VALUE is state, not
+/// accounting: it must survive the reset.
+TEST(PoolManager, ResetMetricsClearsCapCountersButKeepsTheCap) {
+  const Scenario sc = Scenario::make(22, 5, 2, 3);
+  const CgResult result =
+      solve_column_generation(sc.net, sc.demands, exact_options());
+  PoolManagerOptions opts;
+  opts.adaptive = true;
+  opts.cap = 8;
+  opts.min_cap = 2;
+  opts.max_cap = 64;
+  PoolManager manager(opts);
+  manager.store(make_signature(sc.net, sc.demands), sc.net, result);
+  for (int i = 0; i < 3; ++i) manager.observe(0.95, 0.0);  // grow steps
+  for (int i = 0; i < 3; ++i) manager.observe(0.0, 1.0);   // shrink steps
+  ASSERT_GT(manager.metrics().cap_grown, 0);
+  ASSERT_GT(manager.metrics().cap_shrunk, 0);
+  const int cap_before = manager.effective_cap();
+
+  manager.reset_metrics();
+  EXPECT_EQ(manager.metrics().cap_grown, 0);
+  EXPECT_EQ(manager.metrics().cap_shrunk, 0);
+  EXPECT_EQ(manager.metrics().evicted, 0);
+  EXPECT_EQ(manager.metrics().neighbour_seeded, 0);
+  EXPECT_EQ(manager.effective_cap(), cap_before);
+}
+
 /// Adaptive-cap property: under ANY observe() sequence the effective cap
 /// stays inside [min_cap, max_cap], moves in the documented direction for
 /// unambiguous signals, and a shrink evicts immediately (still never below

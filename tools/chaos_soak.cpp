@@ -14,13 +14,29 @@
 //   chaos_soak [--seeds=N] [--seed-base=S] [--gops=G] [--links --channels
 //              --levels] [--p-block=p] [--out=BENCH_soak.json]
 //
+// --fleet switches to the fleet-serve soak: for every seed, a fleet::Server
+// run over a deterministic solve/resolve/stream request list is stopped
+// after a randomized-but-deterministic number of emitted records (a SIGTERM
+// drain), then restarted with the same state path against the same list.
+// The two segments together must reproduce the uninterrupted run exactly —
+// same record-id set, no request served twice, per-id outcome/code/optimum
+// equal to 1e-7 and stream digest messages bit-identical — including legs
+// that fault the drain manifest write (fleet.drain_crash), the pool
+// checkpoint write (checkpoint.write_fail) and a request payload
+// (fleet.request_poison).  Answer-changing faults (poison) are armed
+// identically on the reference run so it stays comparable; persistence
+// faults must be absorbed by retry/degradation without touching records.
+//
 // Exit status: 0 when every seed's soak matched, 1 otherwise.  The JSON
 // report also records the delta-vs-full save cost (CheckpointLog's
 // track_full_equiv accounting), the evidence that delta saves are cheaper
 // than rewriting the full checkpoint every period.
+#include <atomic>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,6 +45,7 @@
 #include "common/rng.h"
 #include "core/checkpoint.h"
 #include "core/checkpoint_log.h"
+#include "fleet/server.h"
 #include "mmwave/channel.h"
 #include "mmwave/network.h"
 #include "stream/blockage_session.h"
@@ -284,6 +301,208 @@ SeedOutcome soak_seed(const SoakSetup& s, std::uint64_t seed,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// --fleet: drain/restart soak for the multi-piconet serve mode.
+
+/// Deterministic request list for one fleet seed: a solve/resolve/stream
+/// mix over small instances, no deadlines (deadline nondeterminism would
+/// break the equality property, which is about drain/restart, not timing).
+std::vector<std::string> fleet_request_lines(std::uint64_t seed, int n) {
+  std::vector<std::string> lines;
+  char buf[320];
+  for (int i = 0; i < n; ++i) {
+    const unsigned long long rs = static_cast<unsigned long long>(
+        seed * 100 + static_cast<std::uint64_t>(i) + 1);
+    if (i % 3 == 0) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"id\":\"s%02d\",\"op\":\"solve\",\"links\":5,"
+                    "\"channels\":2,\"levels\":3,\"seed\":%llu}",
+                    i, rs);
+    } else if (i % 3 == 1) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"id\":\"r%02d\",\"op\":\"resolve\",\"links\":5,"
+                    "\"channels\":2,\"levels\":3,\"seed\":%llu,"
+                    "\"block_links\":[1],\"block_atten\":0.1}",
+                    i, rs);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"id\":\"t%02d\",\"op\":\"stream\",\"links\":4,"
+                    "\"channels\":2,\"levels\":3,\"seed\":%llu,\"gops\":3,"
+                    "\"p_block\":0.3,\"pricing\":\"heuristic\"}",
+                    i, rs);
+    }
+    lines.emplace_back(buf);
+  }
+  return lines;
+}
+
+/// Removes every durable artifact a serve run at `path` can leave behind:
+/// the pool log, the queue manifest, and each stream request's session log.
+void fleet_cleanup(const std::string& path,
+                   const std::vector<std::string>& lines) {
+  std::remove(path.c_str());
+  std::remove((path + ".delta").c_str());
+  std::remove((path + ".queue").c_str());
+  for (const std::string& line : lines) {
+    const auto parsed = fleet::parse_request_line(line);
+    if (!parsed.ok()) continue;
+    const std::string req = path + ".req_" + parsed.value().id;
+    std::remove(req.c_str());
+    std::remove((req + ".delta").c_str());
+  }
+}
+
+/// One serve-process lifetime.  `stop_after_records` >= 0 drains the server
+/// once that many records have been emitted (-1 runs to completion).
+/// Records land in `records` keyed by id; an id seen twice bumps
+/// `duplicates` — the no-double-execution clause of the drain contract.
+fleet::ServerReport run_fleet_segment(
+    const std::vector<std::string>& lines, const std::string& state_path,
+    int stop_after_records,
+    std::map<std::string, fleet::RequestRecord>* records, int* duplicates) {
+  fleet::ServerOptions opts;
+  opts.workers = 1;  // FaultInjector is not thread-safe
+  opts.max_queue = static_cast<int>(lines.size()) + 8;  // no shedding here
+  opts.state_path = state_path;
+  fleet::Server server(opts);
+  std::atomic<int> emitted{0};
+  const auto sink = [&](const fleet::RequestRecord& rec) {
+    emitted.fetch_add(1, std::memory_order_relaxed);
+    if (!records->emplace(rec.id, rec).second) ++*duplicates;
+  };
+  std::function<bool()> stop;
+  if (stop_after_records >= 0) {
+    stop = [&emitted, stop_after_records] {
+      return emitted.load(std::memory_order_relaxed) >= stop_after_records;
+    };
+  }
+  return server.run(lines, sink, stop);
+}
+
+struct FleetSeedOutcome {
+  std::uint64_t seed = 0;
+  int leg = 0;
+  int stop_after = 0;
+  int mismatches = 0;
+  std::int64_t parked = 0;
+  std::int64_t resume_skipped = 0;
+  bool drained = false;
+};
+
+/// Reference (uninterrupted) vs chaos (drain at a deterministic record
+/// count, then restart) serve runs under one fault leg, compared per id.
+FleetSeedOutcome fleet_soak_seed(std::uint64_t seed, int leg,
+                                 const std::string& dir, int n) {
+  FleetSeedOutcome out;
+  out.seed = seed;
+  out.leg = leg;
+  const std::vector<std::string> lines = fleet_request_lines(seed, n);
+  const std::string ref_path =
+      dir + "/fleet_ref_" + std::to_string(seed) + ".ckpt";
+  const std::string chaos_path =
+      dir + "/fleet_chaos_" + std::to_string(seed) + ".ckpt";
+  fleet_cleanup(ref_path, lines);
+  fleet_cleanup(chaos_path, lines);
+
+  // Legs 1/2 fault persistence (answer-neutral: retry or degradation must
+  // absorb them); leg 3 faults a request payload (answer-changing, so the
+  // reference arms it identically — execution order is deterministic at
+  // workers=1, both runs poison the same request).
+  const auto arm = [leg](common::FaultInjector* injector) {
+    if (leg == 1)
+      injector->arm(common::faults::kFleetDrainCrash, {.times = 1});
+    else if (leg == 2)
+      injector->arm(common::faults::kCheckpointWriteFail, {.times = 1});
+    else if (leg == 3)
+      injector->arm(common::faults::kFleetRequestPoison, {.times = 1});
+  };
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "MISMATCH seed=%llu fleet: %s\n",
+                 static_cast<unsigned long long>(seed), what);
+    ++out.mismatches;
+  };
+
+  std::map<std::string, fleet::RequestRecord> ref_records;
+  int duplicates = 0;
+  {
+    common::FaultInjector injector(seed ^ 0xF1EE70FAULL);
+    arm(&injector);
+    common::FaultScope scope(injector);
+    (void)run_fleet_segment(lines, ref_path, -1, &ref_records, &duplicates);
+  }
+  if (static_cast<int>(ref_records.size()) != n || duplicates != 0)
+    fail("reference run did not emit exactly one record per request");
+
+  common::Rng kr(seed ^ 0xF1EE7C4AULL);
+  out.stop_after = 1 + static_cast<int>(kr.uniform_index(
+                           static_cast<std::uint64_t>(n - 1)));
+  std::map<std::string, fleet::RequestRecord> chaos_records;
+  int chaos_duplicates = 0;
+  {
+    common::FaultInjector injector(seed ^ 0xF1EE70FBULL);
+    arm(&injector);
+    common::FaultScope scope(injector);
+    const fleet::ServerReport first =
+        run_fleet_segment(lines, chaos_path, out.stop_after, &chaos_records,
+                          &chaos_duplicates);
+    out.drained = first.drained;
+    out.parked = first.parked;
+    const fleet::ServerReport second = run_fleet_segment(
+        lines, chaos_path, -1, &chaos_records, &chaos_duplicates);
+    out.resume_skipped = second.resume_skipped;
+    if (first.shed + second.shed != 0)
+      fail("unexpected shedding with max_queue >= request count");
+  }
+  if (chaos_duplicates != 0)
+    fail("a request id was served twice across the drain/restart pair");
+
+  for (const auto& [id, want] : ref_records) {
+    const auto it = chaos_records.find(id);
+    if (it == chaos_records.end()) {
+      std::fprintf(stderr,
+                   "MISMATCH seed=%llu fleet id=%s: lost across restart\n",
+                   static_cast<unsigned long long>(seed), id.c_str());
+      ++out.mismatches;
+      continue;
+    }
+    const fleet::RequestRecord& got = it->second;
+    if (got.outcome != want.outcome || got.code != want.code ||
+        got.converged != want.converged || got.message != want.message) {
+      std::fprintf(stderr,
+                   "MISMATCH seed=%llu fleet id=%s: reference %s/%s "
+                   "\"%s\", resumed %s/%s \"%s\"\n",
+                   static_cast<unsigned long long>(seed), id.c_str(),
+                   fleet::to_string(want.outcome),
+                   common::to_string(want.code), want.message.c_str(),
+                   fleet::to_string(got.outcome),
+                   common::to_string(got.code), got.message.c_str());
+      ++out.mismatches;
+    }
+    if (!close_to(want.total_slots, got.total_slots)) {
+      std::fprintf(stderr,
+                   "MISMATCH seed=%llu fleet id=%s total_slots: reference "
+                   "%.17g, resumed %.17g\n",
+                   static_cast<unsigned long long>(seed), id.c_str(),
+                   want.total_slots, got.total_slots);
+      ++out.mismatches;
+    }
+  }
+  for (const auto& [id, rec] : chaos_records) {
+    (void)rec;
+    if (ref_records.find(id) == ref_records.end()) {
+      std::fprintf(stderr,
+                   "MISMATCH seed=%llu fleet id=%s: extra record not in "
+                   "the reference run\n",
+                   static_cast<unsigned long long>(seed), id.c_str());
+      ++out.mismatches;
+    }
+  }
+
+  fleet_cleanup(ref_path, lines);
+  fleet_cleanup(chaos_path, lines);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -302,6 +521,65 @@ int main(int argc, char** argv) {
   const std::string dir = flags.get_string("dir", ".");
   if (s.gops < 2 || seeds < 1) {
     std::fprintf(stderr, "error: need --gops>=2 and --seeds>=1\n");
+    return 1;
+  }
+
+  if (flags.get_bool("fleet", false)) {
+    const int n = static_cast<int>(flags.get_int("requests", 9));
+    if (n < 2) {
+      std::fprintf(stderr, "error: --fleet needs --requests>=2\n");
+      return 1;
+    }
+    std::vector<FleetSeedOutcome> outcomes;
+    int total_mismatches = 0;
+    for (int i = 0; i < seeds; ++i) {
+      const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+      // Cycle the fleet fault legs: 0 none, 1 drain-manifest kIoError,
+      // 2 pool checkpoint write failure, 3 poisoned request payload.
+      FleetSeedOutcome o = fleet_soak_seed(seed, i % 4, dir, n);
+      std::printf("seed %llu: fleet leg %d, drain after %d record(s), "
+                  "%lld parked, %lld resume-skipped: %s\n",
+                  static_cast<unsigned long long>(o.seed), o.leg,
+                  o.stop_after, static_cast<long long>(o.parked),
+                  static_cast<long long>(o.resume_skipped),
+                  o.mismatches == 0 ? "MATCH" : "MISMATCH");
+      total_mismatches += o.mismatches;
+      outcomes.push_back(o);
+    }
+    if (!out_path.empty()) {
+      std::FILE* f = std::fopen(out_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fprintf(f,
+                     "{\"bench\":\"chaos_soak_fleet\",\"requests\":%d,"
+                     "\"seeds\":%d,\"all_match\":%s,\"runs\":[",
+                     n, seeds, total_mismatches == 0 ? "true" : "false");
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          const FleetSeedOutcome& o = outcomes[i];
+          std::fprintf(f,
+                       "%s{\"seed\":%llu,\"leg\":%d,\"stop_after\":%d,"
+                       "\"drained\":%s,\"parked\":%lld,"
+                       "\"resume_skipped\":%lld,\"mismatches\":%d}",
+                       i == 0 ? "" : ",",
+                       static_cast<unsigned long long>(o.seed), o.leg,
+                       o.stop_after, o.drained ? "true" : "false",
+                       static_cast<long long>(o.parked),
+                       static_cast<long long>(o.resume_skipped),
+                       o.mismatches);
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("report written to %s\n", out_path.c_str());
+      } else {
+        std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
+      }
+    }
+    if (total_mismatches == 0) {
+      std::printf("fleet chaos soak PASSED: %d seed(s), drained/restarted "
+                  "serve runs identical to uninterrupted runs\n", seeds);
+      return 0;
+    }
+    std::printf("fleet chaos soak FAILED: %d mismatch(es)\n",
+                total_mismatches);
     return 1;
   }
 

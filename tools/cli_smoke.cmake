@@ -187,6 +187,105 @@ run(2 "error: --repair: expected drop\\|downgrade"
 run(2 "error: --resume requires --checkpoint"
     stream --links=4 --channels=2 --gops=3 --resume)
 
+# --- serve: fleet daemon exit contract ---------------------------------------
+# Flag validation happens before stdin is ever read, so bogus values fail
+# fast with exit 2 like every other command.
+run(2 "error: .*expected an integer" serve --workers=lots)
+run(2 "error: .*out of range"        serve --workers=0)
+run(2 "error: .*expected an integer" serve --max-queue=many)
+run(2 "error: .*out of range"        serve --max-queue=0)
+
+# A malformed request line costs exactly one error record; the lines around
+# it still run, and the daemon itself exits 0 — bad input is a per-request
+# outcome, never a process failure.  Records appear in admission order.
+file(WRITE "${WORK_DIR}/serve_requests.jsonl"
+  "{\"id\":\"a\",\"op\":\"solve\",\"links\":4,\"channels\":2,\"seed\":3,\"pricing\":\"heuristic\"}\n"
+  "this is not a request\n"
+  "{\"id\":\"b\",\"op\":\"solve\",\"links\":4,\"channels\":2,\"seed\":4,\"pricing\":\"heuristic\"}\n")
+run(0 "\"id\":\"a\".*\"outcome\":\"ok\".*\"outcome\":\"error\".*\"id\":\"b\".*\"outcome\":\"ok\""
+    serve --requests=${WORK_DIR}/serve_requests.jsonl --workers=1)
+
+# SIGTERM drains: in-flight requests finish, the queue manifest lands under
+# --state, and the process exits 0 (a handled signal is a graceful stop, not
+# a crash).  A restarted serve with the same --state then finishes the fleet
+# without repeating a request — each id appears exactly once across both
+# segments' shared --out file.
+set(FLEET_DIR "${WORK_DIR}/serve_drain")
+file(REMOVE_RECURSE "${FLEET_DIR}")
+file(MAKE_DIRECTORY "${FLEET_DIR}")
+file(WRITE "${FLEET_DIR}/requests.jsonl"
+  "{\"id\":\"f1\",\"op\":\"solve\",\"links\":4,\"channels\":2,\"seed\":11,\"pricing\":\"heuristic\"}\n"
+  "{\"id\":\"f2\",\"op\":\"solve\",\"links\":4,\"channels\":2,\"seed\":12,\"pricing\":\"heuristic\"}\n"
+  "{\"id\":\"f3\",\"op\":\"stream\",\"links\":4,\"channels\":2,\"seed\":13,\"gops\":2,\"p_block\":0.3,\"pricing\":\"heuristic\"}\n"
+  "{\"id\":\"f4\",\"op\":\"solve\",\"links\":4,\"channels\":2,\"seed\":14,\"pricing\":\"heuristic\"}\n")
+# The FIFO keeps the serve blocked on input (O_RDWR: no torn EOF), so only
+# the SIGTERM ends segment 1 — the drain path is exercised deterministically
+# no matter how fast the first two requests solve.
+file(WRITE "${FLEET_DIR}/drain.sh"
+  "set -u\n"
+  "cd '${FLEET_DIR}'\n"
+  "rm -f req.fifo\n"
+  "mkfifo req.fifo\n"
+  "'${CLI}' serve --requests=req.fifo --out=records.jsonl \\\n"
+  "  --state=fleet.state --workers=1 &\n"
+  "pid=$!\n"
+  "exec 3<> req.fifo\n"
+  "head -n 2 requests.jsonl >&3\n"
+  "sleep 1\n"
+  "kill -TERM $pid\n"
+  "wait $pid\n"
+  "exit $?\n")
+execute_process(
+  COMMAND bash "${FLEET_DIR}/drain.sh"
+  RESULT_VARIABLE drain_code
+  OUTPUT_VARIABLE drain_out
+  ERROR_VARIABLE drain_err
+  TIMEOUT 120)
+if(NOT drain_code STREQUAL "0")
+  message(SEND_ERROR
+    "serve SIGTERM drain: expected exit 0, got '${drain_code}'\n"
+    "stdout: ${drain_out}\nstderr: ${drain_err}")
+  math(EXPR failures "${failures}+1")
+endif()
+if(NOT EXISTS "${FLEET_DIR}/fleet.state.queue")
+  message(SEND_ERROR "serve drain did not write the queue manifest")
+  math(EXPR failures "${failures}+1")
+else()
+  file(READ "${FLEET_DIR}/fleet.state.queue" drain_manifest)
+  if(NOT drain_manifest MATCHES "^mmwave-fleet-queue v1\n")
+    message(SEND_ERROR
+      "queue manifest header is wrong:\n${drain_manifest}")
+    math(EXPR failures "${failures}+1")
+  endif()
+  if(NOT drain_manifest MATCHES "end fnv=0x")
+    message(SEND_ERROR
+      "queue manifest has no end/fnv seal:\n${drain_manifest}")
+    math(EXPR failures "${failures}+1")
+  endif()
+endif()
+# Segment 2: re-feed the FULL request list against the drained state.  Ids
+# the manifest marks done are skipped verbatim; the rest run to completion.
+run(0 "[1-9][0-9]* skipped"
+    serve --requests=${FLEET_DIR}/requests.jsonl
+          --out=${FLEET_DIR}/records.jsonl
+          --state=${FLEET_DIR}/fleet.state --workers=1)
+if(EXISTS "${FLEET_DIR}/records.jsonl")
+  file(READ "${FLEET_DIR}/records.jsonl" fleet_records)
+  foreach(rid f1 f2 f3 f4)
+    string(REGEX MATCHALL "\"id\":\"${rid}\"" hits "${fleet_records}")
+    list(LENGTH hits n)
+    if(NOT n EQUAL 1)
+      message(SEND_ERROR
+        "request '${rid}' has ${n} records across drain+resume (want 1):\n"
+        "${fleet_records}")
+      math(EXPR failures "${failures}+1")
+    endif()
+  endforeach()
+else()
+  message(SEND_ERROR "serve drain+resume wrote no records file")
+  math(EXPR failures "${failures}+1")
+endif()
+
 # --- exit 3: degraded solve (deadline far too small for exact pricing) ------
 run(3 "DEGRADED" solve --links=25 --channels=5 --pricing=exact --deadline=0.2)
 

@@ -50,9 +50,9 @@ import re
 import sys
 
 # Modules whose boundary may not throw (family 2).
-NOTHROW_MODULES = ("lp", "milp", "core", "stream", "check")
+NOTHROW_MODULES = ("lp", "milp", "core", "stream", "check", "fleet")
 # Output-affecting modules under the determinism contract (family 3).
-DETERMINISTIC_MODULES = ("lp", "milp", "core", "sched", "stream")
+DETERMINISTIC_MODULES = ("lp", "milp", "core", "sched", "stream", "fleet")
 # Scan roots relative to the repo root, and accepted extensions.
 SCAN_DIRS = ("src", "tests", "bench", "tools")
 EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")

@@ -29,6 +29,14 @@
 //       independently re-verify the emitted plan; exit non-zero on any
 //       failed certificate.  This is the verifier leg of the pre-merge gate
 //       (tools/run_analysis.sh).
+//   mmwave_cli serve   [--requests=FILE|FIFO|-] [--out=FILE] [--workers=N]
+//                      [--max-queue=N] [--watchdog-multiple=x]
+//                      [--state=PATH] [--share-pool=0|1] [--io-retries=N]
+//       Fleet daemon (fleet::Server): newline-delimited JSON requests in,
+//       one record line per request out, admission order.  SIGTERM/SIGINT
+//       drains gracefully: in-flight requests finish, the queue is
+//       checkpointed under --state, and a restarted serve with the same
+//       --state resumes without losing or repeating a request.
 //
 // Instance flags (shared): --links --channels --levels --gamma-scale
 //   --seed --demand-scale --pricing=MODE[,RULE] where MODE is the CG
@@ -43,7 +51,14 @@
 //      spec, or an instance rejected by check::validate_instance
 //   3  degraded solve: the anytime contract returned an incumbent (deadline,
 //      stall, solver breakdown) instead of a certified answer
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -61,6 +76,7 @@
 #include "core/pool_manager.h"
 #include "core/column_generation.h"
 #include "core/resolve.h"
+#include "fleet/server.h"
 #include "mmwave/blockage.h"
 #include "sched/quantize.h"
 #include "sched/timeline.h"
@@ -757,6 +773,155 @@ int cmd_check(const common::CliFlags& flags) {
   return kExitCheckFailed;
 }
 
+// ---------------------------------------------------------------------------
+// serve: the fleet daemon front end.
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_signal_handler(int) { g_serve_stop = 1; }
+
+/// Line reader over a poll()ed file descriptor: works for regular files,
+/// pipes and FIFOs alike, and stays interruptible — a SIGTERM mid-wait
+/// turns into a clean end-of-input so the server can drain.  A FIFO is
+/// opened O_RDWR so writers may come and go without tearing an EOF; only
+/// the signal ends a FIFO-fed serve.
+struct FdLineReader {
+  int fd = -1;
+  std::string buffer;
+  bool eof = false;
+
+  bool next(std::string* out) {
+    while (true) {
+      const std::size_t newline = buffer.find('\n');
+      if (newline != std::string::npos) {
+        *out = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        return true;
+      }
+      if (eof) {
+        if (!buffer.empty()) {
+          *out = buffer;
+          buffer.clear();
+          return true;
+        }
+        return false;
+      }
+      if (g_serve_stop != 0) return false;
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = ::poll(&pfd, 1, 100);
+      if (g_serve_stop != 0) return false;
+      if (ready <= 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        buffer.append(chunk, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        eof = true;
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        eof = true;
+      }
+    }
+  }
+};
+
+int cmd_serve(const common::CliFlags& flags) {
+  const auto workers = flags.get_int_checked("workers", 1, 1, 256);
+  const auto max_queue = flags.get_int_checked("max-queue", 64, 1, 1 << 20);
+  const auto watchdog =
+      flags.get_double_checked("watchdog-multiple", 8.0, 1.0, 1e6);
+  const auto io_retries = flags.get_int_checked("io-retries", 3, 0, 100);
+  const auto pool_flags = parse_pool_flags(flags);
+  for (const common::Status& st :
+       {workers.ok() ? common::Status::Ok() : workers.status(),
+        max_queue.ok() ? common::Status::Ok() : max_queue.status(),
+        watchdog.ok() ? common::Status::Ok() : watchdog.status(),
+        io_retries.ok() ? common::Status::Ok() : io_retries.status(),
+        pool_flags.ok() ? common::Status::Ok() : pool_flags.status()}) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.message().c_str());
+      return kExitInvalidInput;
+    }
+  }
+  fleet::ServerOptions opts;
+  opts.workers = static_cast<int>(workers.value());
+  opts.max_queue = static_cast<int>(max_queue.value());
+  opts.watchdog_multiple = watchdog.value();
+  opts.io_retries = static_cast<int>(io_retries.value());
+  opts.share_pool = flags.get_int("share-pool", 1) != 0;
+  opts.pool = pool_flags.value();
+  opts.state_path = flags.get_string("state", "");
+
+  const std::string requests = flags.get_string("requests", "-");
+  int fd = 0;
+  bool close_fd = false;
+  if (requests != "-") {
+    struct stat st;
+    const bool is_fifo =
+        ::stat(requests.c_str(), &st) == 0 && S_ISFIFO(st.st_mode);
+    fd = ::open(requests.c_str(),
+                is_fifo ? (O_RDWR | O_NONBLOCK) : (O_RDONLY | O_NONBLOCK));
+    if (fd < 0) {
+      std::fprintf(stderr, "error: --requests: cannot open '%s'\n",
+                   requests.c_str());
+      return kExitInvalidInput;
+    }
+    close_fd = true;
+  }
+  const std::string out_path = flags.get_string("out", "");
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    // Append: a drained-and-resumed serve keeps writing the same record
+    // stream (segment 2 continues where segment 1 stopped).
+    out = std::fopen(out_path.c_str(), "a");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: --out: cannot open '%s'\n",
+                   out_path.c_str());
+      if (close_fd) ::close(fd);
+      return kExitInvalidInput;
+    }
+  }
+
+  g_serve_stop = 0;
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+
+  FdLineReader reader;
+  reader.fd = fd;
+  fleet::Server server(opts);
+  const fleet::ServerReport report = server.run(
+      [&reader](std::string* line) { return reader.next(line); },
+      [out](const fleet::RequestRecord& record) {
+        std::fprintf(out, "%s\n", record.to_json_line().c_str());
+        std::fflush(out);
+      },
+      [] { return g_serve_stop != 0; });
+
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  if (out != stdout) std::fclose(out);
+  if (close_fd) ::close(fd);
+
+  std::printf("serve: %lld admitted | %lld ok | %lld degraded | %lld shed | "
+              "%lld errors | %lld cancelled | %lld skipped | %lld parked%s\n",
+              static_cast<long long>(report.admitted),
+              static_cast<long long>(report.completed),
+              static_cast<long long>(report.degraded),
+              static_cast<long long>(report.shed),
+              static_cast<long long>(report.errors),
+              static_cast<long long>(report.cancelled),
+              static_cast<long long>(report.resume_skipped),
+              static_cast<long long>(report.parked),
+              report.drained ? " (drained)" : "");
+  if (!report.state_status.ok()) {
+    std::fprintf(stderr, "warning: serve state: %s\n",
+                 report.state_status.message().c_str());
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -769,8 +934,10 @@ int main(int argc, char** argv) {
   if (cmd == "stream") return cmd_stream(flags);
   if (cmd == "resolve") return cmd_resolve(flags);
   if (cmd == "check") return cmd_check(flags);
+  if (cmd == "serve") return cmd_serve(flags);
   std::printf(
-      "usage: mmwave_cli <solve|compare|stream|resolve|check> [--links=N]\n"
+      "usage: mmwave_cli <solve|compare|stream|resolve|check|serve>"
+      " [--links=N]\n"
       "       [--channels=K] [--levels=Q] [--gamma-scale=x] [--seed=s]\n"
       "       [--demand-scale=d] [--pricing=MODE[,RULE]]\n"
       "       [--instance=FILE] [--deadline=SECONDS]\n"
@@ -796,6 +963,11 @@ int main(int argc, char** argv) {
       "          down the rate ladder instead of dropping them)\n"
       "  check   runs the solve under the certificate checkers and exits\n"
       "          non-zero on any violated certificate\n"
+      "  serve   fleet daemon: --requests=FILE|FIFO|- (JSON lines)\n"
+      "          --out=FILE --workers=N --max-queue=N\n"
+      "          --watchdog-multiple=x --state=PATH --share-pool=0|1\n"
+      "          --io-retries=N; SIGTERM drains (queue checkpointed under\n"
+      "          --state, restart resumes without losing a request)\n"
       "exit status: 0 ok | 1 check failed / unknown command |\n"
       "             2 invalid flag value or instance | 3 degraded solve\n");
   return cmd == "help" ? 0 : 1;

@@ -54,8 +54,20 @@
 #                                         crashes and corrupted cursors;
 #                                         writes BENCH_soak.json with the
 #                                         delta-vs-full save economics
+#  11. fleet gate                          the multi-piconet serve mode on the
+#                                         sanitized build: the fleet server /
+#                                         shared-pool ctest suites, the
+#                                         chaos_soak --fleet drain/restart
+#                                         sweep (records must match the
+#                                         uninterrupted fleet exactly across
+#                                         poison / overflow / drain-crash
+#                                         legs), and perf_fleet, which both
+#                                         measures req/s + latency quantiles
+#                                         and enforces record-equality across
+#                                         worker counts; writes
+#                                         BENCH_fleet.json
 #
-# Usage:  tools/run_analysis.sh [--fast|--robustness|--coverage|--lint|--soak]
+# Usage:  tools/run_analysis.sh [--fast|--robustness|--coverage|--lint|--soak|--fleet]
 #   --fast        skip legs 1, 6 and 8 (the plain build, the perf bench and
 #                 the coverage gate) — the sanitized legs still run the full
 #                 suite, so this is the quick pre-push variant.
@@ -72,6 +84,9 @@
 #   --soak        the CI crash-recovery gate: build the ASan+UBSan tree and
 #                 run only leg 10 (the chaos-soak driver, deeper seed sweep
 #                 than the smoke ctest) plus the checkpoint-log suites.
+#   --fleet       the CI fleet gate: build the ASan+UBSan tree and run only
+#                 leg 11 (fleet/shared-pool suites + chaos_soak --fleet with
+#                 a deeper seed sweep + perf_fleet).
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -81,12 +96,14 @@ ROBUSTNESS=0
 COVERAGE_ONLY=0
 LINT_ONLY=0
 SOAK_ONLY=0
+FLEET_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --robustness) ROBUSTNESS=1 ;;
   --coverage) COVERAGE_ONLY=1 ;;
   --lint) LINT_ONLY=1 ;;
   --soak) SOAK_ONLY=1 ;;
+  --fleet) FLEET_ONLY=1 ;;
 esac
 
 failures=()
@@ -106,7 +123,7 @@ run_ctest() {
 
 # ---- Leg 1: plain RelWithDebInfo + Werror ---------------------------------
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
-      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 ]]; then
+      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
   note "leg 1: RelWithDebInfo + -Werror"
   if configure_and_build "$ROOT/build-analysis-rel" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
@@ -128,10 +145,10 @@ if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
 elif configure_and_build "$ASAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       "-DMMWAVE_SANITIZE=address;undefined"; then
-  if [[ "$ROBUSTNESS" == 0 && "$SOAK_ONLY" == 0 ]]; then
+  if [[ "$ROBUSTNESS" == 0 && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
     run_ctest "$ASAN_DIR" || leg_failed "ctest (ASan+UBSan)"
   else
-    echo "(--robustness/--soak: full sanitized ctest sweep skipped; later legs use this build)"
+    echo "(--robustness/--soak/--fleet: full sanitized ctest sweep skipped; later legs use this build)"
   fi
 else
   leg_failed "build (ASan+UBSan)"
@@ -139,7 +156,8 @@ fi
 
 # ---- Leg 3: clang-tidy over src/ ------------------------------------------
 note "leg 3: clang-tidy"
-if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 || "$SOAK_ONLY" == 1 ]]; then
+if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 || "$SOAK_ONLY" == 1 \
+      || "$FLEET_ONLY" == 1 ]]; then
   echo "leg 3 skipped"
 elif command -v clang-tidy > /dev/null 2>&1; then
   TIDY_DIR="$ASAN_DIR"
@@ -163,8 +181,9 @@ fi
 # so this leg doubles as a deep sanitizer workout of the hot path.
 note "leg 4: solver certificate verifier (mmwave_cli check)"
 CLI="$ASAN_DIR/tools/mmwave_cli"
-if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 || "$SOAK_ONLY" == 1 ]]; then
-  echo "leg 4 skipped (--coverage/--lint/--soak)"
+if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 || "$SOAK_ONLY" == 1 \
+      || "$FLEET_ONLY" == 1 ]]; then
+  echo "leg 4 skipped (--coverage/--lint/--soak/--fleet)"
 elif [[ -x "$CLI" ]]; then
   # Fig. 1 scenario family: Table I ladder, K = 5, hybrid pricing.
   "$CLI" check --links=10 --channels=5 --seed=1 \
@@ -185,7 +204,7 @@ note "leg 5: ThreadSanitizer (thread pool + warm equivalence)"
 TSAN_DIR="$ROOT/build-analysis-tsan"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 \
-      || "$SOAK_ONLY" == 1 ]]; then
+      || "$SOAK_ONLY" == 1 || "$FLEET_ONLY" == 1 ]]; then
   echo "leg 5 skipped"
 elif configure_and_build "$TSAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -212,7 +231,7 @@ fi
 # A missing binary is a failure, not a skip: the bench target silently
 # falling out of the build would otherwise go unnoticed.
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
-      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 ]]; then
+      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
   note "leg 6: perf bench (perf_solvers -> BENCH_cg.json, perf_resolve -> BENCH_resolve.json, perf_pool -> BENCH_pool.json)"
   PERF="$ROOT/build-analysis-rel/bench/perf_solvers"
   if [[ -x "$PERF" ]]; then
@@ -271,8 +290,9 @@ run_fuzz() {
   fi
 }
 
-if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 || "$SOAK_ONLY" == 1 ]]; then
-  echo "leg 7 skipped (--coverage/--lint/--soak)"
+if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 || "$SOAK_ONLY" == 1 \
+      || "$FLEET_ONLY" == 1 ]]; then
+  echo "leg 7 skipped (--coverage/--lint/--soak/--fleet)"
 elif [[ -d "$ASAN_DIR" ]]; then
   (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
       -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|CgCheckpoint|CheckpointLog|CgResolve|PoolManager|PoolPolicy|InstanceSignature|BlockageSession|cli_smoke') \
@@ -289,7 +309,7 @@ fi
 # floors are a ratchet: they record the coverage the tree actually has, so a
 # PR that adds untested solver/session code fails here before review.
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$LINT_ONLY" == 0 \
-      && "$SOAK_ONLY" == 0 ]]; then
+      && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
   note "leg 8: coverage gate (gcov, src/core + src/stream floors)"
   COV_DIR="$ROOT/build-analysis-cov"
   if configure_and_build "$COV_DIR" \
@@ -311,7 +331,8 @@ fi
 # Status discipline, the §7 no-throw boundary, the determinism contract,
 # and the fault-site registry.  Pure python3 over the sources — no build
 # needed — so it runs in every mode except the narrowly-scoped CI gates.
-if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 && "$SOAK_ONLY" == 0 ]]; then
+if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 && "$SOAK_ONLY" == 0 \
+      && "$FLEET_ONLY" == 0 ]]; then
   note "leg 9: project lint (tools/lint/project_lint.py)"
   if command -v python3 > /dev/null 2>&1; then
     python3 "$ROOT/tools/lint/project_lint.py" --root "$ROOT" \
@@ -330,7 +351,7 @@ fi
 # sanitized build so the recovery paths are instrumented; --soak sweeps
 # more seeds than the default pre-merge pass.
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
-      && "$LINT_ONLY" == 0 ]]; then
+      && "$LINT_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
   note "leg 10: chaos soak (tools/chaos_soak -> BENCH_soak.json)"
   SOAK="$ASAN_DIR/tools/chaos_soak"
   SOAK_SEEDS=5
@@ -352,6 +373,46 @@ if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
   fi
 else
   note "leg 10 skipped"
+fi
+
+# ---- Leg 11: fleet gate (serve mode) ---------------------------------------
+# The multi-piconet serve mode end to end on the sanitized build: the fleet
+# server / shared-pool unit suites, the chaos_soak --fleet drain/restart
+# sweep (the fleet analogue of leg 10: resumed record streams must match the
+# uninterrupted ones exactly, with the fleet fault sites firing), and
+# perf_fleet, which is both the throughput/latency bench and the cross-worker
+# record-equality check.  --fleet sweeps more seeds than the pre-merge pass.
+if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 && "$LINT_ONLY" == 0 \
+      && "$SOAK_ONLY" == 0 ]]; then
+  note "leg 11: fleet gate (fleet suites + chaos_soak --fleet + perf_fleet -> BENCH_fleet.json)"
+  FLEET_SEEDS=4
+  [[ "$FLEET_ONLY" == 1 ]] && FLEET_SEEDS=8
+  if [[ "$FLEET_ONLY" == 1 ]]; then
+    (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
+        -R 'FleetServer|FleetRequest|SharedPoolManager|PoolManager|chaos_soak_fleet_smoke|bench_fleet_smoke|cli_smoke') \
+      || leg_failed "ctest (fleet + shared-pool suites under ASan+UBSan)"
+  fi
+  FLEET_SOAK="$ASAN_DIR/tools/chaos_soak"
+  if [[ -x "$FLEET_SOAK" ]]; then
+    FLEET_DIR="$ASAN_DIR/fleet-work"
+    mkdir -p "$FLEET_DIR"
+    "$FLEET_SOAK" --fleet --seeds="$FLEET_SEEDS" --requests=9 \
+        --dir="$FLEET_DIR" \
+      || leg_failed "chaos_soak --fleet (drained fleets diverged from uninterrupted)"
+  else
+    leg_failed "chaos_soak missing (sanitized build incomplete?)"
+  fi
+  PERF_FLEET="$ASAN_DIR/bench/perf_fleet"
+  if [[ -x "$PERF_FLEET" ]]; then
+    "$PERF_FLEET" --requests=24 --workers=1,4,16 \
+        --out="$ROOT/BENCH_fleet.json" \
+      || leg_failed "perf_fleet (records diverged across worker counts)"
+    [[ -s "$ROOT/BENCH_fleet.json" ]] || leg_failed "BENCH_fleet.json not written"
+  else
+    leg_failed "perf_fleet missing (bench targets fell out of the build?)"
+  fi
+else
+  note "leg 11 skipped"
 fi
 
 # ---- Summary --------------------------------------------------------------
