@@ -67,6 +67,13 @@ inline constexpr const char* kSessionCursorCorrupt =
 /// kept, neighbour seeding rebuilt from scratch), never reject the file.
 inline constexpr const char* kCheckpointBadIndexRecord =
     "checkpoint.v3_bad_index_record";
+/// The client-buffer state carried by a v4 session cursor reads as
+/// semantically bad at resume time (NaN occupancy after a torn write, a
+/// playing-without-started flags value): run_blockage_session must reject
+/// the resume and run fresh from period 0 (warm pool kept), never replay
+/// garbage QoE counters and never crash.
+inline constexpr const char* kSessionBufferCorrupt =
+    "session.buffer_corrupt";
 /// A fleet request arrives poisoned (undecodable payload past admission):
 /// the server must emit an error record for THAT request and keep serving —
 /// one bad piconet never takes down the daemon.

@@ -107,7 +107,7 @@ void append_session(std::string& body, const CgCheckpoint& ckpt) {
 /// faults::kSessionCursorCorrupt) degrades to "no session" — the solver
 /// pool stays warm, only the stream restarts its session cold.
 [[nodiscard]] common::Status parse_session(LineReader& reader,
-                                           CgCheckpoint* ckpt) {
+                                           CgCheckpoint* ckpt, int version) {
   long long present = 0;
   {
     auto v = expect_int(reader, "session", 0, 1);
@@ -118,8 +118,8 @@ void append_session(std::string& body, const CgCheckpoint& ckpt) {
   StreamCursor s;
   bool semantic_ok = true;
   {
-    const common::Status st = detail::parse_cursor_block(reader, &s,
-                                                         &semantic_ok);
+    const common::Status st = detail::parse_cursor_block(
+        reader, &s, &semantic_ok, /*with_buffers=*/version >= 4);
     if (!st.ok()) return st;
   }
   long long num_gops_records = 0;
@@ -145,6 +145,15 @@ void append_session(std::string& body, const CgCheckpoint& ckpt) {
                 static_cast<int>(s.delivered_bits.size()) == ckpt->links &&
                 static_cast<int>(s.blocked.size()) == ckpt->links &&
                 s.carryover_stall >= 0.0 && s.blocked_fraction_sum >= 0.0;
+  // Buffer state (v4): either absent or one entry per link, with layer
+  // counters bounded by the completed-period count.
+  semantic_ok = semantic_ok &&
+                (s.buffers.empty() ||
+                 static_cast<int>(s.buffers.size()) == ckpt->links);
+  for (const StreamBufferState& b : s.buffers) {
+    if (b.hp_gops_delivered > s.next_gop || b.lp_gops_delivered > s.next_gop)
+      semantic_ok = false;
+  }
   semantic_ok = semantic_ok &&
                 !common::fault_fires(common::faults::kSessionCursorCorrupt);
   if (!semantic_ok) {
@@ -493,7 +502,7 @@ std::string serialize_checkpoint(const CgCheckpoint& ckpt) {
       if (!st.ok()) return st;
     }
     {
-      const common::Status st = parse_session(reader, &ckpt);
+      const common::Status st = parse_session(reader, &ckpt, version);
       if (!st.ok()) return st;
     }
   }

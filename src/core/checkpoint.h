@@ -42,8 +42,10 @@ struct CgResult;  // column_generation.h
 /// The on-disk format version this build writes.  The parser also reads
 /// every older version: v1 lacks the pool-metadata section (its pool loads
 /// with cold metadata), v2 lacks the session/pool-index sections (it loads
-/// with no stream cursor and an empty neighbour index).
-inline constexpr int kCheckpointVersion = 3;
+/// with no stream cursor and an empty neighbour index), v3 lacks the
+/// per-link client-buffer line in the session cursor (it loads with empty
+/// buffer state — a resumed session then starts its buffers cold).
+inline constexpr int kCheckpointVersion = 4;
 /// Oldest format version parse_checkpoint still accepts.
 inline constexpr int kMinCheckpointVersion = 1;
 
@@ -87,6 +89,21 @@ struct StreamGopRecord {
   double budget_slots = 0.0;
   bool on_time = false;
   double stall_slots = 0.0;
+};
+
+/// Per-link client playout-buffer state persisted by checkpoint format v4
+/// (mirrors stream::ClientBuffer; lives here because core cannot depend on
+/// stream).  Occupancy/stall are seconds of video; the layer counters are
+/// GOPs whose HP/LP layer was delivered in full.
+struct StreamBufferState {
+  double occupancy_seconds = 0.0;
+  double stall_seconds = 0.0;
+  int rebuffer_events = 0;
+  /// bit0 = playing, bit1 = started.  Playing implies started, so the
+  /// value 1 is semantically invalid (parse degrades, resume rejects).
+  int flags = 0;
+  int hp_gops_delivered = 0;
+  int lp_gops_delivered = 0;
 };
 
 /// Cumulative stream::SolverContext counters at the cursor position, so a
@@ -133,6 +150,11 @@ struct StreamCursor {
   /// resume replays the Markov chain and must land on exactly these bits,
   /// otherwise the cursor is stale and gets rejected.
   std::vector<int> blocked;
+  /// Client playout-buffer state at the cursor position (format v4).
+  /// Either one entry per link or empty — empty means "no buffer state"
+  /// (a v3-era file, or a producer without the buffer model): the resumed
+  /// session starts its buffers cold.
+  std::vector<StreamBufferState> buffers;
   StreamSolverCounters counters;
   /// Scoring records of the completed periods, in order (size next_gop).
   std::vector<StreamGopRecord> gops;

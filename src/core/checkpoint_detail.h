@@ -417,6 +417,17 @@ inline void append_cursor_block(std::string& out, const StreamCursor& s) {
   }
   out += "\nblocked = " + std::to_string(s.blocked.size());
   for (int b : s.blocked) out += ' ' + std::to_string(b);
+  out += "\nbuffers = " + std::to_string(s.buffers.size());
+  for (const StreamBufferState& b : s.buffers) {
+    out += ' ';
+    append_double(out, b.occupancy_seconds);
+    out += ' ';
+    append_double(out, b.stall_seconds);
+    out += ' ' + std::to_string(b.rebuffer_events) + ' ' +
+           std::to_string(b.flags) + ' ' +
+           std::to_string(b.hp_gops_delivered) + ' ' +
+           std::to_string(b.lp_gops_delivered);
+  }
   const StreamSolverCounters& c = s.counters;
   out += "\ncontext = " + std::to_string(c.periods) + ' ' +
          std::to_string(c.resolves) + ' ' + std::to_string(c.pool_hits) +
@@ -431,14 +442,18 @@ inline void append_cursor_block(std::string& out, const StreamCursor& s) {
   out += '\n';
 }
 
-/// Parses the cursor/delivered/blocked/context lines.  Structural damage is
-/// a hard error; value-level damage (negative delivered bits, blocked bits
-/// outside {0,1}, counter identities broken) clears *semantic_ok.  Gop and
-/// link-count cross-checks are the caller's, since only it knows the
-/// instance dimensions and the gop framing.
+/// Parses the cursor/delivered/blocked[/buffers]/context lines.  Structural
+/// damage is a hard error; value-level damage (negative delivered bits,
+/// blocked bits outside {0,1}, NaN/negative buffer occupancies, the
+/// playing-without-started flags encoding, counter identities broken)
+/// clears *semantic_ok.  Gop and link-count cross-checks are the caller's,
+/// since only it knows the instance dimensions and the gop framing.
+/// `with_buffers` selects the v4 layout (base format: version >= 4; the
+/// delta log, which is never cross-version, always writes it).
 [[nodiscard]] inline common::Status parse_cursor_block(LineReader& reader,
                                                        StreamCursor* s,
-                                                       bool* semantic_ok) {
+                                                       bool* semantic_ok,
+                                                       bool with_buffers) {
   {
     const int line_no = reader.line();
     auto tokens = expect_kv(reader, "cursor");
@@ -507,6 +522,46 @@ inline void append_cursor_block(std::string& out, const StreamCursor& s) {
       }
       if (b > 1) *semantic_ok = false;
       s->blocked.push_back(static_cast<int>(b));
+    }
+  }
+  s->buffers.clear();
+  if (with_buffers) {
+    const int line_no = reader.line();
+    auto tokens = expect_kv(reader, "buffers");
+    if (!tokens.ok()) return tokens.status();
+    const auto& t = tokens.value();
+    long long n = 0;
+    if (t.empty() || !parse_int_token(t[0], 0, kMaxLinks, &n) ||
+        static_cast<long long>(t.size()) != 1 + 6 * n) {
+      return parse_error(line_no,
+                         "buffers: expected '<n> [<occ> <stall> <events> "
+                         "<flags> <hp> <lp>]...'");
+    }
+    s->buffers.reserve(static_cast<std::size_t>(n));
+    for (long long i = 0; i < n; ++i) {
+      const std::string_view* f = &t[1 + 6 * i];
+      StreamBufferState b;
+      long long events = 0, flags = 0, hp = 0, lp = 0;
+      // NaN occupancies parse structurally (a torn double is value damage,
+      // not framing damage) and degrade semantically below.
+      if (!parse_double_token(f[0], /*allow_nan=*/true,
+                              &b.occupancy_seconds) ||
+          !parse_double_token(f[1], /*allow_nan=*/true, &b.stall_seconds) ||
+          !parse_int_token(f[2], 0, kMaxGops, &events) ||
+          !parse_int_token(f[3], 0, 3, &flags) ||
+          !parse_int_token(f[4], 0, kMaxGops, &hp) ||
+          !parse_int_token(f[5], 0, kMaxGops, &lp)) {
+        return parse_error(line_no, "buffers: malformed record");
+      }
+      b.rebuffer_events = static_cast<int>(events);
+      b.flags = static_cast<int>(flags);
+      b.hp_gops_delivered = static_cast<int>(hp);
+      b.lp_gops_delivered = static_cast<int>(lp);
+      if (!(b.occupancy_seconds >= 0.0) || !(b.stall_seconds >= 0.0) ||
+          b.flags == 1) {
+        *semantic_ok = false;  // NaN/negative state or playing-without-started
+      }
+      s->buffers.push_back(b);
     }
   }
   {

@@ -275,8 +275,10 @@ using detail::parse_int_token;
       StreamCursor s;
       bool semantic_ok = true;
       {
-        const common::Status st =
-            detail::parse_cursor_block(reader, &s, &semantic_ok);
+        // The delta log is single-producer, never cross-version: buffer
+        // state is always framed.
+        const common::Status st = detail::parse_cursor_block(
+            reader, &s, &semantic_ok, /*with_buffers=*/true);
         if (!st.ok()) return st;
       }
       long long gop_base = 0;
@@ -320,7 +322,9 @@ using detail::parse_int_token;
           s.next_gop > s.num_gops ||
           static_cast<long long>(s.gops.size()) != s.next_gop ||
           static_cast<int>(s.delivered_bits.size()) != state->links ||
-          static_cast<int>(s.blocked.size()) != state->links) {
+          static_cast<int>(s.blocked.size()) != state->links ||
+          (!s.buffers.empty() &&
+           static_cast<int>(s.buffers.size()) != state->links)) {
         return common::Status::Error(
             common::ErrorCode::kInvalidInput,
             "checkpoint delta: session cursor fails validity checks");

@@ -87,6 +87,18 @@ std::uint64_t blockage_session_fingerprint(const BlockageSessionConfig& config,
                 config.blockage.attenuation, config.blockage.initial_blocked,
                 config.reschedule_each_period ? 1 : 0, seed);
   bytes += buf;
+  // The buffer model and demand policy shape the period stream (drain-risk
+  // changes demands; thresholds change the persisted buffer trajectory), so
+  // they are session-defining: a cursor saved under one policy or buffer
+  // config can never resume a session running another.
+  bytes += '|';
+  bytes += config.demand_policy != nullptr ? config.demand_policy->name()
+                                           : "blind";
+  std::snprintf(buf, sizeof(buf), "|%.17g|%.17g|%.17g|%.17g|%.17g",
+                config.buffer.startup_seconds, config.buffer.rebuffer_seconds,
+                config.buffer.target_seconds, config.buffer.boost_gain,
+                config.buffer.yield_fraction);
+  bytes += buf;
   return core::fnv1a64(bytes);
 }
 
@@ -114,6 +126,16 @@ std::string BlockageSessionMetrics::to_json_line() const {
   out += ',';
   append_json(out, "exec_transmissions_dropped", exec_transmissions_dropped);
   out += ',';
+  append_json(out, "stall_seconds", stall_seconds);
+  out += ',';
+  append_json(out, "rebuffer_events", rebuffer_events);
+  out += ',';
+  append_json(out, "layer_gops_offered", layer_gops_offered);
+  out += ',';
+  append_json(out, "layer_gops_delivered", layer_gops_delivered);
+  out += ',';
+  append_json(out, "layer_delivery_ratio", layer_delivery_ratio);
+  out += ',';
   append_json(out, "pool_resolves", pool_resolves);
   out += ',';
   append_json(out, "pool_hits", pool_hits);
@@ -125,6 +147,56 @@ std::string BlockageSessionMetrics::to_json_line() const {
   char digest[32];
   std::snprintf(digest, sizeof(digest), "0x%016" PRIx64, plan_digest_chain);
   out += "\"plan_digest_chain\":\"";
+  out += digest;
+  out += "\"}";
+  return out;
+}
+
+std::string period_json_line(const core::StreamCursor& cursor) {
+  core::StreamGopRecord rec;
+  if (!cursor.gops.empty()) rec = cursor.gops.back();
+  int blocked_links = 0;
+  for (int b : cursor.blocked) blocked_links += b != 0 ? 1 : 0;
+  double occupancy_sum = 0.0, occupancy_min = 0.0, stall_sum = 0.0;
+  int rebuffer_sum = 0, playing_links = 0;
+  for (std::size_t l = 0; l < cursor.buffers.size(); ++l) {
+    const core::StreamBufferState& b = cursor.buffers[l];
+    occupancy_sum += b.occupancy_seconds;
+    occupancy_min =
+        l == 0 ? b.occupancy_seconds
+               : std::min(occupancy_min, b.occupancy_seconds);
+    stall_sum += b.stall_seconds;
+    rebuffer_sum += b.rebuffer_events;
+    playing_links += (b.flags & 1) != 0 ? 1 : 0;
+  }
+  std::string out = "{\"type\":\"gop\",";
+  append_json(out, "gop", rec.gop);
+  out += ',';
+  append_json(out, "demand_bits", rec.demand_bits);
+  out += ',';
+  append_json(out, "schedule_slots", rec.schedule_slots);
+  out += ',';
+  append_json(out, "budget_slots", rec.budget_slots);
+  out += ',';
+  append_json(out, "on_time", rec.on_time);
+  out += ',';
+  append_json(out, "stall_slots", rec.stall_slots);
+  out += ',';
+  append_json(out, "blocked_links", blocked_links);
+  out += ',';
+  append_json(out, "buffer_seconds", occupancy_sum);
+  out += ',';
+  append_json(out, "buffer_min_seconds", occupancy_min);
+  out += ',';
+  append_json(out, "stall_seconds", stall_sum);
+  out += ',';
+  append_json(out, "rebuffer_events", rebuffer_sum);
+  out += ',';
+  append_json(out, "playing_links", playing_links);
+  out += ',';
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "0x%016" PRIx64, cursor.plan_digest);
+  out += "\"plan_digest\":\"";
   out += digest;
   out += "\"}";
   return out;
@@ -180,6 +252,14 @@ BlockageSessionMetrics run_blockage_session(
   common::Rng blockage_rng = rng.fork(0xB10C);
   net::BlockageProcess process(num_links, config.blockage, blockage_rng);
 
+  // Client buffers are always tracked; the policy decides whether their
+  // state feeds back into the demands (null = blind baseline: pure
+  // observation, schedules bit-identical to pre-buffer sessions).
+  std::vector<ClientBuffer> buffers(num_links, ClientBuffer(config.buffer));
+  const DemandPolicy* policy = config.demand_policy;
+  // (GOP, layer) pairs with nonzero nominal demand, over scored periods.
+  int layer_offered = 0;
+
   double carryover_stall = 0.0;
   std::vector<double> delivered_bits(num_links, 0.0);
   double blocked_fraction_sum = 0.0;
@@ -199,6 +279,25 @@ BlockageSessionMetrics run_blockage_session(
         resume->carryover_stall >= 0.0 &&
         resume->blocked_fraction_sum >= 0.0 &&
         !common::fault_fires(common::faults::kSessionCursorCorrupt);
+    // Buffer state (v4) is optional — an empty vector starts the buffers
+    // cold — but when present it must be per-link and self-consistent;
+    // damaged QoE counters must never be replayed as truth.
+    if (usable && !resume->buffers.empty()) {
+      if (static_cast<int>(resume->buffers.size()) != num_links ||
+          common::fault_fires(common::faults::kSessionBufferCorrupt)) {
+        usable = false;
+      }
+      for (const core::StreamBufferState& b : resume->buffers) {
+        if (!(b.occupancy_seconds >= 0.0) || !(b.stall_seconds >= 0.0) ||
+            b.rebuffer_events < 0 || b.flags < 0 || b.flags > 3 ||
+            b.flags == 1 || b.hp_gops_delivered < 0 ||
+            b.lp_gops_delivered < 0 ||
+            b.hp_gops_delivered > resume->next_gop ||
+            b.lp_gops_delivered > resume->next_gop) {
+          usable = false;
+        }
+      }
+    }
     if (usable && config.session_fingerprint != 0 &&
         resume->session_fingerprint != config.session_fingerprint) {
       usable = false;
@@ -227,6 +326,26 @@ BlockageSessionMetrics run_blockage_session(
       out.invalidated_periods = resume->invalidated_periods;
       out.exec_transmissions_dropped = resume->exec_transmissions_dropped;
       delivered_bits = resume->delivered_bits;
+      if (!resume->buffers.empty()) {
+        for (int l = 0; l < num_links; ++l) {
+          const core::StreamBufferState& b = resume->buffers[l];
+          buffers[l].restore(b.occupancy_seconds, b.stall_seconds,
+                             b.rebuffer_events, (b.flags & 1) != 0,
+                             (b.flags & 2) != 0, b.hp_gops_delivered,
+                             b.lp_gops_delivered);
+        }
+      }
+      // Replayed periods' offered-layer counts are reconstructed from the
+      // deterministic demand streams (same expression as the live loop), so
+      // the final layer_delivery_ratio equals the uninterrupted run's.
+      for (int g = 0; g < resume->next_gop; ++g) {
+        for (int l = 0; l < num_links; ++l) {
+          if (gop_demands[l][g].hp_bits * scfg.demand_scale > 0.0)
+            ++layer_offered;
+          if (gop_demands[l][g].lp_bits * scfg.demand_scale > 0.0)
+            ++layer_offered;
+        }
+      }
       for (const core::StreamGopRecord& r : resume->gops) {
         GopRecord rec;
         rec.gop = r.gop;
@@ -281,12 +400,22 @@ BlockageSessionMetrics run_blockage_session(
         std::make_unique<net::RxScaledChannelModel>(&base_model, scales));
 
     std::vector<video::LinkDemand> demands(num_links);
-    double total = 0.0;
     for (int l = 0; l < num_links; ++l) {
       demands[l].hp_bits = gop_demands[l][g].hp_bits * scfg.demand_scale;
       demands[l].lp_bits = gop_demands[l][g].lp_bits * scfg.demand_scale;
-      total += demands[l].total();
     }
+    // The policy bids on behalf of the buffers: nominal demand is the GOP's
+    // actual content (what playback consumes), shaped demand is what the
+    // scheduler is asked for (boosted bids prefetch, yields free capacity).
+    const std::vector<video::LinkDemand> nominal = demands;
+    if (policy != nullptr) {
+      std::vector<std::uint8_t> blocked_bits(num_links);
+      for (int l = 0; l < num_links; ++l)
+        blocked_bits[l] = process.blocked(l) ? 1 : 0;
+      policy->shape(buffers, blocked_bits, gop_seconds, demands);
+    }
+    double total = 0.0;
+    for (int l = 0; l < num_links; ++l) total += demands[l].total();
 
     const net::Network& plan_net =
         config.reschedule_each_period ? blocked_net : clear_net;
@@ -319,8 +448,28 @@ BlockageSessionMetrics run_blockage_session(
     out.base.total_stall_slots += rec.stall_slots;
     if (!exec.all_demands_met || !plan.ok) out.base.all_served = false;
     for (int l = 0; l < num_links; ++l) {
-      delivered_bits[l] +=
+      const double delivered =
           exec.hp_delivered_bits[l] + exec.lp_delivered_bits[l];
+      delivered_bits[l] += delivered;
+      // Fluid model: the GOP's content spans gop_seconds of video; delivered
+      // bits map proportionally (a boosted bid that over-delivers prefetches
+      // future seconds, f > 1).  A zero-demand GOP carries its seconds free.
+      const double nominal_total = nominal[l].total();
+      const double delivered_seconds =
+          nominal_total > 0.0 ? gop_seconds * delivered / nominal_total
+                              : gop_seconds;
+      buffers[l].advance(delivered_seconds, gop_seconds);
+      // A layer counts delivered when the delivery covered the smaller of
+      // the nominal and shaped asks: a yielded layer served as asked and a
+      // boosted layer that still covered its content both count.
+      const bool hp_off = nominal[l].hp_bits > 0.0;
+      const bool lp_off = nominal[l].lp_bits > 0.0;
+      const double hp_need = std::min(nominal[l].hp_bits, demands[l].hp_bits);
+      const double lp_need = std::min(nominal[l].lp_bits, demands[l].lp_bits);
+      const bool hp_del = exec.hp_delivered_bits[l] >= hp_need * (1.0 - 1e-9);
+      const bool lp_del = exec.lp_delivered_bits[l] >= lp_need * (1.0 - 1e-9);
+      buffers[l].note_layers(hp_off, hp_del, lp_off, lp_del);
+      layer_offered += (hp_off ? 1 : 0) + (lp_off ? 1 : 0);
     }
     out.base.gops.push_back(rec);
 
@@ -340,6 +489,17 @@ BlockageSessionMetrics run_blockage_session(
       cur.blocked.resize(num_links);
       for (int l = 0; l < num_links; ++l)
         cur.blocked[l] = process.blocked(l) ? 1 : 0;
+      cur.buffers.resize(num_links);
+      for (int l = 0; l < num_links; ++l) {
+        core::StreamBufferState& b = cur.buffers[l];
+        b.occupancy_seconds = buffers[l].occupancy_seconds();
+        b.stall_seconds = buffers[l].stall_seconds();
+        b.rebuffer_events = buffers[l].rebuffer_events();
+        b.flags = (buffers[l].playing() ? 1 : 0) |
+                  (buffers[l].started() ? 2 : 0);
+        b.hp_gops_delivered = buffers[l].hp_gops_delivered();
+        b.lp_gops_delivered = buffers[l].lp_gops_delivered();
+      }
       if (solver_context != nullptr) {
         cur.plan_digest = solver_context->plan_digest_chain;
         cur.counters.periods = solver_context->periods;
@@ -392,6 +552,17 @@ BlockageSessionMetrics run_blockage_session(
   }
   out.base.mean_psnr_db = num_links > 0 ? psnr_sum / num_links : 0.0;
   out.mean_blocked_fraction = blocked_fraction_sum / scfg.num_gops;
+  for (const ClientBuffer& b : buffers) {
+    out.stall_seconds += b.stall_seconds();
+    out.rebuffer_events += b.rebuffer_events();
+    out.layer_gops_delivered +=
+        b.hp_gops_delivered() + b.lp_gops_delivered();
+  }
+  out.layer_gops_offered = layer_offered;
+  out.layer_delivery_ratio =
+      layer_offered > 0
+          ? static_cast<double>(out.layer_gops_delivered) / layer_offered
+          : 1.0;
   if (solver_context != nullptr) {
     out.pool_periods = solver_context->periods - before.periods;
     out.pool_columns_loaded = solver_context->columns_loaded - before.loaded;

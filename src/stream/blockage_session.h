@@ -15,6 +15,7 @@
 
 #include "core/checkpoint.h"
 #include "mmwave/blockage.h"
+#include "stream/client_buffer.h"
 #include "stream/session.h"
 
 namespace mmwave::stream {
@@ -27,6 +28,15 @@ struct BlockageSessionConfig {
   /// blocked gains — rate levels that no longer meet their SINR deliver
   /// nothing that period.
   bool reschedule_each_period = true;
+  /// Client playout-buffer model: thresholds plus the drain-risk policy's
+  /// shaping knobs.  Buffers are always tracked (they are pure observers
+  /// under the blind policy); all five scalars enter the fingerprint.
+  ClientBufferConfig buffer;
+  /// Demand-shaping policy applied before each period's solve; null means
+  /// the buffer-blind baseline (demands pass through untouched, schedules
+  /// and plan digests are bit-identical to pre-buffer sessions).  Non-owning;
+  /// must outlive the run.
+  const DemandPolicy* demand_policy = nullptr;
   /// Binds saved stream cursors to this session's defining inputs.  Compute
   /// with blockage_session_fingerprint(); 0 disables the fingerprint check
   /// on resume (the blockage-replay check still applies).
@@ -69,6 +79,23 @@ struct BlockageSessionMetrics {
   /// SINR below threshold — which scheduled columns (partially) died.
   int exec_transmissions_dropped = 0;
 
+  // --- Client-buffer QoE (populated from the per-link ClientBuffers; under
+  // --- the blind policy these are pure observations and change nothing
+  // --- about scheduling).
+  /// Total playback stall across links (seconds of frozen playout; startup
+  /// wait before the first start is not counted).
+  double stall_seconds = 0.0;
+  /// Total underrun events across links (playback paused mid-period).
+  int rebuffer_events = 0;
+  /// (GOP, layer) pairs offered: HP/LP layers with nonzero nominal demand,
+  /// summed over executed — or, after a resume, replayed — periods.
+  int layer_gops_offered = 0;
+  /// (GOP, layer) pairs delivered in full — delivered bits covered
+  /// min(nominal, shaped) demand — summed over links and periods.
+  int layer_gops_delivered = 0;
+  /// layer_gops_delivered / layer_gops_offered (1.0 when nothing offered).
+  double layer_delivery_ratio = 1.0;
+
   // --- Pool-reuse accounting (populated when a SolverContext is threaded
   // --- through run_blockage_session; zeros otherwise).  All values are
   // --- THIS session's deltas: the context's counters are cumulative, so a
@@ -109,6 +136,13 @@ struct BlockageSessionMetrics {
   /// per-period lines.
   std::string to_json_line() const;
 };
+
+/// One-line JSON for the GOP boundary a cursor describes (stable key order,
+/// %.17g doubles): the per-period record `mmwave_cli stream --metrics-json`
+/// emits from BlockageRunControl::on_period.  Scoring fields come from the
+/// cursor's last gop record; the buffer fields aggregate the cursor's
+/// per-link buffer states (zeros when the cursor carries none).
+std::string period_json_line(const core::StreamCursor& cursor);
 
 /// `params` must match `base_model` (link/channel counts).  The blockage
 /// process and the demand streams both derive from `rng`.

@@ -1,0 +1,143 @@
+#include "stream/client_buffer.h"
+
+#include <algorithm>
+
+namespace mmwave::stream {
+
+namespace {
+/// Underrun tolerance: a buffer that covers the period to within this many
+/// seconds is treated as having played it in full (guards the rebuffer
+/// counter against %.17g round-trip noise in checkpointed occupancies).
+constexpr double kPlayEps = 1e-12;
+}  // namespace
+
+void ClientBuffer::advance(double delivered_seconds, double period_seconds) {
+  occupancy_seconds_ += delivered_seconds;
+  delivered_seconds_ += delivered_seconds;
+  if (!started_) {
+    if (occupancy_seconds_ >= config_.startup_seconds - kPlayEps) {
+      started_ = true;
+      playing_ = true;
+    }
+  } else if (!playing_) {
+    if (occupancy_seconds_ >= config_.rebuffer_seconds - kPlayEps) {
+      playing_ = true;
+    }
+  }
+  if (playing_) {
+    const double played = std::min(occupancy_seconds_, period_seconds);
+    occupancy_seconds_ -= played;
+    played_seconds_ += played;
+    stall_seconds_ += period_seconds - played;
+    if (played < period_seconds - kPlayEps) {
+      // Ran dry mid-period: playback pauses until the rebuffer threshold.
+      playing_ = false;
+      ++rebuffer_events_;
+    }
+  } else if (started_) {
+    // Waiting to rebuffer: the whole period is stall.  Pre-start waiting is
+    // NOT counted — startup delay is a different QoE quantity.
+    stall_seconds_ += period_seconds;
+  }
+}
+
+void ClientBuffer::note_layers(bool hp_offered, bool hp_delivered,
+                               bool lp_offered, bool lp_delivered) {
+  if (hp_offered && hp_delivered) ++hp_gops_delivered_;
+  if (lp_offered && lp_delivered) ++lp_gops_delivered_;
+}
+
+void ClientBuffer::restore(double occupancy_seconds, double stall_seconds,
+                           int rebuffer_events, bool playing, bool started,
+                           int hp_gops_delivered, int lp_gops_delivered) {
+  occupancy_seconds_ = occupancy_seconds;
+  stall_seconds_ = stall_seconds;
+  rebuffer_events_ = rebuffer_events;
+  playing_ = playing;
+  started_ = started;
+  hp_gops_delivered_ = hp_gops_delivered;
+  lp_gops_delivered_ = lp_gops_delivered;
+  // The conservation witnesses restart from the restored occupancy so the
+  // invariant delivered − played == Δoccupancy keeps holding post-resume.
+  delivered_seconds_ = occupancy_seconds;
+  played_seconds_ = 0.0;
+}
+
+double ClientBuffer::predicted_end_seconds(bool blocked,
+                                           double period_seconds) const {
+  double end = occupancy_seconds_;
+  if (!blocked) end += period_seconds;
+  if (playing_) end -= period_seconds;
+  return end;
+}
+
+namespace {
+
+class BlindPolicy final : public DemandPolicy {
+ public:
+  const char* name() const override { return "blind"; }
+  void shape(const std::vector<ClientBuffer>& /*buffers*/,
+             const std::vector<std::uint8_t>& /*blocked*/,
+             double /*period_seconds*/,
+             std::vector<video::LinkDemand>& /*demands*/) const override {}
+};
+
+class DrainRiskPolicy final : public DemandPolicy {
+ public:
+  explicit DrainRiskPolicy(const ClientBufferConfig& config)
+      : config_(config) {}
+  const char* name() const override { return "drain-risk"; }
+
+  void shape(const std::vector<ClientBuffer>& buffers,
+             const std::vector<std::uint8_t>& blocked, double period_seconds,
+             std::vector<video::LinkDemand>& demands) const override {
+    const std::size_t n = std::min(buffers.size(), demands.size());
+    const double target = std::max(config_.target_seconds, 1e-12);
+    std::vector<double> risk(n, 0.0);
+    bool any_at_risk = false;
+    for (std::size_t l = 0; l < n; ++l) {
+      if (l < blocked.size() && blocked[l] != 0) continue;  // can't bid it up
+      const double end =
+          buffers[l].predicted_end_seconds(/*blocked=*/false, period_seconds);
+      risk[l] = std::clamp((target - end) / target, 0.0, 1.0);
+      if (risk[l] > 0.0) any_at_risk = true;
+    }
+    // No link at drain risk (e.g. every buffer saturated): the policy is
+    // the identity, bit-for-bit equal to the blind baseline.
+    if (!any_at_risk) return;
+    for (std::size_t l = 0; l < n; ++l) {
+      if (l < blocked.size() && blocked[l] != 0) continue;
+      if (risk[l] > 0.0) {
+        const double boost = 1.0 + config_.boost_gain * risk[l];
+        demands[l].hp_bits *= boost;
+        demands[l].lp_bits *= boost;
+      } else {
+        // Saturated and healthy: give up LP headroom for the at-risk links.
+        demands[l].lp_bits *= 1.0 - config_.yield_fraction;
+      }
+    }
+  }
+
+ private:
+  ClientBufferConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<DemandPolicy> make_blind_policy() {
+  return std::make_unique<BlindPolicy>();
+}
+
+std::unique_ptr<DemandPolicy> make_drain_risk_policy(
+    const ClientBufferConfig& config) {
+  return std::make_unique<DrainRiskPolicy>(config);
+}
+
+std::unique_ptr<DemandPolicy> make_demand_policy(
+    const std::string& name, const ClientBufferConfig& config) {
+  if (name == "blind") return make_blind_policy();
+  if (name == "drain-risk") return make_drain_risk_policy(config);
+  return nullptr;
+}
+
+}  // namespace mmwave::stream

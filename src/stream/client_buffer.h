@@ -1,0 +1,145 @@
+// Client playout-buffer dynamics and demand-shaping policies.
+//
+// The source paper optimizes per-period layered utility, but the question a
+// streaming service actually asks is whether the allocation keeps clients
+// PLAYING.  This module adds the receiver half of that loop: a per-link
+// fluid playout buffer (occupancy in seconds of video, startup and rebuffer
+// thresholds, stall accounting) advanced by each period's delivered bits,
+// and a pluggable DemandPolicy seam that converts buffer state plus the
+// current blockage bits into next-period HP/LP demands — the QoE-centric
+// buffer-predictive scheduling idea of Badnava et al. (PAPERS.md).
+//
+// Determinism contract: everything here is pure arithmetic on its inputs —
+// no RNG, no clocks, no allocation-order dependence — so sessions replayed
+// from a checkpointed buffer state are bit-identical to uninterrupted runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "video/demand.h"
+
+namespace mmwave::stream {
+
+/// Buffer thresholds plus the drain-risk policy's shaping knobs.  All five
+/// scalars enter the session fingerprint: two sessions with different
+/// buffer models can never silently share a resume cursor.
+struct ClientBufferConfig {
+  /// Occupancy (seconds) required before playback first starts.  Startup
+  /// wait is not counted as stall (the viewer expects a join delay).
+  double startup_seconds = 0.5;
+  /// Occupancy required to resume after an underrun.
+  double rebuffer_seconds = 0.5;
+  /// Occupancy the drain-risk policy steers toward; links predicted to end
+  /// the next period below it bid higher, links at or above it can yield.
+  double target_seconds = 2.0;
+  /// Demand multiplier headroom for a fully at-risk link: demand scales by
+  /// (1 + boost_gain * risk) with risk in [0, 1].
+  double boost_gain = 1.0;
+  /// Fraction of LP demand a saturated link gives up when some other link
+  /// is at drain risk (HP is never yielded).  Must stay < 1 so a shaped
+  /// demand is zero iff the nominal demand is zero.
+  double yield_fraction = 0.5;
+};
+
+/// One link's fluid playout buffer.  `advance()` consumes one GOP period:
+/// delivered video is appended, then playback (once started) drains
+/// real-time seconds; the shortfall when the buffer runs dry is stall.
+///
+/// Invariants, property-tested in tests/stream/client_buffer_test.cpp:
+///   - conservation: delivered_seconds − played_seconds == occupancy (1e-9)
+///   - stall_seconds and rebuffer_events are monotone non-decreasing
+///   - playing implies started (the flags value 1 is unrepresentable)
+class ClientBuffer {
+ public:
+  ClientBuffer() = default;
+  explicit ClientBuffer(const ClientBufferConfig& config) : config_(config) {}
+
+  /// Advances one period: `delivered_seconds` of video arrive (may exceed
+  /// `period_seconds` — prefetch builds occupancy), then the period's
+  /// real-time seconds play out.  Threshold order: delivery first, then the
+  /// startup/rebuffer gate, then playout — so a period that refills past
+  /// the gate resumes within that same period.
+  void advance(double delivered_seconds, double period_seconds);
+
+  /// Records the layer outcome of one GOP: which layers were offered
+  /// (nonzero shaped demand) and which were delivered in full.
+  void note_layers(bool hp_offered, bool hp_delivered, bool lp_offered,
+                   bool lp_delivered);
+
+  /// Restores a checkpointed state (core::StreamBufferState fields); the
+  /// caller has already validated ranges and the flags encoding.
+  void restore(double occupancy_seconds, double stall_seconds,
+               int rebuffer_events, bool playing, bool started,
+               int hp_gops_delivered, int lp_gops_delivered);
+
+  const ClientBufferConfig& config() const { return config_; }
+  double occupancy_seconds() const { return occupancy_seconds_; }
+  double stall_seconds() const { return stall_seconds_; }
+  int rebuffer_events() const { return rebuffer_events_; }
+  bool playing() const { return playing_; }
+  bool started() const { return started_; }
+  int hp_gops_delivered() const { return hp_gops_delivered_; }
+  int lp_gops_delivered() const { return lp_gops_delivered_; }
+  /// Cumulative conservation witnesses (not persisted — occupancy is their
+  /// difference, which is what the checkpoint carries).
+  double delivered_seconds() const { return delivered_seconds_; }
+  double played_seconds() const { return played_seconds_; }
+
+  /// Occupancy predicted at the END of the next period, given the link's
+  /// current blockage bit: a blocked link is expected to receive nothing, an
+  /// unblocked one a full GOP; a playing buffer drains one period.  This is
+  /// the drain-risk policy's one-step lookahead.
+  double predicted_end_seconds(bool blocked, double period_seconds) const;
+
+ private:
+  ClientBufferConfig config_;
+  double occupancy_seconds_ = 0.0;
+  double stall_seconds_ = 0.0;
+  double delivered_seconds_ = 0.0;
+  double played_seconds_ = 0.0;
+  int rebuffer_events_ = 0;
+  int hp_gops_delivered_ = 0;
+  int lp_gops_delivered_ = 0;
+  bool playing_ = false;
+  bool started_ = false;
+};
+
+/// Demand-shaping seam: maps (buffer states, current blockage bits) to the
+/// demands handed to the scheduler for the next period.  Implementations
+/// must be deterministic pure functions of their arguments.
+class DemandPolicy {
+ public:
+  virtual ~DemandPolicy() = default;
+  /// Stable identifier ("blind", "drain-risk"); enters the session
+  /// fingerprint and the CLI flag namespace.
+  virtual const char* name() const = 0;
+  /// Shapes `demands` in place.  `blocked[l]` is link l's CURRENT-period
+  /// blockage bit; `buffers[l]` is its state after the previous period.
+  virtual void shape(const std::vector<ClientBuffer>& buffers,
+                     const std::vector<std::uint8_t>& blocked,
+                     double period_seconds,
+                     std::vector<video::LinkDemand>& demands) const = 0;
+};
+
+/// The buffer-blind baseline: demands pass through untouched, so schedules
+/// (and plan digests) are bit-identical to sessions without buffer state.
+std::unique_ptr<DemandPolicy> make_blind_policy();
+
+/// Drain-risk shaping: risk_l = clamp((target − predicted_end)/target, 0, 1)
+/// for unblocked links; at-risk links scale both layers by
+/// (1 + boost_gain·risk), and — only when at least one link is at risk —
+/// saturated unblocked links yield `yield_fraction` of their LP demand.
+/// When every buffer is saturated no link is at risk and the policy is the
+/// identity (== blind), a property the test suite pins.
+std::unique_ptr<DemandPolicy> make_drain_risk_policy(
+    const ClientBufferConfig& config);
+
+/// Factory by CLI name: "blind" or "drain-risk"; nullptr on unknown names
+/// (the caller owns the exit-contract diagnostics).
+std::unique_ptr<DemandPolicy> make_demand_policy(
+    const std::string& name, const ClientBufferConfig& config);
+
+}  // namespace mmwave::stream

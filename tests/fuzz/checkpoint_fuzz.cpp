@@ -87,6 +87,20 @@ bool sane_state(const mmwave::core::CgCheckpoint& c) {
              std::isfinite(s.gops[i].stall_slots) &&
              s.gops[i].stall_slots >= 0.0;
     }
+    // v4 client-buffer state: absent (legacy cursor) or one record per
+    // link; an accepted record is finite, non-negative, its flags encode a
+    // representable (playing, started) pair, and its layer counters cannot
+    // run ahead of the completed-period count.
+    sane = sane && (s.buffers.empty() ||
+                    s.buffers.size() == static_cast<std::size_t>(c.links));
+    for (const mmwave::core::StreamBufferState& b : s.buffers) {
+      sane = sane && std::isfinite(b.occupancy_seconds) &&
+             b.occupancy_seconds >= 0.0 && std::isfinite(b.stall_seconds) &&
+             b.stall_seconds >= 0.0 && b.rebuffer_events >= 0 &&
+             (b.flags == 0 || b.flags == 2 || b.flags == 3) &&
+             b.hp_gops_delivered >= 0 && b.hp_gops_delivered <= s.next_gop &&
+             b.lp_gops_delivered >= 0 && b.lp_gops_delivered <= s.next_gop;
+    }
   }
   return sane;
 }
@@ -161,6 +175,16 @@ mmwave::core::CgCheckpoint fuzz_base_checkpoint() {
   s.counters.resolves = 2;
   s.counters.pool_hits = 1;
   s.counters.pool_misses = 1;
+  for (int l = 0; l < 3; ++l) {
+    StreamBufferState b;
+    b.occupancy_seconds = 0.5 * (l + 1);
+    b.stall_seconds = l == 0 ? 0.5 : 0.0;
+    b.rebuffer_events = l == 0 ? 1 : 0;
+    b.flags = l == 0 ? 2 : 3;  // link 0 mid-rebuffer, the rest playing
+    b.hp_gops_delivered = 2;
+    b.lp_gops_delivered = 2 - l % 2;
+    s.buffers.push_back(b);
+  }
   for (int g = 0; g < 2; ++g) {
     StreamGopRecord r;
     r.gop = g;
@@ -303,6 +327,10 @@ std::string built_in_delta_seed() {
     r.on_time = true;
     state.session.gops.push_back(r);
     state.session.next_gop += 1;
+    for (StreamBufferState& b : state.session.buffers) {
+      b.occupancy_seconds += 0.25;
+      b.hp_gops_delivered += 1;
+    }
     if (!log.save(state).ok()) return {};
   }
   std::string chain = read_file((path + ".delta").c_str());

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "common/fault_injection.h"
 
 namespace mmwave::stream {
@@ -479,6 +484,357 @@ TEST(BlockageSession, InjectedCursorCorruptionRejectsTheResume) {
   EXPECT_EQ(m.start_gop, 0);
   EXPECT_TRUE(m.completed);
   EXPECT_EQ(m.base.gops.size(), 4u);
+}
+
+// ---- Client-buffer state across crash/resume -----------------------------
+
+/// Deep-blockage world where blind playback genuinely stalls: blocked links
+/// fall below every SINR threshold, so a blocked period delivers nothing.
+BlockageSessionConfig stall_config(int gops) {
+  BlockageSessionConfig cfg;
+  cfg.session.num_gops = gops;
+  cfg.session.demand_scale = 1e-4;
+  cfg.blockage.p_block = 0.5;
+  cfg.blockage.p_recover = 0.5;
+  cfg.blockage.attenuation = 1e-3;
+  return cfg;
+}
+
+TEST(BlockageSession, ResumeMidStallReplaysBufferStateExactly) {
+  auto f = make_fixture(45, 5, 2);
+  BlockageSessionConfig cfg = stall_config(8);
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 94);
+  CgSchedulerOptions sched_opts;
+  sched_opts.capture_checkpoint = true;
+
+  SolverContext ref_ctx;
+  common::Rng ref_rng(94);
+  const auto ref = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler(sched_opts, &ref_ctx),
+      ref_rng, &ref_ctx);
+  // The scenario must actually rebuffer, otherwise this test is vacuous.
+  ASSERT_GT(ref.stall_seconds, 0.0);
+  ASSERT_GT(ref.rebuffer_events, 0);
+
+  // Crash at period 4 and keep the cursor; the kill point must land inside
+  // a stall (some link mid-rebuffer) so the resume replays a dirty state,
+  // not a conveniently quiescent one.
+  SolverContext crash_ctx;
+  core::StreamCursor cursor;
+  BlockageRunControl stop;
+  stop.on_period = [&](const core::StreamCursor& c, int gop) {
+    cursor = c;
+    return gop != 4;
+  };
+  common::Rng crash_rng(94);
+  const auto partial = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler(sched_opts, &crash_ctx),
+      crash_rng, &crash_ctx, &stop);
+  EXPECT_FALSE(partial.completed);
+  ASSERT_EQ(cursor.buffers.size(), 5u);
+  double stalled_at_kill = 0.0;
+  int not_playing = 0;
+  for (const core::StreamBufferState& b : cursor.buffers) {
+    stalled_at_kill += b.stall_seconds;
+    if ((b.flags & 1) == 0) ++not_playing;
+  }
+  ASSERT_GT(stalled_at_kill, 0.0);
+  ASSERT_GT(not_playing, 0);
+
+  SolverContext resumed_ctx;
+  resumed_ctx.manager.import_checkpoint(
+      crash_ctx.manager.export_checkpoint(crash_ctx.last_checkpoint));
+  BlockageRunControl resume;
+  resume.resume = &cursor;
+  common::Rng resumed_rng(94);
+  const auto resumed = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler(sched_opts, &resumed_ctx),
+      resumed_rng, &resumed_ctx, &resume);
+
+  EXPECT_FALSE(resumed.resume_rejected);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.start_gop, 5);
+  EXPECT_EQ(resumed.plan_digest_chain, ref.plan_digest_chain);
+  // The QoE ledger is whole-session and exact: stall carried across the
+  // crash, the in-flight rebuffer finished counting, layers reconciled.
+  EXPECT_NEAR(resumed.stall_seconds, ref.stall_seconds, 1e-9);
+  EXPECT_EQ(resumed.rebuffer_events, ref.rebuffer_events);
+  EXPECT_EQ(resumed.layer_gops_offered, ref.layer_gops_offered);
+  EXPECT_EQ(resumed.layer_gops_delivered, ref.layer_gops_delivered);
+  EXPECT_NEAR(resumed.layer_delivery_ratio, ref.layer_delivery_ratio, 1e-12);
+}
+
+TEST(BlockageSession, ResumeMidStallUnderDrainRiskPolicy) {
+  auto f = make_fixture(46, 5, 2);
+  const std::unique_ptr<DemandPolicy> drain =
+      make_drain_risk_policy(ClientBufferConfig{});
+  BlockageSessionConfig cfg = stall_config(8);
+  cfg.demand_policy = drain.get();
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 95);
+  CgSchedulerOptions sched_opts;
+  sched_opts.capture_checkpoint = true;
+
+  SolverContext ref_ctx;
+  common::Rng ref_rng(95);
+  const auto ref = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler(sched_opts, &ref_ctx),
+      ref_rng, &ref_ctx);
+
+  SolverContext crash_ctx;
+  core::StreamCursor cursor;
+  BlockageRunControl stop;
+  stop.on_period = [&](const core::StreamCursor& c, int gop) {
+    cursor = c;
+    return gop != 3;
+  };
+  common::Rng crash_rng(95);
+  (void)run_blockage_session(*f.model, f.params, cfg,
+                             make_cg_scheduler(sched_opts, &crash_ctx),
+                             crash_rng, &crash_ctx, &stop);
+  ASSERT_EQ(cursor.buffers.size(), 5u);
+
+  SolverContext resumed_ctx;
+  resumed_ctx.manager.import_checkpoint(
+      crash_ctx.manager.export_checkpoint(crash_ctx.last_checkpoint));
+  BlockageRunControl resume;
+  resume.resume = &cursor;
+  common::Rng resumed_rng(95);
+  const auto resumed = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler(sched_opts, &resumed_ctx),
+      resumed_rng, &resumed_ctx, &resume);
+
+  // Shaped demands depend on resumed buffer occupancy, so an inexact
+  // restore would fork the plan digest chain immediately.
+  EXPECT_FALSE(resumed.resume_rejected);
+  EXPECT_EQ(resumed.plan_digest_chain, ref.plan_digest_chain);
+  EXPECT_NEAR(resumed.stall_seconds, ref.stall_seconds, 1e-9);
+  EXPECT_EQ(resumed.rebuffer_events, ref.rebuffer_events);
+  EXPECT_NEAR(resumed.layer_delivery_ratio, ref.layer_delivery_ratio, 1e-12);
+}
+
+TEST(BlockageSession, CursorWithoutBufferStateResumesWithColdBuffers) {
+  auto f = make_fixture(47, 5, 2);
+  BlockageSessionConfig cfg = stall_config(6);
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 96);
+
+  common::Rng ref_rng(96);
+  const auto ref = run_blockage_session(*f.model, f.params, cfg,
+                                        make_cg_scheduler({}), ref_rng);
+
+  core::StreamCursor cursor;
+  BlockageRunControl stop;
+  stop.on_period = [&](const core::StreamCursor& c, int gop) {
+    cursor = c;
+    return gop != 2;
+  };
+  common::Rng crash_rng(96);
+  (void)run_blockage_session(*f.model, f.params, cfg,
+                             make_cg_scheduler({}), crash_rng, nullptr,
+                             &stop);
+  ASSERT_GT(ref.stall_seconds, 0.0);
+  // A v3-era cursor carries no buffer line.  (Real v3 cursors are also
+  // fingerprint-rejected — the fingerprint gained the policy and buffer
+  // scalars — but the empty-vector degradation is defined behavior: the
+  // scheduling timeline resumes, the buffers restart cold.)
+  cursor.buffers.clear();
+  BlockageRunControl resume;
+  resume.resume = &cursor;
+  common::Rng rng(96);
+  const auto m = run_blockage_session(*f.model, f.params, cfg,
+                                      make_cg_scheduler({}), rng, nullptr,
+                                      &resume);
+  EXPECT_FALSE(m.resume_rejected);
+  EXPECT_EQ(m.start_gop, 3);
+  EXPECT_TRUE(m.completed);
+  // Schedules are untouched by buffer state under the blind policy...
+  EXPECT_EQ(m.plan_digest_chain, ref.plan_digest_chain);
+  // ...but the QoE ledger restarted, so it can only understate the truth.
+  EXPECT_LE(m.stall_seconds, ref.stall_seconds + 1e-12);
+}
+
+TEST(BlockageSession, CorruptBufferRecordsRejectTheResume) {
+  auto f = make_fixture(48, 5, 2);
+  BlockageSessionConfig cfg = stall_config(6);
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 97);
+
+  core::StreamCursor cursor;
+  BlockageRunControl stop;
+  stop.on_period = [&](const core::StreamCursor& c, int gop) {
+    cursor = c;
+    return gop != 2;
+  };
+  common::Rng crash_rng(97);
+  (void)run_blockage_session(*f.model, f.params, cfg,
+                             make_cg_scheduler({}), crash_rng, nullptr,
+                             &stop);
+  ASSERT_EQ(cursor.buffers.size(), 5u);
+
+  const auto expect_rejected = [&](const core::StreamCursor& bad) {
+    BlockageRunControl resume;
+    resume.resume = &bad;
+    common::Rng rng(97);
+    const auto m = run_blockage_session(*f.model, f.params, cfg,
+                                        make_cg_scheduler({}), rng, nullptr,
+                                        &resume);
+    EXPECT_TRUE(m.resume_rejected);
+    EXPECT_TRUE(m.completed);
+  };
+  {
+    core::StreamCursor bad = cursor;
+    bad.buffers[2].occupancy_seconds = -0.25;  // negative occupancy
+    expect_rejected(bad);
+  }
+  {
+    core::StreamCursor bad = cursor;
+    bad.buffers[0].flags = 1;  // playing-but-not-started is unrepresentable
+    expect_rejected(bad);
+  }
+  {
+    core::StreamCursor bad = cursor;
+    bad.buffers.resize(3);  // wrong link count
+    expect_rejected(bad);
+  }
+  {
+    core::StreamCursor bad = cursor;
+    bad.buffers[4].hp_gops_delivered = bad.next_gop + 1;  // ahead of time
+    expect_rejected(bad);
+  }
+}
+
+TEST(BlockageSession, InjectedBufferCorruptionRejectsTheResume) {
+  auto f = make_fixture(49, 5, 2);
+  BlockageSessionConfig cfg = stall_config(6);
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 98);
+
+  core::StreamCursor cursor;
+  BlockageRunControl stop;
+  stop.on_period = [&](const core::StreamCursor& c, int gop) {
+    cursor = c;
+    return gop != 2;
+  };
+  common::Rng crash_rng(98);
+  (void)run_blockage_session(*f.model, f.params, cfg,
+                             make_cg_scheduler({}), crash_rng, nullptr,
+                             &stop);
+  ASSERT_FALSE(cursor.buffers.empty());
+
+  common::FaultInjector inj;
+  inj.arm(common::faults::kSessionBufferCorrupt, {.times = 1});
+  common::FaultScope scope(inj);
+  BlockageRunControl resume;
+  resume.resume = &cursor;
+  common::Rng rng(98);
+  const auto m = run_blockage_session(*f.model, f.params, cfg,
+                                      make_cg_scheduler({}), rng, nullptr,
+                                      &resume);
+  EXPECT_EQ(inj.fired(common::faults::kSessionBufferCorrupt), 1);
+  // Same ladder rung as a corrupt cursor: fresh run, correct QoE ledger.
+  EXPECT_TRUE(m.resume_rejected);
+  EXPECT_EQ(m.start_gop, 0);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.base.gops.size(), 6u);
+}
+
+// ---- JSON surfaces --------------------------------------------------------
+
+/// Minimal validator for the repo's flat JSON-object lines: one object of
+/// `"key":scalar` pairs where a scalar is a quoted string (no escapes),
+/// a number, or true/false.  Strict enough to catch missing commas, bare
+/// NaN/inf, unbalanced quotes and trailing garbage.
+bool parses_as_flat_json_object(const std::string& s) {
+  std::size_t i = 0;
+  const auto number = [&]() {
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                            s[i] == '+' || s[i] == '-'))
+      ++i;
+    return i > start;
+  };
+  const auto string_lit = [&]() {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"' && s[i] != '\\') ++i;
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    return true;
+  };
+  if (i >= s.size() || s[i++] != '{') return false;
+  bool first = true;
+  while (i < s.size() && s[i] != '}') {
+    if (!first && s[i++] != ',') return false;
+    first = false;
+    if (!string_lit()) return false;
+    if (i >= s.size() || s[i++] != ':') return false;
+    if (s.compare(i, 4, "true") == 0) {
+      i += 4;
+    } else if (s.compare(i, 5, "false") == 0) {
+      i += 5;
+    } else if (!string_lit() && !number()) {
+      return false;
+    }
+  }
+  return i < s.size() && s[i] == '}' && i + 1 == s.size();
+}
+
+TEST(BlockageSession, PeriodJsonLinesParseWithStableKeys) {
+  auto f = make_fixture(50, 5, 2);
+  BlockageSessionConfig cfg = stall_config(6);
+  cfg.session_fingerprint = blockage_session_fingerprint(cfg, 5, 99);
+
+  std::vector<std::string> lines;
+  BlockageRunControl control;
+  control.on_period = [&](const core::StreamCursor& c, int) {
+    lines.push_back(period_json_line(c));
+    return true;
+  };
+  common::Rng rng(99);
+  (void)run_blockage_session(*f.model, f.params, cfg, make_cg_scheduler({}),
+                             rng, nullptr, &control);
+  ASSERT_EQ(lines.size(), 6u);
+  const char* keys[] = {
+      "\"type\":\"gop\"",    "\"gop\"",
+      "\"demand_bits\"",     "\"schedule_slots\"",
+      "\"budget_slots\"",    "\"on_time\"",
+      "\"stall_slots\"",     "\"blocked_links\"",
+      "\"buffer_seconds\"",  "\"buffer_min_seconds\"",
+      "\"stall_seconds\"",   "\"rebuffer_events\"",
+      "\"playing_links\"",   "\"plan_digest\":\"0x"};
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_TRUE(parses_as_flat_json_object(line)) << line;
+    std::size_t pos = 0;
+    for (const char* key : keys) {
+      const std::size_t at = line.find(key, pos);
+      ASSERT_NE(at, std::string::npos) << key << " missing in " << line;
+      pos = at;
+    }
+  }
+}
+
+TEST(BlockageSession, ToJsonLineCarriesQoeFieldsInStableOrder) {
+  auto f = make_fixture(51, 5, 2);
+  BlockageSessionConfig cfg = stall_config(4);
+  SolverContext ctx;
+  common::Rng rng(100);
+  const auto metrics = run_blockage_session(
+      *f.model, f.params, cfg, make_cg_scheduler({}, &ctx), rng, &ctx);
+  const std::string line = metrics.to_json_line();
+  EXPECT_TRUE(parses_as_flat_json_object(line)) << line;
+  const char* keys[] = {"\"exec_transmissions_dropped\"",
+                        "\"stall_seconds\"",
+                        "\"rebuffer_events\"",
+                        "\"layer_gops_offered\"",
+                        "\"layer_gops_delivered\"",
+                        "\"layer_delivery_ratio\"",
+                        "\"pool_resolves\""};
+  std::size_t pos = 0;
+  for (const char* key : keys) {
+    const std::size_t at = line.find(key, pos);
+    ASSERT_NE(at, std::string::npos) << key << " missing in " << line;
+    pos = at;
+  }
 }
 
 TEST(BlockageSession, ToJsonLineCarriesTheSessionSummary) {

@@ -7,7 +7,11 @@
 // plan digest chain bit-identical — including legs where the registered
 // fault sites tear delta writes (checkpoint.delta_torn_write), crash
 // compactions (checkpoint.compact_crash) and corrupt the saved cursor
-// (session.cursor_corrupt).  Injected damage may cost re-solved periods
+// (session.cursor_corrupt).  Client-buffer QoE state (stall seconds,
+// rebuffer events, layer-delivery counts) rides the same cursor and must
+// replay exactly too; the demand policy rotates by seed parity so both the
+// blind baseline and the drain-risk shaper soak through crashes.  Injected
+// damage may cost re-solved periods
 // (degrading delta chain -> last good base -> cold start); it must never
 // cost correctness and never crash.
 //
@@ -37,6 +41,7 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,6 +79,17 @@ net::NetworkParams params_of(const SoakSetup& s) {
   return params;
 }
 
+/// Demand policy under soak rotates by seed parity so both the blind
+/// baseline and the drain-risk shaper get crash/resume coverage.  The
+/// policy object must outlive the session config that points at it.
+const stream::DemandPolicy* soak_policy(std::uint64_t seed) {
+  static const std::unique_ptr<stream::DemandPolicy> blind =
+      stream::make_blind_policy();
+  static const std::unique_ptr<stream::DemandPolicy> drain =
+      stream::make_drain_risk_policy(stream::ClientBufferConfig{});
+  return (seed % 2 == 0) ? drain.get() : blind.get();
+}
+
 stream::BlockageSessionConfig config_of(const SoakSetup& s,
                                         std::uint64_t seed) {
   stream::BlockageSessionConfig cfg;
@@ -81,6 +97,7 @@ stream::BlockageSessionConfig config_of(const SoakSetup& s,
   cfg.session.demand_scale = s.demand_scale;
   cfg.blockage.p_block = s.p_block;
   cfg.blockage.attenuation = 0.05;
+  cfg.demand_policy = soak_policy(seed);
   cfg.session_fingerprint =
       stream::blockage_session_fingerprint(cfg, s.links, seed);
   return cfg;
@@ -229,6 +246,24 @@ int compare_runs(const stream::BlockageSessionMetrics& ref,
   if (!close_to(ref.mean_blocked_fraction, got.mean_blocked_fraction))
     fail("mean_blocked_fraction", ref.mean_blocked_fraction,
          got.mean_blocked_fraction);
+  // Client-buffer QoE state rides the checkpoint cursor: a resumed session
+  // must replay playback stall, rebuffer counts and the layer-delivery
+  // ratio exactly, not just the scheduling records.
+  if (!close_to(ref.stall_seconds, got.stall_seconds))
+    fail("stall_seconds", ref.stall_seconds, got.stall_seconds);
+  if (ref.rebuffer_events != got.rebuffer_events)
+    fail("rebuffer_events", static_cast<double>(ref.rebuffer_events),
+         static_cast<double>(got.rebuffer_events));
+  if (ref.layer_gops_offered != got.layer_gops_offered)
+    fail("layer_gops_offered", static_cast<double>(ref.layer_gops_offered),
+         static_cast<double>(got.layer_gops_offered));
+  if (ref.layer_gops_delivered != got.layer_gops_delivered)
+    fail("layer_gops_delivered",
+         static_cast<double>(ref.layer_gops_delivered),
+         static_cast<double>(got.layer_gops_delivered));
+  if (!close_to(ref.layer_delivery_ratio, got.layer_delivery_ratio))
+    fail("layer_delivery_ratio", ref.layer_delivery_ratio,
+         got.layer_delivery_ratio);
   return mismatches;
 }
 
@@ -588,10 +623,11 @@ int main(int argc, char** argv) {
   for (int i = 0; i < seeds; ++i) {
     const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
     SeedOutcome o = soak_seed(s, seed, dir);
-    std::printf("seed %llu: %d lifetimes (%d fault legs), %lld saves "
+    std::printf("seed %llu [%s]: %d lifetimes (%d fault legs), %lld saves "
                 "(%lld delta / %lld full), delta %lld B vs full-equiv "
                 "%lld B: %s\n",
-                static_cast<unsigned long long>(seed), o.lifetimes,
+                static_cast<unsigned long long>(seed),
+                soak_policy(seed)->name(), o.lifetimes,
                 o.fault_legs, static_cast<long long>(o.stats.saves),
                 static_cast<long long>(o.stats.delta_saves),
                 static_cast<long long>(o.stats.full_saves),

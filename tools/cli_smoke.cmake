@@ -186,6 +186,18 @@ run(2 "error: --repair: expected drop\\|downgrade"
     stream --links=4 --channels=2 --gops=3 --repair=polish)
 run(2 "error: --resume requires --checkpoint"
     stream --links=4 --channels=2 --gops=3 --resume)
+# QoE flags: drain-risk shaping runs; the per-GOP lines carry the buffer
+# fields; bogus policy names and out-of-range thresholds fail fast.
+run(0 "policy=drain-risk"
+    stream --links=4 --channels=2 --seed=7 --gops=3 --p-block=0.3
+           --demand-policy=drain-risk --buffer-target=3)
+run(0 "\"buffer_seconds\":.*\"rebuffer_events\":"
+    stream --links=4 --channels=2 --seed=7 --gops=3 --p-block=0.1
+           --metrics-json)
+run(2 "error: --demand-policy: unknown policy"
+    stream --links=4 --channels=2 --gops=3 --demand-policy=psychic)
+run(2 "error: "
+    stream --links=4 --channels=2 --gops=3 --buffer-startup=-1)
 
 # --- serve: fleet daemon exit contract ---------------------------------------
 # Flag validation happens before stdin is ever read, so bogus values fail

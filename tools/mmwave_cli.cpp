@@ -15,7 +15,10 @@
 //       Run CG, Benchmark 1, Benchmark 2 and TDMA on the same instance and
 //       print the metric table.
 //   mmwave_cli stream  [instance flags] [--gops=N] [--p-block=p]
-//       Multi-GOP streaming session (optionally under Markov blockage).
+//                      [--demand-policy=blind|drain-risk] [--buffer-*=s]
+//       Multi-GOP streaming session (optionally under Markov blockage),
+//       with per-link client playout buffers and an optional drain-risk
+//       demand-shaping policy (QoE: stall seconds, layer-delivery ratio).
 //   mmwave_cli resolve --checkpoint=FILE [instance flags]
 //                      [--block-links=0,3] [--block-atten=a] [--update]
 //       Warm re-solve from a saved checkpoint against the (optionally
@@ -473,6 +476,27 @@ int cmd_stream(const common::CliFlags& flags) {
   }
   const int gops = static_cast<int>(gops_flag.value());
   const double p_block = p_block_flag.value();
+  // Client-buffer model + demand-shaping policy (PR: QoE-centric sessions).
+  const auto buf_startup =
+      flags.get_double_checked("buffer-startup", 0.5, 0.0, 3600.0);
+  const auto buf_rebuffer =
+      flags.get_double_checked("buffer-rebuffer", 0.5, 0.0, 3600.0);
+  const auto buf_target =
+      flags.get_double_checked("buffer-target", 2.0, 0.0, 3600.0);
+  const auto buf_boost =
+      flags.get_double_checked("buffer-boost", 1.0, 0.0, 100.0);
+  const auto buf_yield =
+      flags.get_double_checked("buffer-yield", 0.5, 0.0, 0.99);
+  for (const auto* checked :
+       {&buf_startup, &buf_rebuffer, &buf_target, &buf_boost, &buf_yield}) {
+    if (!checked->ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   checked->status().message().c_str());
+      return kExitInvalidInput;
+    }
+  }
+  const std::string policy_name =
+      flags.get_string("demand-policy", "blind");
   const std::string ckpt_path = flags.get_string("checkpoint", "");
   const bool resume = flags.has("resume");
   const bool metrics_json = flags.has("metrics-json");
@@ -498,6 +522,21 @@ int cmd_stream(const common::CliFlags& flags) {
   cfg.session.demand_scale = f.demand_scale;
   cfg.blockage.p_block = p_block;
   cfg.blockage.attenuation = 0.05;
+  cfg.buffer.startup_seconds = buf_startup.value();
+  cfg.buffer.rebuffer_seconds = buf_rebuffer.value();
+  cfg.buffer.target_seconds = buf_target.value();
+  cfg.buffer.boost_gain = buf_boost.value();
+  cfg.buffer.yield_fraction = buf_yield.value();
+  const std::unique_ptr<stream::DemandPolicy> policy =
+      stream::make_demand_policy(policy_name, cfg.buffer);
+  if (policy == nullptr) {
+    std::fprintf(stderr,
+                 "error: --demand-policy: unknown policy '%s' "
+                 "(expected blind|drain-risk)\n",
+                 policy_name.c_str());
+    return kExitInvalidInput;
+  }
+  cfg.demand_policy = policy.get();
   cfg.session_fingerprint =
       stream::blockage_session_fingerprint(cfg, f.links, f.seed);
 
@@ -539,17 +578,7 @@ int cmd_stream(const common::CliFlags& flags) {
   if (log != nullptr || metrics_json) {
     control.on_period = [&](const core::StreamCursor& cur, int gop) {
       if (metrics_json && !cur.gops.empty()) {
-        const core::StreamGopRecord& r = cur.gops.back();
-        int blocked_links = 0;
-        for (int b : cur.blocked) blocked_links += b;
-        std::printf(
-            "{\"type\":\"gop\",\"gop\":%d,\"demand_bits\":%.17g,"
-            "\"schedule_slots\":%.17g,\"budget_slots\":%.17g,"
-            "\"on_time\":%s,\"stall_slots\":%.17g,\"blocked_links\":%d,"
-            "\"plan_digest\":\"0x%016" PRIx64 "\"}\n",
-            r.gop, r.demand_bits, r.schedule_slots, r.budget_slots,
-            r.on_time ? "true" : "false", r.stall_slots, blocked_links,
-            cur.plan_digest);
+        std::printf("%s\n", stream::period_json_line(cur).c_str());
       }
       if (log != nullptr && context.has_last_checkpoint) {
         core::CgCheckpoint ckpt =
@@ -576,7 +605,8 @@ int cmd_stream(const common::CliFlags& flags) {
   if (metrics.resume_rejected)
     std::printf("resume: cursor rejected (stale or wrong session); "
                 "ran fresh\n");
-  std::printf("streaming %d GOPs (p_block=%.2f%s):\n", gops, p_block,
+  std::printf("streaming %d GOPs (p_block=%.2f, policy=%s%s):\n", gops,
+              p_block, policy->name(),
               metrics.start_gop > 0 ? ", resumed" : "");
   std::printf("  on-time GOPs:   %.1f%%\n", 100.0 * metrics.base.on_time_ratio);
   std::printf("  total stall:    %.1f slots\n",
@@ -585,6 +615,11 @@ int cmd_stream(const common::CliFlags& flags) {
   std::printf("  blocked frac:   %.3f\n", metrics.mean_blocked_fraction);
   std::printf("  all served:     %s\n",
               metrics.base.all_served ? "yes" : "NO");
+  std::printf("  playback stall: %.2f s (%d rebuffer events)\n",
+              metrics.stall_seconds, metrics.rebuffer_events);
+  std::printf("  layer delivery: %.1f%% (%d/%d layer-GOPs)\n",
+              100.0 * metrics.layer_delivery_ratio,
+              metrics.layer_gops_delivered, metrics.layer_gops_offered);
   if (log != nullptr) {
     const core::CheckpointLogStats& s = log->stats();
     std::printf("  checkpoints:    %lld saves (%lld delta, %lld full), "
@@ -954,6 +989,10 @@ int main(int argc, char** argv) {
       "          checkpoints at every GOP boundary) --resume (continue a\n"
       "          checkpointed session mid-stream) --pool-cap=N\n"
       "          --pool-policy=... --repair=drop|downgrade\n"
+      "          --demand-policy=blind|drain-risk (shape next-period\n"
+      "          demands from client-buffer state) --buffer-startup=s\n"
+      "          --buffer-rebuffer=s --buffer-target=s (playout thresholds)\n"
+      "          --buffer-boost=g --buffer-yield=y (drain-risk shaping)\n"
       "  resolve requires --checkpoint=FILE; also accepts\n"
       "          --block-links=0,3 --block-atten=a --update: repairs the\n"
       "          saved column pool against the perturbed instance and\n"

@@ -66,8 +66,17 @@
 #                                         and enforces record-equality across
 #                                         worker counts; writes
 #                                         BENCH_fleet.json
+#  12. QoE gate                           the client-buffer sessions on the
+#                                         sanitized build: the ClientBuffer /
+#                                         DemandPolicy / BlockageSession
+#                                         suites, then perf_qoe, which is
+#                                         both the stall-reduction bench and
+#                                         its own acceptance gate (drain-risk
+#                                         must strictly beat blind on enough
+#                                         seeds with no stall or layer-ratio
+#                                         regression); writes BENCH_qoe.json
 #
-# Usage:  tools/run_analysis.sh [--fast|--robustness|--coverage|--lint|--soak|--fleet]
+# Usage:  tools/run_analysis.sh [--fast|--robustness|--coverage|--lint|--soak|--fleet|--qoe]
 #   --fast        skip legs 1, 6 and 8 (the plain build, the perf bench and
 #                 the coverage gate) — the sanitized legs still run the full
 #                 suite, so this is the quick pre-push variant.
@@ -87,6 +96,9 @@
 #   --fleet       the CI fleet gate: build the ASan+UBSan tree and run only
 #                 leg 11 (fleet/shared-pool suites + chaos_soak --fleet with
 #                 a deeper seed sweep + perf_fleet).
+#   --qoe         the CI QoE gate: build the ASan+UBSan tree and run only
+#                 leg 12 (buffer/policy/session suites + perf_qoe with a
+#                 deeper seed sweep than the smoke ctest).
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -97,6 +109,7 @@ COVERAGE_ONLY=0
 LINT_ONLY=0
 SOAK_ONLY=0
 FLEET_ONLY=0
+QOE_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --robustness) ROBUSTNESS=1 ;;
@@ -104,6 +117,7 @@ case "${1:-}" in
   --lint) LINT_ONLY=1 ;;
   --soak) SOAK_ONLY=1 ;;
   --fleet) FLEET_ONLY=1 ;;
+  --qoe) QOE_ONLY=1 ;;
 esac
 
 failures=()
@@ -123,7 +137,8 @@ run_ctest() {
 
 # ---- Leg 1: plain RelWithDebInfo + Werror ---------------------------------
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
-      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
+      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 \
+      && "$QOE_ONLY" == 0 ]]; then
   note "leg 1: RelWithDebInfo + -Werror"
   if configure_and_build "$ROOT/build-analysis-rel" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
@@ -145,10 +160,11 @@ if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 ]]; then
 elif configure_and_build "$ASAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       "-DMMWAVE_SANITIZE=address;undefined"; then
-  if [[ "$ROBUSTNESS" == 0 && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
+  if [[ "$ROBUSTNESS" == 0 && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 \
+        && "$QOE_ONLY" == 0 ]]; then
     run_ctest "$ASAN_DIR" || leg_failed "ctest (ASan+UBSan)"
   else
-    echo "(--robustness/--soak/--fleet: full sanitized ctest sweep skipped; later legs use this build)"
+    echo "(--robustness/--soak/--fleet/--qoe: full sanitized ctest sweep skipped; later legs use this build)"
   fi
 else
   leg_failed "build (ASan+UBSan)"
@@ -157,7 +173,7 @@ fi
 # ---- Leg 3: clang-tidy over src/ ------------------------------------------
 note "leg 3: clang-tidy"
 if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 || "$SOAK_ONLY" == 1 \
-      || "$FLEET_ONLY" == 1 ]]; then
+      || "$FLEET_ONLY" == 1 || "$QOE_ONLY" == 1 ]]; then
   echo "leg 3 skipped"
 elif command -v clang-tidy > /dev/null 2>&1; then
   TIDY_DIR="$ASAN_DIR"
@@ -182,8 +198,8 @@ fi
 note "leg 4: solver certificate verifier (mmwave_cli check)"
 CLI="$ASAN_DIR/tools/mmwave_cli"
 if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 || "$SOAK_ONLY" == 1 \
-      || "$FLEET_ONLY" == 1 ]]; then
-  echo "leg 4 skipped (--coverage/--lint/--soak/--fleet)"
+      || "$FLEET_ONLY" == 1 || "$QOE_ONLY" == 1 ]]; then
+  echo "leg 4 skipped (--coverage/--lint/--soak/--fleet/--qoe)"
 elif [[ -x "$CLI" ]]; then
   # Fig. 1 scenario family: Table I ladder, K = 5, hybrid pricing.
   "$CLI" check --links=10 --channels=5 --seed=1 \
@@ -204,7 +220,7 @@ note "leg 5: ThreadSanitizer (thread pool + warm equivalence)"
 TSAN_DIR="$ROOT/build-analysis-tsan"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 if [[ "$ROBUSTNESS" == 1 || "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 \
-      || "$SOAK_ONLY" == 1 || "$FLEET_ONLY" == 1 ]]; then
+      || "$SOAK_ONLY" == 1 || "$FLEET_ONLY" == 1 || "$QOE_ONLY" == 1 ]]; then
   echo "leg 5 skipped"
 elif configure_and_build "$TSAN_DIR" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -231,7 +247,8 @@ fi
 # A missing binary is a failure, not a skip: the bench target silently
 # falling out of the build would otherwise go unnoticed.
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
-      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
+      && "$LINT_ONLY" == 0 && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 \
+      && "$QOE_ONLY" == 0 ]]; then
   note "leg 6: perf bench (perf_solvers -> BENCH_cg.json, perf_resolve -> BENCH_resolve.json, perf_pool -> BENCH_pool.json)"
   PERF="$ROOT/build-analysis-rel/bench/perf_solvers"
   if [[ -x "$PERF" ]]; then
@@ -291,8 +308,8 @@ run_fuzz() {
 }
 
 if [[ "$COVERAGE_ONLY" == 1 || "$LINT_ONLY" == 1 || "$SOAK_ONLY" == 1 \
-      || "$FLEET_ONLY" == 1 ]]; then
-  echo "leg 7 skipped (--coverage/--lint/--soak/--fleet)"
+      || "$FLEET_ONLY" == 1 || "$QOE_ONLY" == 1 ]]; then
+  echo "leg 7 skipped (--coverage/--lint/--soak/--fleet/--qoe)"
 elif [[ -d "$ASAN_DIR" ]]; then
   (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
       -R 'CgAnytime|Theorem1Guard|MilpLimits|FaultInjector|InstanceValidator|ParseInstanceSpec|CgCheckpoint|CheckpointLog|CgResolve|PoolManager|PoolPolicy|InstanceSignature|BlockageSession|cli_smoke') \
@@ -309,7 +326,7 @@ fi
 # floors are a ratchet: they record the coverage the tree actually has, so a
 # PR that adds untested solver/session code fails here before review.
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$LINT_ONLY" == 0 \
-      && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
+      && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 && "$QOE_ONLY" == 0 ]]; then
   note "leg 8: coverage gate (gcov, src/core + src/stream floors)"
   COV_DIR="$ROOT/build-analysis-cov"
   if configure_and_build "$COV_DIR" \
@@ -332,7 +349,7 @@ fi
 # and the fault-site registry.  Pure python3 over the sources — no build
 # needed — so it runs in every mode except the narrowly-scoped CI gates.
 if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 && "$SOAK_ONLY" == 0 \
-      && "$FLEET_ONLY" == 0 ]]; then
+      && "$FLEET_ONLY" == 0 && "$QOE_ONLY" == 0 ]]; then
   note "leg 9: project lint (tools/lint/project_lint.py)"
   if command -v python3 > /dev/null 2>&1; then
     python3 "$ROOT/tools/lint/project_lint.py" --root "$ROOT" \
@@ -351,7 +368,7 @@ fi
 # sanitized build so the recovery paths are instrumented; --soak sweeps
 # more seeds than the default pre-merge pass.
 if [[ "$FAST" == 0 && "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 \
-      && "$LINT_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
+      && "$LINT_ONLY" == 0 && "$FLEET_ONLY" == 0 && "$QOE_ONLY" == 0 ]]; then
   note "leg 10: chaos soak (tools/chaos_soak -> BENCH_soak.json)"
   SOAK="$ASAN_DIR/tools/chaos_soak"
   SOAK_SEEDS=5
@@ -383,7 +400,7 @@ fi
 # perf_fleet, which is both the throughput/latency bench and the cross-worker
 # record-equality check.  --fleet sweeps more seeds than the pre-merge pass.
 if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 && "$LINT_ONLY" == 0 \
-      && "$SOAK_ONLY" == 0 ]]; then
+      && "$SOAK_ONLY" == 0 && "$QOE_ONLY" == 0 ]]; then
   note "leg 11: fleet gate (fleet suites + chaos_soak --fleet + perf_fleet -> BENCH_fleet.json)"
   FLEET_SEEDS=4
   [[ "$FLEET_ONLY" == 1 ]] && FLEET_SEEDS=8
@@ -413,6 +430,37 @@ if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 && "$LINT_ONLY" == 0 \
   fi
 else
   note "leg 11 skipped"
+fi
+
+# ---- Leg 12: QoE gate (client-buffer sessions) -----------------------------
+# The buffer/policy/session suites plus perf_qoe on the sanitized build.
+# perf_qoe is its own acceptance gate: the drain-risk demand policy must
+# STRICTLY reduce stall seconds on enough seeded traces, never regress any
+# seed's stall, and hold every layer-delivery ratio no worse than blind's.
+# --qoe sweeps more seeds/GOPs than the pre-merge pass.
+if [[ "$ROBUSTNESS" == 0 && "$COVERAGE_ONLY" == 0 && "$LINT_ONLY" == 0 \
+      && "$SOAK_ONLY" == 0 && "$FLEET_ONLY" == 0 ]]; then
+  note "leg 12: QoE gate (buffer suites + perf_qoe -> BENCH_qoe.json)"
+  QOE_SEEDS=8
+  QOE_GOPS=24
+  if [[ "$QOE_ONLY" == 1 ]]; then
+    QOE_SEEDS=12
+    QOE_GOPS=32
+    (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
+        -R 'ClientBuffer|DemandPolicy|BlockageSession|bench_perf_qoe_smoke|cli_smoke') \
+      || leg_failed "ctest (buffer/policy/session suites under ASan+UBSan)"
+  fi
+  PERF_QOE="$ASAN_DIR/bench/perf_qoe"
+  if [[ -x "$PERF_QOE" ]]; then
+    "$PERF_QOE" --seeds="$QOE_SEEDS" --gops="$QOE_GOPS" --min-improved=3 \
+        --out="$ROOT/BENCH_qoe.json" \
+      || leg_failed "perf_qoe (drain-risk failed its stall/layer-ratio gate)"
+    [[ -s "$ROOT/BENCH_qoe.json" ]] || leg_failed "BENCH_qoe.json not written"
+  else
+    leg_failed "perf_qoe missing (bench targets fell out of the build?)"
+  fi
+else
+  note "leg 12 skipped"
 fi
 
 # ---- Summary --------------------------------------------------------------
